@@ -1,0 +1,212 @@
+(* Bechamel benchmark harness: one group per reproduced table/figure
+   (see DESIGN.md's experiment index), plus microbenchmarks of the core
+   promote mechanism and an ablation group.
+
+   Groups:
+     promote.*    — latency of the promote path per scheme and per
+                    narrowing depth (the cost model behind Fig. 10/11)
+     table4.*     — dynamic-count collection runs (Table 4 pipeline)
+     fig10.*      — runtime-overhead measurement runs (Fig. 10)
+     fig11.*      — instruction-mix measurement runs (Fig. 11)
+     fig12.*      — memory-footprint measurement runs (Fig. 12)
+     fig13.*      — hardware area model evaluation (Fig. 13)
+     juliet.*     — functional-evaluation detection runs (§5.1)
+     baselines.*  — comparator-model projections (§5.2.2)
+     ablation.*   — design-choice ablations called out in DESIGN.md *)
+
+open Bechamel
+open Toolkit
+open Core
+
+(* ---- fixtures ------------------------------------------------------ *)
+
+let tenv_s =
+  let t = Ctype.empty_tenv in
+  let t =
+    Ctype.declare t
+      {
+        Ctype.sname = "NestedTy";
+        fields =
+          [ { fname = "v3"; fty = Ctype.I32 }; { fname = "v4"; fty = Ctype.I32 } ];
+      }
+  in
+  Ctype.declare t
+    {
+      Ctype.sname = "S";
+      fields =
+        [
+          { fname = "v1"; fty = Ctype.I32 };
+          { fname = "array"; fty = Ctype.Array (Ctype.Struct "NestedTy", 2) };
+          { fname = "v5"; fty = Ctype.I32 };
+        ];
+    }
+
+type fixture = {
+  meta : Meta.t;
+  p_local : int64;
+  p_local_deep : int64;
+  p_subheap : int64;
+  p_global : int64;
+  p_legacy : int64;
+}
+
+let fixture =
+  lazy
+    (let mem = Memory.create () in
+     Memory.map mem ~base:0x10000L ~size:(1 lsl 20);
+     Memory.map mem ~base:0x200000L ~size:(1 lsl 16);
+     Memory.map mem ~base:0x300000L ~size:(4096 * 16);
+     let meta =
+       Meta.create ~memory:mem ~mac_key:0xFEEDL
+         ~layout_region:(0x200000L, 1 lsl 16)
+         ~global_table:(0x300000L, 4096)
+     in
+     let lt = Meta.intern_layout meta tenv_s (Ctype.Struct "S") in
+     let p_local =
+       Meta.Local_offset.register meta ~base:0x10000L ~size:24 ~layout_ptr:lt
+     in
+     let p_local_deep =
+       Insn.ifpidx (Insn.ifpadd p_local ~delta:12L ~bounds:Bounds.no_bounds) 3
+     in
+     Meta.Subheap.set_creg meta 0
+       (Some { Meta.Subheap.block_size_log2 = 12; metadata_offset = 0L });
+     Meta.Subheap.write_block_metadata meta ~creg:0 ~block_base:0x20000L
+       ~slot_start:32 ~slot_end:4064 ~slot_size:32 ~obj_size:24 ~layout_ptr:lt;
+     let p_subheap = Meta.Subheap.tag_pointer ~creg:0 ~addr:0x20040L in
+     let p_global =
+       Option.get
+         (Meta.Global_table.register meta ~base:0x30000L ~size:4096 ~layout_ptr:0L)
+     in
+     { meta; p_local; p_local_deep; p_subheap; p_global; p_legacy = 0x4000L })
+
+let promote_bench sel name =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let f = Lazy.force fixture in
+         ignore (Promote.run f.meta (sel f))))
+
+(* small program for macro benches: the full pipeline (typecheck +
+   instrument + execute) on a scaled-down treeadd *)
+let small_prog =
+  lazy
+    (let open Ir in
+     let tenv =
+       Ctype.declare Ctype.empty_tenv
+         {
+           Ctype.sname = "tnode";
+           fields =
+             [
+               { fname = "val"; fty = Ctype.I64 };
+               { fname = "left"; fty = Ctype.Ptr (Ctype.Struct "tnode") };
+               { fname = "right"; fty = Ctype.Ptr (Ctype.Struct "tnode") };
+             ];
+         }
+     in
+     let np = Ctype.Ptr (Ctype.Struct "tnode") in
+     let build_fn =
+       func "build" [ ("d", Ctype.I64) ] np
+         [
+           If (v "d" <=: i 0, [ Return (Some (null (Ctype.Struct "tnode"))) ], []);
+           Let ("p", np, Malloc (Ctype.Struct "tnode", i 1));
+           Store (Ctype.I64, Gep (Ctype.Struct "tnode", v "p", [ fld "val" ]), i 1);
+           Store (np, Gep (Ctype.Struct "tnode", v "p", [ fld "left" ]),
+                  Call ("build", [ v "d" -: i 1 ]));
+           Store (np, Gep (Ctype.Struct "tnode", v "p", [ fld "right" ]),
+                  Call ("build", [ v "d" -: i 1 ]));
+           Return (Some (v "p"));
+         ]
+     in
+     let sum_fn =
+       func "sum" [ ("p", np) ] Ctype.I64
+         [
+           If (Binop (Eq, v "p", null (Ctype.Struct "tnode")),
+               [ Return (Some (i 0)) ], []);
+           Return
+             (Some
+                (Load (Ctype.I64, Gep (Ctype.Struct "tnode", v "p", [ fld "val" ]))
+                +: Call ("sum", [ Load (np, Gep (Ctype.Struct "tnode", v "p", [ fld "left" ])) ])
+                +: Call ("sum", [ Load (np, Gep (Ctype.Struct "tnode", v "p", [ fld "right" ])) ])));
+         ]
+     in
+     let main =
+       func "main" [] Ctype.I64
+         [
+           Let ("t", np, Call ("build", [ i 8 ]));
+           Return (Some (Call ("sum", [ v "t" ])));
+         ]
+     in
+     program ~tenv ~globals:[] [ build_fn; sum_fn; main ])
+
+let run_bench name cfg =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Vm.run ~config:cfg (Lazy.force small_prog))))
+
+let juliet_case =
+  lazy
+    (List.find
+       (fun (c : Ifp_juliet.Juliet.case) ->
+         String.equal c.id "intra-object-heap-via-global")
+       (Ifp_juliet.Juliet.all_cases ()))
+
+let tests =
+  [
+    promote_bench (fun f -> f.p_local) "promote/local_offset";
+    promote_bench (fun f -> f.p_local_deep) "promote/local_offset_narrow_depth2";
+    promote_bench (fun f -> f.p_subheap) "promote/subheap";
+    promote_bench (fun f -> f.p_global) "promote/global_table";
+    promote_bench (fun f -> f.p_legacy) "promote/legacy_bypass";
+    run_bench "table4/dynamic_counts_subheap" Vm.ifp_subheap;
+    run_bench "fig10/runtime_baseline" Vm.baseline;
+    run_bench "fig10/runtime_subheap" Vm.ifp_subheap;
+    run_bench "fig10/runtime_wrapped" Vm.ifp_wrapped;
+    run_bench "fig11/instr_mix_subheap" Vm.ifp_subheap;
+    run_bench "fig12/footprint_wrapped" Vm.ifp_wrapped;
+    Test.make ~name:"fig13/hw_area_model"
+      (Staged.stage (fun () ->
+           let open Ifp_hwmodel.Hwmodel in
+           ignore (by_stage full);
+           ignore (lut_increase_pct full)));
+    Test.make ~name:"juliet/intra_object_detection"
+      (Staged.stage (fun () ->
+           ignore
+             (Ifp_juliet.Juliet.run_case ~config:Vm.ifp_subheap
+                (Lazy.force juliet_case))));
+    Test.make ~name:"baselines/projection"
+      (Staged.stage (fun () ->
+           let prog = Lazy.force small_prog in
+           let baseline = Vm.run ~config:Vm.baseline prog in
+           let ifp = Vm.run ~config:Vm.ifp_subheap prog in
+           List.iter
+             (fun m -> ignore (Ifp_baselines.Baselines.project m ~baseline ~ifp))
+             Ifp_baselines.Baselines.all));
+    run_bench "ablation/no_promote" (Vm.no_promote Vm.Alloc_subheap);
+    run_bench "ablation/wrapped_allocator" Vm.ifp_wrapped;
+  ]
+
+let () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:(Some 10)
+      ~stabilize:false ()
+  in
+  Printf.printf "%-42s %14s %8s\n" "benchmark" "time/run" "samples";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name (b : Benchmark.t) ->
+          let m = b.Benchmark.lr in
+          let label = Measure.label Instance.monotonic_clock in
+          let total_time =
+            Array.fold_left
+              (fun acc raw -> acc +. Measurement_raw.get ~label raw)
+              0.0 m
+          in
+          let total_runs =
+            Array.fold_left (fun acc raw -> acc +. Measurement_raw.run raw) 0.0 m
+          in
+          let per_run = if total_runs > 0.0 then total_time /. total_runs else 0.0 in
+          Printf.printf "%-42s %11.0f ns %8d\n" name per_run (Array.length m))
+        results)
+    tests

@@ -1,0 +1,403 @@
+(* Regenerate every table and figure of the paper's evaluation (§5):
+     table2    — metadata-scheme constraints (Table 2)
+     table4    — dynamic event counts (Table 4)
+     fig10     — runtime overhead, subheap/wrapped +/- no-promote (Fig. 10)
+     fig11     — dynamic IFP-instruction mix (Fig. 11)
+     fig12     — memory overhead (Fig. 12)
+     fig13     — hardware area model (Fig. 13)
+     baselines — comparator schemes on the same runs (Table 1 / §5.2.2)
+     juliet    — functional evaluation summary (§5.1)
+     all       — everything above *)
+
+open Core
+module W = Ifp_workloads.Workload
+module Registry = Ifp_workloads.Registry
+module Table = Ifp_util.Table
+
+let rows : (string, Report.row) Hashtbl.t = Hashtbl.create 32
+
+let row_of (wl : W.t) =
+  match Hashtbl.find_opt rows wl.name with
+  | Some r -> r
+  | None ->
+    let prog = Lazy.force wl.prog in
+    let r = Report.evaluate ~name:wl.name prog in
+    (match Report.check_outcomes r with
+    | [] -> ()
+    | bad ->
+      List.iter
+        (fun (vname, why) ->
+          Printf.eprintf "WARNING: %s/%s did not finish: %s\n%!" wl.name vname why)
+        bad);
+    Hashtbl.replace rows wl.name r;
+    r
+
+let fmt_x r = Printf.sprintf "%.2fx" r
+let fmt_pct r = Ifp_util.Stats.percent r
+
+let sci n =
+  if n = 0 then "0"
+  else if n < 100_000 then string_of_int n
+  else Printf.sprintf "%.2e" (float_of_int n)
+
+(* ---------------- Table 2 ---------------- *)
+
+let table2 () =
+  print_endline "== Table 2: object metadata schemes (constraints measured) ==";
+  let rows =
+    [
+      [ "local offset"; "base granule-aligned"; "<= 1008 B"; "unlimited";
+        "small objects, locals" ];
+      [ "subheap"; "pow2-aligned blocks"; "block-capacity bound";
+        "16 control regs / block sizes"; "heap objects" ];
+      [ "global table"; "none"; "none";
+        Printf.sprintf "%d rows" (Tag.global_table_entries - 1);
+        "large globals, fallback" ];
+    ]
+  in
+  Table.print
+    ~header:[ "scheme"; "placement constraint"; "max object size";
+              "object count limit"; "use scenario" ]
+    rows;
+  (* verify the constants against the implementation *)
+  Printf.printf
+    "\n(tag budget: 16 bits = 2 poison + 2 selector + 12 scheme/subobject;\n\
+    \ local offset: %d B granule, %d B max object, %d layout elements;\n\
+    \ subheap: %d subobject-index values; global table: %d entries)\n\n"
+    Tag.granule Tag.local_offset_max_object Tag.local_offset_max_elements
+    Tag.subheap_max_elements Tag.global_table_entries
+
+(* ---------------- Table 4 ---------------- *)
+
+let table4 () =
+  print_endline
+    "== Table 4: object instrumentation, valid promotes, dynamic instructions ==";
+  let header =
+    [ "benchmark"; "glob(LT%)"; "local(LT%)"; "heap(LT%)"; "valid promote";
+      "(% of promotes)"; "baseline instrs"; "subheap"; "wrapped" ]
+  in
+  let body =
+    List.map
+      (fun (wl : W.t) ->
+        let r = row_of wl in
+        let c = r.subheap.Vm.counters in
+        let pct a b = if b = 0 then "-" else Printf.sprintf "%d%%" (100 * a / b) in
+        let objs n lt = if n = 0 then "0" else sci n ^ " (" ^ pct lt n ^ ")" in
+        let promotes = Counters.promotes_total c in
+        let base_instrs = Counters.total_instrs r.baseline.Vm.counters in
+        [
+          wl.name;
+          objs c.global_objs c.global_objs_layout;
+          objs c.local_objs c.local_objs_layout;
+          objs c.heap_objs c.heap_objs_layout;
+          sci c.promotes_valid;
+          pct c.promotes_valid promotes;
+          sci base_instrs;
+          fmt_x (Report.instr_overhead ~baseline:r.baseline r.subheap);
+          fmt_x (Report.instr_overhead ~baseline:r.baseline r.wrapped);
+        ])
+      Registry.all
+  in
+  Table.print ~header body;
+  let geo sel =
+    Ifp_util.Stats.geomean
+      (List.map
+         (fun (wl : W.t) ->
+           let r = row_of wl in
+           Report.instr_overhead ~baseline:r.baseline (sel r))
+         Registry.all)
+  in
+  Printf.printf
+    "\ngeo-mean dynamic instruction increase: subheap %s, wrapped %s\n\
+     (paper: subheap +5%%, wrapped +14%%)\n\n"
+    (fmt_pct (geo (fun r -> r.Report.subheap)))
+    (fmt_pct (geo (fun r -> r.Report.wrapped)))
+
+(* ---------------- Fig 10 ---------------- *)
+
+let fig10 () =
+  print_endline "== Figure 10: runtime overhead (cycles vs baseline) ==";
+  let header =
+    [ "benchmark"; "subheap"; "wrapped"; "subheap-np"; "wrapped-np" ]
+  in
+  let body =
+    List.map
+      (fun (wl : W.t) ->
+        let r = row_of wl in
+        let ov x = fmt_pct (Report.runtime_overhead ~baseline:r.baseline x) in
+        [ wl.name; ov r.subheap; ov r.wrapped; ov r.subheap_np; ov r.wrapped_np ])
+      Registry.all
+  in
+  Table.print ~header body;
+  let geo sel =
+    Ifp_util.Stats.geomean
+      (List.map
+         (fun (wl : W.t) ->
+           let r = row_of wl in
+           Report.runtime_overhead ~baseline:r.baseline (sel r))
+         Registry.all)
+  in
+  Printf.printf
+    "\ngeo-mean runtime overhead: subheap %s, wrapped %s (paper: ~12%%, ~24%%)\n\
+     no-promote controls:       subheap %s, wrapped %s\n\n"
+    (fmt_pct (geo (fun r -> r.Report.subheap)))
+    (fmt_pct (geo (fun r -> r.Report.wrapped)))
+    (fmt_pct (geo (fun r -> r.Report.subheap_np)))
+    (fmt_pct (geo (fun r -> r.Report.wrapped_np)))
+
+(* ---------------- Fig 11 ---------------- *)
+
+let fig11 () =
+  print_endline
+    "== Figure 11: dynamic counts of In-Fat Pointer instructions (subheap) ==";
+  let header =
+    [ "benchmark"; "promote"; "ifp arithmetic"; "bounds ld/st"; "% of baseline" ]
+  in
+  let body =
+    List.map
+      (fun (wl : W.t) ->
+        let r = row_of wl in
+        let c = r.subheap.Vm.counters in
+        let n k = Counters.ifp_count c k in
+        let promote = n Insn.Promote in
+        let arith =
+          n Insn.Ifpadd + n Insn.Ifpidx + n Insn.Ifpbnd + n Insn.Ifpchk
+          + n Insn.Ifpextract + n Insn.Ifpmd + n Insn.Ifpmac
+        in
+        let ldst = n Insn.Ldbnd + n Insn.Stbnd in
+        let basei = Counters.total_instrs r.baseline.Vm.counters in
+        [
+          wl.name; sci promote; sci arith; sci ldst;
+          Printf.sprintf "%.1f%%"
+            (100.0 *. float_of_int (promote + arith + ldst) /. float_of_int basei);
+        ])
+      Registry.all
+  in
+  Table.print ~header body;
+  print_newline ()
+
+(* ---------------- Fig 12 ---------------- *)
+
+(* the paper excludes programs whose footprint is below `time -v`'s
+   resolution (<6 MB there); at our scaled-down sizes the equivalent
+   cutoff is 16 KiB of baseline footprint *)
+let fig12_cutoff = 16 * 1024
+
+let fig12 () =
+  print_endline "== Figure 12: memory overhead (max footprint vs baseline) ==";
+  let header = [ "benchmark"; "subheap"; "wrapped" ] in
+  let included, excluded =
+    List.partition
+      (fun (wl : W.t) ->
+        (row_of wl).baseline.Vm.mem_footprint >= fig12_cutoff)
+      Registry.all
+  in
+  let fig12_excluded = List.map (fun (wl : W.t) -> wl.W.name) excluded in
+  let body =
+    List.map
+      (fun (wl : W.t) ->
+        let r = row_of wl in
+        let ov x = fmt_pct (Report.memory_overhead ~baseline:r.baseline x) in
+        [ wl.name; ov r.subheap; ov r.wrapped ])
+      included
+  in
+  Table.print ~header body;
+  let geo sel =
+    Ifp_util.Stats.geomean
+      (List.map
+         (fun (wl : W.t) ->
+           let r = row_of wl in
+           Report.memory_overhead ~baseline:r.baseline (sel r))
+         included)
+  in
+  Printf.printf
+    "\ngeo-mean memory overhead: subheap %s, wrapped %s (paper: -6%%, +21%%)\n\
+     (excluded, as in the paper: %s)\n\n"
+    (fmt_pct (geo (fun r -> r.Report.subheap)))
+    (fmt_pct (geo (fun r -> r.Report.wrapped)))
+    (String.concat ", " fig12_excluded)
+
+(* ---------------- Fig 13 ---------------- *)
+
+let fig13 () =
+  print_endline "== Figure 13: LUT increase in the modified processor (model) ==";
+  let open Ifp_hwmodel.Hwmodel in
+  Table.print
+    ~header:[ "component"; "stage"; "LUTs"; "FFs" ]
+    (List.map
+       (fun c ->
+         [ c.cname; stage_to_string c.stage; string_of_int c.luts;
+           string_of_int c.ffs ])
+       components);
+  Printf.printf "\nper-stage added LUTs:\n";
+  List.iter
+    (fun (s, l) -> Printf.printf "  %-16s %d\n" (stage_to_string s) l)
+    (by_stage full);
+  Printf.printf
+    "\ntotals: %d -> %d LUTs (+%.0f%%), %d -> %d FFs\n\
+     (paper: 37,088 -> 59,261 LUTs, +60%%; 21,993 -> 32,545 FFs, +48%%)\n"
+    vanilla_luts (total_luts full) (lut_increase_pct full) vanilla_ffs
+    (total_ffs full);
+  let no_walker = { full with layout_walker = false } in
+  let no_bregs = { full with bounds_registers = false } in
+  Printf.printf
+    "\nablations (§5.3):\n\
+    \  drop layout walker:    +%d LUTs (+%.0f%%) — loses hardware narrowing\n\
+    \  drop bounds registers: +%d LUTs (+%.0f%%) — the largest single saving\n\n"
+    (added_luts no_walker) (lut_increase_pct no_walker) (added_luts no_bregs)
+    (lut_increase_pct no_bregs)
+
+(* ---------------- Baselines ---------------- *)
+
+let baselines () =
+  print_endline
+    "== Comparators (Table 1 / §5.2.2): projected overheads, geo-mean over all benchmarks ==";
+  let header =
+    [ "scheme"; "instr overhead"; "runtime overhead"; "memory"; "subobject?" ]
+  in
+  let geo f =
+    Ifp_util.Stats.geomean (List.map (fun (wl : W.t) -> f (row_of wl)) Registry.all)
+  in
+  let comparator_rows =
+    List.map
+      (fun model ->
+        let gi =
+          geo (fun r ->
+              (Ifp_baselines.Baselines.project model ~baseline:r.Report.baseline
+                 ~ifp:r.Report.subheap)
+                .instr_overhead)
+        in
+        let gc =
+          geo (fun r ->
+              (Ifp_baselines.Baselines.project model ~baseline:r.Report.baseline
+                 ~ifp:r.Report.subheap)
+                .cycle_overhead)
+        in
+        let det =
+          match model.Ifp_baselines.Baselines.subobject with
+          | Ifp_baselines.Baselines.Full -> "yes"
+          | Object_only -> "object only"
+          | Probabilistic p -> Printf.sprintf "prob. %.0f%%" (100.0 *. p)
+          | None_ -> "no"
+        in
+        [ model.Ifp_baselines.Baselines.name; fmt_x gi; fmt_x gc;
+          fmt_x model.memory_factor; det ])
+      Ifp_baselines.Baselines.all
+  in
+  (* memory ratios only over benchmarks above the footprint cutoff, as
+     in Fig. 12 *)
+  let geo_mem sel =
+    Ifp_util.Stats.geomean
+      (List.filter_map
+         (fun (wl : W.t) ->
+           let r = row_of wl in
+           if r.Report.baseline.Vm.mem_footprint < fig12_cutoff then None
+           else Some (Report.memory_overhead ~baseline:r.baseline (sel r)))
+         Registry.all)
+  in
+  let ifp_rows =
+    [
+      [ "In-Fat Pointer (subheap)";
+        fmt_x (geo (fun r -> Report.instr_overhead ~baseline:r.Report.baseline r.subheap));
+        fmt_x (geo (fun r -> Report.runtime_overhead ~baseline:r.Report.baseline r.subheap));
+        fmt_x (geo_mem (fun r -> r.Report.subheap));
+        "yes" ];
+      [ "In-Fat Pointer (wrapped)";
+        fmt_x (geo (fun r -> Report.instr_overhead ~baseline:r.Report.baseline r.wrapped));
+        fmt_x (geo (fun r -> Report.runtime_overhead ~baseline:r.Report.baseline r.wrapped));
+        fmt_x (geo_mem (fun r -> r.Report.wrapped));
+        "yes" ];
+    ]
+  in
+  Table.print ~header (comparator_rows @ ifp_rows);
+  print_newline ()
+
+(* ---------------- Extensions / ablations ---------------- *)
+
+let extensions () =
+  print_endline
+    "== Extensions & ablations (paper future work / §5.3 trade-offs) ==";
+  (* A1a: drop the layout-table walker -> object granularity only *)
+  let cases = Ifp_juliet.Juliet.all_cases () in
+  let _, s_full = Ifp_juliet.Juliet.run_all ~config:Vm.ifp_subheap cases in
+  let _, s_nonarrow =
+    Ifp_juliet.Juliet.run_all ~config:(Vm.no_narrowing Vm.Alloc_subheap) cases
+  in
+  Printf.printf
+    "layout-walker ablation (saves %d LUTs in the area model):\n\
+    \  full narrowing: %d/%d detected; walker disabled: %d/%d\n\
+    \  -> the difference is exactly the intra-object cases only hardware\n\
+    \     narrowing can catch after a pointer's round trip through memory\n\n"
+    3059 s_full.detected s_full.total s_nonarrow.detected s_nonarrow.total;
+  (* A1b: mixed allocator fixes the subheap's array-fragmentation cost *)
+  let em3d = Option.get (Registry.find "em3d") in
+  let treeadd = Option.get (Registry.find "treeadd") in
+  Printf.printf "mixed allocator (runtime scheme selection, §4.2.1 future work):\n";
+  List.iter
+    (fun (wl : W.t) ->
+      let prog = Lazy.force wl.prog in
+      let fp cfg = (Vm.run ~config:cfg prog).Vm.mem_footprint in
+      let cyc cfg = (Vm.run ~config:cfg prog).Vm.counters.Counters.cycles in
+      Printf.printf
+        "  %-8s footprint: subheap %d / mixed %d / wrapped %d; cycles: %d / %d / %d\n"
+        wl.name (fp Vm.ifp_subheap) (fp Vm.ifp_mixed) (fp Vm.ifp_wrapped)
+        (cyc Vm.ifp_subheap) (cyc Vm.ifp_mixed) (cyc Vm.ifp_wrapped))
+    [ em3d; treeadd ];
+  (* A1c: allocation-wrapper type inference (§5.2.1 future work) *)
+  Printf.printf
+    "\nallocation-wrapper type inference (recovers layout tables):\n";
+  List.iter
+    (fun name ->
+      let wl = Option.get (Registry.find name) in
+      let prog = Lazy.force wl.W.prog in
+      let lt cfg =
+        let c = (Vm.run ~config:cfg prog).Vm.counters in
+        (c.Counters.heap_objs_layout, c.Counters.heap_objs)
+      in
+      let off_lt, off_n = lt Vm.ifp_subheap in
+      let on_lt, on_n =
+        lt { Vm.ifp_subheap with infer_alloc_types = true }
+      in
+      Printf.printf "  %-14s layout tables: %d/%d objects -> %d/%d with inference\n"
+        name off_lt off_n on_lt on_n)
+    [ "wolfcrypt-dh"; "health"; "coremark" ];
+  print_newline ()
+
+(* ---------------- Juliet ---------------- *)
+
+let juliet () =
+  print_endline "== Functional evaluation (§5.1): Juliet-style suite ==";
+  let cases = Ifp_juliet.Juliet.all_cases () in
+  let run name config =
+    let _, s = Ifp_juliet.Juliet.run_all ~config cases in
+    Printf.printf "  %-12s %d/%d bad cases detected, %d good-case failures\n"
+      name s.detected s.total s.good_failures
+  in
+  run "baseline" Vm.baseline;
+  run "wrapped" Vm.ifp_wrapped;
+  run "subheap" Vm.ifp_subheap;
+  run "subheap-np" (Vm.no_promote Vm.Alloc_subheap);
+  print_newline ()
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let run = function
+    | "table2" -> table2 ()
+    | "table4" -> table4 ()
+    | "fig10" -> fig10 ()
+    | "fig11" -> fig11 ()
+    | "fig12" -> fig12 ()
+    | "fig13" -> fig13 ()
+    | "baselines" -> baselines ()
+    | "extensions" -> extensions ()
+    | "juliet" -> juliet ()
+    | other ->
+      Printf.eprintf "unknown experiment %s\n" other;
+      exit 1
+  in
+  match which with
+  | "all" ->
+    List.iter run
+      [ "table2"; "table4"; "fig10"; "fig11"; "fig12"; "fig13"; "baselines";
+        "extensions"; "juliet" ]
+  | w -> run w

@@ -1,0 +1,40 @@
+(* Functional evaluation (paper §5.1): run the generated Juliet-style
+   suite under the chosen configuration and report detection results. *)
+
+let config_of = function
+  | "baseline" -> Core.Vm.baseline
+  | "subheap" -> Core.Vm.ifp_subheap
+  | "wrapped" -> Core.Vm.ifp_wrapped
+  | "subheap-np" -> Core.Vm.no_promote Core.Vm.Alloc_subheap
+  | "wrapped-np" -> Core.Vm.no_promote Core.Vm.Alloc_wrapped
+  | "mixed" -> Core.Vm.ifp_mixed
+  | "no-narrowing" -> Core.Vm.no_narrowing Core.Vm.Alloc_subheap
+  | s ->
+    Printf.eprintf "unknown config %s\n" s;
+    exit 1
+
+let () =
+  let cfg_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "wrapped" in
+  let verbose = Array.exists (String.equal "-v") Sys.argv in
+  let config = config_of cfg_name in
+  let cases = Ifp_juliet.Juliet.all_cases () in
+  let outcomes, summary = Ifp_juliet.Juliet.run_all ~config cases in
+  Printf.printf "Juliet-style functional evaluation under %s (%d cases)\n\n"
+    cfg_name summary.total;
+  List.iter
+    (fun (o : Ifp_juliet.Juliet.outcome) ->
+      let verdict =
+        match o.bad_verdict with
+        | Ifp_juliet.Juliet.Detected -> "DETECTED"
+        | Silent -> "missed"
+        | False_positive -> "false-positive"
+        | Error m -> "ERROR " ^ m
+      in
+      if verbose || o.bad_verdict <> Ifp_juliet.Juliet.Detected || not o.good_ok
+      then
+        Printf.printf "  %-36s bad: %-10s good: %s\n" o.case.id verdict
+          (if o.good_ok then "ok" else "FAILED"))
+    outcomes;
+  Printf.printf
+    "\nsummary: %d/%d bad cases detected, %d missed, %d good-case failures\n"
+    summary.detected summary.total summary.missed summary.good_failures

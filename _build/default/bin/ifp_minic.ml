@@ -1,0 +1,85 @@
+(* Compile and run a MiniC source file on the simulated machine:
+
+     ifp_minic FILE [CONFIG] [--dump-ir] [--dump-instrumented] [--trace]
+
+   CONFIG is one of baseline | subheap | wrapped | mixed | subheap-np |
+   wrapped-np | no-narrowing | infer-types (default: subheap). *)
+
+let config_of = function
+  | "baseline" -> Core.Vm.baseline
+  | "subheap" -> Core.Vm.ifp_subheap
+  | "wrapped" -> Core.Vm.ifp_wrapped
+  | "mixed" -> Core.Vm.ifp_mixed
+  | "subheap-np" -> Core.Vm.no_promote Core.Vm.Alloc_subheap
+  | "wrapped-np" -> Core.Vm.no_promote Core.Vm.Alloc_wrapped
+  | "no-narrowing" -> Core.Vm.no_narrowing Core.Vm.Alloc_subheap
+  | "infer-types" -> { Core.Vm.ifp_subheap with infer_alloc_types = true }
+  | s ->
+    Printf.eprintf "unknown config %s\n" s;
+    exit 2
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let flags, positional =
+    List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--")
+      (List.tl args)
+  in
+  let file, cfg_name =
+    match positional with
+    | [ f ] -> (f, "subheap")
+    | [ f; c ] -> (f, c)
+    | _ ->
+      Printf.eprintf "usage: ifp_minic FILE [CONFIG] [--dump-ir] [--dump-instrumented]\n";
+      exit 2
+  in
+  let src = In_channel.with_open_text file In_channel.input_all in
+  let prog =
+    try Core.Parser.parse src with
+    | Core.Parser.Parse_error (m, line) ->
+      Printf.eprintf "%s:%d: parse error: %s\n" file line m;
+      exit 1
+    | Core.Lexer.Lex_error (m, line) ->
+      Printf.eprintf "%s:%d: lex error: %s\n" file line m;
+      exit 1
+  in
+  (try Core.Typecheck.check_program prog
+   with Core.Typecheck.Type_error m ->
+     Printf.eprintf "%s: type error: %s\n" file m;
+     exit 1);
+  if List.mem "--dump-ir" flags then
+    print_string (Core.Ir_pp.program_to_string prog);
+  if List.mem "--dump-instrumented" flags then begin
+    let instr, _ = Core.Instrument.run prog in
+    print_string (Core.Ir_pp.program_to_string instr)
+  end;
+  let config = config_of cfg_name in
+  let config =
+    if List.mem "--trace" flags then { config with trace_limit = 64 } else config
+  in
+  let r = Core.Vm.run ~config prog in
+  List.iter
+    (fun (ev : Core.Vm.trace_event) ->
+      match ev with
+      | Core.Vm.T_promote { ptr; outcome; bounds } ->
+        Printf.printf "trace: promote 0x%Lx -> %s %s\n" ptr outcome bounds
+      | Core.Vm.T_register { what; ptr; size } ->
+        Printf.printf "trace: register %s 0x%Lx (%d B)\n" what ptr size
+      | Core.Vm.T_deregister { what; ptr } ->
+        Printf.printf "trace: deregister %s 0x%Lx\n" what ptr
+      | Core.Vm.T_trap msg -> Printf.printf "trace: TRAP %s\n" msg)
+    r.Core.Vm.trace;
+  List.iter print_endline r.Core.Vm.output;
+  let c = r.Core.Vm.counters in
+  Printf.printf "[%s] %s\n" cfg_name
+    (match r.Core.Vm.outcome with
+    | Core.Vm.Finished x -> Printf.sprintf "exited with %Ld" x
+    | Core.Vm.Trapped t -> "TRAP: " ^ Core.Trap.to_string t
+    | Core.Vm.Aborted m -> "abort: " ^ m);
+  Printf.printf
+    "[%s] %d instructions (%d IFP), %d cycles, %d promotes (%d valid), footprint %d B\n"
+    cfg_name
+    (Core.Counters.total_instrs c)
+    (Core.Counters.ifp_total c) c.cycles
+    (Core.Counters.promotes_total c)
+    c.promotes_valid r.Core.Vm.mem_footprint
+

@@ -1,0 +1,1 @@
+examples/allocator_tour.ml: Core Counters Ctype Ir List Printf Trap Vm

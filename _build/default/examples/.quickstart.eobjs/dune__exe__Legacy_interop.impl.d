@@ -1,0 +1,1 @@
+examples/legacy_interop.ml: Core Ctype Ir Printf Trap Vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bounds Core Ctype Format Insn Layout Mac Memory Meta Option Printf Prng Promote Tag Trap

@@ -1,0 +1,1 @@
+examples/subobject_protection.ml: Core Ctype Ir Printf Trap Vm

@@ -1,0 +1,78 @@
+(* The paper's Listing 1/Listing 2 end to end: a MiniC program with an
+   intra-object overflow, compiled with the instrumentation pass and run
+   on the VM under several configurations.
+
+   Run with: dune exec examples/subobject_protection.exe *)
+
+open Core
+open Ir
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "S";
+      fields =
+        [
+          { fname = "vulnerable"; fty = Ctype.Array (Ctype.I8, 12) };
+          { fname = "sensitive"; fty = Ctype.Array (Ctype.I8, 12) };
+        ];
+    }
+
+(* struct Boo boo; gv_ptr = &boo; foo() writes gv_ptr->vulnerable[off] *)
+let listing2 ~off =
+  let sp = Ctype.Ptr (Ctype.Struct "S") in
+  let gv = global "gv_ptr" sp in
+  let main =
+    func "main" [] Ctype.I64
+      [
+        Decl_local ("boo", Ctype.Struct "S");
+        Store_global ("gv_ptr", Addr_local "boo");
+        Expr (Call ("foo", [ i off ]));
+        (* read back the first byte of 'sensitive' as the checksum *)
+        Return
+          (Some
+             (Cast
+                ( Ctype.I64,
+                  Load
+                    ( Ctype.I8,
+                      Gep (Ctype.Struct "S", Addr_local "boo",
+                           [ fld "sensitive"; at (i 0) ]) ) )));
+      ]
+  in
+  let foo =
+    func "foo" [ ("off", Ctype.I64) ] Ctype.Void
+      [
+        (* the pointer is reloaded from the global: its bounds can only
+           come from promote + layout-table narrowing *)
+        Let ("p", sp, Load_global "gv_ptr");
+        Store (Ctype.I8,
+               Gep (Ctype.Struct "S", v "p", [ fld "vulnerable"; at (v "off") ]),
+               i 0x41);
+        Return None;
+      ]
+  in
+  program ~tenv ~globals:[ gv ] [ foo; main ]
+
+let show name cfg prog =
+  let r = Vm.run ~config:cfg prog in
+  Printf.printf "  %-12s %s\n" name
+    (match r.Vm.outcome with
+    | Vm.Finished x -> Printf.sprintf "finished, sensitive[0] = 0x%Lx" x
+    | Vm.Trapped t -> "TRAP: " ^ Trap.to_string t
+    | Vm.Aborted m -> "abort: " ^ m)
+
+let () =
+  print_endline "write to vulnerable[5] (in bounds):";
+  let good = listing2 ~off:5 in
+  show "baseline" Vm.baseline good;
+  show "ifp" Vm.ifp_wrapped good;
+
+  print_endline "\nwrite to vulnerable[12] (intra-object overflow into 'sensitive'):";
+  let bad = listing2 ~off:12 in
+  show "baseline" Vm.baseline bad;
+  show "ifp" Vm.ifp_wrapped bad;
+  show "no-promote" (Vm.no_promote Vm.Alloc_wrapped) bad;
+  print_endline
+    "\nbaseline silently corrupts the sensitive field (returns 0x41);\n\
+     In-Fat Pointer narrows the promoted pointer to the 'vulnerable'\n\
+     subobject and traps; disabling promote loses exactly this case."

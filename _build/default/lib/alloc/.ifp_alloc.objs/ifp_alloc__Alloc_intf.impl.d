@@ -1,0 +1,1 @@
+lib/alloc/alloc_intf.ml: Ifp_isa Ifp_types Int64

@@ -1,0 +1,1 @@
+lib/alloc/alloc_intf.mli: Ifp_isa Ifp_types

@@ -1,0 +1,1 @@
+lib/alloc/baseline.ml: Alloc_intf Hashtbl Ifp_machine Ifp_util Int64

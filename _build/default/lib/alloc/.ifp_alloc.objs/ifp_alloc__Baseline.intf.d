@@ -1,0 +1,1 @@
+lib/alloc/baseline.mli: Alloc_intf Ifp_machine

@@ -1,0 +1,1 @@
+lib/alloc/buddy.ml: Hashtbl Ifp_util Int64 List

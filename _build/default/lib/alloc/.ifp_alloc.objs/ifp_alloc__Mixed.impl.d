@@ -1,0 +1,1 @@
+lib/alloc/mixed.ml: Alloc_intf Ifp_isa List

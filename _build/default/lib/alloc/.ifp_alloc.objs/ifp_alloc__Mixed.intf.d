@@ -1,0 +1,1 @@
+lib/alloc/mixed.mli: Alloc_intf

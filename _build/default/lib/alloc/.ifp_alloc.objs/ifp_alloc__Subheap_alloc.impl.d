@@ -1,0 +1,1 @@
+lib/alloc/subheap_alloc.ml: Alloc_intf Buddy Hashtbl Ifp_isa Ifp_machine Ifp_metadata Ifp_types Ifp_util Int64 List

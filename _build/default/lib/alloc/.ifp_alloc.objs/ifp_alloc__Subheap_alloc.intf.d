@@ -1,0 +1,1 @@
+lib/alloc/subheap_alloc.mli: Alloc_intf Ifp_machine Ifp_metadata Ifp_types

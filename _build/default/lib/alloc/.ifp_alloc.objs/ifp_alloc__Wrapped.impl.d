@@ -1,0 +1,1 @@
+lib/alloc/wrapped.ml: Alloc_intf Ifp_isa Ifp_metadata List

@@ -1,0 +1,1 @@
+lib/alloc/wrapped.mli: Alloc_intf Ifp_metadata Ifp_types

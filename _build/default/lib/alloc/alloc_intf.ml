@@ -1,0 +1,48 @@
+type cost = {
+  instrs : int;
+  ifp_instrs : (Ifp_isa.Insn.kind * int) list;
+  touches : (int64 * int) list;
+}
+
+let cost ?(ifp_instrs = []) ?(touches = []) instrs = { instrs; ifp_instrs; touches }
+
+let zero_cost = { instrs = 0; ifp_instrs = []; touches = [] }
+
+let add_cost a b =
+  {
+    instrs = a.instrs + b.instrs;
+    ifp_instrs = a.ifp_instrs @ b.ifp_instrs;
+    touches = a.touches @ b.touches;
+  }
+
+type stats = {
+  mutable live_bytes : int;
+  mutable peak_live_bytes : int;
+  mutable footprint_bytes : int;
+  mutable n_allocs : int;
+  mutable n_frees : int;
+}
+
+let fresh_stats () =
+  { live_bytes = 0; peak_live_bytes = 0; footprint_bytes = 0; n_allocs = 0; n_frees = 0 }
+
+let note_alloc s ~payload ~footprint ~base =
+  s.live_bytes <- s.live_bytes + payload;
+  if s.live_bytes > s.peak_live_bytes then s.peak_live_bytes <- s.live_bytes;
+  let fp = Int64.to_int (Int64.sub footprint base) in
+  if fp > s.footprint_bytes then s.footprint_bytes <- fp;
+  s.n_allocs <- s.n_allocs + 1
+
+let note_free s ~payload =
+  s.live_bytes <- s.live_bytes - payload;
+  s.n_frees <- s.n_frees + 1
+
+type t = {
+  name : string;
+  malloc : size:int -> cty:Ifp_types.Ctype.t option -> int64 * cost;
+  free : int64 -> cost;
+  stats : unit -> stats;
+  extra_stats : unit -> (string * int) list;
+}
+
+exception Out_of_memory of string

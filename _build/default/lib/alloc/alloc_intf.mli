@@ -1,0 +1,53 @@
+(** Common allocator interface and accounting types.
+
+    Every allocator returns, with each operation, a {!cost} describing
+    the work the runtime-library code would have executed: an estimated
+    instruction count (calibrated per allocator, see DESIGN.md) plus the
+    list of memory locations touched, which the VM replays through the
+    D-cache model. *)
+
+type cost = {
+  instrs : int;  (** dynamic instructions of the allocator fast/slow path *)
+  ifp_instrs : (Ifp_isa.Insn.kind * int) list;
+      (** IFP instructions executed by the runtime (e.g. [ifpmac],
+          [ifpmd] during registration) *)
+  touches : (int64 * int) list;  (** (address, bytes) memory traffic *)
+}
+
+val cost : ?ifp_instrs:(Ifp_isa.Insn.kind * int) list ->
+  ?touches:(int64 * int) list -> int -> cost
+
+val zero_cost : cost
+val add_cost : cost -> cost -> cost
+
+type stats = {
+  mutable live_bytes : int;  (** payload bytes currently allocated *)
+  mutable peak_live_bytes : int;
+  mutable footprint_bytes : int;
+      (** heap high-water mark including headers, padding and metadata —
+          the maximum-resident-size proxy used for Fig. 12 *)
+  mutable n_allocs : int;
+  mutable n_frees : int;
+}
+
+val fresh_stats : unit -> stats
+val note_alloc : stats -> payload:int -> footprint:int64 -> base:int64 -> unit
+(** [footprint] is the current heap break; [base] the heap base. *)
+
+val note_free : stats -> payload:int -> unit
+
+(** A first-class allocator. [cty] is the static type of the allocation
+    when the compiler could determine it (used to attach a layout table);
+    [count] is the array length (1 for single objects) so that
+    [malloc(n * sizeof t)] is expressible. *)
+type t = {
+  name : string;
+  malloc : size:int -> cty:Ifp_types.Ctype.t option -> int64 * cost;
+  free : int64 -> cost;
+  stats : unit -> stats;
+  extra_stats : unit -> (string * int) list;
+      (** allocator-specific counters (e.g. unprotected allocations,
+          subheap blocks in use) *)
+}
+
+exception Out_of_memory of string

@@ -1,0 +1,98 @@
+open Alloc_intf
+module Memory = Ifp_machine.Memory
+
+let header_size = 16
+
+type state = {
+  mem : Memory.t;
+  base : int64;
+  limit : int64;
+  mutable brk : int64;
+  bins : (int, int64 list ref) Hashtbl.t; (* size class -> free payloads *)
+  stats : stats;
+}
+
+let bin_for st cls =
+  match Hashtbl.find_opt st.bins cls with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace st.bins cls r;
+    r
+
+let carve st bytes ~align =
+  let payload = Ifp_util.Bits.align_up64 (Int64.add st.brk 16L) align in
+  let hdr = Int64.sub payload 16L in
+  let top = Int64.add payload (Int64.of_int bytes) in
+  if Int64.compare top st.limit > 0 then
+    raise (Out_of_memory "baseline heap exhausted");
+  st.brk <- top;
+  (hdr, payload)
+
+let write_header st ~hdr ~cls ~requested =
+  Memory.write_u32 st.mem hdr (Int64.of_int cls);
+  Memory.write_u32 st.mem (Int64.add hdr 4L) (Int64.of_int requested);
+  Memory.write_u64 st.mem (Int64.add hdr 8L) 0xC0FFEEL
+
+let malloc st ~size ~cty:_ =
+  let size = max size 1 in
+  let cls = Ifp_util.Bits.align_up size 16 in
+  let bin = bin_for st cls in
+  let payload, instrs =
+    match !bin with
+    | p :: rest ->
+      bin := rest;
+      write_header st ~hdr:(Int64.sub p 16L) ~cls ~requested:size;
+      (p, 80)
+    | [] ->
+      let hdr, payload = carve st cls ~align:16 in
+      write_header st ~hdr ~cls ~requested:size;
+      (payload, 150)
+  in
+  note_alloc st.stats ~payload:size ~footprint:st.brk ~base:st.base;
+  (payload, cost ~touches:[ (Int64.sub payload 16L, header_size) ] instrs)
+
+let free st ptr =
+  let p = Ifp_util.Bits.u48 ptr in
+  if Int64.equal p 0L then zero_cost
+  else begin
+    let hdr = Int64.sub p 16L in
+    let cls = Int64.to_int (Memory.read_u32 st.mem hdr) in
+    let requested = Int64.to_int (Memory.read_u32 st.mem (Int64.add hdr 4L)) in
+    let bin = bin_for st cls in
+    bin := p :: !bin;
+    note_free st.stats ~payload:requested;
+    cost ~touches:[ (hdr, header_size) ] 60
+  end
+
+let create_raw ~memory ~base ~size =
+  Memory.map memory ~base ~size;
+  let st =
+    {
+      mem = memory;
+      base;
+      limit = Int64.add base (Int64.of_int size);
+      brk = base;
+      bins = Hashtbl.create 64;
+      stats = fresh_stats ();
+    }
+  in
+  let alloc =
+    {
+      name = "baseline";
+      malloc = (fun ~size ~cty -> malloc st ~size ~cty);
+      free = (fun p -> free st p);
+      stats = (fun () -> st.stats);
+      extra_stats = (fun () -> [ ("bins", Hashtbl.length st.bins) ]);
+    }
+  in
+  let raw ~align bytes =
+    match carve st bytes ~align with
+    | _, payload ->
+      note_alloc st.stats ~payload:bytes ~footprint:st.brk ~base:st.base;
+      Some payload
+    | exception Out_of_memory _ -> None
+  in
+  (alloc, raw)
+
+let create ~memory ~base ~size = fst (create_raw ~memory ~base ~size)

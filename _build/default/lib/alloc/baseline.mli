@@ -1,0 +1,20 @@
+(** Baseline dynamic memory allocator modelling glibc's malloc: 16-byte
+    chunk headers, 16-byte-aligned payloads, segregated exact-size free
+    bins (no coalescing — our workloads recycle fixed-size nodes, which
+    this models well; see DESIGN.md). Returns untagged (legacy)
+    pointers; the uninstrumented baseline runs use it directly and the
+    wrapped allocator builds on it.
+
+    Instruction-cost calibration: bin-hit malloc 80, wilderness-carve
+    malloc 150, free 60 — rough glibc _int_malloc/_int_free path
+    lengths. *)
+
+val create : memory:Ifp_machine.Memory.t -> base:int64 -> size:int -> Alloc_intf.t
+
+val create_raw :
+  memory:Ifp_machine.Memory.t ->
+  base:int64 ->
+  size:int ->
+  Alloc_intf.t * (align:int -> int -> int64 option)
+(** Also exposes an aligned raw-carve entry point used by the wrapped
+    allocator for over-aligned needs. *)

@@ -1,0 +1,23 @@
+(** Binary buddy allocator over a power-of-two arena.
+
+    Used by the subheap allocator to carve the power-of-two-sized,
+    naturally aligned memory blocks that the subheap metadata scheme
+    requires (paper §3.3.2). *)
+
+type t
+
+val create : base:int64 -> size_log2:int -> min_log2:int -> t
+(** [base] must be aligned to [2^size_log2]. *)
+
+val alloc : t -> int -> int64 option
+(** [alloc t log2] returns a [2^log2]-aligned block of that size, or
+    [None] when the arena is exhausted. [log2] is clamped to
+    [min_log2]. *)
+
+val free : t -> int64 -> int -> unit
+(** [free t addr log2] returns a block; buddies are coalesced. *)
+
+val high_water : t -> int64
+(** Highest address ever handed out (footprint accounting). *)
+
+val bytes_in_use : t -> int

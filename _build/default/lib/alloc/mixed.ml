@@ -1,0 +1,42 @@
+open Alloc_intf
+module Tag = Ifp_isa.Tag
+
+let small_cutoff = 256
+
+let create ~subheap ~wrapped =
+  let malloc ~size ~cty =
+    if size <= small_cutoff && cty <> None then subheap.malloc ~size ~cty
+    else wrapped.malloc ~size ~cty
+  in
+  let free ptr =
+    (* the scheme selector on the tag names the owning allocator *)
+    match Tag.scheme ptr with
+    | Tag.Subheap -> subheap.free ptr
+    | Tag.Local_offset | Tag.Legacy -> wrapped.free ptr
+    | Tag.Global_table ->
+      (* both allocators can produce global-table pointers; the subheap
+         allocator recognises its own (huge buddy blocks) and returns a
+         zero cost for foreign ones *)
+      let c = subheap.free ptr in
+      if c == zero_cost then wrapped.free ptr else c
+  in
+  let stats () =
+    let a = subheap.stats () and b = wrapped.stats () in
+    {
+      live_bytes = a.live_bytes + b.live_bytes;
+      peak_live_bytes = a.peak_live_bytes + b.peak_live_bytes;
+      footprint_bytes = a.footprint_bytes + b.footprint_bytes;
+      n_allocs = a.n_allocs + b.n_allocs;
+      n_frees = a.n_frees + b.n_frees;
+    }
+  in
+  {
+    name = "mixed";
+    malloc;
+    free;
+    stats;
+    extra_stats =
+      (fun () ->
+        List.map (fun (k, n) -> ("subheap." ^ k, n)) (subheap.extra_stats ())
+        @ List.map (fun (k, n) -> ("wrapped." ^ k, n)) (wrapped.extra_stats ()));
+  }

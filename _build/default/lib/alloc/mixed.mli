@@ -1,0 +1,20 @@
+(** Mixed allocator: subheap and wrapped allocators used simultaneously,
+    with a per-allocation policy — the runtime-selection extension the
+    paper leaves as future work (§4.2.1: "it is possible to use both
+    allocators simultaneously and the runtime library can dynamically
+    select allocators and metadata schemes").
+
+    Policy: small fixed-size typed allocations (<= [small_cutoff] bytes)
+    go to the subheap allocator, where same-type pooling pays off;
+    everything else (large buffers, type-erased allocations) goes to the
+    wrapped allocator, avoiding the subheap's power-of-two block
+    fragmentation on odd-sized arrays (its em3d weakness, Fig. 12).
+    Frees dispatch on the pointer's scheme-selector tag bits — no extra
+    bookkeeping needed, which is exactly why the tagged-pointer design
+    makes the mixed mode cheap. *)
+
+val small_cutoff : int
+(** 256 bytes. *)
+
+val create :
+  subheap:Alloc_intf.t -> wrapped:Alloc_intf.t -> Alloc_intf.t

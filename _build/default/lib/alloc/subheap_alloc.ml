@@ -1,0 +1,240 @@
+open Alloc_intf
+module Meta = Ifp_metadata.Meta
+module Tag = Ifp_isa.Tag
+module Memory = Ifp_machine.Memory
+
+let min_block_log2 = 12
+let slot_array_start = 32 (* metadata occupies [0, 32) of each block *)
+let min_slots_per_block = 8
+
+type block = {
+  bbase : int64;
+  nslots : int;
+  mutable free_slots : int list;
+  mutable next_uninit : int;
+  mutable used : int;
+}
+
+type pool = {
+  obj_size : int;
+  slot_size : int;
+  layout_ptr : int64;
+  block_log2 : int;
+  creg : int;
+  mutable partial : block list; (* blocks with at least one free slot *)
+  mutable n_blocks : int;
+}
+
+type state = {
+  meta : Meta.t;
+  tenv : Ifp_types.Ctype.tenv;
+  buddy : Buddy.t;
+  base : int64;
+  max_block_log2 : int;
+  pools : (int * int64, pool) Hashtbl.t;
+  cregs_by_log2 : (int, int) Hashtbl.t;
+  mutable next_creg : int;
+  blocks : (int64, pool * block) Hashtbl.t;
+  huge : (int64, int) Hashtbl.t; (* base -> block_log2 of global-table fallbacks *)
+  stats : stats;
+}
+
+let creg_for st log2 =
+  match Hashtbl.find_opt st.cregs_by_log2 log2 with
+  | Some i -> Some i
+  | None ->
+    if st.next_creg >= Meta.Subheap.n_cregs then None
+    else begin
+      let i = st.next_creg in
+      st.next_creg <- i + 1;
+      Meta.Subheap.set_creg st.meta i
+        (Some { Meta.Subheap.block_size_log2 = log2; metadata_offset = 0L });
+      Hashtbl.replace st.cregs_by_log2 log2 i;
+      Some i
+    end
+
+let max_pooled_slot = 4096
+
+let block_log2_for st slot_size =
+  let rec go l =
+    if l > st.max_block_log2 then None
+    else if ((1 lsl l) - slot_array_start) / slot_size >= min_slots_per_block then
+      Some l
+    else go (l + 1)
+  in
+  go min_block_log2
+
+let new_block st pool =
+  match Buddy.alloc st.buddy pool.block_log2 with
+  | None -> raise (Out_of_memory "subheap arena exhausted")
+  | Some bbase ->
+    let capacity = (1 lsl pool.block_log2) - slot_array_start in
+    let nslots = capacity / pool.slot_size in
+    Meta.Subheap.write_block_metadata st.meta ~creg:pool.creg ~block_base:bbase
+      ~slot_start:slot_array_start
+      ~slot_end:(slot_array_start + (nslots * pool.slot_size))
+      ~slot_size:pool.slot_size ~obj_size:pool.obj_size
+      ~layout_ptr:pool.layout_ptr;
+    let b = { bbase; nslots; free_slots = []; next_uninit = 0; used = 0 } in
+    pool.partial <- b :: pool.partial;
+    pool.n_blocks <- pool.n_blocks + 1;
+    Hashtbl.replace st.blocks bbase (pool, b);
+    b
+
+let pool_for st ~size ~layout_ptr =
+  let slot_size = Ifp_util.Bits.align_up (max size 16) 16 in
+  if slot_size > max_pooled_slot then None
+  else
+  match Hashtbl.find_opt st.pools (size, layout_ptr) with
+  | Some p -> Some p
+  | None -> (
+    match block_log2_for st slot_size with
+    | None -> None
+    | Some log2 -> (
+      match creg_for st log2 with
+      | None -> None
+      | Some creg ->
+        let p =
+          {
+            obj_size = size;
+            slot_size;
+            layout_ptr;
+            block_log2 = log2;
+            creg;
+            partial = [];
+            n_blocks = 0;
+          }
+        in
+        Hashtbl.replace st.pools (size, layout_ptr) p;
+        Some p))
+
+let malloc st ~size ~cty =
+  let size = max size 1 in
+  let layout_ptr =
+    match cty with
+    | None -> 0L
+    | Some ty -> Meta.intern_layout st.meta st.tenv ty
+  in
+  match pool_for st ~size ~layout_ptr with
+  | Some pool ->
+    let b, block_cost =
+      match pool.partial with
+      | b :: _ -> (b, zero_cost)
+      | [] ->
+        let b = new_block st pool in
+        ( b,
+          cost 130
+            ~ifp_instrs:[ (Ifp_isa.Insn.Ifpmac, 1) ]
+            ~touches:[ (b.bbase, Meta.Subheap.block_metadata_size) ] )
+    in
+    let slot =
+      match b.free_slots with
+      | s :: rest ->
+        b.free_slots <- rest;
+        s
+      | [] ->
+        let s = b.next_uninit in
+        b.next_uninit <- s + 1;
+        s
+    in
+    b.used <- b.used + 1;
+    if b.used = b.nslots then
+      pool.partial <- List.filter (fun x -> x != b) pool.partial;
+    let addr =
+      Int64.add b.bbase (Int64.of_int (slot_array_start + (slot * pool.slot_size)))
+    in
+    note_alloc st.stats ~payload:size
+      ~footprint:(Buddy.high_water st.buddy)
+      ~base:st.base;
+    let ptr = Meta.Subheap.tag_pointer ~creg:pool.creg ~addr in
+    (ptr, add_cost block_cost (cost 25 ~ifp_instrs:[ (Ifp_isa.Insn.Ifpmd, 1) ]))
+  | None -> begin
+    (* oversized allocation: raw buddy block + global-table registration *)
+    let log2 = max min_block_log2 (Ifp_util.Bits.ceil_log2 size) in
+    match Buddy.alloc st.buddy log2 with
+    | None -> raise (Out_of_memory "subheap arena exhausted (huge)")
+    | Some base ->
+      Hashtbl.replace st.huge base log2;
+      note_alloc st.stats ~payload:size
+        ~footprint:(Buddy.high_water st.buddy)
+        ~base:st.base;
+      let ptr =
+        match Meta.Global_table.register st.meta ~base ~size ~layout_ptr with
+        | Some p -> p
+        | None -> base
+      in
+      (ptr, cost 150 ~ifp_instrs:[ (Ifp_isa.Insn.Ifpmd, 1) ])
+  end
+
+let free st ptr =
+  if Tag.is_null ptr then zero_cost
+  else
+    let addr = Tag.addr ptr in
+    match Tag.scheme ptr with
+    | Tag.Subheap -> (
+      let creg_idx = Tag.creg_index ptr in
+      match Meta.Subheap.get_creg st.meta creg_idx with
+      | None -> zero_cost
+      | Some { Meta.Subheap.block_size_log2; _ } -> (
+        let bbase = Ifp_util.Bits.align_down64 addr (1 lsl block_size_log2) in
+        match Hashtbl.find_opt st.blocks bbase with
+        | None -> zero_cost
+        | Some (pool, b) ->
+          let off = Int64.to_int (Int64.sub addr bbase) - slot_array_start in
+          let slot = off / pool.slot_size in
+          let was_full = b.used = b.nslots in
+          b.free_slots <- slot :: b.free_slots;
+          b.used <- b.used - 1;
+          if was_full then pool.partial <- b :: pool.partial;
+          note_free st.stats ~payload:pool.obj_size;
+          cost 20))
+    | Tag.Global_table -> (
+      match Hashtbl.find_opt st.huge addr with
+      | None -> zero_cost
+      | Some log2 ->
+        Hashtbl.remove st.huge addr;
+        Meta.Global_table.deregister st.meta ptr;
+        Buddy.free st.buddy addr log2;
+        note_free st.stats ~payload:0;
+        cost 60)
+    | Tag.Legacy | Tag.Local_offset -> (
+      (* pointer not from this allocator (or fallback legacy) *)
+      match Hashtbl.find_opt st.huge addr with
+      | Some log2 ->
+        Hashtbl.remove st.huge addr;
+        Buddy.free st.buddy addr log2;
+        note_free st.stats ~payload:0;
+        cost 60
+      | None -> zero_cost)
+
+let create ~meta ~tenv ~memory ~base ~size_log2 =
+  Memory.map memory ~base ~size:(1 lsl size_log2);
+  let st =
+    {
+      meta;
+      tenv;
+      buddy = Buddy.create ~base ~size_log2 ~min_log2:min_block_log2;
+      base;
+      max_block_log2 = min 22 size_log2;
+      pools = Hashtbl.create 64;
+      cregs_by_log2 = Hashtbl.create 8;
+      next_creg = 0;
+      blocks = Hashtbl.create 256;
+      huge = Hashtbl.create 16;
+      stats = fresh_stats ();
+    }
+  in
+  {
+    name = "subheap";
+    malloc = (fun ~size ~cty -> malloc st ~size ~cty);
+    free = (fun p -> free st p);
+    stats = (fun () -> st.stats);
+    extra_stats =
+      (fun () ->
+        [
+          ("pools", Hashtbl.length st.pools);
+          ("blocks", Hashtbl.length st.blocks);
+          ("cregs", st.next_creg);
+          ("huge", Hashtbl.length st.huge);
+        ]);
+  }

@@ -1,0 +1,24 @@
+(** The subheap allocator (paper §4.2.1): a pool allocator on top of a
+    buddy allocator, implementing the subheap metadata scheme.
+
+    Objects of the same (size, type) are packed into power-of-two-sized,
+    naturally aligned blocks; each block holds the 32-byte shared
+    metadata at offset 0 followed by an array of fixed-size slots. The
+    block size for a pool is the smallest power of two (at least 4 KiB)
+    that fits eight slots; each distinct block size claims one of the 16
+    subheap control registers. Allocations too large for the largest
+    block fall back to the global-table scheme over raw buddy blocks.
+
+    This models "state-of-the-art scalable memory allocators modified to
+    support the subheap scheme" — same-size objects are packed tightly
+    with no per-object header, which is why allocation-heavy workloads
+    can run faster and smaller than glibc (paper §5.2.2–5.2.3). *)
+
+val create :
+  meta:Ifp_metadata.Meta.t ->
+  tenv:Ifp_types.Ctype.tenv ->
+  memory:Ifp_machine.Memory.t ->
+  base:int64 ->
+  size_log2:int ->
+  Alloc_intf.t
+(** [base] must be [2^size_log2]-aligned and the region gets mapped. *)

@@ -1,0 +1,67 @@
+open Alloc_intf
+module Meta = Ifp_metadata.Meta
+module Tag = Ifp_isa.Tag
+
+let create ~meta ~tenv ~base_alloc =
+  let unprotected = ref 0 in
+  let layout_of cty =
+    match cty with
+    | None -> 0L
+    | Some ty -> Meta.intern_layout meta tenv ty
+  in
+  let malloc ~size ~cty =
+    let size = max size 1 in
+    let layout_ptr = layout_of cty in
+    if Meta.Local_offset.fits ~size then begin
+      let footprint = Meta.Local_offset.footprint ~size in
+      let raw, c = base_alloc.malloc ~size:footprint ~cty:None in
+      let tagged = Meta.Local_offset.register meta ~base:raw ~size ~layout_ptr in
+      let meta_addr = Tag.metadata_addr_local_offset tagged in
+      let c' =
+        cost 30
+          ~ifp_instrs:[ (Ifp_isa.Insn.Ifpmac, 1); (Ifp_isa.Insn.Ifpmd, 1) ]
+          ~touches:[ (meta_addr, Meta.Local_offset.metadata_size) ]
+      in
+      (tagged, add_cost c c')
+    end
+    else begin
+      let raw, c = base_alloc.malloc ~size ~cty:None in
+      match Meta.Global_table.register meta ~base:raw ~size ~layout_ptr with
+      | Some tagged ->
+        (tagged, add_cost c (cost 50 ~ifp_instrs:[ (Ifp_isa.Insn.Ifpmd, 1) ]))
+      | None ->
+        incr unprotected;
+        (raw, add_cost c (cost 20))
+    end
+  in
+  let free ptr =
+    if Tag.is_null ptr then zero_cost
+    else begin
+      let raw = Tag.addr ptr in
+      let extra =
+        match Tag.scheme ptr with
+        | Tag.Local_offset ->
+          Meta.Local_offset.deregister meta ptr;
+          cost 15
+            ~touches:
+              [ (Tag.metadata_addr_local_offset ptr, Meta.Local_offset.metadata_size) ]
+        | Tag.Global_table ->
+          Meta.Global_table.deregister meta ptr;
+          cost 30
+        | Tag.Legacy | Tag.Subheap -> zero_cost
+      in
+      add_cost (base_alloc.free raw) extra
+    end
+  in
+  {
+    name = "wrapped";
+    malloc;
+    free;
+    stats = (fun () -> (base_alloc.stats) ());
+    extra_stats = (fun () -> [ ("unprotected_allocs", !unprotected) ]);
+  }
+
+let unprotected_allocs t =
+  match List.assoc_opt "unprotected_allocs" (t.extra_stats ()) with
+  | Some n -> n
+  | None -> 0

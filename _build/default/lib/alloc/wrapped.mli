@@ -1,0 +1,17 @@
+(** The wrapped allocator (paper §4.2.1): a transparent wrapper over the
+    baseline [malloc]/[free] that over-allocates so the local-offset
+    metadata fits after the object, and falls back to the global-table
+    scheme for objects above the 1008-byte local-offset limit. This
+    models retrofitting In-Fat Pointer onto an existing allocator that
+    cannot support the subheap scheme. *)
+
+val create :
+  meta:Ifp_metadata.Meta.t ->
+  tenv:Ifp_types.Ctype.tenv ->
+  base_alloc:Alloc_intf.t ->
+  Alloc_intf.t
+
+val unprotected_allocs : Alloc_intf.t -> int
+(** Allocations that could not be registered (global table full) and were
+    returned as legacy pointers. Only meaningful on allocators returned
+    by [create]; 0 otherwise. *)

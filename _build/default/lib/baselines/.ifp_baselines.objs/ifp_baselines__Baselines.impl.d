@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Ifp_isa Ifp_juliet Ifp_vm

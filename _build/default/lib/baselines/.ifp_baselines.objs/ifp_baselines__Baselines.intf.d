@@ -1,0 +1,1 @@
+lib/baselines/baselines.mli: Ifp_juliet Ifp_vm

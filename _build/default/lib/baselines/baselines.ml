@@ -1,0 +1,142 @@
+module Vm = Ifp_vm.Vm
+module Counters = Ifp_vm.Counters
+module Insn = Ifp_isa.Insn
+
+type detection = Full | Object_only | Probabilistic of float | None_
+
+type model = {
+  name : string;
+  ptr_load_instrs : int;
+  ptr_load_mem : int;
+  ptr_store_instrs : int;
+  ptr_store_mem : int;
+  deref_instrs : int;
+  alloc_instrs : int;
+  memory_factor : float;
+  subobject : detection;
+  object_ : detection;
+}
+
+(* Intel MPX: bndldx/bndstx walk a two-level directory (expensive);
+   bndcl/bndcu checks are cheap ALU ops; bounds tables roughly double
+   memory for pointer-heavy programs. *)
+let mpx =
+  {
+    name = "MPX-like";
+    ptr_load_instrs = 6;
+    ptr_load_mem = 3;
+    ptr_store_instrs = 6;
+    ptr_store_mem = 3;
+    deref_instrs = 2;
+    alloc_instrs = 10;
+    memory_factor = 2.0;
+    subobject = Full;
+    object_ = Full;
+  }
+
+(* SoftBound: pure software; shadow-space lookups on pointer loads and
+   stores, 4-6 instruction check sequences. *)
+let softbound =
+  {
+    name = "SoftBound-like";
+    ptr_load_instrs = 5;
+    ptr_load_mem = 2;
+    ptr_store_instrs = 5;
+    ptr_store_mem = 2;
+    deref_instrs = 5;
+    alloc_instrs = 20;
+    memory_factor = 1.65;
+    subobject = Full;
+    object_ = Full;
+  }
+
+(* FRAMER: software tagged-pointer; every dereference must mask the tag
+   and every bounds retrieval recomputes the frame metadata address. *)
+let framer =
+  {
+    name = "FRAMER-like";
+    ptr_load_instrs = 14;
+    ptr_load_mem = 2;
+    ptr_store_instrs = 4;
+    ptr_store_mem = 0;
+    deref_instrs = 12;
+    alloc_instrs = 40;
+    memory_factor = 1.22;
+    subobject = None_;
+    object_ = Full;
+  }
+
+(* AddressSanitizer: shadow-byte check per access, redzones around
+   objects, no per-pointer metadata. Catches adjacent overflows only. *)
+let asan =
+  {
+    name = "ASan-like";
+    ptr_load_instrs = 0;
+    ptr_load_mem = 0;
+    ptr_store_instrs = 0;
+    ptr_store_mem = 0;
+    deref_instrs = 5;
+    alloc_instrs = 60;
+    memory_factor = 2.4;
+    subobject = None_;
+    object_ = Object_only;
+  }
+
+(* ARM MTE: hardware tag check folded into the access; 4-bit tags give
+   15/16 detection probability; tag memory ~3%. *)
+let mte =
+  {
+    name = "MTE-like";
+    ptr_load_instrs = 0;
+    ptr_load_mem = 0;
+    ptr_store_instrs = 0;
+    ptr_store_mem = 0;
+    deref_instrs = 0;
+    alloc_instrs = 8;
+    memory_factor = 1.03;
+    subobject = None_;
+    object_ = Probabilistic (15.0 /. 16.0);
+  }
+
+let all = [ mpx; softbound; framer; asan; mte ]
+
+type projection = {
+  model : model;
+  instr_overhead : float;
+  cycle_overhead : float;
+  memory_overhead : float;
+}
+
+let project model ~(baseline : Vm.result) ~(ifp : Vm.result) =
+  let c = ifp.Vm.counters in
+  let ptr_loads = Counters.promotes_total c in
+  let ptr_stores = Counters.ifp_count c Insn.Ifpextract in
+  let derefs = c.implicit_checks in
+  let allocs = c.heap_objs + c.local_objs in
+  let extra_instrs =
+    (ptr_loads * model.ptr_load_instrs)
+    + (ptr_stores * model.ptr_store_instrs)
+    + (derefs * model.deref_instrs)
+    + (allocs * model.alloc_instrs)
+  in
+  let extra_mem =
+    (ptr_loads * model.ptr_load_mem) + (ptr_stores * model.ptr_store_mem)
+  in
+  let base_instrs = float_of_int baseline.Vm.counters.base_instrs in
+  let base_cycles = float_of_int baseline.Vm.counters.cycles in
+  (* memory accesses cost ~2 cycles each on average (hit-dominated) *)
+  let extra_cycles = float_of_int extra_instrs +. (2.0 *. float_of_int extra_mem) in
+  {
+    model;
+    instr_overhead =
+      (base_instrs +. float_of_int extra_instrs +. float_of_int extra_mem)
+      /. base_instrs;
+    cycle_overhead = (base_cycles +. extra_cycles) /. base_cycles;
+    memory_overhead = model.memory_factor;
+  }
+
+let detects model (kind : Ifp_juliet.Juliet.kind) =
+  match kind with
+  | Ifp_juliet.Juliet.Intra_object | Ifp_juliet.Juliet.Nested_intra ->
+    model.subobject
+  | Overflow | Underwrite | Overread | Underread -> model.object_

@@ -1,0 +1,55 @@
+(** Comparator spatial-safety schemes (the related work of paper
+    Table 1), reproduced over the same simulator runs.
+
+    Each comparator is expressed as a per-event cost model projected onto
+    the measured dynamic event counts of a workload: pointer loads
+    (places the scheme must retrieve per-pointer metadata), pointer
+    stores (metadata write-back), dereferences (checks), and heap
+    allocations (object metadata setup). The event counts come from the
+    instrumented run's architectural counters; the baseline run provides
+    the denominator. The per-event costs are calibrated to the published
+    overheads the paper cites: Intel MPX ~50% runtime / 1.9–2.1x memory,
+    SoftBound ~67%, FRAMER 223%, AddressSanitizer ~73%, ARM MTE a few
+    percent (probabilistic protection).
+
+    Each comparator also carries its {e detection model}, evaluated
+    against the Juliet-style suite: can it catch object-granularity
+    overflows, and can it catch intra-object overflows? This
+    regenerates the granularity column of Table 1 experimentally. *)
+
+type detection = Full | Object_only | Probabilistic of float | None_
+
+type model = {
+  name : string;
+  ptr_load_instrs : int;  (** instrs per pointer loaded from memory *)
+  ptr_load_mem : int;  (** extra memory accesses per pointer load *)
+  ptr_store_instrs : int;
+  ptr_store_mem : int;
+  deref_instrs : int;  (** instrs per checked dereference *)
+  alloc_instrs : int;  (** instrs per heap (de)allocation *)
+  memory_factor : float;  (** footprint multiplier (shadow/redzones) *)
+  subobject : detection;
+  object_ : detection;
+}
+
+val mpx : model
+val softbound : model
+val framer : model
+val asan : model
+val mte : model
+val all : model list
+
+type projection = {
+  model : model;
+  instr_overhead : float;  (** ratio vs baseline, e.g. 1.5 = +50% *)
+  cycle_overhead : float;
+  memory_overhead : float;
+}
+
+val project :
+  model -> baseline:Ifp_vm.Vm.result -> ifp:Ifp_vm.Vm.result -> projection
+(** [ifp] supplies the dynamic event counts (promotes = pointer loads,
+    ifpextract = pointer stores, implicit checks = dereferences). *)
+
+val detects : model -> Ifp_juliet.Juliet.kind -> detection
+(** What the comparator would report for a Juliet case of this kind. *)

@@ -1,0 +1,1 @@
+lib/compiler/instrument.ml: Hashtbl Ifp_types Int64 Ir List Printf

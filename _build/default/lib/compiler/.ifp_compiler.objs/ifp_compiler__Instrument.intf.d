@@ -1,0 +1,1 @@
+lib/compiler/instrument.mli: Ifp_types Ir

@@ -1,0 +1,1 @@
+lib/compiler/ir.ml: Ifp_types Int64 List String

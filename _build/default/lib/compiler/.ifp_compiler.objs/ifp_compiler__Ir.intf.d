@@ -1,0 +1,1 @@
+lib/compiler/ir.mli: Ifp_types

@@ -1,0 +1,1 @@
+lib/compiler/ir_pp.ml: Format Ifp_types Ir List String

@@ -1,0 +1,1 @@
+lib/compiler/ir_pp.mli: Format Ifp_types Ir

@@ -1,0 +1,1 @@
+lib/compiler/lexer.ml: Char Int64 List Printf String

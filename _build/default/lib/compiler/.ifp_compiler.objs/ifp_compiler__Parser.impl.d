@@ -1,0 +1,1 @@
+lib/compiler/parser.ml: Format Hashtbl Ifp_types Int64 Ir Lexer List String Typecheck

@@ -1,0 +1,1 @@
+lib/compiler/typecheck.ml: Format Hashtbl Ifp_types Ir List

@@ -1,0 +1,275 @@
+module Ctype = Ifp_types.Ctype
+
+type report = {
+  locals_registered : int;
+  locals_skipped : int;
+  promotes_inserted : int;
+  globals_registered : int;
+  alloc_types_inferred : int;
+}
+
+type config = { infer_alloc_types : bool }
+
+let default_config = { infer_alloc_types = false }
+
+(* A Gep path is statically safe when every index is a compile-time
+   constant within the array bounds it indexes (and leading pointer
+   arithmetic is absent or zero): accesses through it can never leave the
+   object, so the local needs no runtime metadata. *)
+let const_in_bounds tenv pointee steps =
+  let rec go ty steps ~leading =
+    match steps with
+    | [] -> true
+    | Ir.S_field f :: rest -> (
+      match ty with
+      | Ctype.Struct s -> (
+        match Ctype.field_offset tenv s f with
+        | _, fty -> go fty rest ~leading:false
+        | exception Not_found -> false)
+      | _ -> false)
+    | Ir.S_index (Ir.Int k) :: rest -> (
+      match ty with
+      | Ctype.Array (elt, n) ->
+        Int64.compare k 0L >= 0
+        && Int64.compare k (Int64.of_int n) < 0
+        && go elt rest ~leading:false
+      | _ -> leading && Int64.equal k 0L && go ty rest ~leading:false)
+    | Ir.S_index _ :: _ -> false
+  in
+  go pointee steps ~leading:true
+
+(* Find the locals of [f] whose address use cannot be proven safe. *)
+let escaping_locals tenv (f : Ir.func) =
+  let escaped = Hashtbl.create 8 in
+  let note v = Hashtbl.replace escaped v () in
+  let rec expr ~deref (e : Ir.expr) =
+    match e with
+    | Int _ | Float _ | Var _ | Load_global _ -> ()
+    | Binop (_, a, b) ->
+      expr ~deref:false a;
+      expr ~deref:false b
+    | Unop (_, a) | Cast (_, a) | Ifp_promote a -> expr ~deref a
+    | Load (_, addr) -> expr ~deref:true addr
+    | Addr_local v -> if not deref then note v
+    | Addr_global _ -> ()
+    | Gep (pointee, base, steps) ->
+      let safe = deref && const_in_bounds tenv pointee steps in
+      expr ~deref:safe base;
+      List.iter
+        (function Ir.S_index ie -> expr ~deref:false ie | Ir.S_field _ -> ())
+        steps
+    | Call (_, args) -> List.iter (expr ~deref:false) args
+    | Malloc (_, n) | Malloc_bytes n | Malloc_sized (_, n) ->
+      expr ~deref:false n
+  in
+  let rec stmt (s : Ir.stmt) =
+    match s with
+    | Let (_, _, e) | Assign (_, e) | Store_global (_, e) | Expr e | Free e ->
+      expr ~deref:false e
+    | Decl_local _ | Break | Continue | Return None
+    | Ifp_register_local _ | Ifp_deregister_local _ ->
+      ()
+    | Store (_, addr, value) ->
+      expr ~deref:true addr;
+      expr ~deref:false value
+    | If (c, t, e) ->
+      expr ~deref:false c;
+      List.iter stmt t;
+      List.iter stmt e
+    | While (c, body) ->
+      expr ~deref:false c;
+      List.iter stmt body
+    | Return (Some e) -> expr ~deref:false e
+  in
+  List.iter stmt f.body;
+  escaped
+
+let local_needs_registration tenv f v =
+  Hashtbl.mem (escaping_locals tenv f) v
+
+let fresh =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "__ifp_ret%d" !n
+
+let instrument_func cfg tenv gtys (f : Ir.func) ~count_promote ~count_reg
+    ~count_skip ~count_infer =
+  let escaped = escaping_locals tenv f in
+  (* collect all stack locals to classify *)
+  let registered = Hashtbl.create 8 in
+  let rec scan_decls stmts =
+    List.iter
+      (function
+        | Ir.Decl_local (v, _) ->
+          if Hashtbl.mem escaped v then begin
+            Hashtbl.replace registered v ();
+            count_reg ()
+          end
+          else count_skip ()
+        | Ir.If (_, t, e) ->
+          scan_decls t;
+          scan_decls e
+        | Ir.While (_, b) -> scan_decls b
+        | _ -> ())
+      stmts
+  in
+  scan_decls f.body;
+  let deregs () =
+    Hashtbl.fold (fun v () acc -> Ir.Ifp_deregister_local v :: acc) registered []
+  in
+  let rec expr (e : Ir.expr) : Ir.expr =
+    match e with
+    | Int _ | Float _ | Var _ | Addr_local _ | Addr_global _ | Load_global _ ->
+      promote_if_pointer e
+    | Binop (op, a, b) -> Binop (op, expr a, expr b)
+    | Unop (op, a) -> Unop (op, expr a)
+    | Load (ty, addr) -> promote_if_pointer (Load (ty, expr addr))
+    | Gep (pt, base, steps) ->
+      Gep
+        ( pt,
+          expr base,
+          List.map
+            (function
+              | Ir.S_index ie -> Ir.S_index (expr ie)
+              | Ir.S_field _ as s -> s)
+            steps )
+    | Call (fn, args) -> Call (fn, List.map expr args)
+    | Malloc (ty, n) -> Malloc (ty, expr n)
+    | Malloc_bytes n -> Malloc_bytes (expr n)
+    | Malloc_sized (ty, n) -> Malloc_sized (ty, expr n)
+    | Cast (Ctype.Ptr ty, Malloc_bytes n)
+      when cfg.infer_alloc_types
+           && (match ty with Ctype.Struct _ | Ctype.Array _ -> true | _ -> false)
+      ->
+      (* allocation-wrapper inference (paper §5.2.1 future work): the
+         wrapper's type-erased allocation is immediately cast to a typed
+         pointer, so the element type — and its layout table — can be
+         recovered *)
+      count_infer ();
+      Cast (Ctype.Ptr ty, Malloc_sized (ty, expr n))
+    | Cast (ty, a) -> Cast (ty, expr a)
+    | Ifp_promote a -> Ifp_promote (expr a)
+  and promote_if_pointer (e : Ir.expr) : Ir.expr =
+    match e with
+    | Load (Ctype.Ptr _, _) ->
+      count_promote ();
+      Ifp_promote e
+    | Load_global g -> (
+      (* a pointer-typed global read by name is still a pointer loaded
+         from memory (Listing 2's gv_ptr): its bounds are unknown *)
+      match Hashtbl.find_opt gtys g with
+      | Some (Ctype.Ptr _) ->
+        count_promote ();
+        Ifp_promote e
+      | _ -> e)
+    | _ -> e
+  in
+  let xexpr = expr in
+  let rec stmt (s : Ir.stmt) : Ir.stmt list =
+    match s with
+    | Let (v, ty, e) -> [ Let (v, ty, xexpr e) ]
+    | Assign (v, e) -> [ Assign (v, xexpr e) ]
+    | Decl_local (v, ty) ->
+      if Hashtbl.mem registered v then
+        [ Decl_local (v, ty); Ifp_register_local v ]
+      else [ Decl_local (v, ty) ]
+    | Store (ty, a, e) -> [ Store (ty, xexpr a, xexpr e) ]
+    | Store_global (g, e) -> [ Store_global (g, xexpr e) ]
+    | If (c, t, e) -> [ If (xexpr c, stmts t, stmts e) ]
+    | While (c, b) -> [ While (xexpr c, stmts b) ]
+    | Return None ->
+      if Hashtbl.length registered = 0 then [ Return None ]
+      else deregs () @ [ Return None ]
+    | Return (Some e) ->
+      let e = xexpr e in
+      if Hashtbl.length registered = 0 then [ Return (Some e) ]
+      else if Ctype.is_scalar f.ret then
+        let tmp = fresh () in
+        (Ir.Let (tmp, f.ret, e) :: deregs ()) @ [ Return (Some (Var tmp)) ]
+      else deregs () @ [ Return (Some e) ]
+    | Expr e -> [ Expr (xexpr e) ]
+    | Free e -> [ Free (xexpr e) ]
+    | (Break | Continue | Ifp_register_local _ | Ifp_deregister_local _) as s ->
+      [ s ]
+  and stmts ss = List.concat_map stmt ss in
+  let body = stmts f.body in
+  let body =
+    (* fall-through function end also deregisters *)
+    match List.rev body with
+    | Ir.Return _ :: _ -> body
+    | _ -> body @ deregs ()
+  in
+  { f with body }
+
+let run ?(config = default_config) (prog : Ir.program) =
+  let promotes = ref 0 and regs = ref 0 and skips = ref 0 and inferred = ref 0 in
+  (* mark globals whose address is taken anywhere *)
+  let addr_taken = Hashtbl.create 8 in
+  let rec scan_expr (e : Ir.expr) =
+    match e with
+    | Addr_global g -> Hashtbl.replace addr_taken g ()
+    | Int _ | Float _ | Var _ | Addr_local _ | Load_global _ -> ()
+    | Binop (_, a, b) ->
+      scan_expr a;
+      scan_expr b
+    | Unop (_, a) | Cast (_, a) | Ifp_promote a | Load (_, a)
+    | Malloc (_, a) | Malloc_bytes a | Malloc_sized (_, a) ->
+      scan_expr a
+    | Gep (_, b, steps) ->
+      scan_expr b;
+      List.iter
+        (function Ir.S_index ie -> scan_expr ie | Ir.S_field _ -> ())
+        steps
+    | Call (_, args) -> List.iter scan_expr args
+  in
+  let rec scan_stmt (s : Ir.stmt) =
+    match s with
+    | Let (_, _, e) | Assign (_, e) | Store_global (_, e) | Expr e | Free e ->
+      scan_expr e
+    | Store (_, a, e) ->
+      scan_expr a;
+      scan_expr e
+    | If (c, t, e) ->
+      scan_expr c;
+      List.iter scan_stmt t;
+      List.iter scan_stmt e
+    | While (c, b) ->
+      scan_expr c;
+      List.iter scan_stmt b
+    | Return (Some e) -> scan_expr e
+    | Decl_local _ | Return None | Break | Continue | Ifp_register_local _
+    | Ifp_deregister_local _ ->
+      ()
+  in
+  List.iter
+    (fun (f : Ir.func) -> if f.instrumented then List.iter scan_stmt f.body)
+    prog.funcs;
+  List.iter
+    (fun (g : Ir.global) -> g.registered <- Hashtbl.mem addr_taken g.gname)
+    prog.globals;
+  let gtys = Hashtbl.create 8 in
+  List.iter (fun (g : Ir.global) -> Hashtbl.replace gtys g.gname g.gty) prog.globals;
+  let funcs =
+    List.map
+      (fun (f : Ir.func) ->
+        if not f.instrumented then f
+        else
+          instrument_func config prog.tenv gtys f
+            ~count_promote:(fun () -> incr promotes)
+            ~count_reg:(fun () -> incr regs)
+            ~count_skip:(fun () -> incr skips)
+            ~count_infer:(fun () -> incr inferred))
+      prog.funcs
+  in
+  let globals_registered =
+    List.length (List.filter (fun (g : Ir.global) -> g.registered) prog.globals)
+  in
+  ( { prog with funcs },
+    {
+      locals_registered = !regs;
+      locals_skipped = !skips;
+      promotes_inserted = !promotes;
+      globals_registered;
+      alloc_types_inferred = !inferred;
+    } )

@@ -1,0 +1,51 @@
+(** The In-Fat Pointer compiler instrumentation pass (paper Fig. 3).
+
+    Given a checked MiniC program, produces the instrumented program a
+    modified Clang/LLVM would emit:
+
+    - {b object registration}: every stack local whose use cannot be
+      proven statically safe (its address escapes, or it is indexed
+      dynamically) gets [Ifp_register_local]/[Ifp_deregister_local]
+      around its live range; statically safe locals are left alone.
+      Globals whose address is taken anywhere in the program are marked
+      for startup registration (the "getptr" mechanism of §4.2.2) —
+      by-name scalar accesses stay uninstrumented.
+    - {b promote insertion}: every load of a pointer from memory (including
+      pointer-typed globals) is wrapped in [Ifp_promote]; pointers that
+      stay in registers inherit bounds through the extended calling
+      convention (§4.1.2) and the pass inserts no promote for them — this
+      is the paper's promote hoisting.
+    - Pointer arithmetic, tag updates, demotes and implicit checks need no
+      IR rewriting: the VM executes [Gep]/[Store] with IFP semantics when
+      running an instrumented program (the instructions exist at the ISA
+      level, not the IR level).
+
+    Functions with [instrumented = false] (legacy libraries) are left
+    untouched. *)
+
+type report = {
+  locals_registered : int;  (** static count of instrumented locals *)
+  locals_skipped : int;  (** locals proven statically safe *)
+  promotes_inserted : int;  (** static promote sites *)
+  globals_registered : int;
+  alloc_types_inferred : int;
+      (** type-erased allocations whose element type the wrapper
+          inference recovered *)
+}
+
+type config = {
+  infer_alloc_types : bool;
+      (** recover element types (and thus layout tables) from
+          [Cast (T*, malloc_bytes e)] allocation-wrapper patterns — the
+          future-work improvement of paper §5.2.1. Default [false]: the
+          paper's prototype cannot see through wrappers. *)
+}
+
+val default_config : config
+
+val run : ?config:config -> Ir.program -> Ir.program * report
+
+val local_needs_registration :
+  Ifp_types.Ctype.tenv -> Ir.func -> string -> bool
+(** Exposed for tests: the escape/static-safety analysis verdict for one
+    local of one function. *)

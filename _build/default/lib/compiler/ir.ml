@@ -1,0 +1,103 @@
+type var = string
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr
+  | LAnd | LOr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | FAdd | FSub | FMul | FDiv
+  | FEq | FLt | FLe
+
+type unop = Neg | LNot | BNot | FNeg | I2F | F2I
+
+type gstep = S_field of string | S_index of expr
+
+and expr =
+  | Int of int64
+  | Float of float
+  | Var of var
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Load of Ifp_types.Ctype.t * expr
+  | Addr_local of var
+  | Addr_global of string
+  | Load_global of string
+  | Gep of Ifp_types.Ctype.t * expr * gstep list
+  | Call of string * expr list
+  | Malloc of Ifp_types.Ctype.t * expr
+  | Malloc_bytes of expr
+  | Malloc_sized of Ifp_types.Ctype.t * expr
+  | Cast of Ifp_types.Ctype.t * expr
+  | Ifp_promote of expr
+
+and stmt =
+  | Let of var * Ifp_types.Ctype.t * expr
+  | Assign of var * expr
+  | Decl_local of var * Ifp_types.Ctype.t
+  | Store of Ifp_types.Ctype.t * expr * expr
+  | Store_global of string * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Expr of expr
+  | Free of expr
+  | Break
+  | Continue
+  | Ifp_register_local of var
+  | Ifp_deregister_local of var
+
+type func = {
+  fname : string;
+  params : (var * Ifp_types.Ctype.t) list;
+  ret : Ifp_types.Ctype.t;
+  body : stmt list;
+  instrumented : bool;
+}
+
+type global = {
+  gname : string;
+  gty : Ifp_types.Ctype.t;
+  mutable registered : bool;
+}
+
+type program = {
+  tenv : Ifp_types.Ctype.tenv;
+  globals : global list;
+  funcs : func list;
+}
+
+let func ?(instrumented = true) fname params ret body =
+  { fname; params; ret; body; instrumented }
+
+let global gname gty = { gname; gty; registered = false }
+
+let program ~tenv ~globals funcs = { tenv; globals; funcs }
+
+let find_func p name =
+  List.find_opt (fun f -> String.equal f.fname name) p.funcs
+
+let find_global p name =
+  List.find_opt (fun g -> String.equal g.gname name) p.globals
+
+let i n = Int (Int64.of_int n)
+let i64 n = Int n
+let v name = Var name
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+let ( %: ) a b = Binop (Rem, a, b)
+let ( <: ) a b = Binop (Lt, a, b)
+let ( <=: ) a b = Binop (Le, a, b)
+let ( >: ) a b = Binop (Gt, a, b)
+let ( >=: ) a b = Binop (Ge, a, b)
+let ( ==: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Ne, a, b)
+let ( &&: ) a b = Binop (LAnd, a, b)
+let ( ||: ) a b = Binop (LOr, a, b)
+let not_ a = Unop (LNot, a)
+let null ty = Cast (Ifp_types.Ctype.Ptr ty, Int 0L)
+
+let idx base index steps pointee = Gep (pointee, base, S_index index :: steps)
+let fld name = S_field name
+let at e = S_index e

@@ -1,0 +1,105 @@
+module Ctype = Ifp_types.Ctype
+
+let binop_str (op : Ir.binop) =
+  match op with
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | LAnd -> "&&" | LOr -> "||"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | FAdd -> "+." | FSub -> "-." | FMul -> "*." | FDiv -> "/."
+  | FEq -> "==." | FLt -> "<." | FLe -> "<=."
+
+let unop_str (op : Ir.unop) =
+  match op with
+  | Neg -> "-" | LNot -> "!" | BNot -> "~" | FNeg -> "-."
+  | I2F -> "(f64)" | F2I -> "(i64)"
+
+let rec pp_expr tenv fmt (e : Ir.expr) =
+  let pe = pp_expr tenv in
+  match e with
+  | Int x -> Format.fprintf fmt "%Ld" x
+  | Float f -> Format.fprintf fmt "%g" f
+  | Var v -> Format.pp_print_string fmt v
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pe a (binop_str op) pe b
+  | Unop (op, a) -> Format.fprintf fmt "%s%a" (unop_str op) pe a
+  | Load (ty, a) -> Format.fprintf fmt "*(%s*)%a" (Ctype.to_string tenv ty) pe a
+  | Addr_local v -> Format.fprintf fmt "&%s" v
+  | Addr_global g -> Format.fprintf fmt "&%s" g
+  | Load_global g -> Format.pp_print_string fmt g
+  | Gep (pointee, base, steps) ->
+    Format.fprintf fmt "&(%a : %s*)" pe base (Ctype.to_string tenv pointee);
+    List.iter
+      (function
+        | Ir.S_field f -> Format.fprintf fmt "->%s" f
+        | Ir.S_index ie -> Format.fprintf fmt "[%a]" pe ie)
+      steps
+  | Call (f, args) ->
+    Format.fprintf fmt "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pe)
+      args
+  | Malloc (ty, n) ->
+    Format.fprintf fmt "malloc(%a * sizeof(%s))" pe n (Ctype.to_string tenv ty)
+  | Malloc_bytes n -> Format.fprintf fmt "malloc_bytes(%a)" pe n
+  | Malloc_sized (ty, n) ->
+    Format.fprintf fmt "malloc_sized<%s>(%a)" (Ctype.to_string tenv ty) pe n
+  | Cast (ty, a) -> Format.fprintf fmt "(%s)%a" (Ctype.to_string tenv ty) pe a
+  | Ifp_promote e -> Format.fprintf fmt "IFP_Promote(%a)" pe e
+
+let rec pp_stmt tenv fmt (s : Ir.stmt) =
+  let pe = pp_expr tenv in
+  match s with
+  | Let (v, ty, e) ->
+    Format.fprintf fmt "@[<h>%s %s = %a;@]" (Ctype.to_string tenv ty) v pe e
+  | Assign (v, e) -> Format.fprintf fmt "@[<h>%s = %a;@]" v pe e
+  | Decl_local (v, ty) ->
+    Format.fprintf fmt "@[<h>%s %s; /* stack */@]" (Ctype.to_string tenv ty) v
+  | Store (ty, a, e) ->
+    Format.fprintf fmt "@[<h>*(%s*)%a = %a;@]" (Ctype.to_string tenv ty) pe a pe e
+  | Store_global (g, e) -> Format.fprintf fmt "@[<h>%s = %a;@]" g pe e
+  | If (c, t, []) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" pe c (pp_block tenv) t
+  | If (c, t, e) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pe c
+      (pp_block tenv) t (pp_block tenv) e
+  | While (c, b) ->
+    Format.fprintf fmt "@[<v 2>while (%a) {@,%a@]@,}" pe c (pp_block tenv) b
+  | Return None -> Format.pp_print_string fmt "return;"
+  | Return (Some e) -> Format.fprintf fmt "@[<h>return %a;@]" pe e
+  | Expr e -> Format.fprintf fmt "@[<h>%a;@]" pe e
+  | Free e -> Format.fprintf fmt "@[<h>free(%a);@]" pe e
+  | Break -> Format.pp_print_string fmt "break;"
+  | Continue -> Format.pp_print_string fmt "continue;"
+  | Ifp_register_local v -> Format.fprintf fmt "IFP_Register(%s);" v
+  | Ifp_deregister_local v -> Format.fprintf fmt "IFP_Deregister(%s);" v
+
+and pp_block tenv fmt stmts =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_cut fmt ())
+    (pp_stmt tenv) fmt stmts
+
+let pp_func tenv fmt (f : Ir.func) =
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (name, ty) -> Ctype.to_string tenv ty ^ " " ^ name)
+         f.Ir.params)
+  in
+  Format.fprintf fmt "@[<v 2>%s%s %s(%s) {@,%a@]@,}@,"
+    (if f.instrumented then "" else "/* legacy */ ")
+    (Ctype.to_string tenv f.ret) f.fname params (pp_block tenv) f.body
+
+let pp_program fmt (p : Ir.program) =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (g : Ir.global) ->
+      Format.fprintf fmt "%s %s;%s@,"
+        (Ctype.to_string p.tenv g.gty)
+        g.gname
+        (if g.registered then " /* registered */" else ""))
+    p.globals;
+  List.iter (fun f -> pp_func p.tenv fmt f) p.funcs;
+  Format.fprintf fmt "@]"
+
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,13 @@
+(** C-like pretty-printer for MiniC programs.
+
+    Renders the IR as readable pseudo-C — including the [Ifp_*] forms the
+    instrumentation pass inserts (printed as [IFP_Register(x)],
+    [IFP_Promote(e)], …, matching the paper's Listing 2 presentation) —
+    so instrumented and raw programs can be diffed by eye. *)
+
+val pp_expr : Ifp_types.Ctype.tenv -> Format.formatter -> Ir.expr -> unit
+val pp_stmt : Ifp_types.Ctype.tenv -> Format.formatter -> Ir.stmt -> unit
+val pp_func : Ifp_types.Ctype.tenv -> Format.formatter -> Ir.func -> unit
+val pp_program : Format.formatter -> Ir.program -> unit
+
+val program_to_string : Ir.program -> string

@@ -1,0 +1,338 @@
+module Ctype = Ifp_types.Ctype
+module Layout = Ifp_types.Layout
+
+exception Type_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let builtin_sig = function
+  | "__print_i64" -> Some ([ Ctype.I64 ], Ctype.Void)
+  | "__print_f64" -> Some ([ Ctype.F64 ], Ctype.Void)
+  | "__abort" -> Some ([], Ctype.Void)
+  | _ -> None
+
+let is_int = function
+  | Ctype.I8 | Ctype.I16 | Ctype.I32 | Ctype.I64 -> true
+  | Ctype.(Void | F64 | Ptr _ | Struct _ | Array _) -> false
+
+(* pointee types match structurally, with [void] as a wildcard at any
+   level — integer-width laxity does NOT apply under a pointer *)
+let rec pointee_compat a b =
+  match (a, b) with
+  | Ctype.Void, _ | _, Ctype.Void -> true
+  | Ctype.Ptr x, Ctype.Ptr y -> pointee_compat x y
+  | x, y -> Ctype.equal x y
+
+let compat a b =
+  match (a, b) with
+  | x, y when is_int x && is_int y -> true
+  | Ctype.F64, Ctype.F64 -> true
+  | Ctype.Ptr x, Ctype.Ptr y -> pointee_compat x y
+  | x, y -> Ctype.equal x y
+
+let type_of_gep tenv pointee steps =
+  let rec go ty steps ~leading =
+    match steps with
+    | [] -> ty
+    | Ir.S_field f :: rest -> (
+      match ty with
+      | Ctype.Struct s -> (
+        match Ctype.field_offset tenv s f with
+        | _, fty -> go fty rest ~leading:false
+        | exception Not_found -> err "Gep: struct %s has no field %s" s f)
+      | _ -> err "Gep: field %s selected on non-struct %s" f (Ctype.to_string tenv ty))
+    | Ir.S_index _ :: rest -> (
+      match ty with
+      | Ctype.Array (elt, _) -> go elt rest ~leading:false
+      | _ when leading -> go ty rest ~leading:false (* pointer arithmetic *)
+      | _ -> err "Gep: index into non-array %s" (Ctype.to_string tenv ty))
+  in
+  go pointee steps ~leading:true
+
+let layout_path tenv pointee steps =
+  let rec go ty steps ~leading acc =
+    match steps with
+    | [] -> List.rev acc
+    | Ir.S_field f :: rest -> (
+      match ty with
+      | Ctype.Struct s ->
+        let _, fty = Ctype.field_offset tenv s f in
+        go fty rest ~leading:false (Layout.Field f :: acc)
+      | _ -> err "layout_path: non-struct")
+    | Ir.S_index _ :: rest -> (
+      match ty with
+      | Ctype.Array (elt, _) -> go elt rest ~leading:false (Layout.Index :: acc)
+      | _ when leading -> go ty rest ~leading:false acc
+      | _ -> err "layout_path: non-array")
+  in
+  go pointee steps ~leading:true []
+
+type ctx = {
+  tenv : Ctype.tenv;
+  prog : Ir.program;
+  vars : (string, [ `Reg of Ctype.t | `Stack of Ctype.t ]) Hashtbl.t;
+  fn : Ir.func;
+}
+
+let var_type ctx name =
+  match Hashtbl.find_opt ctx.vars name with
+  | Some (`Reg ty | `Stack ty) -> ty
+  | None -> err "%s: unknown variable %s" ctx.fn.fname name
+
+let rec type_of ctx (e : Ir.expr) : Ctype.t =
+  match e with
+  | Int _ -> Ctype.I64
+  | Float _ -> Ctype.F64
+  | Var name -> var_type ctx name
+  | Binop (op, a, b) -> type_of_binop ctx op a b
+  | Unop (op, a) -> type_of_unop ctx op a
+  | Load (ty, addr) ->
+    if not (Ctype.is_scalar ty) then
+      err "%s: load of non-scalar %s" ctx.fn.fname (Ctype.to_string ctx.tenv ty);
+    let aty = type_of ctx addr in
+    if not (compat aty (Ctype.Ptr ty)) then
+      err "%s: load address has type %s, expected %s*" ctx.fn.fname
+        (Ctype.to_string ctx.tenv aty)
+        (Ctype.to_string ctx.tenv ty);
+    ty
+  | Addr_local name -> (
+    match Hashtbl.find_opt ctx.vars name with
+    | Some (`Stack ty) -> Ctype.Ptr ty
+    | Some (`Reg _) ->
+      err "%s: address taken of register local %s (use Decl_local)"
+        ctx.fn.fname name
+    | None -> err "%s: unknown local %s" ctx.fn.fname name)
+  | Addr_global g -> (
+    match Ir.find_global ctx.prog g with
+    | Some { gty; _ } -> Ctype.Ptr gty
+    | None -> err "%s: unknown global %s" ctx.fn.fname g)
+  | Load_global g -> (
+    match Ir.find_global ctx.prog g with
+    | Some { gty; _ } when Ctype.is_scalar gty -> gty
+    | Some _ -> err "%s: by-name access to aggregate global %s" ctx.fn.fname g
+    | None -> err "%s: unknown global %s" ctx.fn.fname g)
+  | Gep (pointee, base, steps) ->
+    let bty = type_of ctx base in
+    if not (compat bty (Ctype.Ptr pointee)) then
+      err "%s: Gep base has type %s, expected %s*" ctx.fn.fname
+        (Ctype.to_string ctx.tenv bty)
+        (Ctype.to_string ctx.tenv pointee);
+    List.iter
+      (function
+        | Ir.S_index ie ->
+          let ity = type_of ctx ie in
+          if not (is_int ity) then err "%s: Gep index not an integer" ctx.fn.fname
+        | Ir.S_field _ -> ())
+      steps;
+    Ctype.Ptr (type_of_gep ctx.tenv pointee steps)
+  | Call (fn, args) -> (
+    match Ir.find_func ctx.prog fn with
+    | None -> (
+      match builtin_sig fn with
+      | Some (ptys, ret) ->
+        if List.length args <> List.length ptys then
+          err "%s: builtin %s arity" ctx.fn.fname fn;
+        List.iter2
+          (fun arg pty ->
+            if not (compat (type_of ctx arg) pty) then
+              err "%s: builtin %s argument type" ctx.fn.fname fn)
+          args ptys;
+        ret
+      | None -> err "%s: call to unknown function %s" ctx.fn.fname fn)
+    | Some f ->
+      if List.length args <> List.length f.params then
+        err "%s: call to %s with %d args, expected %d" ctx.fn.fname fn
+          (List.length args) (List.length f.params);
+      List.iter2
+        (fun arg (pname, pty) ->
+          let aty = type_of ctx arg in
+          if not (compat aty pty) then
+            err "%s: call %s argument %s: got %s, expected %s" ctx.fn.fname fn
+              pname
+              (Ctype.to_string ctx.tenv aty)
+              (Ctype.to_string ctx.tenv pty))
+        args f.params;
+      f.ret)
+  | Malloc (ty, n) ->
+    if not (is_int (type_of ctx n)) then
+      err "%s: malloc count not an integer" ctx.fn.fname;
+    Ctype.Ptr ty
+  | Malloc_bytes n ->
+    if not (is_int (type_of ctx n)) then
+      err "%s: malloc_bytes size not an integer" ctx.fn.fname;
+    Ctype.Ptr Ctype.I8
+  | Malloc_sized (ty, n) ->
+    if not (is_int (type_of ctx n)) then
+      err "%s: malloc_sized size not an integer" ctx.fn.fname;
+    Ctype.Ptr ty
+  | Cast (ty, e) ->
+    let ety = type_of ctx e in
+    (match (ty, ety) with
+    | (Ctype.Ptr _ | Ctype.I64), _ | _, (Ctype.Ptr _ | Ctype.I64) -> ()
+    | a, b when is_int a && is_int b -> ()
+    | Ctype.F64, b when is_int b -> ()
+    | a, Ctype.F64 when is_int a -> ()
+    | _ ->
+      err "%s: invalid cast from %s to %s" ctx.fn.fname
+        (Ctype.to_string ctx.tenv ety)
+        (Ctype.to_string ctx.tenv ty));
+    ty
+  | Ifp_promote e -> type_of ctx e
+
+and type_of_binop ctx op a b =
+  let ta = type_of ctx a and tb = type_of ctx b in
+  match op with
+  | LAnd | LOr ->
+    let truthy = function
+      | Ctype.(I8 | I16 | I32 | I64 | Ptr _) -> true
+      | Ctype.(Void | F64 | Struct _ | Array _) -> false
+    in
+    if truthy ta && truthy tb then Ctype.I64
+    else err "%s: logical op on %s/%s" ctx.fn.fname
+        (Ctype.to_string ctx.tenv ta) (Ctype.to_string ctx.tenv tb)
+  | Add | Sub | Mul | Div | Rem | BAnd | BOr | BXor | Shl | Shr ->
+    if is_int ta && is_int tb then Ctype.I64
+    else err "%s: integer binop on %s/%s" ctx.fn.fname
+        (Ctype.to_string ctx.tenv ta) (Ctype.to_string ctx.tenv tb)
+  | Eq | Ne | Lt | Le | Gt | Ge ->
+    let both_int = is_int ta && is_int tb in
+    let both_ptr =
+      match (ta, tb) with Ctype.Ptr _, Ctype.Ptr _ -> true | _ -> false
+    in
+    if both_int || both_ptr then Ctype.I64
+    else err "%s: comparison of %s and %s" ctx.fn.fname
+        (Ctype.to_string ctx.tenv ta) (Ctype.to_string ctx.tenv tb)
+  | FAdd | FSub | FMul | FDiv ->
+    if Ctype.equal ta Ctype.F64 && Ctype.equal tb Ctype.F64 then Ctype.F64
+    else err "%s: float binop on non-floats" ctx.fn.fname
+  | FEq | FLt | FLe ->
+    if Ctype.equal ta Ctype.F64 && Ctype.equal tb Ctype.F64 then Ctype.I64
+    else err "%s: float comparison on non-floats" ctx.fn.fname
+
+and type_of_unop ctx op a =
+  let ta = type_of ctx a in
+  match op with
+  | Neg | BNot | LNot ->
+    if is_int ta then Ctype.I64 else err "%s: integer unop on non-int" ctx.fn.fname
+  | FNeg ->
+    if Ctype.equal ta Ctype.F64 then Ctype.F64
+    else err "%s: fneg on non-float" ctx.fn.fname
+  | I2F ->
+    if is_int ta then Ctype.F64 else err "%s: i2f on non-int" ctx.fn.fname
+  | F2I ->
+    if Ctype.equal ta Ctype.F64 then Ctype.I64
+    else err "%s: f2i on non-float" ctx.fn.fname
+
+let rec check_stmt ctx ~in_loop (s : Ir.stmt) =
+  match s with
+  | Let (name, ty, e) ->
+    (* re-declaration is allowed (C block scoping is flattened per
+       function) but must keep a compatible type *)
+    (match Hashtbl.find_opt ctx.vars name with
+    | Some (`Stack _) ->
+      err "%s: %s redeclared as register local" ctx.fn.fname name
+    | Some (`Reg old) when not (compat old ty) ->
+      err "%s: %s redeclared with incompatible type" ctx.fn.fname name
+    | Some (`Reg _) | None -> ());
+    if not (Ctype.is_scalar ty) then
+      err "%s: Let %s of aggregate type (use Decl_local)" ctx.fn.fname name;
+    let ety = type_of ctx e in
+    if not (compat ety ty) then
+      err "%s: Let %s: got %s, expected %s" ctx.fn.fname name
+        (Ctype.to_string ctx.tenv ety)
+        (Ctype.to_string ctx.tenv ty);
+    Hashtbl.replace ctx.vars name (`Reg ty)
+  | Assign (name, e) ->
+    let ty = var_type ctx name in
+    (match Hashtbl.find_opt ctx.vars name with
+    | Some (`Stack _) ->
+      err "%s: assignment to stack local %s (use Store)" ctx.fn.fname name
+    | Some (`Reg _) | None -> ());
+    let ety = type_of ctx e in
+    if not (compat ety ty) then
+      err "%s: assign %s: got %s, expected %s" ctx.fn.fname name
+        (Ctype.to_string ctx.tenv ety)
+        (Ctype.to_string ctx.tenv ty)
+  | Decl_local (name, ty) ->
+    if Hashtbl.mem ctx.vars name then
+      err "%s: duplicate variable %s" ctx.fn.fname name;
+    if Ctype.sizeof ctx.tenv ty <= 0 then
+      err "%s: zero-sized local %s" ctx.fn.fname name;
+    Hashtbl.replace ctx.vars name (`Stack ty)
+  | Store (ty, addr, value) ->
+    if not (Ctype.is_scalar ty) then err "%s: store of non-scalar" ctx.fn.fname;
+    let aty = type_of ctx addr in
+    if not (compat aty (Ctype.Ptr ty)) then
+      err "%s: store address has type %s, expected %s*" ctx.fn.fname
+        (Ctype.to_string ctx.tenv aty)
+        (Ctype.to_string ctx.tenv ty);
+    let vty = type_of ctx value in
+    if not (compat vty ty) then
+      err "%s: store value has type %s, expected %s" ctx.fn.fname
+        (Ctype.to_string ctx.tenv vty)
+        (Ctype.to_string ctx.tenv ty)
+  | Store_global (g, e) -> (
+    match Ir.find_global ctx.prog g with
+    | Some { gty; _ } when Ctype.is_scalar gty ->
+      let ety = type_of ctx e in
+      if not (compat ety gty) then
+        err "%s: store_global %s type mismatch" ctx.fn.fname g
+    | Some _ -> err "%s: by-name store to aggregate global %s" ctx.fn.fname g
+    | None -> err "%s: unknown global %s" ctx.fn.fname g)
+  | If (c, t, e) ->
+    ignore (type_of ctx c);
+    List.iter (check_stmt ctx ~in_loop) t;
+    List.iter (check_stmt ctx ~in_loop) e
+  | While (c, body) ->
+    ignore (type_of ctx c);
+    List.iter (check_stmt ctx ~in_loop:true) body
+  | Return None ->
+    if not (Ctype.equal ctx.fn.ret Ctype.Void) then
+      err "%s: empty return from non-void function" ctx.fn.fname
+  | Return (Some e) ->
+    let ety = type_of ctx e in
+    if Ctype.equal ctx.fn.ret Ctype.Void then
+      err "%s: value return from void function" ctx.fn.fname;
+    if not (compat ety ctx.fn.ret) then
+      err "%s: return type %s, expected %s" ctx.fn.fname
+        (Ctype.to_string ctx.tenv ety)
+        (Ctype.to_string ctx.tenv ctx.fn.ret)
+  | Expr e -> ignore (type_of ctx e)
+  | Free e -> (
+    match type_of ctx e with
+    | Ctype.Ptr _ -> ()
+    | ty -> err "%s: free of non-pointer %s" ctx.fn.fname (Ctype.to_string ctx.tenv ty))
+  | Break | Continue ->
+    if not in_loop then err "%s: break/continue outside loop" ctx.fn.fname
+  | Ifp_register_local name | Ifp_deregister_local name -> (
+    match Hashtbl.find_opt ctx.vars name with
+    | Some (`Stack _) -> ()
+    | Some (`Reg _) | None ->
+      err "%s: Ifp_(de)register_local of non-stack var %s" ctx.fn.fname name)
+
+let check_func prog f =
+  let ctx =
+    { tenv = prog.Ir.tenv; prog; vars = Hashtbl.create 16; fn = f }
+  in
+  List.iter
+    (fun (name, ty) ->
+      if not (Ctype.is_scalar ty) then
+        err "%s: aggregate parameter %s (pass a pointer)" f.Ir.fname name;
+      Hashtbl.replace ctx.vars name (`Reg ty))
+    f.Ir.params;
+  List.iter (check_stmt ctx ~in_loop:false) f.Ir.body
+
+let check_program prog =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.func) ->
+      if Hashtbl.mem seen f.fname then err "duplicate function %s" f.fname;
+      Hashtbl.replace seen f.fname ())
+    prog.Ir.funcs;
+  let gseen = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ir.global) ->
+      if Hashtbl.mem gseen g.gname then err "duplicate global %s" g.gname;
+      Hashtbl.replace gseen g.gname ())
+    prog.Ir.globals;
+  List.iter (check_func prog) prog.Ir.funcs

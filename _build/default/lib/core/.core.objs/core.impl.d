@@ -1,0 +1,1 @@
+lib/core/core.ml: Ifp_alloc Ifp_compiler Ifp_isa Ifp_machine Ifp_metadata Ifp_types Ifp_util Ifp_vm Report

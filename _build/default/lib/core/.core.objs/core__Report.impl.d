@@ -1,0 +1,1 @@
+lib/core/report.ml: Ifp_isa Ifp_util Ifp_vm List

@@ -1,0 +1,57 @@
+module Vm = Ifp_vm.Vm
+
+type row = {
+  name : string;
+  baseline : Vm.result;
+  subheap : Vm.result;
+  wrapped : Vm.result;
+  subheap_np : Vm.result;
+  wrapped_np : Vm.result;
+}
+
+let evaluate ~name prog =
+  {
+    name;
+    baseline = Vm.run ~config:Vm.baseline prog;
+    subheap = Vm.run ~config:Vm.ifp_subheap prog;
+    wrapped = Vm.run ~config:Vm.ifp_wrapped prog;
+    subheap_np = Vm.run ~config:(Vm.no_promote Vm.Alloc_subheap) prog;
+    wrapped_np = Vm.run ~config:(Vm.no_promote Vm.Alloc_wrapped) prog;
+  }
+
+let evaluate_variants ~name prog variants =
+  ignore name;
+  List.map (fun (vname, config) -> (vname, Vm.run ~config prog)) variants
+
+let runtime_overhead ~(baseline : Vm.result) (r : Vm.result) =
+  Ifp_util.Stats.ratio
+    (float_of_int r.counters.cycles)
+    (float_of_int baseline.counters.cycles)
+
+let instr_overhead ~(baseline : Vm.result) (r : Vm.result) =
+  Ifp_util.Stats.ratio
+    (float_of_int (Ifp_vm.Counters.total_instrs r.counters))
+    (float_of_int (Ifp_vm.Counters.total_instrs baseline.counters))
+
+let memory_overhead ~(baseline : Vm.result) (r : Vm.result) =
+  Ifp_util.Stats.ratio
+    (float_of_int r.mem_footprint)
+    (float_of_int baseline.mem_footprint)
+
+let outcome_reason (r : Vm.result) =
+  match r.outcome with
+  | Vm.Finished _ -> None
+  | Vm.Trapped t -> Some ("trap: " ^ Ifp_isa.Trap.to_string t)
+  | Vm.Aborted msg -> Some ("abort: " ^ msg)
+
+let check_outcomes row =
+  List.filter_map
+    (fun (vname, r) ->
+      match outcome_reason r with None -> None | Some why -> Some (vname, why))
+    [
+      ("baseline", row.baseline);
+      ("subheap", row.subheap);
+      ("wrapped", row.wrapped);
+      ("subheap-np", row.subheap_np);
+      ("wrapped-np", row.wrapped_np);
+    ]

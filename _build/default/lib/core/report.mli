@@ -1,0 +1,36 @@
+(** Multi-variant evaluation of one workload: the five configurations the
+    paper reports (baseline, subheap, wrapped, and the two no-promote
+    controls), plus the derived overhead numbers that make up a row of
+    Table 4 and of Figures 10–12. *)
+
+type row = {
+  name : string;
+  baseline : Ifp_vm.Vm.result;
+  subheap : Ifp_vm.Vm.result;
+  wrapped : Ifp_vm.Vm.result;
+  subheap_np : Ifp_vm.Vm.result;  (** subheap allocator, promote as nop *)
+  wrapped_np : Ifp_vm.Vm.result;
+}
+
+val evaluate : name:string -> Ifp_compiler.Ir.program -> row
+(** Runs the workload under all five configurations. *)
+
+val evaluate_variants :
+  name:string ->
+  Ifp_compiler.Ir.program ->
+  (string * Ifp_vm.Vm.config) list ->
+  (string * Ifp_vm.Vm.result) list
+(** Custom configuration set. *)
+
+val runtime_overhead : baseline:Ifp_vm.Vm.result -> Ifp_vm.Vm.result -> float
+(** Cycle-count ratio ([1.12] = +12%). *)
+
+val instr_overhead : baseline:Ifp_vm.Vm.result -> Ifp_vm.Vm.result -> float
+(** Dynamic-instruction-count ratio (Table 4 right columns). *)
+
+val memory_overhead : baseline:Ifp_vm.Vm.result -> Ifp_vm.Vm.result -> float
+(** Footprint ratio (Fig. 12). *)
+
+val check_outcomes : row -> (string * string) list
+(** Configurations that did not finish cleanly, as (variant, reason) —
+    expected to be empty for the benchmark workloads. *)

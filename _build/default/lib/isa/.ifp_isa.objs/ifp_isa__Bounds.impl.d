@@ -1,0 +1,1 @@
+lib/isa/bounds.ml: Format Ifp_util Int64

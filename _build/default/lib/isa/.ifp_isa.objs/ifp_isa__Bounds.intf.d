@@ -1,0 +1,1 @@
+lib/isa/bounds.mli: Format

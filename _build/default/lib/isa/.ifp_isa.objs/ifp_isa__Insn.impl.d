@@ -1,0 +1,1 @@
+lib/isa/insn.ml: Bounds Ifp_util Int64 Tag Trap

@@ -1,0 +1,1 @@
+lib/isa/tag.ml: Bits Format Ifp_util Int64

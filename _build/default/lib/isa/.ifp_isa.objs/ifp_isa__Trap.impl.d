@@ -1,0 +1,1 @@
+lib/isa/trap.ml: Format Ifp_util Printf

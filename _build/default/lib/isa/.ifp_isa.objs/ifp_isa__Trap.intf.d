@@ -1,0 +1,1 @@
+lib/isa/trap.mli: Format

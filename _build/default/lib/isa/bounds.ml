@@ -1,0 +1,30 @@
+type t = No_bounds | Bounds of { lo : int64; hi : int64 }
+
+let no_bounds = No_bounds
+
+let make ~lo ~hi =
+  Bounds { lo = Ifp_util.Bits.u48 lo; hi = Ifp_util.Bits.u48 hi }
+
+let of_base_size base size =
+  let lo = Ifp_util.Bits.u48 base in
+  make ~lo ~hi:(Int64.add lo (Int64.of_int size))
+
+let contains t ~addr ~size =
+  match t with
+  | No_bounds -> true
+  | Bounds { lo; hi } ->
+    let a = Ifp_util.Bits.u48 addr in
+    Int64.compare lo a <= 0
+    && Int64.compare (Int64.add a (Int64.of_int size)) hi <= 0
+
+let in_range t addr = contains t ~addr ~size:0
+
+let equal a b =
+  match (a, b) with
+  | No_bounds, No_bounds -> true
+  | Bounds a, Bounds b -> Int64.equal a.lo b.lo && Int64.equal a.hi b.hi
+  | (No_bounds | Bounds _), _ -> false
+
+let pp fmt = function
+  | No_bounds -> Format.pp_print_string fmt "<no bounds>"
+  | Bounds { lo; hi } -> Format.fprintf fmt "[0x%Lx, 0x%Lx)" lo hi

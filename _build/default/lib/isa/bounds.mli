@@ -1,0 +1,26 @@
+(** Pointer bounds as held in an In-Fat Pointer Register (IFPR).
+
+    Each IFPR is a (general-purpose register, 96-bit bounds register)
+    pair; the bounds register holds two 48-bit addresses. Cleared bounds
+    mean "not subject to checking" — the state of legacy and NULL
+    pointers after a (bypassed) promote (paper §3.2, Fig. 5). *)
+
+type t = No_bounds | Bounds of { lo : int64; hi : int64 }
+
+val no_bounds : t
+val make : lo:int64 -> hi:int64 -> t
+
+val of_base_size : int64 -> int -> t
+(** [of_base_size base size] — the [ifpbnd] instruction: bounds of
+    exactly [size] bytes starting at the address of [base]. *)
+
+val contains : t -> addr:int64 -> size:int -> bool
+(** Access-size check (paper §4.1): [lo <= addr && addr + size <= hi].
+    [No_bounds] always passes. *)
+
+val in_range : t -> int64 -> bool
+(** [contains] with [size = 0] — used by [ifpadd] poison updates, where
+    pointing one past the end is legal. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(** The In-Fat Pointer ISA extension (paper Table 3).
+
+    {!kind} enumerates the new instructions for dynamic-count accounting;
+    the functions below give the architectural semantics of the
+    single-cycle ALU instructions ([ifpadd], [ifpidx], [ifpbnd],
+    [ifpchk], [ifpextract]). [promote] and [ifpmac] touch memory and
+    live in {!Ifp_metadata.Promote} / {!Ifp_metadata.Mac}. *)
+
+type kind =
+  | Promote  (** pointer bounds retrieval *)
+  | Ifpmac  (** MAC computation *)
+  | Ldbnd  (** load bounds from memory *)
+  | Stbnd  (** store bounds to memory *)
+  | Ifpbnd  (** create pointer bounds with given size *)
+  | Ifpadd  (** address computation and tag update *)
+  | Ifpidx  (** subobject index update *)
+  | Ifpchk  (** (bounds) access size check *)
+  | Ifpextract  (** extract fields from IFPR / demote *)
+  | Ifpmd  (** pointer tag manipulation *)
+
+val all : kind list
+val mnemonic : kind -> string
+
+val ifpadd : int64 -> delta:int64 -> bounds:Bounds.t -> int64
+(** Address computation with tag update: adds [delta] to the address,
+    maintains the local-offset granule-offset field so that the metadata
+    address stays invariant, and updates the poison bits from [bounds]
+    (valid if the result is within bounds — one past the end included —
+    out-of-bounds-recoverable otherwise). A pointer whose granule offset
+    can no longer be represented is marked invalid (metadata became
+    unreachable). Legacy pointers pass through with just the address
+    updated. *)
+
+val ifpidx : int64 -> int -> int64
+(** [ifpidx p delta] increments the subobject-index tag field by the
+    compile-time constant [delta] (no-op on legacy / global-table
+    pointers). Because the layout table is a preorder flattening of the
+    subobject tree, the index of a member relative to its parent is a
+    static constant — "narrowed by incrementing the pointer's subobject
+    index" (paper §3.4). Saturates at the field maximum, in which case
+    narrowing later falls back to the object bounds. *)
+
+val ifpbnd : int64 -> size:int -> Bounds.t
+(** Create bounds covering [size] bytes at the pointer's address. *)
+
+val ifpchk : int64 -> bounds:Bounds.t -> size:int -> unit
+(** Access-size check; raises {!Trap.Trap} [Bounds_violation] on
+    failure. Cleared bounds pass. *)
+
+val check_result : int64 -> bounds:Bounds.t -> size:int -> bool
+(** Non-raising form of {!ifpchk}. *)
+
+val ifpextract : int64 -> bounds:Bounds.t -> int64
+(** Demote: the pointer value to be stored to memory. Updates poison bits
+    from [bounds] (the bounds register itself is simply not stored). *)
+
+val load_store_poison_check : int64 -> unit
+(** Every RV64 load/store checks the address operand's poison bits and
+    traps unless they are Valid (paper §3.2). *)

@@ -1,0 +1,92 @@
+open Ifp_util
+
+type poison = Valid | Oob | Invalid
+
+type scheme = Legacy | Local_offset | Subheap | Global_table
+
+let granule = 16
+let local_offset_max_object = 1008
+let local_offset_max_elements = 64
+let subheap_max_elements = 256
+let global_table_entries = 4096
+
+let addr p = Bits.u48 p
+let with_addr p a = Bits.insert p ~lo:0 ~width:48 a
+
+let poison p =
+  match Bits.extract_int p ~lo:62 ~width:2 with
+  | 0 -> Valid
+  | 1 -> Oob
+  | _ -> Invalid
+
+let with_poison p s =
+  let v = match s with Valid -> 0 | Oob -> 1 | Invalid -> 2 in
+  Bits.insert_int p ~lo:62 ~width:2 v
+
+let scheme p =
+  match Bits.extract_int p ~lo:60 ~width:2 with
+  | 0 -> Legacy
+  | 1 -> Local_offset
+  | 2 -> Subheap
+  | _ -> Global_table
+
+let with_scheme p s =
+  let v =
+    match s with Legacy -> 0 | Local_offset -> 1 | Subheap -> 2 | Global_table -> 3
+  in
+  Bits.insert_int p ~lo:60 ~width:2 v
+
+let meta12 p = Bits.extract_int p ~lo:48 ~width:12
+let with_meta12 p v = Bits.insert_int p ~lo:48 ~width:12 v
+
+let subobj_index p =
+  match scheme p with
+  | Local_offset -> Some (Bits.extract_int p ~lo:48 ~width:6)
+  | Subheap -> Some (Bits.extract_int p ~lo:48 ~width:8)
+  | Legacy | Global_table -> None
+
+let with_subobj_index p i =
+  match scheme p with
+  | Local_offset -> Bits.insert_int p ~lo:48 ~width:6 (min i 63)
+  | Subheap -> Bits.insert_int p ~lo:48 ~width:8 (min i 255)
+  | Legacy | Global_table -> p
+
+let granule_offset p = Bits.extract_int p ~lo:54 ~width:6
+let with_granule_offset p v = Bits.insert_int p ~lo:54 ~width:6 v
+
+let creg_index p = Bits.extract_int p ~lo:56 ~width:4
+
+let table_index p = Bits.extract_int p ~lo:48 ~width:12
+
+let make_legacy a = Bits.u48 a
+
+let make_local_offset ~addr:a ~granule_off ~subobj =
+  let p = with_scheme (Bits.u48 a) Local_offset in
+  let p = with_granule_offset p granule_off in
+  Bits.insert_int p ~lo:48 ~width:6 subobj
+
+let make_subheap ~addr:a ~creg ~subobj =
+  let p = with_scheme (Bits.u48 a) Subheap in
+  let p = Bits.insert_int p ~lo:56 ~width:4 creg in
+  Bits.insert_int p ~lo:48 ~width:8 subobj
+
+let make_global_table ~addr:a ~index =
+  let p = with_scheme (Bits.u48 a) Global_table in
+  with_meta12 p index
+
+let is_null p = Int64.equal (addr p) 0L
+
+let metadata_addr_local_offset p =
+  let a = Bits.align_down64 (addr p) granule in
+  Int64.add a (Int64.of_int (granule_offset p * granule))
+
+let pp fmt p =
+  let s =
+    match scheme p with
+    | Legacy -> "legacy"
+    | Local_offset -> "local"
+    | Subheap -> "subheap"
+    | Global_table -> "global"
+  in
+  let po = match poison p with Valid -> "" | Oob -> "!oob" | Invalid -> "!inv" in
+  Format.fprintf fmt "%s%s:0x%Lx[%d]" s po (addr p) (meta12 p)

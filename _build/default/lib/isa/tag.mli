@@ -1,0 +1,90 @@
+(** Pointer-tag codec (paper Fig. 4).
+
+    A pointer is a 64-bit word whose top 16 bits are the tag:
+
+    {v
+    63..62  poison bits        00 valid / 01 out-of-bounds-recoverable /
+                               1x invalid
+    61..60  scheme selector    00 legacy / 01 local-offset / 10 subheap /
+                               11 global-table
+    59..48  scheme metadata + subobject index, per scheme:
+              local-offset:  59..54 granule offset, 53..48 subobject index
+              subheap:       59..56 control-register index,
+                             55..48 subobject index
+              global-table:  59..48 table index (no subobject index)
+    47..0   address
+    v}
+
+    The all-zero tag is a canonical user-space address, i.e. a legacy
+    pointer — exactly the compatibility property the paper relies on. *)
+
+type poison = Valid | Oob | Invalid
+
+type scheme = Legacy | Local_offset | Subheap | Global_table
+
+val granule : int
+(** Local-offset scheme granule: 16 bytes. *)
+
+val local_offset_max_object : int
+(** 1008 bytes: (2^6 - 1) granules. *)
+
+val local_offset_max_elements : int
+(** 64 layout-table elements (6-bit subobject index). *)
+
+val subheap_max_elements : int
+(** 256 layout-table elements (8-bit subobject index). *)
+
+val global_table_entries : int
+(** 4096 rows (12-bit index). *)
+
+val addr : int64 -> int64
+(** Low 48 bits. *)
+
+val with_addr : int64 -> int64 -> int64
+(** [with_addr p a] keeps the tag of [p], replaces the address. *)
+
+val poison : int64 -> poison
+val with_poison : int64 -> poison -> int64
+
+val scheme : int64 -> scheme
+val with_scheme : int64 -> scheme -> int64
+
+val meta12 : int64 -> int
+(** Raw 12-bit scheme-metadata/subobject field. *)
+
+val with_meta12 : int64 -> int -> int64
+
+val subobj_index : int64 -> int option
+(** Subobject index for schemes that have one; [None] for legacy and
+    global-table pointers. *)
+
+val with_subobj_index : int64 -> int -> int64
+(** Saturating write of the subobject-index field; no-op for legacy and
+    global-table pointers. *)
+
+val granule_offset : int64 -> int
+(** Local-offset granule-offset field (meaningless for other schemes). *)
+
+val with_granule_offset : int64 -> int -> int64
+
+val creg_index : int64 -> int
+(** Subheap control-register index field. *)
+
+val table_index : int64 -> int
+(** Global-table index field. *)
+
+val make_legacy : int64 -> int64
+(** Canonical pointer: tag zeroed. *)
+
+val make_local_offset : addr:int64 -> granule_off:int -> subobj:int -> int64
+val make_subheap : addr:int64 -> creg:int -> subobj:int -> int64
+val make_global_table : addr:int64 -> index:int -> int64
+
+val is_null : int64 -> bool
+(** Address part is zero. *)
+
+val metadata_addr_local_offset : int64 -> int64
+(** For a local-offset pointer: [align_down(addr, granule) +
+    granule_offset * granule] — the address of the object metadata. *)
+
+val pp : Format.formatter -> int64 -> unit

@@ -1,0 +1,22 @@
+type t =
+  | Poisoned_dereference of int64
+  | Bounds_violation of { ptr : int64; lo : int64; hi : int64; size : int }
+  | Invalid_metadata of { ptr : int64; reason : string }
+  | Mac_mismatch of { ptr : int64 }
+  | Memory_fault of int64
+
+exception Trap of t
+
+let raise_trap t = raise (Trap t)
+
+let to_string = function
+  | Poisoned_dereference p -> Printf.sprintf "poisoned dereference of 0x%Lx" p
+  | Bounds_violation { ptr; lo; hi; size } ->
+    Printf.sprintf "bounds violation: 0x%Lx+%d outside [0x%Lx, 0x%Lx)"
+      (Ifp_util.Bits.u48 ptr) size lo hi
+  | Invalid_metadata { ptr; reason } ->
+    Printf.sprintf "invalid object metadata for 0x%Lx (%s)" ptr reason
+  | Mac_mismatch { ptr } -> Printf.sprintf "metadata MAC mismatch for 0x%Lx" ptr
+  | Memory_fault a -> Printf.sprintf "memory fault at 0x%Lx" a
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

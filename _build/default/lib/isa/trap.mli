@@ -1,0 +1,18 @@
+(** Hardware traps raised by the In-Fat Pointer extension. *)
+
+type t =
+  | Poisoned_dereference of int64
+      (** load/store with a pointer whose poison bits are not Valid *)
+  | Bounds_violation of { ptr : int64; lo : int64; hi : int64; size : int }
+      (** explicit or implicit access-size check failed *)
+  | Invalid_metadata of { ptr : int64; reason : string }
+      (** promote fetched metadata that failed validation *)
+  | Mac_mismatch of { ptr : int64 }
+      (** metadata MAC did not verify *)
+  | Memory_fault of int64  (** unmapped-page access (page-permission trap) *)
+
+exception Trap of t
+
+val raise_trap : t -> 'a
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

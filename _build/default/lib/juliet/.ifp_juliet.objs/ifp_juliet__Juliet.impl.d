@@ -1,0 +1,1 @@
+lib/juliet/juliet.ml: Ifp_compiler Ifp_types Ifp_vm List Printf

@@ -1,0 +1,1 @@
+lib/juliet/juliet.mli: Ifp_compiler Ifp_vm

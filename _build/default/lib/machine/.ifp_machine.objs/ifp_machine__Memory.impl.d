@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Bytes Char Hashtbl Ifp_util Int64 String

@@ -1,0 +1,78 @@
+type access = Load | Store
+
+type t = {
+  ways : int;
+  sets : int;
+  line_shift : int;
+  tags : int64 array; (* sets * ways, -1L = invalid *)
+  lru : int array; (* sets * ways: higher = more recently used *)
+  mutable clock : int;
+  mutable n_accesses : int;
+  mutable n_misses : int;
+}
+
+let create ?(size_bytes = 32768) ?(ways = 8) ?(line_bytes = 64) () =
+  if not (Ifp_util.Bits.is_pow2 line_bytes) then invalid_arg "Cache.create";
+  let lines = size_bytes / line_bytes in
+  if lines mod ways <> 0 then invalid_arg "Cache.create";
+  let sets = lines / ways in
+  if not (Ifp_util.Bits.is_pow2 sets) then invalid_arg "Cache.create";
+  {
+    ways;
+    sets;
+    line_shift = Ifp_util.Bits.log2_exact line_bytes;
+    tags = Array.make (sets * ways) (-1L);
+    lru = Array.make (sets * ways) 0;
+    clock = 0;
+    n_accesses = 0;
+    n_misses = 0;
+  }
+
+let access t addr _kind =
+  t.n_accesses <- t.n_accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = Int64.shift_right_logical (Ifp_util.Bits.u48 addr) t.line_shift in
+  let set = Int64.to_int (Int64.rem line (Int64.of_int t.sets)) in
+  let base = set * t.ways in
+  let rec find i =
+    if i >= t.ways then None
+    else if Int64.equal t.tags.(base + i) line then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    t.lru.(base + i) <- t.clock;
+    true
+  | None ->
+    t.n_misses <- t.n_misses + 1;
+    (* evict the least recently used way *)
+    let victim = ref 0 in
+    for i = 1 to t.ways - 1 do
+      if t.lru.(base + i) < t.lru.(base + !victim) then victim := i
+    done;
+    t.tags.(base + !victim) <- line;
+    t.lru.(base + !victim) <- t.clock;
+    false
+
+let access_range t addr ~bytes kind =
+  let line_bytes = 1 lsl t.line_shift in
+  let first = Int64.to_int (Int64.logand addr (Int64.of_int (line_bytes - 1))) in
+  let n_lines = (first + bytes + line_bytes - 1) / line_bytes in
+  let misses = ref 0 in
+  for i = 0 to max 0 (n_lines - 1) do
+    let a = Int64.add addr (Int64.of_int (i * line_bytes)) in
+    if not (access t a kind) then incr misses
+  done;
+  !misses
+
+let accesses t = t.n_accesses
+let misses t = t.n_misses
+
+let reset_stats t =
+  t.n_accesses <- 0;
+  t.n_misses <- 0
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1L);
+  Array.fill t.lru 0 (Array.length t.lru) 0;
+  reset_stats t

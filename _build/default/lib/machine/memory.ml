@@ -1,0 +1,185 @@
+let page_size = 4096
+let page_shift = 12
+
+type page = { data : Bytes.t; mutable written : bool }
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mapped : (int, unit) Hashtbl.t;
+  mutable touched : int;
+  (* one-entry lookup cache: most accesses hit the same page repeatedly *)
+  mutable last_pno : int;
+  mutable last_page : page option;
+}
+
+type fault_kind = Unmapped | Misaligned
+
+exception Fault of fault_kind * int64
+
+let create () =
+  {
+    pages = Hashtbl.create 1024;
+    mapped = Hashtbl.create 1024;
+    touched = 0;
+    last_pno = -1;
+    last_page = None;
+  }
+
+let pno_of_addr a =
+  Int64.to_int (Int64.shift_right_logical (Ifp_util.Bits.u48 a) page_shift)
+
+let map t ~base ~size =
+  if size < 0 then invalid_arg "Memory.map";
+  let first = pno_of_addr base in
+  let last = pno_of_addr (Int64.add base (Int64.of_int (max 0 (size - 1)))) in
+  for p = first to last do
+    if not (Hashtbl.mem t.mapped p) then Hashtbl.replace t.mapped p ()
+  done
+
+let unmap t ~base ~size =
+  let open Int64 in
+  let b = Ifp_util.Bits.u48 base in
+  let e = add b (of_int size) in
+  let first_full =
+    to_int (shift_right_logical (Ifp_util.Bits.align_up64 b page_size) page_shift)
+  in
+  let last_full =
+    to_int (shift_right_logical (Ifp_util.Bits.align_down64 e page_size) page_shift)
+    - 1
+  in
+  for p = first_full to last_full do
+    Hashtbl.remove t.mapped p;
+    Hashtbl.remove t.pages p;
+    if t.last_pno = p then begin
+      t.last_pno <- -1;
+      t.last_page <- None
+    end
+  done
+
+let is_mapped t a = Hashtbl.mem t.mapped (pno_of_addr a)
+
+let get_page t a =
+  let pno = pno_of_addr a in
+  if t.last_pno = pno then
+    match t.last_page with Some p -> p | None -> assert false
+  else begin
+    if not (Hashtbl.mem t.mapped pno) then raise (Fault (Unmapped, a));
+    let page =
+      match Hashtbl.find_opt t.pages pno with
+      | Some p -> p
+      | None ->
+        let p = { data = Bytes.make page_size '\000'; written = false } in
+        Hashtbl.replace t.pages pno p;
+        p
+    in
+    t.last_pno <- pno;
+    t.last_page <- Some page;
+    page
+  end
+
+let off_of_addr a = Int64.to_int (Int64.logand a 0xFFFL)
+
+let read_u8 t a =
+  let p = get_page t a in
+  Char.code (Bytes.unsafe_get p.data (off_of_addr a))
+
+let write_u8 t a v =
+  let p = get_page t a in
+  if not p.written then begin
+    p.written <- true;
+    t.touched <- t.touched + 1
+  end;
+  Bytes.unsafe_set p.data (off_of_addr a) (Char.unsafe_chr (v land 0xFF))
+
+(* Fast paths when the whole access fits in one page; otherwise byte-wise. *)
+let read_u16 t a =
+  let off = off_of_addr a in
+  if off <= page_size - 2 then
+    let p = get_page t a in
+    Char.code (Bytes.unsafe_get p.data off)
+    lor (Char.code (Bytes.unsafe_get p.data (off + 1)) lsl 8)
+  else read_u8 t a lor (read_u8 t (Int64.add a 1L) lsl 8)
+
+let write_u16 t a v =
+  write_u8 t a (v land 0xFF);
+  write_u8 t (Int64.add a 1L) ((v lsr 8) land 0xFF)
+
+let read_u32 t a =
+  let off = off_of_addr a in
+  if off <= page_size - 4 then
+    let p = get_page t a in
+    Int64.logand (Int64.of_int32 (Bytes.get_int32_le p.data off)) 0xFFFFFFFFL
+  else
+    let lo = read_u16 t a and hi = read_u16 t (Int64.add a 2L) in
+    Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 16)
+
+let write_u32 t a v =
+  let off = off_of_addr a in
+  if off <= page_size - 4 then begin
+    let p = get_page t a in
+    if not p.written then begin
+      p.written <- true;
+      t.touched <- t.touched + 1
+    end;
+    Bytes.set_int32_le p.data off (Int64.to_int32 v)
+  end
+  else begin
+    write_u16 t a (Int64.to_int (Int64.logand v 0xFFFFL));
+    write_u16 t (Int64.add a 2L)
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical v 16) 0xFFFFL))
+  end
+
+let read_u64 t a =
+  let off = off_of_addr a in
+  if off <= page_size - 8 then
+    let p = get_page t a in
+    Bytes.get_int64_le p.data off
+  else
+    let lo = read_u32 t a and hi = read_u32 t (Int64.add a 4L) in
+    Int64.logor lo (Int64.shift_left hi 32)
+
+let write_u64 t a v =
+  let off = off_of_addr a in
+  if off <= page_size - 8 then begin
+    let p = get_page t a in
+    if not p.written then begin
+      p.written <- true;
+      t.touched <- t.touched + 1
+    end;
+    Bytes.set_int64_le p.data off v
+  end
+  else begin
+    write_u32 t a (Int64.logand v 0xFFFFFFFFL);
+    write_u32 t (Int64.add a 4L) (Int64.shift_right_logical v 32)
+  end
+
+let read_size t a ~bytes =
+  match bytes with
+  | 1 -> Int64.of_int (read_u8 t a)
+  | 2 -> Int64.of_int (read_u16 t a)
+  | 4 -> read_u32 t a
+  | 8 -> read_u64 t a
+  | _ -> invalid_arg "Memory.read_size"
+
+let write_size t a ~bytes v =
+  match bytes with
+  | 1 -> write_u8 t a (Int64.to_int (Int64.logand v 0xFFL))
+  | 2 -> write_u16 t a (Int64.to_int (Int64.logand v 0xFFFFL))
+  | 4 -> write_u32 t a v
+  | 8 -> write_u64 t a v
+  | _ -> invalid_arg "Memory.write_size"
+
+let fill t a ~len c =
+  for i = 0 to len - 1 do
+    write_u8 t (Int64.add a (Int64.of_int i)) (Char.code c)
+  done
+
+let blit_string t a s =
+  String.iteri (fun i c -> write_u8 t (Int64.add a (Int64.of_int i)) (Char.code c)) s
+
+let read_string t a ~len =
+  String.init len (fun i -> Char.chr (read_u8 t (Int64.add a (Int64.of_int i))))
+
+let touched_pages t = t.touched
+
+let mapped_bytes t = Hashtbl.length t.mapped * page_size

@@ -1,0 +1,58 @@
+(** Sparse simulated physical memory over a 48-bit address space.
+
+    Memory is organised in 4 KiB pages allocated on demand, but only
+    within regions explicitly made accessible with {!map}; touching an
+    unmapped address raises {!Fault}, which models the page-permission
+    traps the hardware prototype relies on (e.g. dereferencing a wild
+    pointer).
+
+    All multi-byte accesses are little-endian, matching RV64. Addresses
+    are [int64] values whose upper 16 bits are ignored (pointer tags are
+    stripped by the caller, see {!Ifp_isa.Tag}). *)
+
+type t
+
+type fault_kind = Unmapped | Misaligned
+
+exception Fault of fault_kind * int64
+(** [Fault (kind, addr)] — a memory access trapped at [addr]. *)
+
+val create : unit -> t
+
+val page_size : int
+(** 4096. *)
+
+val map : t -> base:int64 -> size:int -> unit
+(** Make every page overlapping [\[base, base+size)] accessible,
+    zero-filled. Idempotent. *)
+
+val unmap : t -> base:int64 -> size:int -> unit
+(** Revoke accessibility (contents are discarded). Only whole pages fully
+    inside the range are unmapped. *)
+
+val is_mapped : t -> int64 -> bool
+
+val read_u8 : t -> int64 -> int
+val read_u16 : t -> int64 -> int
+val read_u32 : t -> int64 -> int64
+val read_u64 : t -> int64 -> int64
+
+val write_u8 : t -> int64 -> int -> unit
+val write_u16 : t -> int64 -> int -> unit
+val write_u32 : t -> int64 -> int64 -> unit
+val write_u64 : t -> int64 -> int64 -> unit
+
+val read_size : t -> int64 -> bytes:int -> int64
+(** [read_size m a ~bytes] for [bytes] in {1,2,4,8}. *)
+
+val write_size : t -> int64 -> bytes:int -> int64 -> unit
+
+val fill : t -> int64 -> len:int -> char -> unit
+val blit_string : t -> int64 -> string -> unit
+val read_string : t -> int64 -> len:int -> string
+
+val touched_pages : t -> int
+(** Number of distinct pages ever written — a resident-set proxy. *)
+
+val mapped_bytes : t -> int
+(** Total bytes currently mapped. *)

@@ -1,0 +1,1 @@
+lib/metadata/mac.ml: Ifp_util Int64 List

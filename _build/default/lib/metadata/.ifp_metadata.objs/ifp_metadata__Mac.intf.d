@@ -1,0 +1,1 @@
+lib/metadata/mac.mli: Ifp_util

@@ -1,0 +1,1 @@
+lib/metadata/meta.ml: Array Bits Hashtbl Ifp_isa Ifp_machine Ifp_types Ifp_util Int64 List Mac Printf

@@ -1,0 +1,1 @@
+lib/metadata/meta.mli: Ifp_machine Ifp_types Mac

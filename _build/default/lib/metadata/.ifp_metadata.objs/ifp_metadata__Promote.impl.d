@@ -1,0 +1,1 @@
+lib/metadata/promote.ml: Ifp_isa Ifp_types Int64 List Meta

@@ -1,0 +1,1 @@
+lib/metadata/promote.mli: Ifp_isa Meta

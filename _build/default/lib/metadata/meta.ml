@@ -1,0 +1,352 @@
+open Ifp_util
+module Memory = Ifp_machine.Memory
+module Tag = Ifp_isa.Tag
+
+type fetch = { addr : int64; bytes : int }
+
+type obj_meta = { obj_base : int64; obj_size : int; layout_ptr : int64 }
+
+type creg_v = { block_size_log2 : int; metadata_offset : int64 }
+
+type t = {
+  mem : Memory.t;
+  key : Mac.key;
+  layout_base : int64;
+  layout_size : int;
+  mutable layout_next : int64;
+  layouts : (Ifp_types.Ctype.t, int64) Hashtbl.t;
+  gt_base : int64;
+  gt_entries : int;
+  mutable gt_free : int list;
+  mutable gt_used : int;
+  cregs : creg_v option array;
+}
+
+let layout_magic = 0x4C544231L (* "LTB1" *)
+
+let create ~memory ~mac_key ~layout_region:(lbase, lsize)
+    ~global_table:(gbase, entries) =
+  if entries < 1 || entries > Tag.global_table_entries then
+    invalid_arg "Meta.create: global table entries";
+  {
+    mem = memory;
+    key = mac_key;
+    layout_base = lbase;
+    layout_size = lsize;
+    layout_next = lbase;
+    layouts = Hashtbl.create 64;
+    gt_base = gbase;
+    gt_entries = entries;
+    (* row 0 is reserved so that a zero index never looks valid *)
+    gt_free = List.init (entries - 1) (fun i -> i + 1);
+    gt_used = 0;
+    cregs = Array.make 16 None;
+  }
+
+let memory t = t.mem
+let mac_key t = t.key
+
+(* ------------------------------------------------------------------ *)
+(* Layout tables                                                       *)
+
+let element_bytes = 16
+let header_bytes = 16
+
+let write_element t addr (e : Ifp_types.Layout.element) =
+  Memory.write_u16 t.mem addr e.parent;
+  Memory.write_u16 t.mem (Int64.add addr 2L) 0;
+  Memory.write_u32 t.mem (Int64.add addr 4L) (Int64.of_int e.base);
+  Memory.write_u32 t.mem (Int64.add addr 8L) (Int64.of_int e.bound);
+  Memory.write_u32 t.mem (Int64.add addr 12L) (Int64.of_int e.elem_size)
+
+let read_element t table_ptr i =
+  let addr = Int64.add table_ptr (Int64.of_int (header_bytes + (i * element_bytes))) in
+  {
+    Ifp_types.Layout.parent = Memory.read_u16 t.mem addr;
+    base = Int64.to_int (Memory.read_u32 t.mem (Int64.add addr 4L));
+    bound = Int64.to_int (Memory.read_u32 t.mem (Int64.add addr 8L));
+    elem_size = Int64.to_int (Memory.read_u32 t.mem (Int64.add addr 12L));
+  }
+
+let layout_count t table_ptr =
+  if Int64.equal table_ptr 0L then 0
+  else
+    let magic = Memory.read_u32 t.mem table_ptr in
+    if not (Int64.equal magic layout_magic) then 0
+    else Int64.to_int (Memory.read_u32 t.mem (Int64.add table_ptr 4L))
+
+let intern_layout t env ty =
+  let layout = Ifp_types.Layout.build env ty in
+  if Ifp_types.Layout.length layout <= 1 then 0L
+  else
+    match Hashtbl.find_opt t.layouts ty with
+    | Some addr -> addr
+    | None ->
+      let n = Ifp_types.Layout.length layout in
+      let bytes = header_bytes + (n * element_bytes) in
+      let addr = t.layout_next in
+      if
+        Int64.compare
+          (Int64.add addr (Int64.of_int bytes))
+          (Int64.add t.layout_base (Int64.of_int t.layout_size))
+        > 0
+      then failwith "Meta.intern_layout: layout region exhausted";
+      t.layout_next <- Int64.add addr (Int64.of_int bytes);
+      Memory.write_u32 t.mem addr layout_magic;
+      Memory.write_u32 t.mem (Int64.add addr 4L) (Int64.of_int n);
+      Memory.write_u64 t.mem (Int64.add addr 8L) 0L;
+      Array.iteri
+        (fun i e ->
+          write_element t
+            (Int64.add addr (Int64.of_int (header_bytes + (i * element_bytes))))
+            e)
+        (Ifp_types.Layout.elements layout);
+      Hashtbl.replace t.layouts ty addr;
+      addr
+
+let layout_bytes_used t = Int64.to_int (Int64.sub t.layout_next t.layout_base)
+
+(* ------------------------------------------------------------------ *)
+(* Local-offset scheme                                                 *)
+
+module Local_offset = struct
+  let metadata_size = 16
+
+  let footprint ~size = Bits.align_up size Tag.granule + metadata_size
+
+  let fits ~size = size > 0 && size <= Tag.local_offset_max_object
+
+  let mac_fields ~meta_addr ~size ~layout_ptr =
+    [ meta_addr; Int64.of_int size; layout_ptr ]
+
+  let register t ~base ~size ~layout_ptr =
+    if not (fits ~size) then invalid_arg "Local_offset.register: size";
+    if not (Int64.equal (Bits.align_down64 base Tag.granule) base) then
+      invalid_arg "Local_offset.register: base not granule-aligned";
+    let meta_addr = Int64.add base (Int64.of_int (Bits.align_up size Tag.granule)) in
+    let mac = Mac.compute ~key:t.key (mac_fields ~meta_addr ~size ~layout_ptr) in
+    Memory.write_u16 t.mem meta_addr size;
+    Memory.write_u16 t.mem (Int64.add meta_addr 2L)
+      (Int64.to_int (Int64.logand mac 0xFFFFL));
+    Memory.write_u32 t.mem (Int64.add meta_addr 4L)
+      (Int64.shift_right_logical mac 16);
+    Memory.write_u64 t.mem (Int64.add meta_addr 8L) layout_ptr;
+    let granule_off = Bits.align_up size Tag.granule / Tag.granule in
+    Tag.make_local_offset ~addr:base ~granule_off ~subobj:0
+
+  let read_meta t meta_addr =
+    let size = Memory.read_u16 t.mem meta_addr in
+    let mac_lo = Memory.read_u16 t.mem (Int64.add meta_addr 2L) in
+    let mac_hi = Memory.read_u32 t.mem (Int64.add meta_addr 4L) in
+    let mac = Int64.logor (Int64.of_int mac_lo) (Int64.shift_left mac_hi 16) in
+    let layout_ptr = Memory.read_u64 t.mem (Int64.add meta_addr 8L) in
+    (size, mac, layout_ptr)
+
+  let deregister t ptr =
+    let meta_addr = Tag.metadata_addr_local_offset ptr in
+    for i = 0 to metadata_size - 1 do
+      Memory.write_u8 t.mem (Int64.add meta_addr (Int64.of_int i)) 0
+    done
+
+  let lookup t ptr =
+    let meta_addr = Tag.metadata_addr_local_offset ptr in
+    let fetches =
+      [ { addr = meta_addr; bytes = 8 }; { addr = Int64.add meta_addr 8L; bytes = 8 } ]
+    in
+    match read_meta t meta_addr with
+    | exception Memory.Fault (_, a) ->
+      (Error (Printf.sprintf "metadata page fault at 0x%Lx" a), fetches)
+    | size, mac, layout_ptr ->
+      if not (fits ~size) then (Error "bad object size", fetches)
+      else if
+        not (Mac.verify ~key:t.key (mac_fields ~meta_addr ~size ~layout_ptr) ~mac)
+      then (Error "MAC mismatch", fetches)
+      else
+        let obj_base =
+          Int64.sub meta_addr (Int64.of_int (Bits.align_up size Tag.granule))
+        in
+        (Ok { obj_base; obj_size = size; layout_ptr }, fetches)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Subheap scheme                                                      *)
+
+module Subheap = struct
+  type creg = creg_v = { block_size_log2 : int; metadata_offset : int64 }
+
+  let n_cregs = 16
+
+  let set_creg t i v =
+    if i < 0 || i >= n_cregs then invalid_arg "Subheap.set_creg";
+    t.cregs.(i) <- v
+
+  let get_creg t i =
+    if i < 0 || i >= n_cregs then invalid_arg "Subheap.get_creg";
+    t.cregs.(i)
+
+  let block_metadata_size = 32
+
+  let mac_fields ~block_base ~slot_start ~slot_end ~slot_size ~obj_size ~layout_ptr =
+    [
+      block_base;
+      Int64.of_int slot_start;
+      Int64.of_int slot_end;
+      Int64.of_int slot_size;
+      Int64.of_int obj_size;
+      layout_ptr;
+    ]
+
+  let meta_addr_of ~creg ~block_base = Int64.add block_base creg.metadata_offset
+
+  let write_block_metadata t ~creg ~block_base ~slot_start ~slot_end ~slot_size
+      ~obj_size ~layout_ptr =
+    let creg =
+      match t.cregs.(creg) with
+      | Some c -> c
+      | None -> invalid_arg "Subheap.write_block_metadata: creg not configured"
+    in
+    let meta_addr = meta_addr_of ~creg ~block_base in
+    let mac =
+      Mac.compute ~key:t.key
+        (mac_fields ~block_base ~slot_start ~slot_end ~slot_size ~obj_size
+           ~layout_ptr)
+    in
+    Memory.write_u32 t.mem meta_addr (Int64.of_int slot_start);
+    Memory.write_u32 t.mem (Int64.add meta_addr 4L) (Int64.of_int slot_end);
+    Memory.write_u32 t.mem (Int64.add meta_addr 8L) (Int64.of_int slot_size);
+    Memory.write_u32 t.mem (Int64.add meta_addr 12L) (Int64.of_int obj_size);
+    Memory.write_u64 t.mem (Int64.add meta_addr 16L) layout_ptr;
+    Memory.write_u16 t.mem (Int64.add meta_addr 24L)
+      (Int64.to_int (Int64.logand mac 0xFFFFL));
+    Memory.write_u32 t.mem (Int64.add meta_addr 26L)
+      (Int64.shift_right_logical mac 16);
+    Memory.write_u16 t.mem (Int64.add meta_addr 30L) 0
+
+  let clear_block_metadata t ~creg ~block_base =
+    match t.cregs.(creg) with
+    | None -> ()
+    | Some c ->
+      let meta_addr = meta_addr_of ~creg:c ~block_base in
+      for i = 0 to block_metadata_size - 1 do
+        Memory.write_u8 t.mem (Int64.add meta_addr (Int64.of_int i)) 0
+      done
+
+  let tag_pointer ~creg ~addr = Tag.make_subheap ~addr ~creg ~subobj:0
+
+  let lookup t ptr =
+    let creg_idx = Tag.creg_index ptr in
+    match t.cregs.(creg_idx) with
+    | None -> (Error "control register not configured", [], 0)
+    | Some creg ->
+      let addr = Tag.addr ptr in
+      let block_base = Bits.align_down64 addr (1 lsl creg.block_size_log2) in
+      let meta_addr = meta_addr_of ~creg ~block_base in
+      let fetches =
+        [
+          { addr = meta_addr; bytes = 8 };
+          { addr = Int64.add meta_addr 8L; bytes = 8 };
+          { addr = Int64.add meta_addr 16L; bytes = 8 };
+          { addr = Int64.add meta_addr 24L; bytes = 8 };
+        ]
+      in
+      let read () =
+        let slot_start = Int64.to_int (Memory.read_u32 t.mem meta_addr) in
+        let slot_end =
+          Int64.to_int (Memory.read_u32 t.mem (Int64.add meta_addr 4L))
+        in
+        let slot_size =
+          Int64.to_int (Memory.read_u32 t.mem (Int64.add meta_addr 8L))
+        in
+        let obj_size =
+          Int64.to_int (Memory.read_u32 t.mem (Int64.add meta_addr 12L))
+        in
+        let layout_ptr = Memory.read_u64 t.mem (Int64.add meta_addr 16L) in
+        let mac_lo = Memory.read_u16 t.mem (Int64.add meta_addr 24L) in
+        let mac_hi = Memory.read_u32 t.mem (Int64.add meta_addr 26L) in
+        let mac =
+          Int64.logor (Int64.of_int mac_lo) (Int64.shift_left mac_hi 16)
+        in
+        (slot_start, slot_end, slot_size, obj_size, layout_ptr, mac)
+      in
+      (match read () with
+      | exception Memory.Fault (_, a) ->
+        (Error (Printf.sprintf "metadata page fault at 0x%Lx" a), fetches, 0)
+      | slot_start, slot_end, slot_size, obj_size, layout_ptr, mac ->
+        if slot_size <= 0 || obj_size <= 0 || obj_size > slot_size then
+          (Error "bad slot geometry", fetches, 0)
+        else if
+          not
+            (Mac.verify ~key:t.key
+               (mac_fields ~block_base ~slot_start ~slot_end ~slot_size
+                  ~obj_size ~layout_ptr)
+               ~mac)
+        then (Error "MAC mismatch", fetches, 0)
+        else
+          let off = Int64.to_int (Int64.sub addr block_base) in
+          if off < slot_start || off >= slot_end then
+            (Error "address outside slot array", fetches, 0)
+          else
+            let slot = (off - slot_start) / slot_size in
+            let obj_base =
+              Int64.add block_base (Int64.of_int (slot_start + (slot * slot_size)))
+            in
+            (* the slot-size constraint (§3.3.2) makes this division a
+               shift, so it is not charged as a multi-cycle divide *)
+            (Ok { obj_base; obj_size; layout_ptr }, fetches, 0))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Global-table scheme                                                 *)
+
+module Global_table = struct
+  let row_addr t i = Int64.add t.gt_base (Int64.of_int (i * 16))
+
+  let register t ~base ~size ~layout_ptr =
+    match t.gt_free with
+    | [] -> None
+    | i :: rest ->
+      t.gt_free <- rest;
+      t.gt_used <- t.gt_used + 1;
+      let addr = row_addr t i in
+      let w0 =
+        Int64.logor (Bits.u48 base)
+          (Int64.shift_left (Int64.of_int (size land 0xFFFF)) 48)
+      in
+      let w1 =
+        Int64.logor (Bits.u48 layout_ptr)
+          (Int64.shift_left (Int64.of_int ((size lsr 16) land 0xFFFF)) 48)
+      in
+      Memory.write_u64 t.mem addr w0;
+      Memory.write_u64 t.mem (Int64.add addr 8L) w1;
+      Some (Tag.make_global_table ~addr:base ~index:i)
+
+  let deregister t ptr =
+    let i = Tag.table_index ptr in
+    if i > 0 && i < t.gt_entries then begin
+      let addr = row_addr t i in
+      Memory.write_u64 t.mem addr 0L;
+      Memory.write_u64 t.mem (Int64.add addr 8L) 0L;
+      t.gt_free <- i :: t.gt_free;
+      t.gt_used <- t.gt_used - 1
+    end
+
+  let rows_in_use t = t.gt_used
+
+  let lookup t ptr =
+    let i = Tag.table_index ptr in
+    if i <= 0 || i >= t.gt_entries then (Error "table index out of range", [])
+    else
+      let addr = row_addr t i in
+      let fetches =
+        [ { addr; bytes = 8 }; { addr = Int64.add addr 8L; bytes = 8 } ]
+      in
+      let w0 = Memory.read_u64 t.mem addr in
+      let w1 = Memory.read_u64 t.mem (Int64.add addr 8L) in
+      let base = Bits.u48 w0 in
+      let size_lo = Int64.to_int (Int64.shift_right_logical w0 48) in
+      let size_hi = Int64.to_int (Int64.shift_right_logical w1 48) in
+      let size = size_lo lor (size_hi lsl 16) in
+      let layout_ptr = Bits.u48 w1 in
+      if Int64.equal base 0L || size = 0 then (Error "row not in use", fetches)
+      else (Ok { obj_base = base; obj_size = size; layout_ptr }, fetches)
+end

@@ -1,0 +1,144 @@
+(** Object-metadata context: the three complementary metadata schemes
+    (paper §3.3, Table 2), their in-memory encodings, and the shared
+    layout-table store.
+
+    The context owns:
+    - the MAC key (a per-process secret held in a control register),
+    - a bump region where layout tables are materialised — one table per
+      distinct type, shared by every object of that type (paper §3.4),
+    - the global metadata table (base held in a control register),
+    - the 16 subheap control registers.
+
+    In-memory encodings (the paper gives sizes but not field packings;
+    ours are documented in DESIGN.md):
+    - local-offset metadata, 16 B appended to the object at the next
+      granule boundary: [size:u16 @0 | mac:u48 @2 | layout_ptr:u64 @8];
+    - subheap block metadata, 32 B at a per-control-register offset into
+      the power-of-two block:
+      [slot_start:u32 | slot_end:u32 | slot_size:u32 | obj_size:u32 |
+       layout_ptr:u64 | mac:u48 | flags:u16];
+    - global-table row, 16 B:
+      [base:u48 | size_lo:u16] [layout_ptr:u48 | size_hi:u16];
+    - layout table: 16 B header [magic:u32 | count:u32 | pad] followed by
+      16 B elements [parent:u16 | pad:u16 | base:u32 | bound:u32 |
+      elem_size:u32]. *)
+
+type t
+
+type fetch = { addr : int64; bytes : int }
+(** One metadata memory access performed by the promote hardware; the VM
+    replays fetches through the D-cache model. *)
+
+type obj_meta = {
+  obj_base : int64;
+  obj_size : int;
+  layout_ptr : int64;  (** 0 when the object has no layout table *)
+}
+
+val create :
+  memory:Ifp_machine.Memory.t ->
+  mac_key:Mac.key ->
+  layout_region:int64 * int ->
+  global_table:int64 * int ->
+  t
+(** [create ~memory ~mac_key ~layout_region:(base, size)
+    ~global_table:(base, entries)] — both regions must already be mapped.
+    [entries] is at most {!Ifp_isa.Tag.global_table_entries}; row 0 is
+    reserved. *)
+
+val memory : t -> Ifp_machine.Memory.t
+val mac_key : t -> Mac.key
+
+(** {1 Layout tables} *)
+
+val intern_layout : t -> Ifp_types.Ctype.tenv -> Ifp_types.Ctype.t -> int64
+(** Materialise (once) the layout table for a type and return its
+    address; returns [0L] for types with no subobjects (single-element
+    tables), for which no narrowing is ever needed. *)
+
+val layout_count : t -> int64 -> int
+(** Element count read from a table header; 0 if the header is invalid. *)
+
+val read_element : t -> int64 -> int -> Ifp_types.Layout.element
+(** [read_element t table_ptr i] decodes element [i] from memory. *)
+
+val layout_bytes_used : t -> int
+(** Total bytes of layout tables materialised so far (memory-overhead
+    accounting). *)
+
+(** {1 Local-offset scheme} *)
+
+module Local_offset : sig
+  val metadata_size : int
+  (** 16. *)
+
+  val footprint : size:int -> int
+  (** Bytes an allocation of [size] needs including padding to the
+      granule and the appended metadata. *)
+
+  val fits : size:int -> bool
+  (** Object size within the scheme's 1008-byte limit. *)
+
+  val register : t -> base:int64 -> size:int -> layout_ptr:int64 -> int64
+  (** Write the metadata (at [base + align_up size granule]) and return
+      the tagged pointer to [base]. [base] must be granule-aligned and
+      the footprint must be mapped. Charged as [ifpmac + stores] by the
+      caller. *)
+
+  val deregister : t -> int64 -> unit
+  (** Invalidate the metadata of a pointer previously returned by
+      {!register} (zeroes the metadata block). *)
+
+  val lookup : t -> int64 -> (obj_meta, string) result * fetch list
+end
+
+(** {1 Subheap scheme} *)
+
+module Subheap : sig
+  type creg = { block_size_log2 : int; metadata_offset : int64 }
+
+  val n_cregs : int
+  (** 16. *)
+
+  val set_creg : t -> int -> creg option -> unit
+  val get_creg : t -> int -> creg option
+
+  val block_metadata_size : int
+  (** 32. *)
+
+  val write_block_metadata :
+    t ->
+    creg:int ->
+    block_base:int64 ->
+    slot_start:int ->
+    slot_end:int ->
+    slot_size:int ->
+    obj_size:int ->
+    layout_ptr:int64 ->
+    unit
+  (** [creg] names the control register describing this block's size and
+      metadata offset; it must be configured. *)
+
+  val clear_block_metadata : t -> creg:int -> block_base:int64 -> unit
+
+  val tag_pointer : creg:int -> addr:int64 -> int64
+
+  val lookup : t -> int64 -> (obj_meta, string) result * fetch list * int
+  (** Returns the extra division count (slot-index computation) as the
+      third component. *)
+end
+
+(** {1 Global-table scheme} *)
+
+module Global_table : sig
+  val register : t -> base:int64 -> size:int -> layout_ptr:int64 -> int64 option
+  (** Claim a free row; [None] when the table is full. Returns the tagged
+      pointer. *)
+
+  val deregister : t -> int64 -> unit
+  (** Free the row named by the pointer's index field. *)
+
+  val rows_in_use : t -> int
+
+  val lookup : t -> int64 -> (obj_meta, string) result * fetch list
+end

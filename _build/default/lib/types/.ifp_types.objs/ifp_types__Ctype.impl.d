@@ -1,0 +1,1 @@
+lib/types/ctype.ml: Format Ifp_util List Map String

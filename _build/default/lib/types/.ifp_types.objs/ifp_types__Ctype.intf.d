@@ -1,0 +1,1 @@
+lib/types/ctype.mli: Format

@@ -1,0 +1,1 @@
+lib/types/layout.ml: Array Ctype Format Int64 List

@@ -1,0 +1,1 @@
+lib/types/layout.mli: Ctype Format

@@ -1,0 +1,50 @@
+let mask w =
+  if w < 0 || w > 63 then invalid_arg "Bits.mask";
+  if w = 0 then 0L else Int64.sub (Int64.shift_left 1L w) 1L
+
+let extract x ~lo ~width =
+  Int64.logand (Int64.shift_right_logical x lo) (mask width)
+
+let insert x ~lo ~width v =
+  let m = Int64.shift_left (mask width) lo in
+  let v = Int64.shift_left (Int64.logand v (mask width)) lo in
+  Int64.logor (Int64.logand x (Int64.lognot m)) v
+
+let extract_int x ~lo ~width =
+  if width > 62 then invalid_arg "Bits.extract_int";
+  Int64.to_int (extract x ~lo ~width)
+
+let insert_int x ~lo ~width v = insert x ~lo ~width (Int64.of_int v)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  if not (is_pow2 n) then invalid_arg "Bits.log2_exact";
+  let rec go k n = if n = 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Bits.ceil_log2";
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let align_up x a =
+  if not (is_pow2 a) then invalid_arg "Bits.align_up";
+  (x + a - 1) land lnot (a - 1)
+
+let align_down x a =
+  if not (is_pow2 a) then invalid_arg "Bits.align_down";
+  x land lnot (a - 1)
+
+let align_up64 x a =
+  if not (is_pow2 a) then invalid_arg "Bits.align_up64";
+  let a64 = Int64.of_int a in
+  Int64.logand
+    (Int64.add x (Int64.sub a64 1L))
+    (Int64.lognot (Int64.sub a64 1L))
+
+let align_down64 x a =
+  if not (is_pow2 a) then invalid_arg "Bits.align_down64";
+  Int64.logand x (Int64.lognot (Int64.sub (Int64.of_int a) 1L))
+
+let u48 x = Int64.logand x (mask 48)

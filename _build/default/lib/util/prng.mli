@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All randomness in the repository flows through this module so that
+    workloads, the Juliet generator and the MAC key derivation are fully
+    reproducible from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes an independent generator. *)
+
+val copy : t -> t
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]; [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val mix2 : int64 -> int64 -> int64
+(** [mix2 a b] is a stateless strong mix of two words (used as a PRF for
+    MAC computation). *)

@@ -1,0 +1,18 @@
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+    let n = List.length xs in
+    let sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (sum /. float_of_int n)
+
+let geomean_overhead = geomean
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percent r =
+  let p = (r -. 1.0) *. 100.0 in
+  if p >= 0.0 then Printf.sprintf "+%.1f%%" p else Printf.sprintf "%.1f%%" p
+
+let ratio x base = if base = 0.0 then 0.0 else x /. base

@@ -1,0 +1,15 @@
+(** Small numeric helpers for the evaluation harness. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values. Empty list yields [1.0]. *)
+
+val geomean_overhead : float list -> float
+(** Geometric mean of overhead ratios expressed as e.g. [1.12] for +12%;
+    values must be positive. Returns the mean ratio. *)
+
+val mean : float list -> float
+val percent : float -> string
+(** [percent 1.12] is ["+12%"]; [percent 0.94] is ["-6%"]. *)
+
+val ratio : float -> float -> float
+(** [ratio x base] with a guard against a zero base. *)

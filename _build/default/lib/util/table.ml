@@ -1,0 +1,55 @@
+type align = Left | Right
+
+let default_aligns n = Left :: List.init (max 0 (n - 1)) (fun _ -> Right)
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with Some a -> a | None -> default_aligns ncols
+  in
+  let widths = Array.make ncols 0 in
+  let note_row r =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      r
+  in
+  note_row header;
+  List.iter note_row rows;
+  let pad a w s =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match a with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let fmt_row r =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let a = try List.nth aligns i with _ -> Right in
+          pad a widths.(i) cell)
+        r
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (fmt_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (fmt_row r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows)

@@ -1,0 +1,1 @@
+lib/vm/cost.mli: Ifp_isa

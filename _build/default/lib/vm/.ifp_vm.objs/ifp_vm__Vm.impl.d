@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Cost Counters Format Hashtbl Ifp_alloc Ifp_compiler Ifp_isa Ifp_machine Ifp_metadata Ifp_types Ifp_util Int64 List Memmap Option Printf

@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Counters Ifp_alloc Ifp_compiler Ifp_isa

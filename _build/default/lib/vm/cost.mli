@@ -1,0 +1,26 @@
+(** Cycle-cost model, calibrated to the paper's CVA6-based prototype
+    (single-issue in-order RV64, small L1).
+
+    All single-cycle integer/IFP-ALU instructions cost {!alu}; the
+    promote instruction is unpipelined and pays a base cost plus its
+    metadata fetches through the D-cache, a per-element layout-walk cost,
+    and a multi-cycle division per array-of-struct snap (§5.3: "complex
+    state machines and multi-cycle division logic"). *)
+
+val alu : int
+val mul : int
+val div : int
+val fp : int
+val branch : int
+val call : int
+val mem : int
+(** Cycles for a cache hit access (beyond the instruction itself). *)
+
+val miss_penalty : int
+val promote_base : int
+val walk_per_elem : int
+val mac_check : int
+
+val ifp_cycles : Ifp_isa.Insn.kind -> int
+(** Cycles for the single-cycle-class IFP instructions ([promote] is
+    costed separately by the VM). *)

@@ -1,0 +1,83 @@
+(** The execution engine: interprets MiniC programs on the simulated
+    machine under one of three variants, producing the dynamic event
+    counts, cycle estimate and memory footprint the evaluation harness
+    consumes.
+
+    - [Baseline]: the raw (uninstrumented) program with the glibc-like
+      allocator — the paper's baseline runs.
+    - [Ifp]: the program is passed through {!Ifp_compiler.Instrument},
+      pointers are tagged, promotes/checks execute architecturally, and
+      the allocator is either [Alloc_wrapped] or [Alloc_subheap].
+    - [Ifp_no_promote]: identical, except [promote] behaves as a nop
+      (no metadata access, bounds cleared) — the paper's no-promote
+      configuration used to isolate the promote cost (§5). *)
+
+type variant = Baseline | Ifp | Ifp_no_promote
+
+type alloc_kind =
+  | Alloc_baseline
+  | Alloc_wrapped
+  | Alloc_subheap
+  | Alloc_mixed
+      (** subheap for small typed allocations, wrapped for the rest —
+          the runtime-selection extension of §4.2.1 (future work) *)
+
+type config = {
+  variant : variant;
+  alloc : alloc_kind;
+  seed : int64;  (** MAC-key derivation seed *)
+  max_cycles : int;  (** runaway-program guard *)
+  narrowing : bool;
+      (** [false] models hardware without the layout-table walker (the
+          §5.3 area ablation): promote falls back to object bounds *)
+  infer_alloc_types : bool;
+      (** enable the pass's allocation-wrapper type inference (the
+          §5.2.1 future-work improvement) *)
+  trace_limit : int;
+      (** collect the first N IFP events (promotes with outcomes, object
+          registrations, the trap) into {!result.trace}; 0 = off *)
+}
+
+type trace_event =
+  | T_promote of { ptr : int64; outcome : string; bounds : string }
+  | T_register of { what : string; ptr : int64; size : int }
+  | T_deregister of { what : string; ptr : int64 }
+  | T_trap of string
+
+val default_config : config
+val baseline : config
+val ifp_wrapped : config
+val ifp_subheap : config
+val no_promote : alloc_kind -> config
+
+val no_narrowing : alloc_kind -> config
+(** IFP with subobject narrowing disabled (object granularity only). *)
+
+val ifp_mixed : config
+
+type outcome =
+  | Finished of int64  (** [main]'s return value *)
+  | Trapped of Ifp_isa.Trap.t
+  | Aborted of string  (** simulator-level failure (budget, bad IR) *)
+
+type result = {
+  outcome : outcome;
+  counters : Counters.t;
+  alloc_stats : Ifp_alloc.Alloc_intf.stats;
+  alloc_extra : (string * int) list;
+  cache_accesses : int;
+  cache_misses : int;
+  mem_footprint : int;
+      (** heap footprint + registered-globals metadata + layout tables —
+          the maximum-resident-size proxy (Fig. 12) *)
+  output : string list;  (** host [__print_*] lines, in order *)
+  instrument_report : Ifp_compiler.Instrument.report option;
+  trace : trace_event list;
+      (** first [trace_limit] IFP events (always includes a trailing
+          {!T_trap} when the run trapped) *)
+}
+
+val run : ?config:config -> Ifp_compiler.Ir.program -> result
+(** Typechecks, instruments (for IFP variants), executes [main]. Raises
+    {!Ifp_compiler.Typecheck.Type_error} on ill-typed programs; all
+    runtime failures are reported in [outcome]. *)

@@ -1,0 +1,1 @@
+lib/workloads/misc_coremark.ml: Ifp_compiler Ifp_types Wl_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/misc_sjeng.ml: Ifp_compiler Ifp_types Wl_util Workload

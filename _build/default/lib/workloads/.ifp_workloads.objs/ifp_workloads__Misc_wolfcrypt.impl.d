@@ -1,0 +1,1 @@
+lib/workloads/misc_wolfcrypt.ml: Ifp_compiler Ifp_types Wl_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/olden_em3d.ml: Ifp_compiler Ifp_types Wl_util Workload

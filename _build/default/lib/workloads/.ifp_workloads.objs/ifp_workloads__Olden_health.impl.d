@@ -1,0 +1,1 @@
+lib/workloads/olden_health.ml: Ifp_compiler Ifp_types Wl_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/olden_perimeter.ml: Ifp_compiler Ifp_types Wl_util Workload

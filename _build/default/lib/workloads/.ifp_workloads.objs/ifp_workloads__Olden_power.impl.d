@@ -1,0 +1,1 @@
+lib/workloads/olden_power.ml: Ifp_compiler Ifp_types Wl_util Workload

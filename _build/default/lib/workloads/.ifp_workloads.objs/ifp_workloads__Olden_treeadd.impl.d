@@ -1,0 +1,1 @@
+lib/workloads/olden_treeadd.ml: Ifp_compiler Ifp_types Workload

@@ -1,0 +1,1 @@
+lib/workloads/ptrdist_ft.ml: Ifp_compiler Ifp_types Wl_util Workload

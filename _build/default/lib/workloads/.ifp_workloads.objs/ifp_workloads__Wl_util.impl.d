@@ -1,0 +1,1 @@
+lib/workloads/wl_util.ml: Ifp_compiler Ifp_types List

@@ -1,0 +1,1 @@
+lib/workloads/wl_util.mli: Ifp_compiler

@@ -1,0 +1,176 @@
+(* bzip2 (compressing a synthetic buffer): run-length encoding,
+   move-to-front transform and a frequency model — bzip2's pipeline
+   stages over heap buffers allocated via type-erased wrappers (bzip2
+   allocates through function-pointer-invoked wrappers, so no layout
+   tables attach; paper §5.2.1). Few, large allocations. *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let i8p = Ctype.Ptr Ctype.I8
+let ip = Ctype.Ptr Ctype.I64
+
+let input_len = 24 * 1024
+
+(* bzip2's EState: all stage buffers hang off one struct, and each stage
+   reloads the buffer pointers from it (promotes per stage iteration) *)
+let estate_ty = Ctype.Struct "estate"
+let ep = Ctype.Ptr estate_ty
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "estate";
+      fields =
+        [
+          { fname = "input"; fty = Ctype.Ptr Ctype.I8 };
+          { fname = "rle"; fty = Ctype.Ptr Ctype.I8 };
+          { fname = "mtf"; fty = Ctype.Ptr Ctype.I8 };
+          { fname = "freq"; fty = Ctype.Ptr Ctype.I64 };
+          { fname = "order"; fty = Ctype.Ptr Ctype.I8 };
+        ];
+    }
+
+let ef s f ty = Load (ty, Gep (estate_ty, v s, [ fld f ]))
+
+let build () =
+  let bzalloc =
+    func "bzalloc" [ ("n", Ctype.I64) ] i8p
+      [ Return (Some (Malloc_bytes (v "n"))) ]
+  in
+  let at8 p k = Gep (Ctype.I8, p, [ at k ]) in
+  let at64 p k = Gep (Ctype.I64, p, [ at k ]) in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [
+             Wl_util.srand 4242;
+             Let ("input", i8p, Call ("bzalloc", [ i input_len ]));
+             Let ("rle", i8p, Call ("bzalloc", [ i (2 * input_len) ]));
+             Let ("mtf", i8p, Call ("bzalloc", [ i (2 * input_len) ]));
+             Let ("freq", ip, Cast (ip, Call ("bzalloc", [ i (256 * 8) ])));
+             Let ("order", i8p, Call ("bzalloc", [ i 256 ]));
+             Let ("st", ep, Cast (ep, Call ("bzalloc", [ i 40 ])));
+             Store (i8p, Gep (estate_ty, v "st", [ fld "input" ]), v "input");
+             Store (i8p, Gep (estate_ty, v "st", [ fld "rle" ]), v "rle");
+             Store (i8p, Gep (estate_ty, v "st", [ fld "mtf" ]), v "mtf");
+             Store (ip, Gep (estate_ty, v "st", [ fld "freq" ]), v "freq");
+             Store (i8p, Gep (estate_ty, v "st", [ fld "order" ]), v "order");
+           ];
+           (* synthetic compressible input: runs of repeated bytes *)
+           [
+             Let ("pos", Ctype.I64, i 0);
+             While
+               ( v "pos" <: i input_len,
+                 [
+                   Let ("byte", Ctype.I64, Wl_util.rand_mod 32);
+                   Let ("run", Ctype.I64, i 1 +: Wl_util.rand_mod 12);
+                   While
+                     ( Binop (BAnd, v "run" >: i 0, v "pos" <: i input_len),
+                       [
+                         Store (Ctype.I8, at8 (v "input") (v "pos"), v "byte");
+                         Assign ("pos", v "pos" +: i 1);
+                         Assign ("run", v "run" -: i 1);
+                       ] );
+                 ] );
+           ];
+           (* RLE stage *)
+           [
+             Let ("out", Ctype.I64, i 0);
+             Let ("p2", Ctype.I64, i 0);
+             While
+               ( v "p2" <: i input_len,
+                 [
+                   Assign ("input", ef "st" "input" i8p);
+                   Assign ("rle", ef "st" "rle" i8p);
+                   Let ("c", Ctype.I64,
+                        Cast (Ctype.I64, Load (Ctype.I8, at8 (v "input") (v "p2"))));
+                   Let ("r", Ctype.I64, i 1);
+                   While
+                     ( (v "p2" +: v "r") <: i input_len
+                       &&: (Cast (Ctype.I64,
+                                  Load (Ctype.I8, at8 (v "input") (v "p2" +: v "r")))
+                            ==: v "c")
+                       &&: (v "r" <: i 255),
+                       [ Assign ("r", v "r" +: i 1) ] );
+                   Store (Ctype.I8, at8 (v "rle") (v "out"), v "c");
+                   Store (Ctype.I8, at8 (v "rle") (v "out" +: i 1), v "r");
+                   Assign ("out", v "out" +: i 2);
+                   Assign ("p2", v "p2" +: v "r");
+                 ] );
+           ];
+           (* move-to-front over the RLE output *)
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i 256)
+             [ Store (Ctype.I8, at8 (v "order") (v "k"), v "k") ];
+           [
+             Let ("p3", Ctype.I64, i 0);
+             While
+               ( v "p3" <: v "out",
+                 [
+                   Assign ("rle", ef "st" "rle" i8p);
+                   Assign ("order", ef "st" "order" i8p);
+                   Assign ("mtf", ef "st" "mtf" i8p);
+                   Let ("c3", Ctype.I64,
+                        Cast (Ctype.I64, Load (Ctype.I8, at8 (v "rle") (v "p3"))) %: i 256);
+                   (* find rank of c3 *)
+                   Let ("rank", Ctype.I64, i 0);
+                   While
+                     ( Binop (BAnd,
+                              (Cast (Ctype.I64, Load (Ctype.I8, at8 (v "order") (v "rank")))
+                               %: i 256)
+                              <>: v "c3",
+                              v "rank" <: i 255),
+                       [ Assign ("rank", v "rank" +: i 1) ] );
+                   (* shift down and move to front *)
+                   Let ("m", Ctype.I64, v "rank");
+                   While
+                     ( v "m" >: i 0,
+                       [
+                         Store (Ctype.I8, at8 (v "order") (v "m"),
+                                Load (Ctype.I8, at8 (v "order") (v "m" -: i 1)));
+                         Assign ("m", v "m" -: i 1);
+                       ] );
+                   Store (Ctype.I8, at8 (v "order") (i 0), v "c3");
+                   Store (Ctype.I8, at8 (v "mtf") (v "p3"), v "rank");
+                   Assign ("p3", v "p3" +: i 1);
+                 ] );
+           ];
+           (* frequency model + entropy-proxy checksum *)
+           Wl_util.for_ "k2" ~from:(i 0) ~below:(i 256)
+             [ Store (Ctype.I64, at64 (v "freq") (v "k2"), i 0) ];
+           [
+             Let ("p4", Ctype.I64, i 0);
+             While
+               ( v "p4" <: v "out",
+                 [
+                   Assign ("mtf", ef "st" "mtf" i8p);
+                   Assign ("freq", ef "st" "freq" ip);
+                   Let ("c4", Ctype.I64,
+                        Cast (Ctype.I64, Load (Ctype.I8, at8 (v "mtf") (v "p4"))) %: i 256);
+                   Store (Ctype.I64, at64 (v "freq") (v "c4"),
+                          Load (Ctype.I64, at64 (v "freq") (v "c4")) +: i 1);
+                   Assign ("p4", v "p4" +: i 1);
+                 ] );
+             Let ("bits", Ctype.I64, i 0);
+             Let ("k3", Ctype.I64, i 0);
+             While
+               ( v "k3" <: i 256,
+                 [
+                   Let ("f", Ctype.I64, Load (Ctype.I64, at64 (v "freq") (v "k3")));
+                   (* cost ~ f * (8 - min(7, log2-ish(rank))) *)
+                   Assign ("bits", v "bits" +: (v "f" *: (i 1 +: (v "k3" %: i 8))));
+                   Assign ("k3", v "k3" +: i 1);
+                 ] );
+             Return (Some ((v "out" *: i 100000) +: (v "bits" %: i 100000)));
+           ];
+         ])
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global ]
+    [ Wl_util.rand_func; bzalloc; main ]
+
+let workload =
+  Workload.make ~name:"bzip2" ~suite:"misc"
+    ~description:"RLE + move-to-front + frequency model over heap buffers"
+    build

@@ -1,0 +1,175 @@
+(* CoreMark: list processing + matrix multiply + CRC state machine. As in
+   the original, a single type-erased allocation provides the arena and
+   every data structure is carved out of it by pointer arithmetic — so
+   promotes of interior pointers find object metadata without a layout
+   table and subobject narrowing fails back to object bounds
+   (paper §5.2.1: CoreMark's narrowings all fail). *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let node_ty = Ctype.Struct "lnode"
+let np = Ctype.Ptr node_ty
+let ip = Ctype.Ptr Ctype.I64
+let i8p = Ctype.Ptr Ctype.I8
+
+let n_list = 64
+let mat_n = 12
+let iters = 10
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "lnode";
+      fields =
+        [
+          { fname = "value"; fty = Ctype.I64 };
+          { fname = "next"; fty = Ctype.Ptr (Ctype.Struct "lnode") };
+        ];
+    }
+
+let nf p f = Gep (node_ty, p, [ fld f ])
+
+let build () =
+  let crc =
+    func "crc16" [ ("x", Ctype.I64); ("acc", Ctype.I64) ] Ctype.I64
+      (Wl_util.block
+         [
+           [ Let ("c", Ctype.I64, v "acc") ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i 8)
+             [
+               Let ("bit", Ctype.I64,
+                    Binop (BAnd, Binop (BXor, v "c", Binop (Shr, v "x", v "k")), i 1));
+               Assign ("c", Binop (Shr, v "c", i 1));
+               If (v "bit" <>: i 0,
+                   [ Assign ("c", Binop (BXor, v "c", i 0xA001)) ], []);
+             ];
+           [ Return (Some (v "c")) ];
+         ])
+  in
+  let list_reverse =
+    func "list_reverse" [ ("head", np) ] np
+      [
+        Let ("prev", np, null node_ty);
+        Let ("cur", np, v "head");
+        While
+          ( Binop (Ne, v "cur", null node_ty),
+            [
+              Let ("nxt", np, Load (np, nf (v "cur") "next"));
+              Store (np, nf (v "cur") "next", v "prev");
+              Assign ("prev", v "cur");
+              Assign ("cur", v "nxt");
+            ] );
+        Return (Some (v "prev"));
+      ]
+  in
+  let list_find =
+    func "list_find" [ ("head", np); ("value", Ctype.I64) ] Ctype.I64
+      [
+        Let ("cur", np, v "head");
+        Let ("pos", Ctype.I64, i 0);
+        While
+          ( Binop (Ne, v "cur", null node_ty),
+            [
+              If (Load (Ctype.I64, nf (v "cur") "value") ==: v "value",
+                  [ Return (Some (v "pos")) ], []);
+              Assign ("cur", Load (np, nf (v "cur") "next"));
+              Assign ("pos", v "pos" +: i 1);
+            ] );
+        Return (Some (Unop (Neg, i 1)));
+      ]
+  in
+  let matmul =
+    (* c = a*b over mat_n x mat_n i64 matrices inside the arena *)
+    func "matmul" [ ("a", ip); ("b", ip); ("c", ip) ] Ctype.I64
+      (Wl_util.block
+         [
+           [ Let ("acc", Ctype.I64, i 0) ];
+           Wl_util.for_ "r" ~from:(i 0) ~below:(i mat_n)
+             (Wl_util.block
+                [
+                  Wl_util.for_ "cc" ~from:(i 0) ~below:(i mat_n)
+                    (Wl_util.block
+                       [
+                         [ Let ("s", Ctype.I64, i 0) ];
+                         Wl_util.for_ "k" ~from:(i 0) ~below:(i mat_n)
+                           [
+                             Assign ("s",
+                                     v "s"
+                                     +: (Load (Ctype.I64,
+                                               Gep (Ctype.I64, v "a",
+                                                    [ at ((v "r" *: i mat_n) +: v "k") ]))
+                                         *: Load (Ctype.I64,
+                                                  Gep (Ctype.I64, v "b",
+                                                       [ at ((v "k" *: i mat_n) +: v "cc") ]))));
+                           ];
+                         [
+                           Store (Ctype.I64,
+                                  Gep (Ctype.I64, v "c",
+                                       [ at ((v "r" *: i mat_n) +: v "cc") ]),
+                                  v "s");
+                           Assign ("acc", Binop (BXor, v "acc", v "s"));
+                         ];
+                       ]);
+                ]);
+           [ Return (Some (v "acc")) ];
+         ])
+  in
+  let node_bytes = 16 in
+  let mat_bytes = mat_n * mat_n * 8 in
+  let arena_bytes = (n_list * node_bytes) + (3 * mat_bytes) in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [
+             Wl_util.srand 66;
+             (* the single allocation *)
+             Let ("arena", i8p, Malloc_bytes (i arena_bytes));
+             (* carve: list nodes first, then three matrices *)
+             Let ("head", np, null node_ty);
+           ];
+           Wl_util.for_ "j" ~from:(i 0) ~below:(i n_list)
+             [
+               Let ("node", np,
+                    Cast (np, Gep (Ctype.I8, v "arena", [ at (v "j" *: i node_bytes) ])));
+               Store (Ctype.I64, nf (v "node") "value", Wl_util.rand_mod 256);
+               Store (np, nf (v "node") "next", v "head");
+               Assign ("head", v "node");
+             ];
+           [
+             Let ("a", ip,
+                  Cast (ip, Gep (Ctype.I8, v "arena", [ at (i (n_list * node_bytes)) ])));
+             Let ("b", ip,
+                  Cast (ip, Gep (Ctype.I8, v "arena",
+                                 [ at (i ((n_list * node_bytes) + mat_bytes)) ])));
+             Let ("c", ip,
+                  Cast (ip, Gep (Ctype.I8, v "arena",
+                                 [ at (i ((n_list * node_bytes) + (2 * mat_bytes))) ])));
+           ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i (mat_n * mat_n))
+             [
+               Store (Ctype.I64, Gep (Ctype.I64, v "a", [ at (v "k") ]), Wl_util.rand_mod 100);
+               Store (Ctype.I64, Gep (Ctype.I64, v "b", [ at (v "k") ]), Wl_util.rand_mod 100);
+             ];
+           [ Let ("crc_acc", Ctype.I64, i 0xFFFF) ];
+           Wl_util.for_ "it" ~from:(i 0) ~below:(i iters)
+             [
+               Assign ("head", Call ("list_reverse", [ v "head" ]));
+               Assign ("crc_acc",
+                       Call ("crc16",
+                             [ Call ("list_find", [ v "head"; v "it" %: i 256 ]);
+                               v "crc_acc" ]));
+               Assign ("crc_acc",
+                       Call ("crc16", [ Call ("matmul", [ v "a"; v "b"; v "c" ]); v "crc_acc" ]));
+             ];
+           [ Return (Some (v "crc_acc")) ];
+         ])
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global ]
+    [ Wl_util.rand_func; crc; list_reverse; list_find; matmul; main ]
+
+let workload =
+  Workload.make ~name:"coremark" ~suite:"misc"
+    ~description:"list + matmul + CRC inside one type-erased arena" build

@@ -1,0 +1,126 @@
+(* 458.sjeng (reduced depth, as in the paper's modified ref input):
+   alpha-beta game-tree search over a global board. The board is a
+   1 KiB+ global array — too large for the local-offset scheme, so it
+   lands in the global table (sjeng is one of the two benchmarks using
+   it in Table 4). Per-node move lists are stack arrays indexed
+   dynamically, which makes them registered local objects. *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let board_cells = 144 (* 12x12 padded board, i64 cells -> 1152 B > 1008 *)
+let board_ty = Ctype.Array (Ctype.I64, board_cells)
+let moves_ty = Ctype.Array (Ctype.I64, 32)
+let depth = 4
+
+let build () =
+  let board p k = Gep (board_ty, p, [ at k ]) in
+  (* generate pseudo-moves: cells adjacent to occupied squares *)
+  let gen_moves =
+    func "gen_moves" [ ("side", Ctype.I64); ("out", Ctype.Ptr moves_ty) ] Ctype.I64
+      (Wl_util.block
+         [
+           [ Let ("n", Ctype.I64, i 0);
+             Let ("b", Ctype.Ptr board_ty, Load_global "gboard") ];
+           Wl_util.for_ "k" ~from:(i 13) ~below:(i (board_cells - 13))
+             [
+               If
+                 ( Binop (BAnd,
+                          Load (Ctype.I64, board (v "b") (v "k")) ==: i 0,
+                          Binop (BOr,
+                                 Load (Ctype.I64, board (v "b") (v "k" -: i 1)) ==: v "side",
+                                 Load (Ctype.I64, board (v "b") (v "k" +: i 1)) ==: v "side")),
+                   [
+                     If (v "n" <: i 32,
+                         [
+                           Store (Ctype.I64,
+                                  Gep (moves_ty, v "out", [ at (v "n") ]), v "k");
+                           Assign ("n", v "n" +: i 1);
+                         ], []);
+                   ],
+                   [] );
+             ];
+           [ Return (Some (v "n")) ];
+         ])
+  in
+  let evaluate =
+    func "evaluate" [] Ctype.I64
+      (Wl_util.block
+         [
+           [ Let ("s", Ctype.I64, i 0);
+             Let ("b", Ctype.Ptr board_ty, Load_global "gboard") ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i board_cells)
+             [
+               Assign ("s", v "s" +: (Load (Ctype.I64, board (v "b") (v "k")) *: (v "k" %: i 7)));
+             ];
+           [ Return (Some (v "s")) ];
+         ])
+  in
+  let search =
+    func "search" [ ("d", Ctype.I64); ("side", Ctype.I64);
+                    ("alpha", Ctype.I64); ("beta", Ctype.I64) ]
+      Ctype.I64
+      [
+        If (v "d" <=: i 0, [ Return (Some (Call ("evaluate", []))) ], []);
+        Decl_local ("moves", moves_ty);
+        Let ("n", Ctype.I64, Call ("gen_moves", [ v "side"; Addr_local "moves" ]));
+        If (v "n" ==: i 0, [ Return (Some (Call ("evaluate", []))) ], []);
+        Let ("best", Ctype.I64, Unop (Neg, i 1000000));
+        Let ("k", Ctype.I64, i 0);
+        Let ("b", Ctype.Ptr board_ty, Load_global "gboard");
+        While
+          ( Binop (BAnd, v "k" <: v "n", v "best" <: v "beta"),
+            [
+              Let ("mv", Ctype.I64,
+                   Load (Ctype.I64, Gep (moves_ty, Addr_local "moves", [ at (v "k") ])));
+              (* make move *)
+              Store (Ctype.I64, Gep (board_ty, v "b", [ at (v "mv") ]), v "side");
+              Let ("score", Ctype.I64,
+                   Unop (Neg,
+                         Call ("search",
+                               [ v "d" -: i 1; i 3 -: v "side";
+                                 Unop (Neg, v "beta");
+                                 Unop (Neg, v "alpha") ])));
+              (* unmake *)
+              Store (Ctype.I64, Gep (board_ty, v "b", [ at (v "mv") ]), i 0);
+              If (v "score" >: v "best", [ Assign ("best", v "score") ], []);
+              If (v "best" >: v "alpha", [ Assign ("alpha", v "best") ], []);
+              Assign ("k", v "k" +: i 1);
+            ] );
+        Return (Some (v "best"));
+      ]
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [ Wl_util.srand 2;
+             Store_global ("gboard", Addr_global "board");
+             Let ("b", Ctype.Ptr board_ty, Load_global "gboard") ];
+           (* initial position: a few stones for each side *)
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i 10)
+             [
+               Store (Ctype.I64,
+                      Gep (board_ty, v "b", [ at (i 14 +: Wl_util.rand_mod 100) ]), i 1);
+               Store (Ctype.I64,
+                      Gep (board_ty, v "b", [ at (i 14 +: Wl_util.rand_mod 100) ]), i 2);
+             ];
+           [
+             Return
+               (Some
+                  (Call ("search",
+                         [ i depth; i 1; Unop (Neg, i 1000000); i 1000000 ])));
+           ];
+         ])
+  in
+  program
+    ~tenv:Ctype.empty_tenv
+    ~globals:
+      [ Wl_util.seed_global; global "board" board_ty;
+        global "gboard" (Ctype.Ptr board_ty) ]
+    [ Wl_util.rand_func; gen_moves; evaluate; search; main ]
+
+let workload =
+  Workload.make ~name:"sjeng" ~suite:"misc"
+    ~description:"alpha-beta search, global-table board + stack move lists"
+    build

@@ -1,0 +1,302 @@
+(* Olden bh: Barnes-Hut n-body. Bodies are inserted into a quadtree;
+   force evaluation walks the tree with an opening criterion. The force
+   kernel keeps a small address-taken vector struct on the stack and
+   passes it to helpers — the pattern behind bh's huge local-object
+   registration count in Table 4. *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let body_ty = Ctype.Struct "body"
+let cell_ty = Ctype.Struct "cell"
+let vec_ty = Ctype.Struct "vec2"
+let bp = Ctype.Ptr body_ty
+let cp = Ctype.Ptr cell_ty
+let vecp = Ctype.Ptr vec_ty
+
+let n_bodies = 96
+let steps = 2
+
+let tenv =
+  let t = Ctype.empty_tenv in
+  let t =
+    Ctype.declare t
+      {
+        Ctype.sname = "vec2";
+        fields =
+          [ { fname = "x"; fty = Ctype.F64 }; { fname = "y"; fty = Ctype.F64 } ];
+      }
+  in
+  let t =
+    Ctype.declare t
+      {
+        Ctype.sname = "body";
+        fields =
+          [
+            { fname = "x"; fty = Ctype.F64 };
+            { fname = "y"; fty = Ctype.F64 };
+            { fname = "mass"; fty = Ctype.F64 };
+            { fname = "fx"; fty = Ctype.F64 };
+            { fname = "fy"; fty = Ctype.F64 };
+          ];
+      }
+  in
+  Ctype.declare t
+    {
+      Ctype.sname = "cell";
+      fields =
+        [
+          { fname = "cx"; fty = Ctype.F64 };
+          { fname = "cy"; fty = Ctype.F64 };
+          { fname = "half"; fty = Ctype.F64 };
+          { fname = "mass"; fty = Ctype.F64 };
+          { fname = "mx"; fty = Ctype.F64 };
+          { fname = "my"; fty = Ctype.F64 };
+          { fname = "body"; fty = Ctype.Ptr (Ctype.Struct "body") };
+          { fname = "kids"; fty = Ctype.Array (Ctype.Ptr (Ctype.Struct "cell"), 4) };
+        ];
+    }
+
+let f64 x = Float x
+let cf p f = Gep (cell_ty, p, [ fld f ])
+let bf p f = Gep (body_ty, p, [ fld f ])
+let ld_f p = Load (Ctype.F64, p)
+
+let build () =
+  let mk_cell =
+    func "mk_cell"
+      [ ("cx", Ctype.F64); ("cy", Ctype.F64); ("half", Ctype.F64) ]
+      cp
+      (Wl_util.block
+         [
+           [
+             Let ("p", cp, Malloc (cell_ty, i 1));
+             Store (Ctype.F64, cf (v "p") "cx", v "cx");
+             Store (Ctype.F64, cf (v "p") "cy", v "cy");
+             Store (Ctype.F64, cf (v "p") "half", v "half");
+             Store (Ctype.F64, cf (v "p") "mass", f64 0.0);
+             Store (Ctype.F64, cf (v "p") "mx", f64 0.0);
+             Store (Ctype.F64, cf (v "p") "my", f64 0.0);
+             Store (bp, cf (v "p") "body", null body_ty);
+           ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i 4)
+             [ Store (cp, Gep (cell_ty, v "p", [ fld "kids"; at (v "k") ]), null cell_ty) ];
+           [ Return (Some (v "p")) ];
+         ])
+  in
+  (* quadrant of (x, y) relative to cell centre *)
+  let quadrant =
+    func "quadrant" [ ("c", cp); ("x", Ctype.F64); ("y", Ctype.F64) ] Ctype.I64
+      [
+        Let ("q", Ctype.I64, i 0);
+        If (Binop (FLt, ld_f (cf (v "c") "cx"), v "x"), [ Assign ("q", v "q" +: i 1) ], []);
+        If (Binop (FLt, ld_f (cf (v "c") "cy"), v "y"), [ Assign ("q", v "q" +: i 2) ], []);
+        Return (Some (v "q"));
+      ]
+  in
+  let insert =
+    func "insert" [ ("c", cp); ("b", bp) ] Ctype.Void
+      [
+        Let ("q", Ctype.I64,
+             Call ("quadrant", [ v "c"; ld_f (bf (v "b") "x"); ld_f (bf (v "b") "y") ]));
+        Let ("kid", cp, Load (cp, Gep (cell_ty, v "c", [ fld "kids"; at (v "q") ])));
+        If
+          ( Binop (Eq, v "kid", null cell_ty),
+            [
+              (* make a child cell for this quadrant *)
+              Let ("h", Ctype.F64, Binop (FMul, ld_f (cf (v "c") "half"), f64 0.5));
+              Let ("dx", Ctype.F64,
+                   Binop (FSub, Binop (FMul, Cast (Ctype.F64, v "q" %: i 2), f64 2.0), f64 1.0));
+              Let ("dy", Ctype.F64,
+                   Binop (FSub, Binop (FMul, Cast (Ctype.F64, v "q" /: i 2), f64 2.0), f64 1.0));
+              Let ("nc", cp,
+                   Call ("mk_cell",
+                         [
+                           Binop (FAdd, ld_f (cf (v "c") "cx"), Binop (FMul, v "dx", v "h"));
+                           Binop (FAdd, ld_f (cf (v "c") "cy"), Binop (FMul, v "dy", v "h"));
+                           v "h";
+                         ]));
+              Store (cp, Gep (cell_ty, v "c", [ fld "kids"; at (v "q") ]), v "nc");
+              Store (bp, cf (v "nc") "body", v "b");
+            ],
+            [
+              If
+                ( Binop (Ne, Load (bp, cf (v "kid") "body"), null body_ty),
+                  [
+                    (* split: push the resident body down, then insert *)
+                    Let ("old", bp, Load (bp, cf (v "kid") "body"));
+                    Store (bp, cf (v "kid") "body", null body_ty);
+                    If (Binop (FLt, f64 0.001, ld_f (cf (v "kid") "half")),
+                        [
+                          Expr (Call ("insert", [ v "kid"; v "old" ]));
+                          Expr (Call ("insert", [ v "kid"; v "b" ]));
+                        ],
+                        [ Store (bp, cf (v "kid") "body", v "b") ]);
+                  ],
+                  [ Expr (Call ("insert", [ v "kid"; v "b" ])) ] );
+            ] );
+        Return None;
+      ]
+  in
+  (* centre-of-mass accumulation *)
+  let summarize =
+    func "summarize" [ ("c", cp) ] Ctype.F64
+      (Wl_util.block
+         [
+           [
+             Let ("m", Ctype.F64, f64 0.0);
+             Let ("b", bp, Load (bp, cf (v "c") "body"));
+             If
+               ( Binop (Ne, v "b", null body_ty),
+                 [
+                   Assign ("m", ld_f (bf (v "b") "mass"));
+                   Store (Ctype.F64, cf (v "c") "mx", ld_f (bf (v "b") "x"));
+                   Store (Ctype.F64, cf (v "c") "my", ld_f (bf (v "b") "y"));
+                 ],
+                 [] );
+           ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i 4)
+             [
+               Let ("kid", cp, Load (cp, Gep (cell_ty, v "c", [ fld "kids"; at (v "k") ])));
+               If (Binop (Ne, v "kid", null cell_ty),
+                   [ Assign ("m", Binop (FAdd, v "m", Call ("summarize", [ v "kid" ]))) ],
+                   []);
+             ];
+           [
+             Store (Ctype.F64, cf (v "c") "mass", v "m");
+             Return (Some (v "m"));
+           ];
+         ])
+  in
+  (* d = (bx, by) - (cell mx, my), written through an address-taken local
+     vector — this is what registers a local object per call *)
+  let accel =
+    func "accel" [ ("out", vecp); ("bx", Ctype.F64); ("by", Ctype.F64);
+                   ("px", Ctype.F64); ("py", Ctype.F64); ("m", Ctype.F64) ]
+      Ctype.Void
+      [
+        Let ("dx", Ctype.F64, Binop (FSub, v "px", v "bx"));
+        Let ("dy", Ctype.F64, Binop (FSub, v "py", v "by"));
+        Let ("r2", Ctype.F64,
+             Binop (FAdd, Binop (FAdd, Binop (FMul, v "dx", v "dx"),
+                                 Binop (FMul, v "dy", v "dy")),
+                    f64 0.01));
+        Let ("inv", Ctype.F64, Binop (FDiv, v "m", Binop (FMul, v "r2", v "r2")));
+        Store (Ctype.F64, Gep (vec_ty, v "out", [ fld "x" ]),
+               Binop (FAdd, Load (Ctype.F64, Gep (vec_ty, v "out", [ fld "x" ])),
+                      Binop (FMul, v "dx", v "inv")));
+        Store (Ctype.F64, Gep (vec_ty, v "out", [ fld "y" ]),
+               Binop (FAdd, Load (Ctype.F64, Gep (vec_ty, v "out", [ fld "y" ])),
+                      Binop (FMul, v "dy", v "inv")));
+        Return None;
+      ]
+  in
+  let force =
+    func "force" [ ("c", cp); ("b", bp); ("acc", vecp) ] Ctype.Void
+      (Wl_util.block
+         [
+           [
+             If (Binop (Eq, v "c", null cell_ty), [ Return None ], []);
+             Let ("dx", Ctype.F64,
+                  Binop (FSub, ld_f (cf (v "c") "mx"), ld_f (bf (v "b") "x")));
+             Let ("dy", Ctype.F64,
+                  Binop (FSub, ld_f (cf (v "c") "my"), ld_f (bf (v "b") "y")));
+             Let ("d2", Ctype.F64,
+                  Binop (FAdd, Binop (FMul, v "dx", v "dx"), Binop (FMul, v "dy", v "dy")));
+             Let ("s", Ctype.F64, Binop (FMul, ld_f (cf (v "c") "half"), f64 2.0));
+             (* opening criterion: s^2 < 0.25 d^2 -> treat as point mass *)
+             If
+               ( Binop (FLt, Binop (FMul, v "s", v "s"),
+                        Binop (FMul, f64 0.25, v "d2")),
+                 [
+                   Expr (Call ("accel",
+                               [ v "acc"; ld_f (bf (v "b") "x"); ld_f (bf (v "b") "y");
+                                 ld_f (cf (v "c") "mx"); ld_f (cf (v "c") "my");
+                                 ld_f (cf (v "c") "mass") ]));
+                   Return None;
+                 ],
+                 [] );
+           ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i 4)
+             [
+               Expr (Call ("force",
+                           [ Load (cp, Gep (cell_ty, v "c", [ fld "kids"; at (v "k") ]));
+                             v "b"; v "acc" ]));
+             ];
+           [
+             Let ("rb", bp, Load (bp, cf (v "c") "body"));
+             If (Binop (Ne, v "rb", null body_ty),
+                 [
+                   Expr (Call ("accel",
+                               [ v "acc"; ld_f (bf (v "b") "x"); ld_f (bf (v "b") "y");
+                                 ld_f (bf (v "rb") "x"); ld_f (bf (v "rb") "y");
+                                 ld_f (bf (v "rb") "mass") ]));
+                 ], []);
+             Return None;
+           ];
+         ])
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [ Wl_util.srand 31 ];
+           [ Let ("bodies", Ctype.Ptr bp, Malloc (bp, i n_bodies)) ];
+           Wl_util.for_ "j" ~from:(i 0) ~below:(i n_bodies)
+             [
+               Let ("b", bp, Malloc (body_ty, i 1));
+               Store (Ctype.F64, bf (v "b") "x",
+                      Binop (FDiv, Cast (Ctype.F64, Wl_util.rand_mod 1000), f64 500.0));
+               Store (Ctype.F64, bf (v "b") "y",
+                      Binop (FDiv, Cast (Ctype.F64, Wl_util.rand_mod 1000), f64 500.0));
+               Store (Ctype.F64, bf (v "b") "mass", f64 1.0);
+               Store (Ctype.F64, bf (v "b") "fx", f64 0.0);
+               Store (Ctype.F64, bf (v "b") "fy", f64 0.0);
+               Store (bp, Gep (bp, v "bodies", [ at (v "j") ]), v "b");
+             ];
+           Wl_util.for_ "step" ~from:(i 0) ~below:(i steps)
+             (Wl_util.block
+                [
+                  [ Let ("root", cp, Call ("mk_cell", [ f64 1.0; f64 1.0; f64 1.0 ])) ];
+                  Wl_util.for_ "j2" ~from:(i 0) ~below:(i n_bodies)
+                    [
+                      Expr (Call ("insert",
+                                  [ v "root"; Load (bp, Gep (bp, v "bodies", [ at (v "j2") ])) ]));
+                    ];
+                  [ Expr (Call ("summarize", [ v "root" ])) ];
+                  Wl_util.for_ "j3" ~from:(i 0) ~below:(i n_bodies)
+                    [
+                      Let ("b3", bp, Load (bp, Gep (bp, v "bodies", [ at (v "j3") ])));
+                      Decl_local ("dv", vec_ty);
+                      Store (Ctype.F64, Gep (vec_ty, Addr_local "dv", [ fld "x" ]), f64 0.0);
+                      Store (Ctype.F64, Gep (vec_ty, Addr_local "dv", [ fld "y" ]), f64 0.0);
+                      Expr (Call ("force", [ v "root"; v "b3"; Addr_local "dv" ]));
+                      Store (Ctype.F64, bf (v "b3") "fx",
+                             Load (Ctype.F64, Gep (vec_ty, Addr_local "dv", [ fld "x" ])));
+                      Store (Ctype.F64, bf (v "b3") "fy",
+                             Load (Ctype.F64, Gep (vec_ty, Addr_local "dv", [ fld "y" ])));
+                    ];
+                ]);
+           [
+             Let ("acc", Ctype.F64, f64 0.0);
+             Let ("j4", Ctype.I64, i 0);
+             While
+               ( v "j4" <: i n_bodies,
+                 [
+                   Let ("b4", bp, Load (bp, Gep (bp, v "bodies", [ at (v "j4") ])));
+                   Assign ("acc", Binop (FAdd, v "acc", ld_f (bf (v "b4") "fx")));
+                   Assign ("acc", Binop (FAdd, v "acc", ld_f (bf (v "b4") "fy")));
+                   Assign ("j4", v "j4" +: i 1);
+                 ] );
+             Return (Some (Cast (Ctype.I64, Binop (FMul, v "acc", f64 1000.0))));
+           ];
+         ])
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global ]
+    [ Wl_util.rand_func; mk_cell; quadrant; insert; summarize; accel; force; main ]
+
+let workload =
+  Workload.make ~name:"bh" ~suite:"olden"
+    ~description:"Barnes-Hut n-body with quadtree and stack vector locals"
+    build

@@ -1,0 +1,112 @@
+(* Olden bisort: bitonic sort over a perfect binary tree of random
+   values — recursive tree walks with pairwise value swaps. *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let node_ty = Ctype.Struct "bnode"
+let np = Ctype.Ptr node_ty
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "bnode";
+      fields =
+        [
+          { fname = "val"; fty = Ctype.I64 };
+          { fname = "left"; fty = Ctype.Ptr (Ctype.Struct "bnode") };
+          { fname = "right"; fty = Ctype.Ptr (Ctype.Struct "bnode") };
+        ];
+    }
+
+let fld_val p = Gep (node_ty, p, [ fld "val" ])
+let fld_left p = Gep (node_ty, p, [ fld "left" ])
+let fld_right p = Gep (node_ty, p, [ fld "right" ])
+
+let build () =
+  let build_fn =
+    func "build" [ ("depth", Ctype.I64) ] np
+      [
+        If (v "depth" <=: i 0, [ Return (Some (null node_ty)) ], []);
+        Let ("p", np, Malloc (node_ty, i 1));
+        Store (Ctype.I64, fld_val (v "p"), Wl_util.rand);
+        Store (np, fld_left (v "p"), Call ("build", [ v "depth" -: i 1 ]));
+        Store (np, fld_right (v "p"), Call ("build", [ v "depth" -: i 1 ]));
+        Return (Some (v "p"));
+      ]
+  in
+  (* swap values across mirrored subtrees so the [dir] order holds *)
+  let swaptree =
+    func "swaptree" [ ("a", np); ("b", np); ("dir", Ctype.I64) ] Ctype.Void
+      [
+        If (Binop (Eq, v "a", null node_ty), [ Return None ], []);
+        If (Binop (Eq, v "b", null node_ty), [ Return None ], []);
+        Let ("av", Ctype.I64, Load (Ctype.I64, fld_val (v "a")));
+        Let ("bv", Ctype.I64, Load (Ctype.I64, fld_val (v "b")));
+        Let ("want_swap", Ctype.I64,
+             Binop (BOr,
+                    Binop (BAnd, v "dir" ==: i 0, v "av" >: v "bv"),
+                    Binop (BAnd, v "dir" <>: i 0, v "av" <: v "bv")));
+        If (v "want_swap" <>: i 0,
+            [
+              Store (Ctype.I64, fld_val (v "a"), v "bv");
+              Store (Ctype.I64, fld_val (v "b"), v "av");
+            ], []);
+        Expr (Call ("swaptree",
+                    [ Load (np, fld_left (v "a")); Load (np, fld_left (v "b")); v "dir" ]));
+        Expr (Call ("swaptree",
+                    [ Load (np, fld_right (v "a")); Load (np, fld_right (v "b")); v "dir" ]));
+        Return None;
+      ]
+  in
+  let bimerge =
+    func "bimerge" [ ("p", np); ("dir", Ctype.I64) ] Ctype.Void
+      [
+        If (Binop (Eq, v "p", null node_ty), [ Return None ], []);
+        Expr (Call ("swaptree",
+                    [ Load (np, fld_left (v "p")); Load (np, fld_right (v "p")); v "dir" ]));
+        Expr (Call ("bimerge", [ Load (np, fld_left (v "p")); v "dir" ]));
+        Expr (Call ("bimerge", [ Load (np, fld_right (v "p")); v "dir" ]));
+        Return None;
+      ]
+  in
+  let bisort =
+    func "bisort" [ ("p", np); ("dir", Ctype.I64) ] Ctype.Void
+      [
+        If (Binop (Eq, v "p", null node_ty), [ Return None ], []);
+        Expr (Call ("bisort", [ Load (np, fld_left (v "p")); v "dir" ]));
+        Expr (Call ("bisort", [ Load (np, fld_right (v "p")); i 1 -: v "dir" ]));
+        Expr (Call ("bimerge", [ v "p"; v "dir" ]));
+        Return None;
+      ]
+  in
+  let checksum =
+    func "checksum" [ ("p", np) ] Ctype.I64
+      [
+        If (Binop (Eq, v "p", null node_ty), [ Return (Some (i 0)) ], []);
+        Return
+          (Some
+             (Binop (BXor,
+                     Load (Ctype.I64, fld_val (v "p"))
+                     +: Call ("checksum", [ Load (np, fld_left (v "p")) ]),
+                     Call ("checksum", [ Load (np, fld_right (v "p")) ]))));
+      ]
+  in
+  let main =
+    func "main" [] Ctype.I64
+      [
+        Wl_util.srand 1234;
+        Let ("t", np, Call ("build", [ i 11 ]));
+        Expr (Call ("bisort", [ v "t"; i 0 ]));
+        Expr (Call ("bisort", [ v "t"; i 1 ]));
+        Return (Some (Call ("checksum", [ v "t" ]) %: i64 1000000007L));
+      ]
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global ]
+    [ Wl_util.rand_func; build_fn; swaptree; bimerge; bisort; checksum; main ]
+
+let workload =
+  Workload.make ~name:"bisort" ~suite:"olden"
+    ~description:"bitonic sort over a binary tree (2^11 depth, two passes)"
+    build

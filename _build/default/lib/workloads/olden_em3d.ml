@@ -1,0 +1,152 @@
+(* Olden em3d: electromagnetic wave propagation on a bipartite graph.
+   Each node owns malloc'd arrays (neighbour pointers and coefficients) —
+   the array-of-different-sizes allocation pattern that gives the subheap
+   allocator its worst memory overhead in the paper (Fig. 12). *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let node_ty = Ctype.Struct "enode"
+let np = Ctype.Ptr node_ty
+let npp = Ctype.Ptr np (* enode** *)
+let fp = Ctype.Ptr Ctype.F64
+
+let n_nodes = 96
+let iters = 24
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "enode";
+      fields =
+        [
+          { fname = "value"; fty = Ctype.F64 };
+          { fname = "degree"; fty = Ctype.I64 };
+          { fname = "coeffs"; fty = Ctype.Ptr Ctype.F64 };
+          { fname = "from"; fty = Ctype.Ptr (Ctype.Ptr (Ctype.Struct "enode")) };
+        ];
+    }
+
+let build () =
+  (* degree varies per node so the subheap allocator needs distinct pools *)
+  let mk_node =
+    func "mk_node" [ ("deg", Ctype.I64) ] np
+      (Wl_util.block
+         [
+           [
+             Let ("p", np, Malloc (node_ty, i 1));
+             Store (Ctype.F64, Gep (node_ty, v "p", [ fld "value" ]),
+                    Binop (FDiv, Cast (Ctype.F64, Wl_util.rand_mod 1000), Float 1000.0));
+             Store (Ctype.I64, Gep (node_ty, v "p", [ fld "degree" ]), v "deg");
+             Store (fp, Gep (node_ty, v "p", [ fld "coeffs" ]),
+                    Malloc (Ctype.F64, v "deg"));
+             Store (npp, Gep (node_ty, v "p", [ fld "from" ]),
+                    Malloc (np, v "deg"));
+             Let ("cs", fp, Load (fp, Gep (node_ty, v "p", [ fld "coeffs" ])));
+           ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(v "deg")
+             [
+               Store (Ctype.F64, Gep (Ctype.F64, v "cs", [ at (v "k") ]),
+                      Float 0.01);
+             ];
+           [ Return (Some (v "p")) ];
+         ])
+  in
+  let connect =
+    (* wire node [p]'s in-edges to random nodes of the other partition *)
+    func "connect" [ ("p", np); ("others", npp); ("n", Ctype.I64) ] Ctype.Void
+      (Wl_util.block
+         [
+           [
+             Let ("deg", Ctype.I64, Load (Ctype.I64, Gep (node_ty, v "p", [ fld "degree" ])));
+             Let ("fr", npp, Load (npp, Gep (node_ty, v "p", [ fld "from" ])));
+           ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(v "deg")
+             [
+               Store (np, Gep (np, v "fr", [ at (v "k") ]),
+                      Load (np, Gep (np, v "others", [ at (Wl_util.rand %: v "n") ])));
+             ];
+           [ Return None ];
+         ])
+  in
+  let relax =
+    func "relax" [ ("nodes", npp); ("n", Ctype.I64) ] Ctype.Void
+      (Wl_util.block
+         [
+           Wl_util.for_ "j" ~from:(i 0) ~below:(v "n")
+             (Wl_util.block
+                [
+                  [
+                    Let ("p", np, Load (np, Gep (np, v "nodes", [ at (v "j") ])));
+                    Let ("deg", Ctype.I64,
+                         Load (Ctype.I64, Gep (node_ty, v "p", [ fld "degree" ])));
+                    Let ("fr", npp, Load (npp, Gep (node_ty, v "p", [ fld "from" ])));
+                    Let ("cs", fp, Load (fp, Gep (node_ty, v "p", [ fld "coeffs" ])));
+                    Let ("acc", Ctype.F64,
+                         Load (Ctype.F64, Gep (node_ty, v "p", [ fld "value" ])));
+                  ];
+                  Wl_util.for_ "k" ~from:(i 0) ~below:(v "deg")
+                    [
+                      Let ("src", np, Load (np, Gep (np, v "fr", [ at (v "k") ])));
+                      Assign ("acc",
+                              Binop (FSub, v "acc",
+                                     Binop (FMul,
+                                            Load (Ctype.F64,
+                                                  Gep (Ctype.F64, v "cs", [ at (v "k") ])),
+                                            Load (Ctype.F64,
+                                                  Gep (node_ty, v "src", [ fld "value" ])))));
+                    ];
+                  [ Store (Ctype.F64, Gep (node_ty, v "p", [ fld "value" ]), v "acc") ];
+                ]);
+           [ Return None ];
+         ])
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [ Wl_util.srand 7 ];
+           [
+             Let ("e_nodes", npp, Malloc (np, i n_nodes));
+             Let ("h_nodes", npp, Malloc (np, i n_nodes));
+           ];
+           Wl_util.for_ "j" ~from:(i 0) ~below:(i n_nodes)
+             [
+               Store (np, Gep (np, v "e_nodes", [ at (v "j") ]),
+                      Call ("mk_node", [ i 2 +: Wl_util.rand_mod 7 ]));
+               Store (np, Gep (np, v "h_nodes", [ at (v "j") ]),
+                      Call ("mk_node", [ i 2 +: Wl_util.rand_mod 7 ]));
+             ];
+           Wl_util.for_ "j2" ~from:(i 0) ~below:(i n_nodes)
+             [
+               Expr (Call ("connect",
+                           [ Load (np, Gep (np, v "e_nodes", [ at (v "j2") ]));
+                             v "h_nodes"; i n_nodes ]));
+               Expr (Call ("connect",
+                           [ Load (np, Gep (np, v "h_nodes", [ at (v "j2") ]));
+                             v "e_nodes"; i n_nodes ]));
+             ];
+           Wl_util.for_ "it" ~from:(i 0) ~below:(i iters)
+             [
+               Expr (Call ("relax", [ v "e_nodes"; i n_nodes ]));
+               Expr (Call ("relax", [ v "h_nodes"; i n_nodes ]));
+             ];
+           [
+             Let ("p0", np, Load (np, Gep (np, v "e_nodes", [ at (i 0) ])));
+             Return
+               (Some
+                  (Cast (Ctype.I64,
+                         Binop (FMul,
+                                Load (Ctype.F64, Gep (node_ty, v "p0", [ fld "value" ])),
+                                Float 1000000.0))));
+           ];
+         ])
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global ]
+    [ Wl_util.rand_func; mk_node; connect; relax; main ]
+
+let workload =
+  Workload.make ~name:"em3d" ~suite:"olden"
+    ~description:"bipartite-graph wave propagation, per-node malloc'd arrays"
+    build

@@ -1,0 +1,189 @@
+(* Olden health: Columbian health-care simulation — a four-level village
+   hierarchy, each village with waiting/assess lists of patients that are
+   allocated, moved between lists and freed every time step. Patients are
+   allocated through a type-erased wrapper (as the original does through
+   its own allocation helpers), so most object metadata carries no layout
+   table — matching the <1% LT column of Table 4. *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let village_ty = Ctype.Struct "village"
+let patient_ty = Ctype.Struct "patient"
+let list_ty = Ctype.Struct "plist"
+let vp = Ctype.Ptr village_ty
+let pp = Ctype.Ptr patient_ty
+let lp = Ctype.Ptr list_ty
+
+let branching = 4
+let levels = 4
+let steps = 40
+
+let tenv =
+  let t = Ctype.empty_tenv in
+  let t =
+    Ctype.declare t
+      {
+        Ctype.sname = "patient";
+        fields =
+          [
+            { fname = "id"; fty = Ctype.I64 };
+            { fname = "time"; fty = Ctype.I64 };
+            { fname = "hosps"; fty = Ctype.I64 };
+          ];
+      }
+  in
+  let t =
+    Ctype.declare t
+      {
+        Ctype.sname = "plist";
+        fields =
+          [
+            { fname = "pat"; fty = Ctype.Ptr (Ctype.Struct "patient") };
+            { fname = "next"; fty = Ctype.Ptr (Ctype.Struct "plist") };
+          ];
+      }
+  in
+  Ctype.declare t
+    {
+      Ctype.sname = "village";
+      fields =
+        [
+          { fname = "id"; fty = Ctype.I64 };
+          { fname = "waiting"; fty = Ctype.Ptr (Ctype.Struct "plist") };
+          { fname = "treated"; fty = Ctype.I64 };
+          { fname = "kids"; fty = Ctype.Array (Ctype.Ptr (Ctype.Struct "village"), branching) };
+        ];
+    }
+
+let build () =
+  (* type-erased patient allocation (custom wrapper, no layout table) *)
+  let alloc_patient =
+    func "alloc_patient" [ ("id", Ctype.I64) ] pp
+      [
+        (* direct wrapper pattern: recoverable by --infer-alloc-types *)
+        Let ("p", pp, Cast (pp, Malloc_bytes (i 24)));
+        Store (Ctype.I64, Gep (patient_ty, v "p", [ fld "id" ]), v "id");
+        Store (Ctype.I64, Gep (patient_ty, v "p", [ fld "time" ]), i 0);
+        Store (Ctype.I64, Gep (patient_ty, v "p", [ fld "hosps" ]), i 0);
+        Return (Some (v "p"));
+      ]
+  in
+  let mk_village =
+    func "mk_village" [ ("level", Ctype.I64); ("id", Ctype.I64) ] vp
+      (Wl_util.block
+         [
+           [
+             Let ("p", vp, Malloc (village_ty, i 1));
+             Store (Ctype.I64, Gep (village_ty, v "p", [ fld "id" ]), v "id");
+             Store (lp, Gep (village_ty, v "p", [ fld "waiting" ]), null list_ty);
+             Store (Ctype.I64, Gep (village_ty, v "p", [ fld "treated" ]), i 0);
+           ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i branching)
+             [
+               If
+                 ( v "level" >: i 1,
+                   [
+                     Store (vp, Gep (village_ty, v "p", [ fld "kids"; at (v "k") ]),
+                            Call ("mk_village",
+                                  [ v "level" -: i 1; (v "id" *: i branching) +: v "k" ]));
+                   ],
+                   [
+                     Store (vp, Gep (village_ty, v "p", [ fld "kids"; at (v "k") ]),
+                            null village_ty);
+                   ] );
+             ];
+           [ Return (Some (v "p")) ];
+         ])
+  in
+  let push =
+    func "push" [ ("vg", vp); ("pat", pp) ] Ctype.Void
+      [
+        Let ("cell", lp, Malloc (list_ty, i 1));
+        Store (pp, Gep (list_ty, v "cell", [ fld "pat" ]), v "pat");
+        Store (lp, Gep (list_ty, v "cell", [ fld "next" ]),
+               Load (lp, Gep (village_ty, v "vg", [ fld "waiting" ])));
+        Store (lp, Gep (village_ty, v "vg", [ fld "waiting" ]), v "cell");
+        Return None;
+      ]
+  in
+  (* one simulation step for a village subtree: age patients, treat and
+     free some, generate arrivals at the leaves, refer others upward *)
+  let sim =
+    func "sim" [ ("vg", vp); ("level", Ctype.I64) ] Ctype.I64
+      (Wl_util.block
+         [
+           [ Let ("treated", Ctype.I64, i 0) ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i branching)
+             [
+               Let ("kid", vp, Load (vp, Gep (village_ty, v "vg", [ fld "kids"; at (v "k") ])));
+               If (Binop (Ne, v "kid", null village_ty),
+                   [ Assign ("treated",
+                             v "treated" +: Call ("sim", [ v "kid"; v "level" -: i 1 ])) ],
+                   []);
+             ];
+           [
+             (* walk the waiting list *)
+             Let ("cur", lp, Load (lp, Gep (village_ty, v "vg", [ fld "waiting" ])));
+             Store (lp, Gep (village_ty, v "vg", [ fld "waiting" ]), null list_ty);
+             While
+               ( Binop (Ne, v "cur", null list_ty),
+                 [
+                   Let ("nxt", lp, Load (lp, Gep (list_ty, v "cur", [ fld "next" ])));
+                   Let ("pat", pp, Load (pp, Gep (list_ty, v "cur", [ fld "pat" ])));
+                   Store (Ctype.I64, Gep (patient_ty, v "pat", [ fld "time" ]),
+                          Load (Ctype.I64, Gep (patient_ty, v "pat", [ fld "time" ])) +: i 1);
+                   If
+                     ( Load (Ctype.I64, Gep (patient_ty, v "pat", [ fld "time" ])) >: i 3,
+                       [
+                         (* treated: free the patient and the cell *)
+                         Assign ("treated", v "treated" +: i 1);
+                         Free (Cast (Ctype.Ptr Ctype.I8, v "pat"));
+                         Free (v "cur");
+                       ],
+                       [
+                         (* still waiting: requeue *)
+                         Store (lp, Gep (list_ty, v "cur", [ fld "next" ]),
+                                Load (lp, Gep (village_ty, v "vg", [ fld "waiting" ])));
+                         Store (lp, Gep (village_ty, v "vg", [ fld "waiting" ]), v "cur");
+                       ] );
+                   Assign ("cur", v "nxt");
+                 ] );
+             (* arrivals at leaf villages *)
+             If
+               ( v "level" ==: i 1,
+                 [
+                   If (Wl_util.rand_mod 3 ==: i 0,
+                       [
+                         Expr (Call ("push",
+                                     [ v "vg"; Call ("alloc_patient", [ Wl_util.rand ]) ]));
+                       ], []);
+                 ],
+                 [] );
+             Store (Ctype.I64, Gep (village_ty, v "vg", [ fld "treated" ]),
+                    Load (Ctype.I64, Gep (village_ty, v "vg", [ fld "treated" ]))
+                    +: v "treated");
+             Return (Some (v "treated"));
+           ];
+         ])
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [ Wl_util.srand 2024 ];
+           [ Let ("root", vp, Call ("mk_village", [ i levels; i 1 ])) ];
+           [ Let ("total", Ctype.I64, i 0) ];
+           Wl_util.for_ "t" ~from:(i 0) ~below:(i steps)
+             [ Assign ("total", v "total" +: Call ("sim", [ v "root"; i levels ])) ];
+           [ Return (Some (v "total")) ];
+         ])
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global ]
+    [ Wl_util.rand_func; alloc_patient; mk_village; push; sim; main ]
+
+let workload =
+  Workload.make ~name:"health" ~suite:"olden"
+    ~description:"hospital simulation: village tree + patient lists, alloc/free churn"
+    build

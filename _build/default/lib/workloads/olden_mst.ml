@@ -1,0 +1,195 @@
+(* Olden mst: minimum spanning tree over a synthetic dense graph whose
+   adjacency weights live in per-vertex chained hash tables — the
+   pointer-chasing hash walk dominates, as in the original. *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let vert_ty = Ctype.Struct "vertex"
+let hash_ty = Ctype.Struct "hent"
+let vp = Ctype.Ptr vert_ty
+let hp = Ctype.Ptr hash_ty
+
+let n_vertices = 48
+let hash_size = 8
+
+let tenv =
+  let t = Ctype.empty_tenv in
+  let t =
+    Ctype.declare t
+      {
+        Ctype.sname = "hent";
+        fields =
+          [
+            { fname = "key"; fty = Ctype.I64 };
+            { fname = "weight"; fty = Ctype.I64 };
+            { fname = "next"; fty = Ctype.Ptr (Ctype.Struct "hent") };
+          ];
+      }
+  in
+  Ctype.declare t
+    {
+      Ctype.sname = "vertex";
+      fields =
+        [
+          { fname = "id"; fty = Ctype.I64 };
+          { fname = "mindist"; fty = Ctype.I64 };
+          { fname = "intree"; fty = Ctype.I64 };
+          { fname = "buckets"; fty = Ctype.Array (Ctype.Ptr (Ctype.Struct "hent"), hash_size) };
+          { fname = "next"; fty = Ctype.Ptr (Ctype.Struct "vertex") };
+        ];
+    }
+
+let bucket p k = Gep (vert_ty, p, [ fld "buckets"; at k ])
+
+let build () =
+  let hash_insert =
+    func "hash_insert" [ ("vx", vp); ("key", Ctype.I64); ("w", Ctype.I64) ] Ctype.Void
+      [
+        Let ("b", Ctype.I64, v "key" %: i hash_size);
+        Let ("e", hp, Malloc (hash_ty, i 1));
+        Store (Ctype.I64, Gep (hash_ty, v "e", [ fld "key" ]), v "key");
+        Store (Ctype.I64, Gep (hash_ty, v "e", [ fld "weight" ]), v "w");
+        Store (hp, Gep (hash_ty, v "e", [ fld "next" ]),
+               Load (hp, bucket (v "vx") (v "b")));
+        Store (hp, bucket (v "vx") (v "b"), v "e");
+        Return None;
+      ]
+  in
+  let hash_find =
+    func "hash_find" [ ("vx", vp); ("key", Ctype.I64) ] Ctype.I64
+      [
+        Let ("b", Ctype.I64, v "key" %: i hash_size);
+        Let ("e", hp, Load (hp, bucket (v "vx") (v "b")));
+        While
+          ( Binop (Ne, v "e", null hash_ty),
+            [
+              If (Load (Ctype.I64, Gep (hash_ty, v "e", [ fld "key" ])) ==: v "key",
+                  [ Return (Some (Load (Ctype.I64, Gep (hash_ty, v "e", [ fld "weight" ])))) ],
+                  []);
+              Assign ("e", Load (hp, Gep (hash_ty, v "e", [ fld "next" ])));
+            ] );
+        Return (Some (i64 0x3FFFFFFFL));
+      ]
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [ Wl_util.srand 5 ];
+           (* build vertex list *)
+           [ Let ("head", vp, null vert_ty) ];
+           Wl_util.for_ "j" ~from:(i 0) ~below:(i n_vertices)
+             (Wl_util.block
+                [
+                  [
+                    Let ("vx", vp, Malloc (vert_ty, i 1));
+                    Store (Ctype.I64, Gep (vert_ty, v "vx", [ fld "id" ]), v "j");
+                    Store (Ctype.I64, Gep (vert_ty, v "vx", [ fld "mindist" ]),
+                           i64 0x3FFFFFFFL);
+                    Store (Ctype.I64, Gep (vert_ty, v "vx", [ fld "intree" ]), i 0);
+                  ];
+                  Wl_util.for_ "b" ~from:(i 0) ~below:(i hash_size)
+                    [ Store (hp, bucket (v "vx") (v "b"), null hash_ty) ];
+                  [
+                    Store (vp, Gep (vert_ty, v "vx", [ fld "next" ]), v "head");
+                    Assign ("head", v "vx");
+                  ];
+                ]);
+           (* add edges: each vertex gets a weight to every other vertex *)
+           [ Let ("vi", vp, v "head") ];
+           While
+             ( Binop (Ne, v "vi", null vert_ty),
+               Wl_util.block
+                 [
+                   Wl_util.for_ "k" ~from:(i 0) ~below:(i n_vertices)
+                     [
+                       If (v "k" <>: Load (Ctype.I64, Gep (vert_ty, v "vi", [ fld "id" ])),
+                           [
+                             Expr (Call ("hash_insert",
+                                         [ v "vi"; v "k"; i 1 +: Wl_util.rand_mod 100 ]));
+                           ], []);
+                     ];
+                   [ Assign ("vi", Load (vp, Gep (vert_ty, v "vi", [ fld "next" ]))) ];
+                 ] )
+           :: [];
+           (* Prim's algorithm over the vertex list *)
+           [
+             Let ("total", Ctype.I64, i 0);
+             Store (Ctype.I64, Gep (vert_ty, v "head", [ fld "intree" ]), i 1);
+             Let ("current", vp, v "head");
+             Let ("added", Ctype.I64, i 1);
+           ];
+           [
+             While
+               ( v "added" <: i n_vertices,
+                 Wl_util.block
+                   [
+                     [
+                       Let ("cid", Ctype.I64,
+                            Load (Ctype.I64, Gep (vert_ty, v "current", [ fld "id" ])));
+                       (* relax distances via hash lookups *)
+                       Let ("w", vp, v "head");
+                     ];
+                     [
+                       While
+                         ( Binop (Ne, v "w", null vert_ty),
+                           [
+                             If
+                               ( Load (Ctype.I64, Gep (vert_ty, v "w", [ fld "intree" ])) ==: i 0,
+                                 [
+                                   Let ("d", Ctype.I64,
+                                        Call ("hash_find",
+                                              [ v "w"; v "cid" ]));
+                                   If (v "d" <: Load (Ctype.I64,
+                                                      Gep (vert_ty, v "w", [ fld "mindist" ])),
+                                       [
+                                         Store (Ctype.I64,
+                                                Gep (vert_ty, v "w", [ fld "mindist" ]), v "d");
+                                       ], []);
+                                 ],
+                                 [] );
+                             Assign ("w", Load (vp, Gep (vert_ty, v "w", [ fld "next" ])));
+                           ] );
+                     ];
+                     (* pick the closest fringe vertex *)
+                     [
+                       Let ("best", vp, null vert_ty);
+                       Let ("bestd", Ctype.I64, i64 0x7FFFFFFFL);
+                       Let ("w2", vp, v "head");
+                       While
+                         ( Binop (Ne, v "w2", null vert_ty),
+                           [
+                             If
+                               ( Binop (BAnd,
+                                        Load (Ctype.I64,
+                                              Gep (vert_ty, v "w2", [ fld "intree" ])) ==: i 0,
+                                        Load (Ctype.I64,
+                                              Gep (vert_ty, v "w2", [ fld "mindist" ]))
+                                        <: v "bestd"),
+                                 [
+                                   Assign ("best", v "w2");
+                                   Assign ("bestd",
+                                           Load (Ctype.I64,
+                                                 Gep (vert_ty, v "w2", [ fld "mindist" ])));
+                                 ],
+                                 [] );
+                             Assign ("w2", Load (vp, Gep (vert_ty, v "w2", [ fld "next" ])));
+                           ] );
+                       Store (Ctype.I64, Gep (vert_ty, v "best", [ fld "intree" ]), i 1);
+                       Assign ("total", v "total" +: v "bestd");
+                       Assign ("current", v "best");
+                       Assign ("added", v "added" +: i 1);
+                     ];
+                   ] );
+           ];
+           [ Return (Some (v "total")) ];
+         ])
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global ]
+    [ Wl_util.rand_func; hash_insert; hash_find; main ]
+
+let workload =
+  Workload.make ~name:"mst" ~suite:"olden"
+    ~description:"Prim's MST with per-vertex chained hash tables" build

@@ -1,0 +1,188 @@
+(* Olden power: power-system pricing over a fixed three-level tree
+   (root -> laterals -> branches -> leaves) with floating-point demand
+   propagation. Few allocations, compute-bound: the paper reports ~0%
+   overhead here. *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let leaf_ty = Ctype.Struct "pleaf"
+let branch_ty = Ctype.Struct "pbranch"
+let lateral_ty = Ctype.Struct "plateral"
+let lp = Ctype.Ptr leaf_ty
+let bp = Ctype.Ptr branch_ty
+let ap = Ctype.Ptr lateral_ty
+
+let n_lateral = 8
+let n_branch = 6
+let n_leaf = 8
+let iters = 12
+
+let tenv =
+  let t = Ctype.empty_tenv in
+  let t =
+    Ctype.declare t
+      {
+        Ctype.sname = "pleaf";
+        fields =
+          [
+            { fname = "pi"; fty = Ctype.F64 };
+            { fname = "demand"; fty = Ctype.F64 };
+          ];
+      }
+  in
+  let t =
+    Ctype.declare t
+      {
+        Ctype.sname = "pbranch";
+        fields =
+          [
+            { fname = "alpha"; fty = Ctype.F64 };
+            { fname = "total"; fty = Ctype.F64 };
+            { fname = "leaves"; fty = Ctype.Array (Ctype.Ptr (Ctype.Struct "pleaf"), n_leaf) };
+          ];
+      }
+  in
+  Ctype.declare t
+    {
+      Ctype.sname = "plateral";
+      fields =
+        [
+          { fname = "r"; fty = Ctype.F64 };
+          { fname = "total"; fty = Ctype.F64 };
+          { fname = "branches"; fty = Ctype.Array (Ctype.Ptr (Ctype.Struct "pbranch"), n_branch) };
+        ];
+    }
+
+let build () =
+  let mk_leaf =
+    func "mk_leaf" [] lp
+      [
+        Let ("p", lp, Malloc (leaf_ty, i 1));
+        Store (Ctype.F64, Gep (leaf_ty, v "p", [ fld "pi" ]), Float 1.0);
+        Store (Ctype.F64, Gep (leaf_ty, v "p", [ fld "demand" ]), Float 1.0);
+        Return (Some (v "p"));
+      ]
+  in
+  let mk_branch =
+    func "mk_branch" [] bp
+      (Wl_util.block
+         [
+           [
+             Let ("p", bp, Malloc (branch_ty, i 1));
+             Store (Ctype.F64, Gep (branch_ty, v "p", [ fld "alpha" ]), Float 0.9);
+             Store (Ctype.F64, Gep (branch_ty, v "p", [ fld "total" ]), Float 0.0);
+           ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i n_leaf)
+             [
+               Store (lp, Gep (branch_ty, v "p", [ fld "leaves"; at (v "k") ]),
+                      Call ("mk_leaf", []));
+             ];
+           [ Return (Some (v "p")) ];
+         ])
+  in
+  let mk_lateral =
+    func "mk_lateral" [] ap
+      (Wl_util.block
+         [
+           [
+             Let ("p", ap, Malloc (lateral_ty, i 1));
+             Store (Ctype.F64, Gep (lateral_ty, v "p", [ fld "r" ]), Float 1.1);
+             Store (Ctype.F64, Gep (lateral_ty, v "p", [ fld "total" ]), Float 0.0);
+           ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i n_branch)
+             [
+               Store (bp, Gep (lateral_ty, v "p", [ fld "branches"; at (v "k") ]),
+                      Call ("mk_branch", []));
+             ];
+           [ Return (Some (v "p")) ];
+         ])
+  in
+  let compute_branch =
+    func "compute_branch" [ ("b", bp); ("price", Ctype.F64) ] Ctype.F64
+      (Wl_util.block
+         [
+           [ Let ("sum", Ctype.F64, Float 0.0) ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i n_leaf)
+             [
+               Let ("lf", lp,
+                    Load (lp, Gep (branch_ty, v "b", [ fld "leaves"; at (v "k") ])));
+               Let ("pi0", Ctype.F64, Load (Ctype.F64, Gep (leaf_ty, v "lf", [ fld "pi" ])));
+               Let ("d", Ctype.F64,
+                    Binop (FDiv, v "pi0", Binop (FAdd, v "price", Float 0.5)));
+               Store (Ctype.F64, Gep (leaf_ty, v "lf", [ fld "demand" ]), v "d");
+               Assign ("sum", Binop (FAdd, v "sum", v "d"));
+             ];
+           [
+             Store (Ctype.F64, Gep (branch_ty, v "b", [ fld "total" ]), v "sum");
+             Return
+               (Some
+                  (Binop (FMul, v "sum",
+                          Load (Ctype.F64, Gep (branch_ty, v "b", [ fld "alpha" ])))));
+           ];
+         ])
+  in
+  let compute_lateral =
+    func "compute_lateral" [ ("a", ap); ("price", Ctype.F64) ] Ctype.F64
+      (Wl_util.block
+         [
+           [ Let ("sum", Ctype.F64, Float 0.0) ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i n_branch)
+             [
+               Assign ("sum",
+                       Binop (FAdd, v "sum",
+                              Call ("compute_branch",
+                                    [
+                                      Load (bp, Gep (lateral_ty, v "a",
+                                                     [ fld "branches"; at (v "k") ]));
+                                      v "price";
+                                    ])));
+             ];
+           [
+             Store (Ctype.F64, Gep (lateral_ty, v "a", [ fld "total" ]), v "sum");
+             Return
+               (Some
+                  (Binop (FMul, v "sum",
+                          Load (Ctype.F64, Gep (lateral_ty, v "a", [ fld "r" ])))));
+           ];
+         ])
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [ Let ("roots", Ctype.Ptr ap, Malloc (ap, i n_lateral)) ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i n_lateral)
+             [
+               Store (ap, Gep (ap, v "roots", [ at (v "k") ]), Call ("mk_lateral", []));
+             ];
+           [ Let ("price", Ctype.F64, Float 1.0); Let ("total", Ctype.F64, Float 0.0) ];
+           Wl_util.for_ "it" ~from:(i 0) ~below:(i iters)
+             (Wl_util.block
+                [
+                  [ Let ("t", Ctype.F64, Float 0.0) ];
+                  Wl_util.for_ "k" ~from:(i 0) ~below:(i n_lateral)
+                    [
+                      Assign ("t",
+                              Binop (FAdd, v "t",
+                                     Call ("compute_lateral",
+                                           [
+                                             Load (ap, Gep (ap, v "roots", [ at (v "k") ]));
+                                             v "price";
+                                           ])));
+                    ];
+                  [
+                    Assign ("price",
+                            Binop (FAdd, v "price", Binop (FMul, v "t", Float 0.0001)));
+                    Assign ("total", v "t");
+                  ];
+                ]);
+           [ Return (Some (Cast (Ctype.I64, Binop (FMul, v "total", Float 1000.0)))) ];
+         ])
+  in
+  program ~tenv ~globals:[]
+    [ mk_leaf; mk_branch; mk_lateral; compute_branch; compute_lateral; main ]
+
+let workload =
+  Workload.make ~name:"power" ~suite:"olden"
+    ~description:"power-system pricing tree, float compute-bound" build

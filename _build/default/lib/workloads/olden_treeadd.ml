@@ -1,0 +1,69 @@
+(* Olden treeadd: recursive binary-tree build and sum. Allocation-heavy
+   with tiny fixed-size nodes — the showcase for the subheap allocator
+   (paper: the subheap version runs *faster* than baseline). *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let node_ty = Ctype.Struct "tnode"
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "tnode";
+      fields =
+        [
+          { fname = "val"; fty = Ctype.I64 };
+          { fname = "left"; fty = Ctype.Ptr (Ctype.Struct "tnode") };
+          { fname = "right"; fty = Ctype.Ptr (Ctype.Struct "tnode") };
+        ];
+    }
+
+let np = Ctype.Ptr node_ty
+
+let build () =
+  let build_fn =
+    func "build" [ ("depth", Ctype.I64) ] np
+      [
+        If (v "depth" <=: i 0, [ Return (Some (null node_ty)) ], []);
+        Let ("p", np, Malloc (node_ty, i 1));
+        Store (Ctype.I64, Gep (node_ty, v "p", [ fld "val" ]), i 1);
+        Store (np, Gep (node_ty, v "p", [ fld "left" ]),
+               Call ("build", [ v "depth" -: i 1 ]));
+        Store (np, Gep (node_ty, v "p", [ fld "right" ]),
+               Call ("build", [ v "depth" -: i 1 ]));
+        Return (Some (v "p"));
+      ]
+  in
+  let sum_fn =
+    func "sum" [ ("p", np) ] Ctype.I64
+      [
+        If (Binop (Eq, v "p", null node_ty), [ Return (Some (i 0)) ], []);
+        Return
+          (Some
+             (Load (Ctype.I64, Gep (node_ty, v "p", [ fld "val" ]))
+             +: Call ("sum", [ Load (np, Gep (node_ty, v "p", [ fld "left" ])) ])
+             +: Call ("sum", [ Load (np, Gep (node_ty, v "p", [ fld "right" ])) ])));
+      ]
+  in
+  let main =
+    func "main" [] Ctype.I64
+      [
+        Let ("t", np, Call ("build", [ i 15 ]));
+        Let ("acc", Ctype.I64, i 0);
+        Let ("iter", Ctype.I64, i 0);
+        While
+          ( v "iter" <: i 4,
+            [
+              Assign ("acc", v "acc" +: Call ("sum", [ v "t" ]));
+              Assign ("iter", v "iter" +: i 1);
+            ] );
+        Return (Some (v "acc"));
+      ]
+  in
+  program ~tenv ~globals:[] [ build_fn; sum_fn; main ]
+
+let workload =
+  Workload.make ~name:"treeadd" ~suite:"olden"
+    ~description:"recursive binary-tree build and sum (2^15 nodes, 4 passes)"
+    build

@@ -1,0 +1,98 @@
+(* Olden tsp: closest-point heuristic tour over cities held in a
+   doubly-linked circular list — list splicing and float distance math. *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let city_ty = Ctype.Struct "city"
+let cp = Ctype.Ptr city_ty
+
+let n_cities = 192
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "city";
+      fields =
+        [
+          { fname = "x"; fty = Ctype.F64 };
+          { fname = "y"; fty = Ctype.F64 };
+          { fname = "next"; fty = Ctype.Ptr (Ctype.Struct "city") };
+          { fname = "visited"; fty = Ctype.I64 };
+        ];
+    }
+
+let f64 x = Float x
+let cfield p f = Gep (city_ty, p, [ fld f ])
+let ld_f p = Load (Ctype.F64, p)
+
+let build () =
+  let dist2 =
+    func "dist2" [ ("a", cp); ("b", cp) ] Ctype.F64
+      [
+        Let ("dx", Ctype.F64, Binop (FSub, ld_f (cfield (v "a") "x"), ld_f (cfield (v "b") "x")));
+        Let ("dy", Ctype.F64, Binop (FSub, ld_f (cfield (v "a") "y"), ld_f (cfield (v "b") "y")));
+        Return (Some (Binop (FAdd, Binop (FMul, v "dx", v "dx"), Binop (FMul, v "dy", v "dy"))));
+      ]
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [ Wl_util.srand 77; Let ("head", cp, null city_ty) ];
+           Wl_util.for_ "j" ~from:(i 0) ~below:(i n_cities)
+             [
+               Let ("c", cp, Malloc (city_ty, i 1));
+               Store (Ctype.F64, cfield (v "c") "x",
+                      Binop (FDiv, Cast (Ctype.F64, Wl_util.rand_mod 10000), f64 100.0));
+               Store (Ctype.F64, cfield (v "c") "y",
+                      Binop (FDiv, Cast (Ctype.F64, Wl_util.rand_mod 10000), f64 100.0));
+               Store (Ctype.I64, cfield (v "c") "visited", i 0);
+               Store (cp, cfield (v "c") "next", v "head");
+               Assign ("head", v "c");
+             ];
+           (* nearest-neighbour tour: repeatedly scan the list for the
+              closest unvisited city *)
+           [
+             Let ("cur", cp, v "head");
+             Store (Ctype.I64, cfield (v "cur") "visited", i 1);
+             Let ("len", Ctype.F64, f64 0.0);
+             Let ("done_", Ctype.I64, i 1);
+           ];
+           [
+             While
+               ( v "done_" <: i n_cities,
+                 [
+                   Let ("best", cp, null city_ty);
+                   Let ("bestd", Ctype.F64, f64 1.0e18);
+                   Let ("w", cp, v "head");
+                   While
+                     ( Binop (Ne, v "w", null city_ty),
+                       [
+                         If
+                           ( Load (Ctype.I64, cfield (v "w") "visited") ==: i 0,
+                             [
+                               Let ("d", Ctype.F64, Call ("dist2", [ v "cur"; v "w" ]));
+                               If (Binop (FLt, v "d", v "bestd"),
+                                   [ Assign ("bestd", v "d"); Assign ("best", v "w") ],
+                                   []);
+                             ],
+                             [] );
+                         Assign ("w", Load (cp, cfield (v "w") "next"));
+                       ] );
+                   Store (Ctype.I64, cfield (v "best") "visited", i 1);
+                   Assign ("len", Binop (FAdd, v "len", v "bestd"));
+                   Assign ("cur", v "best");
+                   Assign ("done_", v "done_" +: i 1);
+                 ] );
+           ];
+           [ Return (Some (Cast (Ctype.I64, v "len"))) ];
+         ])
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global ]
+    [ Wl_util.rand_func; dist2; main ]
+
+let workload =
+  Workload.make ~name:"tsp" ~suite:"olden"
+    ~description:"nearest-neighbour tour over a linked city list" build

@@ -1,0 +1,139 @@
+(* Olden voronoi: divide-and-conquer over points. We keep the
+   structurally significant part — recursive merge sort over a linked
+   point list followed by nearest-neighbour scans — and, as in the
+   paper's profile, a large share of promotes see legacy pointers because
+   comparisons call into an uninstrumented library comparator. *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let pt_ty = Ctype.Struct "point"
+let pp = Ctype.Ptr pt_ty
+
+let n_points = 384
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "point";
+      fields =
+        [
+          { fname = "x"; fty = Ctype.I64 };
+          { fname = "y"; fty = Ctype.I64 };
+          { fname = "next"; fty = Ctype.Ptr (Ctype.Struct "point") };
+        ];
+    }
+
+let pfield p f = Gep (pt_ty, p, [ fld f ])
+
+let build () =
+  (* legacy (uninstrumented) comparator library, as if linked from an
+     uninstrumented .a: pointers passing through lose their bounds *)
+  let cmp =
+    func ~instrumented:false "cmp_points" [ ("a", pp); ("b", pp) ] Ctype.I64
+      [
+        Let ("ax", Ctype.I64, Load (Ctype.I64, pfield (v "a") "x"));
+        Let ("bx", Ctype.I64, Load (Ctype.I64, pfield (v "b") "x"));
+        If (v "ax" <: v "bx", [ Return (Some (Unop (Neg, i 1))) ], []);
+        If (v "ax" >: v "bx", [ Return (Some (i 1)) ], []);
+        Return (Some (i 0));
+      ]
+  in
+  let split =
+    (* split list in two halves: returns second half, truncates first *)
+    func "split" [ ("head", pp) ] pp
+      [
+        Let ("slow", pp, v "head");
+        Let ("fast", pp, Load (pp, pfield (v "head") "next"));
+        While
+          ( Binop (Ne, v "fast", null pt_ty),
+            [
+              Assign ("fast", Load (pp, pfield (v "fast") "next"));
+              If
+                ( Binop (Ne, v "fast", null pt_ty),
+                  [
+                    Assign ("slow", Load (pp, pfield (v "slow") "next"));
+                    Assign ("fast", Load (pp, pfield (v "fast") "next"));
+                  ],
+                  [] );
+            ] );
+        Let ("second", pp, Load (pp, pfield (v "slow") "next"));
+        Store (pp, pfield (v "slow") "next", null pt_ty);
+        Return (Some (v "second"));
+      ]
+  in
+  let merge =
+    func "merge" [ ("a", pp); ("b", pp) ] pp
+      [
+        If (Binop (Eq, v "a", null pt_ty), [ Return (Some (v "b")) ], []);
+        If (Binop (Eq, v "b", null pt_ty), [ Return (Some (v "a")) ], []);
+        If
+          ( Call ("cmp_points", [ v "a"; v "b" ]) <=: i 0,
+            [
+              Store (pp, pfield (v "a") "next",
+                     Call ("merge", [ Load (pp, pfield (v "a") "next"); v "b" ]));
+              Return (Some (v "a"));
+            ],
+            [
+              Store (pp, pfield (v "b") "next",
+                     Call ("merge", [ v "a"; Load (pp, pfield (v "b") "next") ]));
+              Return (Some (v "b"));
+            ] );
+      ]
+  in
+  let msort =
+    func "msort" [ ("head", pp) ] pp
+      [
+        If (Binop (Eq, v "head", null pt_ty), [ Return (Some (v "head")) ], []);
+        If (Binop (Eq, Load (pp, pfield (v "head") "next"), null pt_ty),
+            [ Return (Some (v "head")) ], []);
+        Let ("second", pp, Call ("split", [ v "head" ]));
+        Return
+          (Some (Call ("merge",
+                       [ Call ("msort", [ v "head" ]); Call ("msort", [ v "second" ]) ])));
+      ]
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [ Wl_util.srand 13; Let ("head", pp, null pt_ty) ];
+           Wl_util.for_ "j" ~from:(i 0) ~below:(i n_points)
+             [
+               Let ("p", pp, Malloc (pt_ty, i 1));
+               Store (Ctype.I64, pfield (v "p") "x", Wl_util.rand_mod 100000);
+               Store (Ctype.I64, pfield (v "p") "y", Wl_util.rand_mod 100000);
+               Store (pp, pfield (v "p") "next", v "head");
+               Assign ("head", v "p");
+             ];
+           [ Assign ("head", Call ("msort", [ v "head" ])) ];
+           (* closest adjacent pair after sort (Delaunay-ish scan) *)
+           [
+             Let ("best", Ctype.I64, i64 0x7FFFFFFFFFFFFFL);
+             Let ("w", pp, v "head");
+             While
+               ( Binop (Ne, Load (pp, pfield (v "w") "next"), null pt_ty),
+                 [
+                   Let ("nx", pp, Load (pp, pfield (v "w") "next"));
+                   Let ("dx", Ctype.I64,
+                        Load (Ctype.I64, pfield (v "w") "x")
+                        -: Load (Ctype.I64, pfield (v "nx") "x"));
+                   Let ("dy", Ctype.I64,
+                        Load (Ctype.I64, pfield (v "w") "y")
+                        -: Load (Ctype.I64, pfield (v "nx") "y"));
+                   Let ("d", Ctype.I64, (v "dx" *: v "dx") +: (v "dy" *: v "dy"));
+                   If (v "d" <: v "best", [ Assign ("best", v "d") ], []);
+                   Assign ("w", v "nx");
+                 ] );
+             Return (Some (v "best"));
+           ];
+         ])
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global ]
+    [ Wl_util.rand_func; cmp; split; merge; msort; main ]
+
+let workload =
+  Workload.make ~name:"voronoi" ~suite:"olden"
+    ~description:"linked-list merge sort + closest-pair scan, legacy comparator"
+    build

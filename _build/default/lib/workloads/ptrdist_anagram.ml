@@ -1,0 +1,133 @@
+(* PtrDist anagram: letter-signature matching over a synthetic word list.
+   Words are heap-allocated i8 buffers; the per-character classification
+   goes through a trait-table pointer stored in a global and produced by
+   legacy (uninstrumented) library code — so its promotes always see
+   legacy pointers, the pattern the paper reports for anagram's
+   __ctype_b_loc usage. *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let word_ty = Ctype.Struct "word"
+let wp = Ctype.Ptr word_ty
+let i8p = Ctype.Ptr Ctype.I8
+
+let n_words = 320
+let word_len = 5
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "word";
+      fields =
+        [
+          { fname = "text"; fty = Ctype.Ptr Ctype.I8 };
+          { fname = "sig_"; fty = Ctype.I64 };
+          { fname = "next"; fty = Ctype.Ptr (Ctype.Struct "word") };
+        ];
+    }
+
+let wfield p f = Gep (word_ty, p, [ fld f ])
+
+let build () =
+  let traits = global "traits_tbl" (Ctype.Array (Ctype.I8, 128)) in
+  let gtraits = global "gtraits" (Ctype.Ptr Ctype.I8) in
+  (* legacy library: returns the trait table pointer (untagged) *)
+  let get_traits =
+    func ~instrumented:false "get_traits" [] i8p
+      [ Return (Some (Gep (Ctype.Array (Ctype.I8, 128), Addr_global "traits_tbl", [ at (i 0) ]))) ]
+  in
+  let init_traits =
+    func ~instrumented:false "init_traits" [] Ctype.Void
+      (Wl_util.block
+         [
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i 128)
+             [
+               Store (Ctype.I8,
+                      Gep (Ctype.Array (Ctype.I8, 128), Addr_global "traits_tbl",
+                           [ at (v "k") ]),
+                      Binop (BAnd, v "k", i 31));
+             ];
+           [ Return None ];
+         ])
+  in
+  let sign_word =
+    (* 26-ish-bit signature: or of (1 << trait(c)) for each char *)
+    func "sign_word" [ ("txt", i8p); ("len", Ctype.I64) ] Ctype.I64
+      (Wl_util.block
+         [
+           [ Let ("s", Ctype.I64, i 0) ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(v "len")
+             [
+               Let ("tp", i8p, Load_global "gtraits");
+               Let ("c", Ctype.I64,
+                    Cast (Ctype.I64, Load (Ctype.I8, Gep (Ctype.I8, v "txt", [ at (v "k") ])))
+                    %: i 128);
+               Let ("t", Ctype.I64,
+                    Cast (Ctype.I64, Load (Ctype.I8, Gep (Ctype.I8, v "tp", [ at (v "c") ])))
+                    %: i 26);
+               Assign ("s", Binop (BOr, v "s", Binop (Shl, i 1, v "t")));
+             ];
+           [ Return (Some (v "s")) ];
+         ])
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [
+             Wl_util.srand 404;
+             Expr (Call ("init_traits", []));
+             Store_global ("gtraits", Call ("get_traits", []));
+             Let ("head", wp, null word_ty);
+           ];
+           (* build the word list *)
+           Wl_util.for_ "j" ~from:(i 0) ~below:(i n_words)
+             (Wl_util.block
+                [
+                  [
+                    Let ("txt", i8p, Malloc (Ctype.I8, i word_len));
+                  ];
+                  Wl_util.for_ "k" ~from:(i 0) ~below:(i word_len)
+                    [
+                      Store (Ctype.I8, Gep (Ctype.I8, v "txt", [ at (v "k") ]),
+                             i 97 +: Wl_util.rand_mod 10);
+                    ];
+                  [
+                    Let ("w", wp, Malloc (word_ty, i 1));
+                    Store (i8p, wfield (v "w") "text", v "txt");
+                    Store (Ctype.I64, wfield (v "w") "sig_",
+                           Call ("sign_word", [ v "txt"; i word_len ]));
+                    Store (wp, wfield (v "w") "next", v "head");
+                    Assign ("head", v "w");
+                  ];
+                ]);
+           (* count signature collisions (anagram candidates) *)
+           [
+             Let ("pairs", Ctype.I64, i 0);
+             Let ("a", wp, v "head");
+             While
+               ( Binop (Ne, v "a", null word_ty),
+                 [
+                   Let ("b", wp, Load (wp, wfield (v "a") "next"));
+                   Let ("sa", Ctype.I64, Load (Ctype.I64, wfield (v "a") "sig_"));
+                   While
+                     ( Binop (Ne, v "b", null word_ty),
+                       [
+                         If (v "sa" ==: Load (Ctype.I64, wfield (v "b") "sig_"),
+                             [ Assign ("pairs", v "pairs" +: i 1) ], []);
+                         Assign ("b", Load (wp, wfield (v "b") "next"));
+                       ] );
+                   Assign ("a", Load (wp, wfield (v "a") "next"));
+                 ] );
+             Return (Some (v "pairs"));
+           ];
+         ])
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global; traits; gtraits ]
+    [ Wl_util.rand_func; get_traits; init_traits; sign_word; main ]
+
+let workload =
+  Workload.make ~name:"anagram" ~suite:"ptrdist"
+    ~description:"letter-signature anagram matching, legacy trait table" build

@@ -1,0 +1,110 @@
+(* PtrDist ft: minimum spanning forest via a mergeable heap. We implement
+   the heap as a leftist heap — merge-dominated pointer chasing, matching
+   ft's profile (the paper's largest promote count relative to size). *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let node_ty = Ctype.Struct "hnode"
+let np = Ctype.Ptr node_ty
+
+let n_ops = 3000
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "hnode";
+      fields =
+        [
+          { fname = "key"; fty = Ctype.I64 };
+          { fname = "rank"; fty = Ctype.I64 };
+          { fname = "left"; fty = Ctype.Ptr (Ctype.Struct "hnode") };
+          { fname = "right"; fty = Ctype.Ptr (Ctype.Struct "hnode") };
+        ];
+    }
+
+let nf p f = Gep (node_ty, p, [ fld f ])
+
+let build () =
+  let merge =
+    func "hmerge" [ ("a", np); ("b", np) ] np
+      [
+        If (Binop (Eq, v "a", null node_ty), [ Return (Some (v "b")) ], []);
+        If (Binop (Eq, v "b", null node_ty), [ Return (Some (v "a")) ], []);
+        (* ensure a has the smaller key *)
+        If
+          ( Load (Ctype.I64, nf (v "b") "key") <: Load (Ctype.I64, nf (v "a") "key"),
+            [
+              Let ("t", np, v "a");
+              Assign ("a", v "b");
+              Assign ("b", v "t");
+            ],
+            [] );
+        Store (np, nf (v "a") "right",
+               Call ("hmerge", [ Load (np, nf (v "a") "right"); v "b" ]));
+        (* leftist property: left rank >= right rank *)
+        Let ("lr", Ctype.I64, i 0);
+        Let ("rr", Ctype.I64, i 0);
+        Let ("l", np, Load (np, nf (v "a") "left"));
+        Let ("r", np, Load (np, nf (v "a") "right"));
+        If (Binop (Ne, v "l", null node_ty),
+            [ Assign ("lr", Load (Ctype.I64, nf (v "l") "rank")) ], []);
+        If (Binop (Ne, v "r", null node_ty),
+            [ Assign ("rr", Load (Ctype.I64, nf (v "r") "rank")) ], []);
+        If (v "lr" <: v "rr",
+            [
+              Store (np, nf (v "a") "left", v "r");
+              Store (np, nf (v "a") "right", v "l");
+              Store (Ctype.I64, nf (v "a") "rank", v "lr" +: i 1);
+            ],
+            [ Store (Ctype.I64, nf (v "a") "rank", v "rr" +: i 1) ]);
+        Return (Some (v "a"));
+      ]
+  in
+  let insert =
+    func "hinsert" [ ("h", np); ("key", Ctype.I64) ] np
+      [
+        Let ("p", np, Malloc (node_ty, i 1));
+        Store (Ctype.I64, nf (v "p") "key", v "key");
+        Store (Ctype.I64, nf (v "p") "rank", i 1);
+        Store (np, nf (v "p") "left", null node_ty);
+        Store (np, nf (v "p") "right", null node_ty);
+        Return (Some (Call ("hmerge", [ v "h"; v "p" ])));
+      ]
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [ Wl_util.srand 555; Let ("h", np, null node_ty) ];
+           Wl_util.for_ "j" ~from:(i 0) ~below:(i n_ops)
+             [ Assign ("h", Call ("hinsert", [ v "h"; Wl_util.rand_mod 100000 ])) ];
+           (* drain: delete-min repeatedly, accumulating a checksum *)
+           [
+             Let ("acc", Ctype.I64, i 0);
+             Let ("n", Ctype.I64, i 0);
+             While
+               ( Binop (Ne, v "h", null node_ty),
+                 [
+                   Assign ("acc",
+                           (v "acc" +: Load (Ctype.I64, nf (v "h") "key"))
+                           %: i64 1000000007L);
+                   Let ("old", np, v "h");
+                   Assign ("h",
+                           Call ("hmerge",
+                                 [ Load (np, nf (v "h") "left");
+                                   Load (np, nf (v "h") "right") ]));
+                   Free (v "old");
+                   Assign ("n", v "n" +: i 1);
+                 ] );
+             Return (Some (v "acc" +: v "n"));
+           ];
+         ])
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global ]
+    [ Wl_util.rand_func; merge; insert; main ]
+
+let workload =
+  Workload.make ~name:"ft" ~suite:"ptrdist"
+    ~description:"leftist-heap insert/delete-min churn (merge-dominated)" build

@@ -1,0 +1,126 @@
+(* PtrDist ks: Kernighan-Lin-style graph partitioning. Modules are
+   heap-allocated structs reached through a pointer array, so every gain
+   computation reloads module pointers from memory — the promote-heavy
+   profile of the original (~17% of ks's dynamic instructions are
+   promotes in Table 4). *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let mod_ty = Ctype.Struct "module_"
+let mp = Ctype.Ptr mod_ty
+let mpp = Ctype.Ptr mp
+
+let n_modules = 64
+let n_nets = 12
+let passes = 6
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "module_";
+      fields =
+        [
+          { fname = "part"; fty = Ctype.I64 };
+          { fname = "gain"; fty = Ctype.I64 };
+          { fname = "nets"; fty = Ctype.Array (Ctype.I64, n_nets) };
+        ];
+    }
+
+let mfield p f = Gep (mod_ty, p, [ fld f ])
+let net p k = Gep (mod_ty, p, [ fld "nets"; at k ])
+
+let build () =
+  let modat =
+    func "modat" [ ("arr", mpp); ("j", Ctype.I64) ] mp
+      [ Return (Some (Load (mp, Gep (mp, v "arr", [ at (v "j") ])))) ]
+  in
+  let gain_of =
+    (* cut-edge count difference for module j *)
+    func "gain_of" [ ("arr", mpp); ("j", Ctype.I64) ] Ctype.I64
+      (Wl_util.block
+         [
+           [
+             Let ("m", mp, Call ("modat", [ v "arr"; v "j" ]));
+             Let ("mypart", Ctype.I64, Load (Ctype.I64, mfield (v "m") "part"));
+             Let ("g", Ctype.I64, i 0);
+           ];
+           Wl_util.for_ "k" ~from:(i 0) ~below:(i n_nets)
+             [
+               Let ("other", Ctype.I64, Load (Ctype.I64, net (v "m") (v "k")));
+               Let ("om", mp, Call ("modat", [ v "arr"; v "other" ]));
+               If (Load (Ctype.I64, mfield (v "om") "part") ==: v "mypart",
+                   [ Assign ("g", v "g" -: i 1) ],
+                   [ Assign ("g", v "g" +: i 1) ]);
+             ];
+           [ Return (Some (v "g")) ];
+         ])
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [ Wl_util.srand 808; Let ("arr", mpp, Malloc (mp, i n_modules)) ];
+           Wl_util.for_ "j" ~from:(i 0) ~below:(i n_modules)
+             (Wl_util.block
+                [
+                  [
+                    Let ("m", mp, Malloc (mod_ty, i 1));
+                    Store (mp, Gep (mp, v "arr", [ at (v "j") ]), v "m");
+                    Store (Ctype.I64, mfield (v "m") "part", v "j" %: i 2);
+                    Store (Ctype.I64, mfield (v "m") "gain", i 0);
+                  ];
+                  Wl_util.for_ "k" ~from:(i 0) ~below:(i n_nets)
+                    [
+                      Store (Ctype.I64, net (v "m") (v "k"), Wl_util.rand_mod n_modules);
+                    ];
+                ]);
+           [ Let ("improved", Ctype.I64, i 0) ];
+           Wl_util.for_ "p" ~from:(i 0) ~below:(i passes)
+             (Wl_util.block
+                [
+                  (* recompute gains *)
+                  Wl_util.for_ "j1" ~from:(i 0) ~below:(i n_modules)
+                    [
+                      Let ("m1", mp, Call ("modat", [ v "arr"; v "j1" ]));
+                      Store (Ctype.I64, mfield (v "m1") "gain",
+                             Call ("gain_of", [ v "arr"; v "j1" ]));
+                    ];
+                  (* swap the best positive-gain module across partitions *)
+                  [
+                    Let ("bi", Ctype.I64, i 0);
+                    Let ("bg", Ctype.I64, Unop (Neg, i 1000));
+                    Let ("j2", Ctype.I64, i 0);
+                    While
+                      ( v "j2" <: i n_modules,
+                        [
+                          Let ("m2", mp, Call ("modat", [ v "arr"; v "j2" ]));
+                          If (Load (Ctype.I64, mfield (v "m2") "gain") >: v "bg",
+                              [
+                                Assign ("bg", Load (Ctype.I64, mfield (v "m2") "gain"));
+                                Assign ("bi", v "j2");
+                              ], []);
+                          Assign ("j2", v "j2" +: i 1);
+                        ] );
+                    If
+                      ( v "bg" >: i 0,
+                        [
+                          Let ("mb", mp, Call ("modat", [ v "arr"; v "bi" ]));
+                          Store (Ctype.I64, mfield (v "mb") "part",
+                                 i 1 -: Load (Ctype.I64, mfield (v "mb") "part"));
+                          Assign ("improved", v "improved" +: v "bg");
+                        ],
+                        [] );
+                  ];
+                ]);
+           [ Return (Some (v "improved")) ];
+         ])
+  in
+  program ~tenv
+    ~globals:[ Wl_util.seed_global ]
+    [ Wl_util.rand_func; modat; gain_of; main ]
+
+let workload =
+  Workload.make ~name:"ks" ~suite:"ptrdist"
+    ~description:"Kernighan-Lin-style partitioning over pointed-to modules"
+    build

@@ -1,0 +1,153 @@
+(* PtrDist yacr2: VLSI channel routing. Nets with (start, end) column
+   spans are assigned to tracks subject to horizontal-overlap
+   constraints — dense array scans over heap arrays, matching yacr2's
+   array-heavy profile. Input data is generated in-program (the paper
+   also embedded yacr2's input to avoid file parsing). *)
+
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let net_ty = Ctype.Struct "net"
+let np = Ctype.Ptr net_ty
+let ip = Ctype.Ptr Ctype.I64
+
+let n_nets = 96
+let n_cols = 128
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "net";
+      fields =
+        [
+          { fname = "lo"; fty = Ctype.I64 };
+          { fname = "hi"; fty = Ctype.I64 };
+          { fname = "track"; fty = Ctype.I64 };
+        ];
+    }
+
+let nfield base j f = Gep (net_ty, base, [ at j; fld f ])
+
+let build () =
+  let main =
+    func "main" [] Ctype.I64
+      (Wl_util.block
+         [
+           [
+             Wl_util.srand 60;
+             Let ("nets", np, Malloc (net_ty, i n_nets));
+             Let ("density", ip, Malloc (Ctype.I64, i n_cols));
+             (* channel data lives in globals, as in the original *)
+             Store_global ("gnets", v "nets");
+             Store_global ("gdensity", v "density");
+           ];
+           Wl_util.for_ "c" ~from:(i 0) ~below:(i n_cols)
+             [ Store (Ctype.I64, Gep (Ctype.I64, v "density", [ at (v "c") ]), i 0) ];
+           (* generate nets and column density *)
+           Wl_util.for_ "j" ~from:(i 0) ~below:(i n_nets)
+             (Wl_util.block
+                [
+                  [
+                    Let ("a", Ctype.I64, Wl_util.rand_mod n_cols);
+                    Let ("b", Ctype.I64, Wl_util.rand_mod n_cols);
+                    Let ("lo", Ctype.I64, v "a");
+                    Let ("hi", Ctype.I64, v "b");
+                    If (v "b" <: v "a",
+                        [ Assign ("lo", v "b"); Assign ("hi", v "a") ], []);
+                    Store (Ctype.I64, nfield (v "nets") (v "j") "lo", v "lo");
+                    Store (Ctype.I64, nfield (v "nets") (v "j") "hi", v "hi");
+                    Store (Ctype.I64, nfield (v "nets") (v "j") "track", Unop (Neg, i 1));
+                  ];
+                  Wl_util.for_ "c2" ~from:(v "lo") ~below:(v "hi" +: i 1)
+                    [
+                      Store (Ctype.I64, Gep (Ctype.I64, v "density", [ at (v "c2") ]),
+                             Load (Ctype.I64, Gep (Ctype.I64, v "density", [ at (v "c2") ]))
+                             +: i 1);
+                    ];
+                ]);
+           (* greedy left-edge track assignment *)
+           [
+             Let ("tracks_used", Ctype.I64, i 0);
+             Let ("assigned", Ctype.I64, i 0);
+             Let ("track_end", ip, Malloc (Ctype.I64, i n_nets));
+             While
+               ( v "assigned" <: i n_nets,
+                 Wl_util.block
+                   [
+                     [
+                       Store (Ctype.I64,
+                              Gep (Ctype.I64, v "track_end", [ at (v "tracks_used") ]),
+                              Unop (Neg, i 1));
+                     ];
+                     (* place every unassigned net that fits on this track,
+                        scanning in lo order *)
+                     Wl_util.for_ "scan" ~from:(i 0) ~below:(i n_cols)
+                       (Wl_util.block
+                          [
+                            Wl_util.for_ "j3" ~from:(i 0) ~below:(i n_nets)
+                              [
+                                Let ("nets3", np, Load_global "gnets");
+                                If
+                                  ( Binop (BAnd,
+                                           Load (Ctype.I64,
+                                                 nfield (v "nets3") (v "j3") "track")
+                                           <: i 0,
+                                           Binop (BAnd,
+                                                  Load (Ctype.I64,
+                                                        nfield (v "nets3") (v "j3") "lo")
+                                                  ==: v "scan",
+                                                  Load (Ctype.I64,
+                                                        nfield (v "nets3") (v "j3") "lo")
+                                                  >: Load (Ctype.I64,
+                                                           Gep (Ctype.I64, v "track_end",
+                                                                [ at (v "tracks_used") ])))),
+                                    [
+                                      Store (Ctype.I64,
+                                             nfield (v "nets3") (v "j3") "track",
+                                             v "tracks_used");
+                                      Store (Ctype.I64,
+                                             Gep (Ctype.I64, v "track_end",
+                                                  [ at (v "tracks_used") ]),
+                                             Load (Ctype.I64,
+                                                   nfield (v "nets3") (v "j3") "hi"));
+                                      Assign ("assigned", v "assigned" +: i 1);
+                                    ],
+                                    [] );
+                              ];
+                          ]);
+                     [ Assign ("tracks_used", v "tracks_used" +: i 1) ];
+                   ] );
+           ];
+           (* checksum: tracks used + max density + sum of assignments *)
+           [
+             Let ("maxd", Ctype.I64, i 0);
+             Let ("c3", Ctype.I64, i 0);
+             While
+               ( v "c3" <: i n_cols,
+                 [
+                   Let ("d", Ctype.I64,
+                        Load (Ctype.I64, Gep (Ctype.I64, v "density", [ at (v "c3") ])));
+                   If (v "d" >: v "maxd", [ Assign ("maxd", v "d") ], []);
+                   Assign ("c3", v "c3" +: i 1);
+                 ] );
+             Let ("sum", Ctype.I64, i 0);
+             Let ("j4", Ctype.I64, i 0);
+             While
+               ( v "j4" <: i n_nets,
+                 [
+                   Assign ("sum",
+                           v "sum" +: Load (Ctype.I64, nfield (v "nets") (v "j4") "track"));
+                   Assign ("j4", v "j4" +: i 1);
+                 ] );
+             Return (Some ((v "tracks_used" *: i 1000000) +: (v "maxd" *: i 10000) +: v "sum"));
+           ];
+         ])
+  in
+  program ~tenv
+    ~globals:
+      [ Wl_util.seed_global; global "gnets" np; global "gdensity" ip ]
+    [ Wl_util.rand_func; main ]
+
+let workload =
+  Workload.make ~name:"yacr2" ~suite:"ptrdist"
+    ~description:"greedy channel routing over heap arrays" build

@@ -1,0 +1,26 @@
+let all =
+  [
+    Olden_bh.workload;
+    Olden_bisort.workload;
+    Olden_em3d.workload;
+    Olden_health.workload;
+    Olden_mst.workload;
+    Olden_perimeter.workload;
+    Olden_power.workload;
+    Olden_treeadd.workload;
+    Olden_tsp.workload;
+    Olden_voronoi.workload;
+    Ptrdist_anagram.workload;
+    Ptrdist_ft.workload;
+    Ptrdist_ks.workload;
+    Ptrdist_yacr2.workload;
+    Misc_wolfcrypt.workload;
+    Misc_sjeng.workload;
+    Misc_coremark.workload;
+    Misc_bzip2.workload;
+  ]
+
+let find name =
+  List.find_opt (fun (w : Workload.t) -> String.equal w.name name) all
+
+let names = List.map (fun (w : Workload.t) -> w.Workload.name) all

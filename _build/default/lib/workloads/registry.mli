@@ -1,0 +1,6 @@
+(** All 18 benchmark workloads (10 Olden + 4 PtrDist + 4 others),
+    matching the paper's §5.2 benchmark set. *)
+
+val all : Workload.t list
+val find : string -> Workload.t option
+val names : string list

@@ -1,0 +1,28 @@
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let seed_global = global "__seed" Ctype.I64
+
+let rand_func =
+  func "__rand" [] Ctype.I64
+    [
+      Store_global
+        ( "__seed",
+          Load_global "__seed" *: i64 6364136223846793005L
+          +: i64 1442695040888963407L );
+      Return (Some (Binop (Shr, Load_global "__seed", i 33) %: i64 0x40000000L));
+    ]
+
+let rand = Call ("__rand", [])
+
+let rand_mod n = rand %: i n
+
+let srand s = Store_global ("__seed", i s)
+
+let for_ v ~from ~below body =
+  [
+    Let (v, Ctype.I64, from);
+    While (Var v <: below, body @ [ Assign (v, Var v +: i 1) ]);
+  ]
+
+let block = List.concat

@@ -1,0 +1,30 @@
+(** Shared MiniC fragments for the workloads: a deterministic LCG random
+    number generator implemented {e in MiniC} (so its instructions are
+    part of the measured program, like the benchmarks' own libc rand),
+    plus small helpers. *)
+
+val seed_global : Ifp_compiler.Ir.global
+(** Scalar [i64] global ["__seed"], accessed by name (uninstrumented). *)
+
+val rand_func : Ifp_compiler.Ir.func
+(** [__rand() : i64] — LCG, returns a non-negative 31-bit value. *)
+
+val rand : Ifp_compiler.Ir.expr
+(** [Call ("__rand", [])]. *)
+
+val rand_mod : int -> Ifp_compiler.Ir.expr
+(** [__rand() % n]. *)
+
+val srand : int -> Ifp_compiler.Ir.stmt
+(** Seed assignment. *)
+
+val for_ :
+  string ->
+  from:Ifp_compiler.Ir.expr ->
+  below:Ifp_compiler.Ir.expr ->
+  Ifp_compiler.Ir.stmt list ->
+  Ifp_compiler.Ir.stmt list
+(** C-style [for (v = from; v < below; v++) body] as Let+While. *)
+
+val block : Ifp_compiler.Ir.stmt list list -> Ifp_compiler.Ir.stmt list
+(** Concatenate statement groups. *)

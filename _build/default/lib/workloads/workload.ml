@@ -1,0 +1,9 @@
+type t = {
+  name : string;
+  suite : string;
+  description : string;
+  prog : Ifp_compiler.Ir.program Lazy.t;
+}
+
+let make ~name ~suite ~description build =
+  { name; suite; description; prog = Lazy.from_fun build }

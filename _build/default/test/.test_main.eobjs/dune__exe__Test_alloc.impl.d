@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Alloc Baseline_alloc Bits Buddy Core Ctype Gen Int64 List Memory Meta Option QCheck QCheck_alcotest Subheap_alloc Tag Wrapped_alloc

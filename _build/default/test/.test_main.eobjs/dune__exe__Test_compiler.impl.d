@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Core Ctype Instrument Ir Layout List Option Typecheck

@@ -1,0 +1,1 @@
+test/test_differential.ml: Core Ctype Int64 Ir Ir_pp List Printf QCheck QCheck_alcotest Trap Typecheck Vm

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Bounds Core Counters Ctype Ifp_juliet Ifp_workloads Insn Instrument Ir Lazy List Memory Meta Option Promote Vm

@@ -1,0 +1,1 @@
+test/test_guarantees.ml: Alcotest Core Ctype Ir Trap Vm

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bits Bounds Core Insn Int64 QCheck QCheck_alcotest Tag Trap

@@ -1,0 +1,1 @@
+test/test_juliet.ml: Alcotest Core Hashtbl Ifp_juliet Lazy List Vm

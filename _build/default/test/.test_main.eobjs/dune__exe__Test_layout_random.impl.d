@@ -1,0 +1,1 @@
+test/test_layout_random.ml: Array Core Ctype Fun Int64 Layout List Memory Meta Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Format Ifp_compiler List

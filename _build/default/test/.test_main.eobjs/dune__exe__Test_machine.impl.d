@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Bits Cache Core Int64 Memory QCheck QCheck_alcotest

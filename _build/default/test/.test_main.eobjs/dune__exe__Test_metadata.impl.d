@@ -1,0 +1,1 @@
+test/test_metadata.ml: Alcotest Bits Bounds Core Ctype Insn Int64 Layout List Mac Memory Meta Promote QCheck QCheck_alcotest Tag

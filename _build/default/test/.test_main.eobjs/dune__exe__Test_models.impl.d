@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Core Ifp_baselines Ifp_hwmodel Ifp_juliet Ifp_workloads Lazy List Option Vm

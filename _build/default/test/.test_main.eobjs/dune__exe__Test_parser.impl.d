@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Core Ifp_compiler Instrument Ir_pp List String Trap Vm

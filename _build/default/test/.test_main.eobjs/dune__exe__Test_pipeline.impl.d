@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Core Counters Ctype Insn Instrument Ir List Trap Vm

@@ -1,0 +1,1 @@
+test/test_trace_report.ml: Alcotest Core Ctype Ir List Report String Vm

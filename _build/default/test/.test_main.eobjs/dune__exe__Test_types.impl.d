@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Core Ctype Int64 Layout Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Core Counters Ctype Insn Ir List Trap Vm

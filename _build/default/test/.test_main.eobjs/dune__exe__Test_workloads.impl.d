@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Core Counters Hashtbl Ifp_workloads Lazy List Option Trap Vm

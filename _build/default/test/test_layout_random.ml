@@ -1,0 +1,176 @@
+(* Property-based testing of the layout-table generator over random
+   nested struct/array types: structural invariants of the preorder
+   flattening, agreement between [index_of_path]/[narrow] and a reference
+   offset computation done directly on the type, and round-tripping
+   through the in-memory encoding. *)
+
+open Core
+
+(* random type environments: a chain of struct declarations where struct
+   [i] may reference structs [< i] *)
+type rand_ty_ctx = { env : Ctype.tenv; names : string list }
+
+let scalar_gen =
+  QCheck.Gen.oneofl [ Ctype.I8; Ctype.I16; Ctype.I32; Ctype.I64; Ctype.F64 ]
+
+let gen_field_ty ctx depth st =
+  let open QCheck.Gen in
+  let base =
+    if depth <= 0 || ctx.names = [] then scalar_gen
+    else
+      frequency
+        [
+          (4, scalar_gen);
+          (2, map (fun n -> Ctype.Struct n) (oneofl ctx.names));
+          (1, map (fun n -> Ctype.Ptr (Ctype.Struct n)) (oneofl ctx.names));
+        ]
+  in
+  (let* b = base in
+   let* arr = frequency [ (3, return 0); (2, int_range 1 4) ] in
+   return (if arr = 0 then b else Ctype.Array (b, arr)))
+    st
+
+let gen_ctx st =
+  let open QCheck.Gen in
+  let n_structs = int_range 1 4 st in
+  let ctx = ref { env = Ctype.empty_tenv; names = [] } in
+  for i = 0 to n_structs - 1 do
+    let name = Printf.sprintf "t%d" i in
+    let n_fields = int_range 1 5 st in
+    let fields =
+      List.init n_fields (fun j ->
+          { Ctype.fname = Printf.sprintf "f%d" j;
+            fty = gen_field_ty !ctx (2 - (i / 2)) st })
+    in
+    ctx :=
+      { env = Ctype.declare !ctx.env { Ctype.sname = name; fields };
+        names = name :: !ctx.names }
+  done;
+  let root = List.hd !ctx.names in
+  (!ctx.env, Ctype.Struct root)
+
+let arb_ty =
+  QCheck.make gen_ctx ~print:(fun (env, ty) -> Ctype.to_string env ty)
+
+let prop_preorder_parents =
+  QCheck.Test.make ~count:300 ~name:"layout parents precede children"
+    arb_ty (fun (env, ty) ->
+      let l = Layout.build env ty in
+      let elems = Layout.elements l in
+      Array.for_all (fun (e : Layout.element) -> e.parent >= 0) elems
+      && Array.to_list elems
+         |> List.mapi (fun i (e : Layout.element) -> (i, e))
+         |> List.for_all (fun (i, (e : Layout.element)) ->
+                i = 0 || e.parent < i))
+
+let prop_bounds_well_formed =
+  QCheck.Test.make ~count:300 ~name:"layout element bounds well-formed"
+    arb_ty (fun (env, ty) ->
+      let l = Layout.build env ty in
+      Array.for_all
+        (fun (e : Layout.element) ->
+          e.base >= 0 && e.base < e.bound && e.elem_size > 0
+          && (e.bound - e.base) mod e.elem_size = 0)
+        (Layout.elements l))
+
+let prop_element0_is_object =
+  QCheck.Test.make ~count:300 ~name:"element 0 covers the object"
+    arb_ty (fun (env, ty) ->
+      let l = Layout.build env ty in
+      let e0 = Layout.get l 0 in
+      e0.parent = 0 && e0.base = 0 && e0.bound = Ctype.sizeof env ty)
+
+(* reference: enumerate all (path, absolute offset range) pairs of a type
+   directly, then check index_of_path + narrow agree *)
+let rec enum_paths env ty ~off ~depth =
+  if depth > 3 then []
+  else
+    match ty with
+    | Ctype.Struct s ->
+      List.concat_map
+        (fun ((f : Ctype.field), foff) ->
+          let here =
+            ( [ Layout.Field f.fname ],
+              off + foff,
+              off + foff + Ctype.sizeof env f.fty )
+          in
+          let deeper =
+            enum_paths env f.fty ~off:(off + foff) ~depth:(depth + 1)
+            |> List.map (fun (p, lo, hi) -> (Layout.Field f.fname :: p, lo, hi))
+          in
+          here :: deeper)
+        (Ctype.fields_with_offsets env s)
+    | Ctype.Array (elt, n) when n > 0 ->
+      (* descend into element 0 of the array *)
+      enum_paths env elt ~off ~depth:(depth + 1)
+      |> List.map (fun (p, lo, hi) -> (Layout.Index :: p, lo, hi))
+    | _ -> []
+
+let prop_narrow_agrees_with_reference =
+  QCheck.Test.make ~count:200
+    ~name:"narrow agrees with direct offset computation" arb_ty
+    (fun (env, ty) ->
+      let l = Layout.build env ty in
+      let size = Ctype.sizeof env ty in
+      let base = 0x8000L in
+      enum_paths env ty ~off:0 ~depth:0
+      |> List.for_all (fun (path, lo, hi) ->
+             match Layout.index_of_path l path with
+             | None -> false
+             | Some idx -> (
+               (* probe with a pointer at the subobject start *)
+               let addr = Int64.add base (Int64.of_int lo) in
+               match Layout.narrow l ~obj_base:base ~obj_size:size ~addr ~index:idx with
+               | None -> false
+               | Some (nlo, nhi) ->
+                 (* the narrowed bounds contain the reference subobject;
+                    for arrays the table element covers the whole array,
+                    so containment (not equality) is the invariant *)
+                 Int64.compare nlo (Int64.add base (Int64.of_int lo)) <= 0
+                 && Int64.compare (Int64.add base (Int64.of_int hi)) nhi <= 0
+                 && Int64.compare base nlo <= 0
+                 && Int64.compare nhi (Int64.add base (Int64.of_int size)) <= 0)))
+
+let prop_memory_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"layout tables round-trip through memory"
+    arb_ty (fun (env, ty) ->
+      let l = Layout.build env ty in
+      if Layout.length l <= 1 then true
+      else begin
+        let mem = Memory.create () in
+        Memory.map mem ~base:0x200000L ~size:(1 lsl 16);
+        Memory.map mem ~base:0x300000L ~size:4096;
+        let meta =
+          Meta.create ~memory:mem ~mac_key:1L
+            ~layout_region:(0x200000L, 1 lsl 16)
+            ~global_table:(0x300000L, 16)
+        in
+        let ptr = Meta.intern_layout meta env ty in
+        Meta.layout_count meta ptr = Layout.length l
+        && List.for_all
+             (fun i ->
+               let a = Meta.read_element meta ptr i in
+               let b = Layout.get l i in
+               a.Layout.parent = b.Layout.parent
+               && a.base = b.base && a.bound = b.bound
+               && a.elem_size = b.elem_size)
+             (List.init (Layout.length l) Fun.id)
+      end)
+
+let prop_walk_steps_bounded =
+  QCheck.Test.make ~count:300 ~name:"walker chain length bounded by depth"
+    arb_ty (fun (env, ty) ->
+      let l = Layout.build env ty in
+      List.for_all
+        (fun i -> Layout.walk_steps l ~index:i <= Layout.length l)
+        (List.init (Layout.length l) Fun.id))
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_preorder_parents;
+    QCheck_alcotest.to_alcotest prop_bounds_well_formed;
+    QCheck_alcotest.to_alcotest prop_element0_is_object;
+    QCheck_alcotest.to_alcotest prop_narrow_agrees_with_reference;
+    QCheck_alcotest.to_alcotest prop_memory_roundtrip;
+    QCheck_alcotest.to_alcotest prop_walk_steps_bounded;
+  ]

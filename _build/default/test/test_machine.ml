@@ -1,0 +1,130 @@
+(* Tests for the simulated memory and the L1 cache model. *)
+
+open Core
+
+let mapped_mem () =
+  let m = Memory.create () in
+  Memory.map m ~base:0x1000L ~size:65536;
+  m
+
+let test_rw_roundtrip () =
+  let m = mapped_mem () in
+  Memory.write_u8 m 0x1000L 0xAB;
+  Alcotest.(check int) "u8" 0xAB (Memory.read_u8 m 0x1000L);
+  Memory.write_u16 m 0x1010L 0xBEEF;
+  Alcotest.(check int) "u16" 0xBEEF (Memory.read_u16 m 0x1010L);
+  Memory.write_u32 m 0x1020L 0xDEADBEEFL;
+  Alcotest.(check int64) "u32" 0xDEADBEEFL (Memory.read_u32 m 0x1020L);
+  Memory.write_u64 m 0x1030L 0x0123456789ABCDEFL;
+  Alcotest.(check int64) "u64" 0x0123456789ABCDEFL (Memory.read_u64 m 0x1030L)
+
+let test_little_endian () =
+  let m = mapped_mem () in
+  Memory.write_u32 m 0x1000L 0x11223344L;
+  Alcotest.(check int) "LSB first" 0x44 (Memory.read_u8 m 0x1000L);
+  Alcotest.(check int) "MSB last" 0x11 (Memory.read_u8 m 0x1003L)
+
+let test_cross_page () =
+  let m = mapped_mem () in
+  (* straddle the boundary between two pages *)
+  let a = Int64.of_int ((0x2000 - 4) + 0) in
+  Memory.write_u64 m a 0xCAFEBABE12345678L;
+  Alcotest.(check int64) "cross-page u64" 0xCAFEBABE12345678L (Memory.read_u64 m a)
+
+let test_unmapped_faults () =
+  let m = mapped_mem () in
+  Alcotest.check_raises "read fault"
+    (Memory.Fault (Memory.Unmapped, 0x999999L))
+    (fun () -> ignore (Memory.read_u8 m 0x999999L));
+  Alcotest.check_raises "write fault"
+    (Memory.Fault (Memory.Unmapped, 0x999999L))
+    (fun () -> Memory.write_u8 m 0x999999L 1)
+
+let test_unmap () =
+  let m = mapped_mem () in
+  Memory.write_u64 m 0x1000L 42L;
+  Memory.unmap m ~base:0x1000L ~size:4096;
+  Alcotest.(check bool) "not mapped" false (Memory.is_mapped m 0x1000L);
+  Alcotest.check_raises "fault after unmap"
+    (Memory.Fault (Memory.Unmapped, 0x1000L))
+    (fun () -> ignore (Memory.read_u8 m 0x1000L))
+
+let test_zero_fill () =
+  let m = mapped_mem () in
+  Alcotest.(check int64) "fresh page zero" 0L (Memory.read_u64 m 0x1FF8L)
+
+let test_strings () =
+  let m = mapped_mem () in
+  Memory.blit_string m 0x1100L "hello";
+  Alcotest.(check string) "blit/read" "hello"
+    (Memory.read_string m 0x1100L ~len:5)
+
+let test_tag_bits_ignored () =
+  let m = mapped_mem () in
+  (* the upper 16 bits of an address are not part of the location *)
+  let tagged = Int64.logor 0x1200L (Int64.shift_left 0xABCDL 48) in
+  Memory.write_u64 m tagged 7L;
+  Alcotest.(check int64) "tag-stripped access" 7L (Memory.read_u64 m 0x1200L)
+
+let prop_rw_any =
+  QCheck.Test.make ~count:300 ~name:"write then read returns the value"
+    QCheck.(triple (int_bound 65528) int64 (int_range 0 3))
+    (fun (off, value, szsel) ->
+      let m = mapped_mem () in
+      let bytes = [| 1; 2; 4; 8 |].(szsel) in
+      let a = Int64.add 0x1000L (Int64.of_int off) in
+      let v = Int64.logand value (Bits.mask (8 * bytes - 1)) in
+      Memory.write_size m a ~bytes v;
+      Int64.equal (Memory.read_size m a ~bytes) v)
+
+let test_cache_hit_miss () =
+  let c = Cache.create () in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0x1000L Cache.Load);
+  Alcotest.(check bool) "warm hit" true (Cache.access c 0x1000L Cache.Load);
+  Alcotest.(check bool) "same line hit" true (Cache.access c 0x103FL Cache.Load);
+  Alcotest.(check bool) "next line miss" false (Cache.access c 0x1040L Cache.Load);
+  Alcotest.(check int) "accesses" 4 (Cache.accesses c);
+  Alcotest.(check int) "misses" 2 (Cache.misses c)
+
+let test_cache_lru_eviction () =
+  (* tiny cache: 2 ways x 1 set of 64-byte lines *)
+  let c = Cache.create ~size_bytes:128 ~ways:2 ~line_bytes:64 () in
+  ignore (Cache.access c 0x0L Cache.Load);
+  ignore (Cache.access c 0x40L Cache.Load);
+  ignore (Cache.access c 0x0L Cache.Load);
+  (* fills the set; evicts 0x40 (LRU), not 0x0 *)
+  ignore (Cache.access c 0x80L Cache.Load);
+  Alcotest.(check bool) "0x0 still resident" true (Cache.access c 0x0L Cache.Load);
+  Alcotest.(check bool) "0x40 evicted" false (Cache.access c 0x40L Cache.Load)
+
+let test_cache_range () =
+  let c = Cache.create () in
+  (* an 8-byte access crossing a line boundary touches two lines *)
+  let misses = Cache.access_range c 0x103CL ~bytes:8 Cache.Load in
+  Alcotest.(check int) "two cold lines" 2 misses;
+  let misses = Cache.access_range c 0x103CL ~bytes:8 Cache.Load in
+  Alcotest.(check int) "warm" 0 misses
+
+let test_cache_flush () =
+  let c = Cache.create () in
+  ignore (Cache.access c 0x1000L Cache.Load);
+  Cache.flush c;
+  Alcotest.(check int) "stats reset" 0 (Cache.accesses c);
+  Alcotest.(check bool) "cold again" false (Cache.access c 0x1000L Cache.Load)
+
+let tests =
+  [
+    Alcotest.test_case "rw roundtrip" `Quick test_rw_roundtrip;
+    Alcotest.test_case "little endian" `Quick test_little_endian;
+    Alcotest.test_case "cross page access" `Quick test_cross_page;
+    Alcotest.test_case "unmapped faults" `Quick test_unmapped_faults;
+    Alcotest.test_case "unmap" `Quick test_unmap;
+    Alcotest.test_case "zero fill" `Quick test_zero_fill;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "tag bits ignored" `Quick test_tag_bits_ignored;
+    QCheck_alcotest.to_alcotest prop_rw_any;
+    Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache range access" `Quick test_cache_range;
+    Alcotest.test_case "cache flush" `Quick test_cache_flush;
+  ]

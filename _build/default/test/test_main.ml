@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "infat-pointer"
+    [
+      ("util", Test_util.tests);
+      ("machine", Test_machine.tests);
+      ("types", Test_types.tests);
+      ("layout-random", Test_layout_random.tests);
+      ("isa", Test_isa.tests);
+      ("metadata", Test_metadata.tests);
+      ("alloc", Test_alloc.tests);
+      ("compiler", Test_compiler.tests);
+      ("vm", Test_vm.tests);
+      ("pipeline", Test_pipeline.tests);
+      ("workloads", Test_workloads.tests);
+      ("juliet", Test_juliet.tests);
+      ("models", Test_models.tests);
+      ("extensions", Test_extensions.tests);
+      ("differential", Test_differential.tests);
+      ("lexer", Test_lexer.tests);
+      ("parser", Test_parser.tests);
+      ("trace-report", Test_trace_report.tests);
+      ("guarantees", Test_guarantees.tests);
+    ]

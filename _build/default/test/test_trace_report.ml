@@ -1,0 +1,99 @@
+(* Tests for the VM event trace and the Report evaluation harness. *)
+
+open Core
+open Ir
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "S";
+      fields =
+        [
+          { fname = "data"; fty = Ctype.Array (Ctype.I64, 4) };
+          { fname = "guard"; fty = Ctype.I64 };
+        ];
+    }
+
+let sp = Ctype.Ptr (Ctype.Struct "S")
+
+let prog ~off =
+  let gv = global "g" sp in
+  program ~tenv ~globals:[ gv ]
+    [
+      func "main" [] Ctype.I64
+        [
+          Let ("p", sp, Malloc (Ctype.Struct "S", i 1));
+          Store_global ("g", v "p");
+          Let ("q", sp, Load_global "g");
+          Store (Ctype.I64, Gep (Ctype.Struct "S", v "q", [ fld "data"; at (i off) ]), i 1);
+          Free (v "p");
+          Return (Some (i 0));
+        ];
+    ]
+
+let test_trace_collects_promotes () =
+  let cfg = { Vm.ifp_subheap with trace_limit = 16 } in
+  let r = Vm.run ~config:cfg (prog ~off:1) in
+  let promotes =
+    List.filter (function Vm.T_promote _ -> true | _ -> false) r.Vm.trace
+  in
+  Alcotest.(check bool) "at least one promote traced" true (promotes <> []);
+  (* the traced promote retrieved metadata *)
+  Alcotest.(check bool) "outcome recorded" true
+    (List.exists
+       (function
+         | Vm.T_promote { outcome; _ } ->
+           String.length outcome >= 9 && String.sub outcome 0 9 = "retrieved"
+         | _ -> false)
+       r.Vm.trace)
+
+let test_trace_records_trap () =
+  let cfg = { Vm.ifp_subheap with trace_limit = 16 } in
+  let r = Vm.run ~config:cfg (prog ~off:4) in
+  (match r.Vm.outcome with
+  | Vm.Trapped _ -> ()
+  | _ -> Alcotest.fail "expected trap");
+  match List.rev r.Vm.trace with
+  | Vm.T_trap _ :: _ -> ()
+  | _ -> Alcotest.fail "trace should end with the trap"
+
+let test_trace_off_by_default () =
+  let r = Vm.run ~config:Vm.ifp_subheap (prog ~off:1) in
+  Alcotest.(check (list reject)) "no trace" [] (List.map (fun _ -> ()) r.Vm.trace)
+  [@@warning "-33"]
+
+let test_trace_limit_respected () =
+  let cfg = { Vm.ifp_subheap with trace_limit = 2 } in
+  let r = Vm.run ~config:cfg (prog ~off:1) in
+  Alcotest.(check bool) "at most 2 events" true (List.length r.Vm.trace <= 2)
+
+let test_report_row () =
+  let row = Report.evaluate ~name:"tiny" (prog ~off:1) in
+  Alcotest.(check (list (pair string string))) "all variants clean" []
+    (Report.check_outcomes row);
+  let ov = Report.runtime_overhead ~baseline:row.baseline row.subheap in
+  Alcotest.(check bool) "overhead sane" true (ov > 0.5 && ov < 10.0);
+  let io = Report.instr_overhead ~baseline:row.baseline row.wrapped in
+  Alcotest.(check bool) "instr overhead >= 1" true (io >= 1.0);
+  let mo = Report.memory_overhead ~baseline:row.baseline row.wrapped in
+  Alcotest.(check bool) "memory overhead positive" true (mo > 0.0)
+
+let test_report_flags_traps () =
+  let row = Report.evaluate ~name:"bad" (prog ~off:4) in
+  (* baseline finishes, IFP variants trap: check_outcomes reports them *)
+  let bad = Report.check_outcomes row in
+  Alcotest.(check bool) "ifp variants flagged" true
+    (List.mem_assoc "subheap" bad && List.mem_assoc "wrapped" bad);
+  Alcotest.(check bool) "baseline not flagged" true
+    (not (List.mem_assoc "baseline" bad))
+
+let tests =
+  [
+    Alcotest.test_case "trace collects promotes" `Quick
+      test_trace_collects_promotes;
+    Alcotest.test_case "trace records trap" `Quick test_trace_records_trap;
+    Alcotest.test_case "trace off by default" `Quick test_trace_off_by_default;
+    Alcotest.test_case "trace limit" `Quick test_trace_limit_respected;
+    Alcotest.test_case "report row" `Quick test_report_row;
+    Alcotest.test_case "report flags traps" `Quick test_report_flags_traps;
+  ]

@@ -1,0 +1,204 @@
+(* Tests for the C type model and the layout-table generator, including
+   the paper's Fig. 9 example verified element by element. *)
+
+open Core
+
+let tenv_fig9 =
+  (* struct S { int v1; struct NestedTy { int v3; int v4; } array[2];
+       int v5; }  (paper Fig. 9a) *)
+  let t = Ctype.empty_tenv in
+  let t =
+    Ctype.declare t
+      {
+        Ctype.sname = "NestedTy";
+        fields =
+          [ { fname = "v3"; fty = Ctype.I32 }; { fname = "v4"; fty = Ctype.I32 } ];
+      }
+  in
+  Ctype.declare t
+    {
+      Ctype.sname = "S";
+      fields =
+        [
+          { fname = "v1"; fty = Ctype.I32 };
+          { fname = "array"; fty = Ctype.Array (Ctype.Struct "NestedTy", 2) };
+          { fname = "v5"; fty = Ctype.I32 };
+        ];
+    }
+
+let s_ty = Ctype.Struct "S"
+
+let test_sizeof_align () =
+  Alcotest.(check int) "sizeof S = 24" 24 (Ctype.sizeof tenv_fig9 s_ty);
+  Alcotest.(check int) "sizeof NestedTy" 8
+    (Ctype.sizeof tenv_fig9 (Ctype.Struct "NestedTy"));
+  Alcotest.(check int) "align S" 4 (Ctype.alignof tenv_fig9 s_ty);
+  Alcotest.(check int) "sizeof ptr" 8 (Ctype.sizeof tenv_fig9 (Ctype.Ptr s_ty));
+  Alcotest.(check int) "array size" 48
+    (Ctype.sizeof tenv_fig9 (Ctype.Array (s_ty, 2)))
+
+let test_padding () =
+  let t =
+    Ctype.declare Ctype.empty_tenv
+      {
+        Ctype.sname = "P";
+        fields =
+          [ { fname = "c"; fty = Ctype.I8 }; { fname = "x"; fty = Ctype.I64 } ];
+      }
+  in
+  Alcotest.(check int) "padded size" 16 (Ctype.sizeof t (Ctype.Struct "P"));
+  let off, _ = Ctype.field_offset t "P" "x" in
+  Alcotest.(check int) "aligned field" 8 off
+
+let test_field_offsets () =
+  let check name expected =
+    let off, _ = Ctype.field_offset tenv_fig9 "S" name in
+    Alcotest.(check int) name expected off
+  in
+  check "v1" 0;
+  check "array" 4;
+  check "v5" 20;
+  Alcotest.check_raises "unknown field" Not_found (fun () ->
+      ignore (Ctype.field_offset tenv_fig9 "S" "nope"))
+
+let test_recursive_struct () =
+  let t =
+    Ctype.declare Ctype.empty_tenv
+      {
+        Ctype.sname = "node";
+        fields =
+          [
+            { fname = "v"; fty = Ctype.I64 };
+            { fname = "next"; fty = Ctype.Ptr (Ctype.Struct "node") };
+          ];
+      }
+  in
+  Alcotest.(check int) "recursive via pointer" 16
+    (Ctype.sizeof t (Ctype.Struct "node"))
+
+(* ---- layout tables (Fig. 9b) ---- *)
+
+let layout_fig9 () = Layout.build tenv_fig9 s_ty
+
+let test_fig9_table () =
+  let l = layout_fig9 () in
+  Alcotest.(check int) "6 elements" 6 (Layout.length l);
+  let e i = Layout.get l i in
+  let check i ~parent ~base ~bound ~size =
+    let el = e i in
+    Alcotest.(check (list int))
+      (Printf.sprintf "element %d" i)
+      [ parent; base; bound; size ]
+      [ el.Layout.parent; el.base; el.bound; el.elem_size ]
+  in
+  (* exactly the paper's Fig. 9b *)
+  check 0 ~parent:0 ~base:0 ~bound:24 ~size:24;
+  check 1 ~parent:0 ~base:0 ~bound:4 ~size:4;
+  check 2 ~parent:0 ~base:4 ~bound:20 ~size:8;
+  check 3 ~parent:2 ~base:0 ~bound:4 ~size:4;
+  check 4 ~parent:2 ~base:4 ~bound:8 ~size:4;
+  check 5 ~parent:0 ~base:20 ~bound:24 ~size:4
+
+let test_index_of_path () =
+  let l = layout_fig9 () in
+  let check path expected =
+    Alcotest.(check (option int)) "path index" expected (Layout.index_of_path l path)
+  in
+  check [] (Some 0);
+  check [ Layout.Field "v1" ] (Some 1);
+  check [ Layout.Field "array" ] (Some 2);
+  check [ Layout.Field "array"; Layout.Index ] (Some 2);
+  check [ Layout.Field "array"; Layout.Index; Layout.Field "v3" ] (Some 3);
+  check [ Layout.Field "array"; Layout.Index; Layout.Field "v4" ] (Some 4);
+  check [ Layout.Field "v5" ] (Some 5);
+  check [ Layout.Field "nope" ] None
+
+let test_narrow_fig9 () =
+  let l = layout_fig9 () in
+  let base = 0x1000L in
+  (* pointer to S.array[1].v3: offset 4 + 8 + 0 = 12 *)
+  let addr = Int64.add base 12L in
+  (match Layout.narrow l ~obj_base:base ~obj_size:24 ~addr ~index:3 with
+  | Some (lo, hi) ->
+    Alcotest.(check int64) "v3 lo" (Int64.add base 12L) lo;
+    Alcotest.(check int64) "v3 hi" (Int64.add base 16L) hi
+  | None -> Alcotest.fail "narrow failed");
+  (* pointer to S.v5 *)
+  (match Layout.narrow l ~obj_base:base ~obj_size:24 ~addr:(Int64.add base 20L)
+           ~index:5 with
+  | Some (lo, hi) ->
+    Alcotest.(check int64) "v5 lo" (Int64.add base 20L) lo;
+    Alcotest.(check int64) "v5 hi" (Int64.add base 24L) hi
+  | None -> Alcotest.fail "narrow failed");
+  (* whole array keeps array bounds (iteration allowed) *)
+  match Layout.narrow l ~obj_base:base ~obj_size:24 ~addr:(Int64.add base 12L)
+          ~index:2 with
+  | Some (lo, hi) ->
+    Alcotest.(check int64) "array lo" (Int64.add base 4L) lo;
+    Alcotest.(check int64) "array hi" (Int64.add base 20L) hi
+  | None -> Alcotest.fail "narrow failed"
+
+let test_narrow_array_of_struct_snapping () =
+  (* an object that is an array of S (heap array): element 0's stride
+     snaps children to the right S copy *)
+  let l = layout_fig9 () in
+  let base = 0x2000L in
+  (* second copy of S starts at +24; its v5 at +44 *)
+  match Layout.narrow l ~obj_base:base ~obj_size:48 ~addr:(Int64.add base 44L)
+          ~index:5 with
+  | Some (lo, hi) ->
+    Alcotest.(check int64) "snapped v5 lo" (Int64.add base 44L) lo;
+    Alcotest.(check int64) "snapped v5 hi" (Int64.add base 48L) hi
+  | None -> Alcotest.fail "narrow failed"
+
+let test_narrow_out_of_range () =
+  let l = layout_fig9 () in
+  Alcotest.(check bool) "bad index" true
+    (Layout.narrow l ~obj_base:0L ~obj_size:24 ~addr:4L ~index:9 = None);
+  Alcotest.(check bool) "address outside object" true
+    (Layout.narrow l ~obj_base:0L ~obj_size:24 ~addr:100L ~index:1 = None)
+
+let test_walk_steps () =
+  let l = layout_fig9 () in
+  Alcotest.(check int) "element 0 free" 0 (Layout.walk_steps l ~index:0);
+  Alcotest.(check int) "flattened child 1 step" 1 (Layout.walk_steps l ~index:5);
+  Alcotest.(check int) "array child 2 steps" 2 (Layout.walk_steps l ~index:3)
+
+let test_scalar_layout_trivial () =
+  let l = Layout.build Ctype.empty_tenv Ctype.I64 in
+  Alcotest.(check int) "single element" 1 (Layout.length l);
+  let l2 = Layout.build Ctype.empty_tenv (Ctype.Array (Ctype.I32, 16)) in
+  Alcotest.(check int) "scalar array single element" 1 (Layout.length l2)
+
+(* property: for random valid subobject indices, narrowing yields bounds
+   contained in the object and containing the probe address's subobject *)
+let prop_narrow_contained =
+  QCheck.Test.make ~count:200 ~name:"narrowed bounds are within the object"
+    QCheck.(pair (int_bound 5) (int_bound 23))
+    (fun (index, off) ->
+      let l = layout_fig9 () in
+      let base = 0x4000L in
+      let addr = Int64.add base (Int64.of_int off) in
+      match Layout.narrow l ~obj_base:base ~obj_size:24 ~addr ~index with
+      | None -> true
+      | Some (lo, hi) ->
+        Int64.compare base lo <= 0
+        && Int64.compare hi (Int64.add base 24L) <= 0
+        && Int64.compare lo hi < 0)
+
+let tests =
+  [
+    Alcotest.test_case "sizeof/align" `Quick test_sizeof_align;
+    Alcotest.test_case "padding" `Quick test_padding;
+    Alcotest.test_case "field offsets" `Quick test_field_offsets;
+    Alcotest.test_case "recursive struct" `Quick test_recursive_struct;
+    Alcotest.test_case "Fig.9 layout table" `Quick test_fig9_table;
+    Alcotest.test_case "index_of_path" `Quick test_index_of_path;
+    Alcotest.test_case "narrow Fig.9" `Quick test_narrow_fig9;
+    Alcotest.test_case "narrow snaps array-of-struct" `Quick
+      test_narrow_array_of_struct_snapping;
+    Alcotest.test_case "narrow out of range" `Quick test_narrow_out_of_range;
+    Alcotest.test_case "walk steps" `Quick test_walk_steps;
+    Alcotest.test_case "scalar layouts trivial" `Quick test_scalar_layout_trivial;
+    QCheck_alcotest.to_alcotest prop_narrow_contained;
+  ]

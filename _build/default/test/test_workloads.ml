@@ -1,0 +1,136 @@
+(* Every workload must typecheck, finish under every configuration, and
+   produce the same checksum in all of them (instrumentation must never
+   change program semantics). Structural expectations from the paper's
+   Table 4 are also checked per workload. *)
+
+open Core
+module W = Ifp_workloads.Workload
+module Registry = Ifp_workloads.Registry
+
+let quick_configs =
+  [ ("baseline", Vm.baseline); ("subheap", Vm.ifp_subheap);
+    ("wrapped", Vm.ifp_wrapped); ("subheap-np", Vm.no_promote Vm.Alloc_subheap);
+    ("wrapped-np", Vm.no_promote Vm.Alloc_wrapped) ]
+
+let ret_of name (r : Vm.result) =
+  match r.Vm.outcome with
+  | Vm.Finished x -> x
+  | Vm.Trapped t -> Alcotest.fail (name ^ " trapped: " ^ Trap.to_string t)
+  | Vm.Aborted m -> Alcotest.fail (name ^ " aborted: " ^ m)
+
+let results : (string, (string * Vm.result) list) Hashtbl.t = Hashtbl.create 32
+
+let run_all (wl : W.t) =
+  match Hashtbl.find_opt results wl.name with
+  | Some r -> r
+  | None ->
+    let prog = Lazy.force wl.prog in
+    let r = List.map (fun (n, cfg) -> (n, Vm.run ~config:cfg prog)) quick_configs in
+    Hashtbl.replace results wl.name r;
+    r
+
+let test_checksums (wl : W.t) () =
+  let rs = run_all wl in
+  let base = ret_of wl.name (List.assoc "baseline" rs) in
+  List.iter
+    (fun (cfg_name, r) ->
+      Alcotest.(check int64)
+        (wl.name ^ "/" ^ cfg_name ^ " checksum")
+        base
+        (ret_of (wl.name ^ "/" ^ cfg_name) r))
+    rs
+
+let test_instrumented_runs_do_work (wl : W.t) () =
+  let rs = run_all wl in
+  let sub = List.assoc "subheap" rs in
+  Alcotest.(check bool) (wl.name ^ " executes instructions") true
+    (Counters.total_instrs sub.Vm.counters > 1000);
+  Alcotest.(check bool) (wl.name ^ " allocates or registers objects") true
+    (sub.Vm.counters.heap_objs + sub.Vm.counters.local_objs
+     + sub.Vm.counters.global_objs
+    > 0)
+
+(* paper-profile expectations for selected benchmarks *)
+
+let test_treeadd_profile () =
+  let rs = run_all (Option.get (Registry.find "treeadd")) in
+  let c = (List.assoc "subheap" rs).Vm.counters in
+  (* half of treeadd's promotes see NULL children (Table 4: 50%) *)
+  let total = Counters.promotes_total c in
+  let null_share = float_of_int c.promotes_null /. float_of_int total in
+  Alcotest.(check bool) "about half null" true
+    (null_share > 0.4 && null_share < 0.6);
+  Alcotest.(check bool) "heap objects = tree nodes" true (c.heap_objs = 32767)
+
+let test_coremark_narrowing_fails () =
+  (* CoreMark allocates through a type-erased arena: subobject narrowing
+     must fail back to object bounds (paper §5.2.1) *)
+  let rs = run_all (Option.get (Registry.find "coremark")) in
+  let c = (List.assoc "subheap" rs).Vm.counters in
+  Alcotest.(check int) "no successful narrowing" 0 c.narrows_ok
+
+let test_sjeng_uses_global_table () =
+  let rs = run_all (Option.get (Registry.find "sjeng")) in
+  let c = (List.assoc "subheap" rs).Vm.counters in
+  Alcotest.(check bool) "global object registered" true (c.global_objs >= 1);
+  Alcotest.(check bool) "local move arrays registered" true (c.local_objs > 100)
+
+let test_anagram_sees_legacy_pointers () =
+  let rs = run_all (Option.get (Registry.find "anagram")) in
+  let c = (List.assoc "subheap" rs).Vm.counters in
+  Alcotest.(check bool) "legacy-pointer promotes occur" true
+    (c.promotes_legacy > 0)
+
+let test_subheap_beats_wrapped_on_alloc_heavy () =
+  (* the paper's headline: allocation-heavy tree benchmarks run faster
+     under the subheap allocator than under the wrapped one *)
+  List.iter
+    (fun name ->
+      let rs = run_all (Option.get (Registry.find name)) in
+      let cyc cfg = (List.assoc cfg rs).Vm.counters.Counters.cycles in
+      Alcotest.(check bool) (name ^ ": subheap < wrapped") true
+        (cyc "subheap" < cyc "wrapped"))
+    [ "treeadd"; "perimeter" ]
+
+let test_subheap_memory_win_on_nodes () =
+  List.iter
+    (fun name ->
+      let rs = run_all (Option.get (Registry.find name)) in
+      let fp cfg = (List.assoc cfg rs).Vm.mem_footprint in
+      Alcotest.(check bool) (name ^ ": subheap footprint < baseline") true
+        (fp "subheap" < fp "baseline");
+      Alcotest.(check bool) (name ^ ": wrapped footprint > baseline") true
+        (fp "wrapped" > fp "baseline"))
+    [ "treeadd"; "bisort"; "ft" ]
+
+let test_no_promote_cheaper () =
+  (* disabling metadata access must never be slower *)
+  List.iter
+    (fun (wl : W.t) ->
+      let rs = run_all wl in
+      let cyc cfg = (List.assoc cfg rs).Vm.counters.Counters.cycles in
+      Alcotest.(check bool) (wl.name ^ ": np <= full") true
+        (cyc "subheap-np" <= cyc "subheap"))
+    Registry.all
+
+let tests =
+  List.concat_map
+    (fun (wl : W.t) ->
+      [
+        Alcotest.test_case (wl.name ^ " checksums equal") `Slow (test_checksums wl);
+        Alcotest.test_case (wl.name ^ " does work") `Slow
+          (test_instrumented_runs_do_work wl);
+      ])
+    Registry.all
+  @ [
+      Alcotest.test_case "treeadd profile" `Slow test_treeadd_profile;
+      Alcotest.test_case "coremark narrowing fails" `Slow
+        test_coremark_narrowing_fails;
+      Alcotest.test_case "sjeng global table" `Slow test_sjeng_uses_global_table;
+      Alcotest.test_case "anagram legacy promotes" `Slow
+        test_anagram_sees_legacy_pointers;
+      Alcotest.test_case "subheap wins on alloc-heavy" `Slow
+        test_subheap_beats_wrapped_on_alloc_heavy;
+      Alcotest.test_case "subheap memory win" `Slow test_subheap_memory_win_on_nodes;
+      Alcotest.test_case "no-promote cheaper" `Slow test_no_promote_cheaper;
+    ]
