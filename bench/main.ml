@@ -182,6 +182,30 @@ let tests =
              Ifp_baselines.Baselines.all));
     run_bench "ablation/no_promote" (Vm.no_promote Vm.Alloc_subheap);
     run_bench "ablation/wrapped_allocator" Vm.ifp_wrapped;
+    (* campaign.* — the orchestration layer's own hot paths: content
+       digesting (paid once per job per run) and a cache round-trip
+       (what a warm `ifp_experiments all` consists of) *)
+    Test.make ~name:"campaign/job_digest"
+      (Staged.stage (fun () ->
+           let job =
+             Ifp_campaign.Job.make ~name:"bench/subheap" ~group:"bench"
+               ~variant:"subheap" ~config:Vm.ifp_subheap
+               (Lazy.force small_prog)
+           in
+           ignore (Ifp_campaign.Job.digest job)));
+    Test.make ~name:"campaign/cache_roundtrip"
+      (Staged.stage
+         (let dir =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "ifp-bench-cache-%d" (Unix.getpid ()))
+          in
+          let cache = Ifp_campaign.Cache.create ~dir in
+          let result = Vm.run ~config:Vm.ifp_subheap (Lazy.force small_prog) in
+          let digest = String.make 32 'a' in
+          fun () ->
+            Ifp_campaign.Cache.store cache ~digest ~job_name:"bench" result;
+            ignore (Ifp_campaign.Cache.find cache ~digest)));
   ]
 
 let () =

@@ -7,30 +7,238 @@
      fig13     — hardware area model (Fig. 13)
      baselines — comparator schemes on the same runs (Table 1 / §5.2.2)
      juliet    — functional evaluation summary (§5.1)
-     all       — everything above *)
+     all       — everything above
+
+   All VM runs are dispatched through the lib/campaign engine: the
+   workload x config matrix is expanded into content-addressed jobs,
+   executed on `-j N` worker domains, served from the on-disk result
+   cache when unchanged, and observable through a JSONL event log. The
+   tables printed on stdout are byte-identical for any `-j`; an
+   end-of-run aggregate is written to BENCH_experiments.json.
+
+   Usage: ifp_experiments [TARGET] [-j N] [--cache-dir DIR] [--no-cache]
+                          [--log FILE] [--no-log] [--retries N]
+                          [--bench-out FILE] *)
 
 open Core
 module W = Ifp_workloads.Workload
 module Registry = Ifp_workloads.Registry
 module Table = Ifp_util.Table
+module Job = Ifp_campaign.Job
+module Engine = Ifp_campaign.Engine
+module Rcache = Ifp_campaign.Cache
+module Events = Ifp_campaign.Events
 
-let rows : (string, Report.row) Hashtbl.t = Hashtbl.create 32
+(* ---------------- options ---------------- *)
 
-let row_of (wl : W.t) =
-  match Hashtbl.find_opt rows wl.name with
-  | Some r -> r
-  | None ->
-    let prog = Lazy.force wl.prog in
-    let r = Report.evaluate ~name:wl.name prog in
-    (match Report.check_outcomes r with
-    | [] -> ()
-    | bad ->
-      List.iter
-        (fun (vname, why) ->
-          Printf.eprintf "WARNING: %s/%s did not finish: %s\n%!" wl.name vname why)
-        bad);
-    Hashtbl.replace rows wl.name r;
-    r
+type opts = {
+  target : string;
+  workers : int;
+  cache_dir : string option;
+  log_path : string option;
+  bench_out : string;
+  retries : int;
+}
+
+let default_opts =
+  {
+    target = "all";
+    workers = 1;
+    cache_dir = Some ".ifp-cache";
+    log_path = Some "campaign.jsonl";
+    bench_out = "BENCH_experiments.json";
+    retries = 2;
+  }
+
+let usage () =
+  prerr_endline
+    "usage: ifp_experiments [TARGET] [-j N] [--cache-dir DIR] [--no-cache]\n\
+    \                       [--log FILE] [--no-log] [--retries N]\n\
+    \                       [--bench-out FILE]\n\
+     TARGET: all table2 table4 fig10 fig11 fig12 fig13 baselines extensions\n\
+    \        juliet  (default: all)";
+  exit 1
+
+let parse_opts argv =
+  let o = ref default_opts in
+  let i = ref 1 in
+  let next what =
+    incr i;
+    if !i >= Array.length argv then (
+      Printf.eprintf "missing argument to %s\n" what;
+      usage ())
+    else argv.(!i)
+  in
+  let int_arg what =
+    let s = next what in
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> n
+    | _ ->
+      Printf.eprintf "bad %s argument %S\n" what s;
+      usage ()
+  in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "-j" | "--jobs" -> o := { !o with workers = max 1 (int_arg "-j") }
+    | "--cache-dir" -> o := { !o with cache_dir = Some (next "--cache-dir") }
+    | "--no-cache" -> o := { !o with cache_dir = None }
+    | "--log" -> o := { !o with log_path = Some (next "--log") }
+    | "--no-log" -> o := { !o with log_path = None }
+    | "--retries" -> o := { !o with retries = int_arg "--retries" }
+    | "--bench-out" -> o := { !o with bench_out = next "--bench-out" }
+    | "-h" | "--help" -> usage ()
+    | s when String.length s > 0 && s.[0] = '-' ->
+      Printf.eprintf "unknown option %s\n" s;
+      usage ()
+    | target -> o := { !o with target });
+    incr i
+  done;
+  !o
+
+(* ---------------- the job matrix ---------------- *)
+
+let row_jobs () =
+  List.concat_map
+    (fun (wl : W.t) ->
+      let prog = Lazy.force wl.prog in
+      List.map
+        (fun (vname, config) ->
+          Job.make
+            ~name:(wl.name ^ "/" ^ vname)
+            ~group:wl.name ~variant:vname ~config prog)
+        Report.variants)
+    Registry.all
+
+let juliet_cases = lazy (Ifp_juliet.Juliet.all_cases ())
+
+let juliet_configs =
+  [
+    ("baseline", Vm.baseline);
+    ("wrapped", Vm.ifp_wrapped);
+    ("subheap", Vm.ifp_subheap);
+    ("subheap-np", Vm.no_promote Vm.Alloc_subheap);
+  ]
+
+(* the §5.3 walker ablation compares full narrowing against none *)
+let juliet_ext_configs =
+  [
+    ("subheap", Vm.ifp_subheap);
+    ("no-narrowing", Vm.no_narrowing Vm.Alloc_subheap);
+  ]
+
+let juliet_job_name case_id which cname =
+  Printf.sprintf "juliet/%s/%s/%s" case_id which cname
+
+let juliet_jobs cfgs =
+  List.concat_map
+    (fun (c : Ifp_juliet.Juliet.case) ->
+      List.concat_map
+        (fun (cname, config) ->
+          [
+            Job.make
+              ~name:(juliet_job_name c.id "bad" cname)
+              ~group:("juliet/" ^ c.id) ~variant:cname ~config c.bad;
+            Job.make
+              ~name:(juliet_job_name c.id "good" cname)
+              ~group:("juliet/" ^ c.id) ~variant:cname ~config c.good;
+          ])
+        cfgs)
+    (Lazy.force juliet_cases)
+
+let infer_workloads = [ "wolfcrypt-dh"; "health"; "coremark" ]
+
+let extensions_jobs () =
+  let wl name = Option.get (Registry.find name) in
+  let mixed =
+    List.concat_map
+      (fun name ->
+        let prog = Lazy.force (wl name).W.prog in
+        List.map
+          (fun (vname, config) ->
+            Job.make ~name:(name ^ "/" ^ vname) ~group:name ~variant:vname
+              ~config prog)
+          [
+            ("subheap", Vm.ifp_subheap);
+            ("mixed", Vm.ifp_mixed);
+            ("wrapped", Vm.ifp_wrapped);
+          ])
+      [ "em3d"; "treeadd" ]
+  in
+  let infer =
+    List.concat_map
+      (fun name ->
+        let prog = Lazy.force (wl name).W.prog in
+        [
+          Job.make ~name:(name ^ "/subheap") ~group:name ~variant:"subheap"
+            ~config:Vm.ifp_subheap prog;
+          Job.make ~name:(name ^ "/subheap-infer") ~group:name
+            ~variant:"subheap-infer"
+            ~config:{ Vm.ifp_subheap with infer_alloc_types = true }
+            prog;
+        ])
+      infer_workloads
+  in
+  mixed @ infer @ juliet_jobs juliet_ext_configs
+
+let jobs_for_target = function
+  | "table2" | "fig13" -> []
+  | "table4" | "fig10" | "fig11" | "fig12" | "baselines" -> row_jobs ()
+  | "extensions" -> extensions_jobs ()
+  | "juliet" -> juliet_jobs juliet_configs
+  | "all" -> row_jobs () @ extensions_jobs () @ juliet_jobs juliet_configs
+  | other ->
+    Printf.eprintf "unknown experiment %s\n" other;
+    usage ()
+
+(* identical (program, config) work submitted under two labels — e.g.
+   em3d/subheap appearing in both the row matrix and the extensions set —
+   is deduplicated by name before dispatch *)
+let dedupe_jobs jobs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (j : Job.t) ->
+      if Hashtbl.mem seen j.name then false
+      else (
+        Hashtbl.add seen j.name ();
+        true))
+    jobs
+
+(* ---------------- campaign-backed result lookup ---------------- *)
+
+type ctx = { outcomes : (string, Engine.outcome) Hashtbl.t }
+
+(* serve a result from the campaign; a job that failed at the engine
+   level yields a visible Aborted placeholder, and a lookup outside the
+   campaign's scope (defensive — should not happen) falls back to a
+   serial in-process run *)
+let result_of ctx name ~config ~prog =
+  match Hashtbl.find_opt ctx.outcomes name with
+  | Some { Engine.result = Some r; _ } -> r
+  | Some { Engine.status = Engine.Failed why; _ } ->
+    Report.aborted_result ("campaign job failed: " ^ why)
+  | Some { Engine.result = None; _ } ->
+    Report.aborted_result "campaign job produced no result"
+  | None -> Vm.run ~config prog
+
+let row_of ctx (wl : W.t) =
+  let prog = Lazy.force wl.prog in
+  Report.of_results ~name:wl.name
+    ~lookup:(fun vname ->
+      let config = List.assoc vname Report.variants in
+      result_of ctx (wl.name ^ "/" ^ vname) ~config ~prog)
+
+let juliet_run ctx cname config (c : Ifp_juliet.Juliet.case) which =
+  let name, prog =
+    match which with
+    | `Bad -> (juliet_job_name c.id "bad" cname, c.bad)
+    | `Good -> (juliet_job_name c.id "good" cname, c.good)
+  in
+  result_of ctx name ~config ~prog
+
+let juliet_run_all ctx (cname, config) =
+  Ifp_juliet.Juliet.run_all_with
+    ~run:(juliet_run ctx cname config)
+    (Lazy.force juliet_cases)
 
 let fmt_x r = Printf.sprintf "%.2fx" r
 let fmt_pct r = Ifp_util.Stats.percent r
@@ -69,17 +277,17 @@ let table2 () =
 
 (* ---------------- Table 4 ---------------- *)
 
-let table4 () =
+let table4 ctx =
   print_endline
     "== Table 4: object instrumentation, valid promotes, dynamic instructions ==";
   let header =
     [ "benchmark"; "glob(LT%)"; "local(LT%)"; "heap(LT%)"; "valid promote";
-      "(% of promotes)"; "baseline instrs"; "subheap"; "wrapped" ]
+      "(% of promotes)"; "baseline instrs"; "subheap"; "wrapped"; "status" ]
   in
   let body =
     List.map
       (fun (wl : W.t) ->
-        let r = row_of wl in
+        let r = row_of ctx wl in
         let c = r.subheap.Vm.counters in
         let pct a b = if b = 0 then "-" else Printf.sprintf "%d%%" (100 * a / b) in
         let objs n lt = if n = 0 then "0" else sci n ^ " (" ^ pct lt n ^ ")" in
@@ -95,6 +303,7 @@ let table4 () =
           sci base_instrs;
           fmt_x (Report.instr_overhead ~baseline:r.baseline r.subheap);
           fmt_x (Report.instr_overhead ~baseline:r.baseline r.wrapped);
+          Report.status_string r;
         ])
       Registry.all
   in
@@ -103,7 +312,7 @@ let table4 () =
     Ifp_util.Stats.geomean
       (List.map
          (fun (wl : W.t) ->
-           let r = row_of wl in
+           let r = row_of ctx wl in
            Report.instr_overhead ~baseline:r.baseline (sel r))
          Registry.all)
   in
@@ -115,17 +324,18 @@ let table4 () =
 
 (* ---------------- Fig 10 ---------------- *)
 
-let fig10 () =
+let fig10 ctx =
   print_endline "== Figure 10: runtime overhead (cycles vs baseline) ==";
   let header =
-    [ "benchmark"; "subheap"; "wrapped"; "subheap-np"; "wrapped-np" ]
+    [ "benchmark"; "subheap"; "wrapped"; "subheap-np"; "wrapped-np"; "status" ]
   in
   let body =
     List.map
       (fun (wl : W.t) ->
-        let r = row_of wl in
+        let r = row_of ctx wl in
         let ov x = fmt_pct (Report.runtime_overhead ~baseline:r.baseline x) in
-        [ wl.name; ov r.subheap; ov r.wrapped; ov r.subheap_np; ov r.wrapped_np ])
+        [ wl.name; ov r.subheap; ov r.wrapped; ov r.subheap_np;
+          ov r.wrapped_np; Report.status_string r ])
       Registry.all
   in
   Table.print ~header body;
@@ -133,7 +343,7 @@ let fig10 () =
     Ifp_util.Stats.geomean
       (List.map
          (fun (wl : W.t) ->
-           let r = row_of wl in
+           let r = row_of ctx wl in
            Report.runtime_overhead ~baseline:r.baseline (sel r))
          Registry.all)
   in
@@ -147,7 +357,7 @@ let fig10 () =
 
 (* ---------------- Fig 11 ---------------- *)
 
-let fig11 () =
+let fig11 ctx =
   print_endline
     "== Figure 11: dynamic counts of In-Fat Pointer instructions (subheap) ==";
   let header =
@@ -156,7 +366,7 @@ let fig11 () =
   let body =
     List.map
       (fun (wl : W.t) ->
-        let r = row_of wl in
+        let r = row_of ctx wl in
         let c = r.subheap.Vm.counters in
         let n k = Counters.ifp_count c k in
         let promote = n Insn.Promote in
@@ -183,20 +393,20 @@ let fig11 () =
    cutoff is 16 KiB of baseline footprint *)
 let fig12_cutoff = 16 * 1024
 
-let fig12 () =
+let fig12 ctx =
   print_endline "== Figure 12: memory overhead (max footprint vs baseline) ==";
   let header = [ "benchmark"; "subheap"; "wrapped" ] in
   let included, excluded =
     List.partition
       (fun (wl : W.t) ->
-        (row_of wl).baseline.Vm.mem_footprint >= fig12_cutoff)
+        (row_of ctx wl).baseline.Vm.mem_footprint >= fig12_cutoff)
       Registry.all
   in
   let fig12_excluded = List.map (fun (wl : W.t) -> wl.W.name) excluded in
   let body =
     List.map
       (fun (wl : W.t) ->
-        let r = row_of wl in
+        let r = row_of ctx wl in
         let ov x = fmt_pct (Report.memory_overhead ~baseline:r.baseline x) in
         [ wl.name; ov r.subheap; ov r.wrapped ])
       included
@@ -206,7 +416,7 @@ let fig12 () =
     Ifp_util.Stats.geomean
       (List.map
          (fun (wl : W.t) ->
-           let r = row_of wl in
+           let r = row_of ctx wl in
            Report.memory_overhead ~baseline:r.baseline (sel r))
          included)
   in
@@ -249,14 +459,15 @@ let fig13 () =
 
 (* ---------------- Baselines ---------------- *)
 
-let baselines () =
+let baselines ctx =
   print_endline
     "== Comparators (Table 1 / §5.2.2): projected overheads, geo-mean over all benchmarks ==";
   let header =
     [ "scheme"; "instr overhead"; "runtime overhead"; "memory"; "subobject?" ]
   in
   let geo f =
-    Ifp_util.Stats.geomean (List.map (fun (wl : W.t) -> f (row_of wl)) Registry.all)
+    Ifp_util.Stats.geomean
+      (List.map (fun (wl : W.t) -> f (row_of ctx wl)) Registry.all)
   in
   let comparator_rows =
     List.map
@@ -290,7 +501,7 @@ let baselines () =
     Ifp_util.Stats.geomean
       (List.filter_map
          (fun (wl : W.t) ->
-           let r = row_of wl in
+           let r = row_of ctx wl in
            if r.Report.baseline.Vm.mem_footprint < fig12_cutoff then None
            else Some (Report.memory_overhead ~baseline:r.baseline (sel r)))
          Registry.all)
@@ -314,15 +525,12 @@ let baselines () =
 
 (* ---------------- Extensions / ablations ---------------- *)
 
-let extensions () =
+let extensions ctx =
   print_endline
     "== Extensions & ablations (paper future work / §5.3 trade-offs) ==";
   (* A1a: drop the layout-table walker -> object granularity only *)
-  let cases = Ifp_juliet.Juliet.all_cases () in
-  let _, s_full = Ifp_juliet.Juliet.run_all ~config:Vm.ifp_subheap cases in
-  let _, s_nonarrow =
-    Ifp_juliet.Juliet.run_all ~config:(Vm.no_narrowing Vm.Alloc_subheap) cases
-  in
+  let _, s_full = juliet_run_all ctx (List.nth juliet_ext_configs 0) in
+  let _, s_nonarrow = juliet_run_all ctx (List.nth juliet_ext_configs 1) in
   Printf.printf
     "layout-walker ablation (saves %d LUTs in the area model):\n\
     \  full narrowing: %d/%d detected; walker disabled: %d/%d\n\
@@ -336,12 +544,15 @@ let extensions () =
   List.iter
     (fun (wl : W.t) ->
       let prog = Lazy.force wl.prog in
-      let fp cfg = (Vm.run ~config:cfg prog).Vm.mem_footprint in
-      let cyc cfg = (Vm.run ~config:cfg prog).Vm.counters.Counters.cycles in
+      let res vname config = result_of ctx (wl.name ^ "/" ^ vname) ~config ~prog in
+      let sub = res "subheap" Vm.ifp_subheap in
+      let mix = res "mixed" Vm.ifp_mixed in
+      let wrap = res "wrapped" Vm.ifp_wrapped in
+      let fp (r : Vm.result) = r.Vm.mem_footprint in
+      let cyc (r : Vm.result) = r.Vm.counters.Counters.cycles in
       Printf.printf
         "  %-8s footprint: subheap %d / mixed %d / wrapped %d; cycles: %d / %d / %d\n"
-        wl.name (fp Vm.ifp_subheap) (fp Vm.ifp_mixed) (fp Vm.ifp_wrapped)
-        (cyc Vm.ifp_subheap) (cyc Vm.ifp_mixed) (cyc Vm.ifp_wrapped))
+        wl.name (fp sub) (fp mix) (fp wrap) (cyc sub) (cyc mix) (cyc wrap))
     [ em3d; treeadd ];
   (* A1c: allocation-wrapper type inference (§5.2.1 future work) *)
   Printf.printf
@@ -350,54 +561,139 @@ let extensions () =
     (fun name ->
       let wl = Option.get (Registry.find name) in
       let prog = Lazy.force wl.W.prog in
-      let lt cfg =
-        let c = (Vm.run ~config:cfg prog).Vm.counters in
+      let lt vname config =
+        let c = (result_of ctx (name ^ "/" ^ vname) ~config ~prog).Vm.counters in
         (c.Counters.heap_objs_layout, c.Counters.heap_objs)
       in
-      let off_lt, off_n = lt Vm.ifp_subheap in
+      let off_lt, off_n = lt "subheap" Vm.ifp_subheap in
       let on_lt, on_n =
-        lt { Vm.ifp_subheap with infer_alloc_types = true }
+        lt "subheap-infer" { Vm.ifp_subheap with infer_alloc_types = true }
       in
       Printf.printf "  %-14s layout tables: %d/%d objects -> %d/%d with inference\n"
         name off_lt off_n on_lt on_n)
-    [ "wolfcrypt-dh"; "health"; "coremark" ];
+    infer_workloads;
   print_newline ()
 
 (* ---------------- Juliet ---------------- *)
 
-let juliet () =
+let juliet ctx =
   print_endline "== Functional evaluation (§5.1): Juliet-style suite ==";
-  let cases = Ifp_juliet.Juliet.all_cases () in
-  let run name config =
-    let _, s = Ifp_juliet.Juliet.run_all ~config cases in
-    Printf.printf "  %-12s %d/%d bad cases detected, %d good-case failures\n"
-      name s.detected s.total s.good_failures
-  in
-  run "baseline" Vm.baseline;
-  run "wrapped" Vm.ifp_wrapped;
-  run "subheap" Vm.ifp_subheap;
-  run "subheap-np" (Vm.no_promote Vm.Alloc_subheap);
+  List.iter
+    (fun (cname, config) ->
+      let _, s = juliet_run_all ctx (cname, config) in
+      Printf.printf "  %-12s %d/%d bad cases detected, %d good-case failures\n"
+        cname s.Ifp_juliet.Juliet.detected s.total s.good_failures)
+    juliet_configs;
   print_newline ()
 
+(* ---------------- aggregate (BENCH_experiments.json) ---------------- *)
+
+let bench_aggregate ~opts ~(stats : Engine.stats) ctx rows_computed =
+  let open Events in
+  let workloads =
+    if not rows_computed then Null
+    else
+      List
+        (List.map
+           (fun (wl : W.t) ->
+             let r = row_of ctx wl in
+             let ov f = Float (f ~baseline:r.Report.baseline) in
+             Obj
+               [
+                 ("name", String wl.name);
+                 ("status", String (Report.status_string r));
+                 ( "outcomes",
+                   Obj
+                     (List.map
+                        (fun (vname, why) -> (vname, String why))
+                        (Report.check_outcomes r)) );
+                 ("baseline_cycles", Int r.baseline.Vm.counters.Counters.cycles);
+                 ( "baseline_instrs",
+                   Int (Counters.total_instrs r.baseline.Vm.counters) );
+                 ("runtime_overhead_subheap", ov (fun ~baseline -> Report.runtime_overhead ~baseline r.subheap));
+                 ("runtime_overhead_wrapped", ov (fun ~baseline -> Report.runtime_overhead ~baseline r.wrapped));
+                 ("instr_overhead_subheap", ov (fun ~baseline -> Report.instr_overhead ~baseline r.subheap));
+                 ("instr_overhead_wrapped", ov (fun ~baseline -> Report.instr_overhead ~baseline r.wrapped));
+                 ("memory_overhead_subheap", ov (fun ~baseline -> Report.memory_overhead ~baseline r.subheap));
+                 ("memory_overhead_wrapped", ov (fun ~baseline -> Report.memory_overhead ~baseline r.wrapped));
+               ])
+           Registry.all)
+  in
+  let geomean =
+    if not rows_computed then Null
+    else
+      let geo f =
+        Ifp_util.Stats.geomean
+          (List.map (fun (wl : W.t) -> f (row_of ctx wl)) Registry.all)
+      in
+      Obj
+        [
+          ( "runtime_overhead_subheap",
+            Float (geo (fun r -> Report.runtime_overhead ~baseline:r.Report.baseline r.subheap)) );
+          ( "runtime_overhead_wrapped",
+            Float (geo (fun r -> Report.runtime_overhead ~baseline:r.Report.baseline r.wrapped)) );
+          ( "instr_overhead_subheap",
+            Float (geo (fun r -> Report.instr_overhead ~baseline:r.Report.baseline r.subheap)) );
+          ( "instr_overhead_wrapped",
+            Float (geo (fun r -> Report.instr_overhead ~baseline:r.Report.baseline r.wrapped)) );
+        ]
+  in
+  Obj
+    [
+      ("bench", String "ifp_experiments");
+      ("target", String opts.target);
+      ("model_digest", String Job.model_digest);
+      ("campaign", Obj (Engine.stats_json stats));
+      ("events_log", match opts.log_path with Some p -> String p | None -> Null);
+      ("workloads", workloads);
+      ("geomean", geomean);
+    ]
+
+(* ---------------- driver ---------------- *)
+
+let targets_of = function
+  | "all" ->
+    [ "table2"; "table4"; "fig10"; "fig11"; "fig12"; "fig13"; "baselines";
+      "extensions"; "juliet" ]
+  | t -> [ t ]
+
+let needs_rows target =
+  List.exists
+    (fun t ->
+      List.mem t [ "table4"; "fig10"; "fig11"; "fig12"; "baselines" ])
+    (targets_of target)
+
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let opts = parse_opts Sys.argv in
+  let jobs = dedupe_jobs (jobs_for_target opts.target) in
+  let cache = Option.map (fun dir -> Rcache.create ~dir) opts.cache_dir in
+  let log =
+    match opts.log_path with
+    | Some path -> Events.create ~path
+    | None -> Events.null
+  in
+  let outcomes, stats =
+    Engine.run ~workers:opts.workers ?cache ~log ~retries:opts.retries jobs
+  in
+  let ctx = { outcomes = Hashtbl.create (Array.length outcomes * 2) } in
+  Array.iter
+    (fun (o : Engine.outcome) -> Hashtbl.replace ctx.outcomes o.job.Job.name o)
+    outcomes;
   let run = function
     | "table2" -> table2 ()
-    | "table4" -> table4 ()
-    | "fig10" -> fig10 ()
-    | "fig11" -> fig11 ()
-    | "fig12" -> fig12 ()
+    | "table4" -> table4 ctx
+    | "fig10" -> fig10 ctx
+    | "fig11" -> fig11 ctx
+    | "fig12" -> fig12 ctx
     | "fig13" -> fig13 ()
-    | "baselines" -> baselines ()
-    | "extensions" -> extensions ()
-    | "juliet" -> juliet ()
+    | "baselines" -> baselines ctx
+    | "extensions" -> extensions ctx
+    | "juliet" -> juliet ctx
     | other ->
       Printf.eprintf "unknown experiment %s\n" other;
       exit 1
   in
-  match which with
-  | "all" ->
-    List.iter run
-      [ "table2"; "table4"; "fig10"; "fig11"; "fig12"; "fig13"; "baselines";
-        "extensions"; "juliet" ]
-  | w -> run w
+  List.iter run (targets_of opts.target);
+  Events.write_json_file ~path:opts.bench_out
+    (bench_aggregate ~opts ~stats ctx (needs_rows opts.target));
+  Events.close log

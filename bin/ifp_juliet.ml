@@ -1,5 +1,17 @@
 (* Functional evaluation (paper §5.1): run the generated Juliet-style
-   suite under the chosen configuration and report detection results. *)
+   suite under the chosen configuration and report detection results.
+
+   The 2x72 case programs are dispatched through the lib/campaign engine,
+   so runs parallelise with -j N and repeat invocations hit the on-disk
+   result cache.
+
+   Usage: ifp_juliet [CONFIG] [-v] [-j N] [--cache-dir DIR] [--no-cache]
+                     [--log FILE] *)
+
+module Job = Ifp_campaign.Job
+module Engine = Ifp_campaign.Engine
+module Rcache = Ifp_campaign.Cache
+module Events = Ifp_campaign.Events
 
 let config_of = function
   | "baseline" -> Core.Vm.baseline
@@ -14,11 +26,73 @@ let config_of = function
     exit 1
 
 let () =
-  let cfg_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "wrapped" in
-  let verbose = Array.exists (String.equal "-v") Sys.argv in
+  let cfg_name = ref "wrapped" in
+  let verbose = ref false in
+  let workers = ref 1 in
+  let cache_dir = ref (Some ".ifp-cache") in
+  let log_path = ref None in
+  let argv = Sys.argv in
+  let i = ref 1 in
+  let next what =
+    incr i;
+    if !i >= Array.length argv then (
+      Printf.eprintf "missing argument to %s\n" what;
+      exit 1)
+    else argv.(!i)
+  in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "-v" -> verbose := true
+    | "-j" | "--jobs" ->
+      workers := max 1 (int_of_string_opt (next "-j") |> Option.value ~default:1)
+    | "--cache-dir" -> cache_dir := Some (next "--cache-dir")
+    | "--no-cache" -> cache_dir := None
+    | "--log" -> log_path := Some (next "--log")
+    | s when String.length s > 0 && s.[0] = '-' ->
+      Printf.eprintf "unknown option %s\n" s;
+      exit 1
+    | name -> cfg_name := name);
+    incr i
+  done;
+  let cfg_name = !cfg_name in
   let config = config_of cfg_name in
   let cases = Ifp_juliet.Juliet.all_cases () in
-  let outcomes, summary = Ifp_juliet.Juliet.run_all ~config cases in
+  let job_name (c : Ifp_juliet.Juliet.case) which =
+    Printf.sprintf "juliet/%s/%s/%s" c.id which cfg_name
+  in
+  let jobs =
+    List.concat_map
+      (fun (c : Ifp_juliet.Juliet.case) ->
+        [
+          Job.make ~name:(job_name c "bad") ~group:("juliet/" ^ c.id)
+            ~variant:cfg_name ~config c.bad;
+          Job.make ~name:(job_name c "good") ~group:("juliet/" ^ c.id)
+            ~variant:cfg_name ~config c.good;
+        ])
+      cases
+  in
+  let cache = Option.map (fun dir -> Rcache.create ~dir) !cache_dir in
+  let log =
+    match !log_path with
+    | Some path -> Events.create ~path
+    | None -> Events.null
+  in
+  let outcomes, _stats = Engine.run ~workers:!workers ?cache ~log jobs in
+  Events.close log;
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun (o : Engine.outcome) -> Hashtbl.replace tbl o.job.Job.name o)
+    outcomes;
+  let run (c : Ifp_juliet.Juliet.case) which =
+    let name = job_name c (match which with `Bad -> "bad" | `Good -> "good") in
+    match Hashtbl.find_opt tbl name with
+    | Some { Engine.result = Some r; _ } -> r
+    | Some { Engine.status = Engine.Failed why; _ } ->
+      Core.Report.aborted_result ("campaign job failed: " ^ why)
+    | _ ->
+      Core.Vm.run ~config (match which with `Bad -> c.bad | `Good -> c.good)
+  in
+  let outcomes, summary = Ifp_juliet.Juliet.run_all_with ~run cases in
   Printf.printf "Juliet-style functional evaluation under %s (%d cases)\n\n"
     cfg_name summary.total;
   List.iter
@@ -30,7 +104,7 @@ let () =
         | False_positive -> "false-positive"
         | Error m -> "ERROR " ^ m
       in
-      if verbose || o.bad_verdict <> Ifp_juliet.Juliet.Detected || not o.good_ok
+      if !verbose || o.bad_verdict <> Ifp_juliet.Juliet.Detected || not o.good_ok
       then
         Printf.printf "  %-36s bad: %-10s good: %s\n" o.case.id verdict
           (if o.good_ok then "ok" else "FAILED"))

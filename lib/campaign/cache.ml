@@ -1,0 +1,63 @@
+type t = { root : string }
+
+let format_version = 1
+
+(* header stored alongside the result so [find] can reject entries whose
+   file name lies about the content (truncated copy, digest collision) *)
+type entry_header = { h_magic : string; h_digest : string; h_job : string }
+
+let magic = "ifp-campaign-cache"
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else (
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error ((EEXIST | EISDIR), _, _) -> ())
+
+let create ~dir = { root = dir }
+
+let dir t = t.root
+
+let version_dir t =
+  Filename.concat t.root (Printf.sprintf "v%d" format_version)
+
+let path_of t digest =
+  let fanout =
+    if String.length digest >= 2 then String.sub digest 0 2 else "xx"
+  in
+  Filename.concat
+    (Filename.concat (version_dir t) fanout)
+    (digest ^ ".result")
+
+let find t ~digest =
+  let path = path_of t digest in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let entry =
+      try
+        let header : entry_header = Marshal.from_channel ic in
+        if header.h_magic = magic && header.h_digest = digest then
+          let result : Ifp_vm.Vm.result = Marshal.from_channel ic in
+          Some result
+        else None
+      with _ -> None
+    in
+    close_in_noerr ic;
+    entry
+
+let store t ~digest ~job_name result =
+  let path = path_of t digest in
+  try
+    mkdir_p (Filename.dirname path);
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Domain.self () :> int)
+    in
+    let oc = open_out_bin tmp in
+    Marshal.to_channel oc { h_magic = magic; h_digest = digest; h_job = job_name } [];
+    Marshal.to_channel oc result [];
+    close_out oc;
+    Sys.rename tmp path
+  with Sys_error _ | Unix.Unix_error _ -> ()

@@ -1,0 +1,32 @@
+(** Persistent on-disk result cache for campaign jobs.
+
+    Layout: [<dir>/v<format_version>/<d0d1>/<digest>.result], where
+    [digest] is the job's content digest ({!Job.digest}) and [d0d1] its
+    first two hex characters (fan-out to keep directories small). Each
+    file is an atomic-renamed [Marshal] of a small header plus the
+    {!Ifp_vm.Vm.result}.
+
+    Invalidation is entirely key-driven: the job digest covers the
+    lowered program, the configuration and the cost-model/ISA constants
+    ({!Job.model_digest}), so any of those changing simply misses the
+    cache. {!format_version} is bumped when the serialised shape itself
+    changes; old version directories are ignored (and can be deleted
+    freely — the cache is always safe to wipe). *)
+
+type t
+
+val format_version : int
+
+val create : dir:string -> t
+(** Opens (creating directories as needed) a cache rooted at [dir]. *)
+
+val dir : t -> string
+
+val find : t -> digest:string -> Ifp_vm.Vm.result option
+(** [None] on miss, corruption (any read/unmarshal error), or digest
+    mismatch — a corrupt entry is never fatal. *)
+
+val store : t -> digest:string -> job_name:string -> Ifp_vm.Vm.result -> unit
+(** Atomic (write-to-temp then rename), so concurrent worker domains and
+    concurrent campaign processes can share one cache directory. I/O
+    errors are swallowed: failure to cache never fails the job. *)

@@ -1,0 +1,160 @@
+module Vm = Ifp_vm.Vm
+
+type status = Done | Failed of string
+
+type outcome = {
+  job : Job.t;
+  digest : string;
+  status : status;
+  result : Vm.result option;
+  from_cache : bool;
+  attempts : int;
+  elapsed : float;
+}
+
+type stats = {
+  jobs : int;
+  completed : int;
+  failed : int;
+  cache_hits : int;
+  retries : int;
+  workers : int;
+  wall_seconds : float;
+}
+
+let default_runner (job : Job.t) = Vm.run ~config:job.Job.config job.Job.prog
+
+let outcome_string (r : Vm.result) =
+  match r.Vm.outcome with
+  | Vm.Finished _ -> "finished"
+  | Vm.Trapped t -> "trapped: " ^ Ifp_isa.Trap.to_string t
+  | Vm.Aborted m -> "aborted: " ^ m
+
+let run_job ~cache ~log ~retries ~runner ~digest (job : Job.t) =
+  let open Events in
+  let t0 = Unix.gettimeofday () in
+  let base_fields = [ ("job", String job.Job.name); ("digest", String digest) ] in
+  let cached =
+    match cache with
+    | None -> None
+    | Some c -> Cache.find c ~digest
+  in
+  match cached with
+  | Some result ->
+    let elapsed = Unix.gettimeofday () -. t0 in
+    emit log "cache_hit" (base_fields @ [ ("elapsed", Float elapsed) ]);
+    { job; digest; status = Done; result = Some result; from_cache = true;
+      attempts = 0; elapsed }
+  | None ->
+    emit log "job_start" base_fields;
+    let max_attempts = 1 + max 0 retries in
+    let rec attempt n =
+      match runner job with
+      | result -> (n, Ok result)
+      | exception exn ->
+        let why = Printexc.to_string exn in
+        if n < max_attempts then (
+          emit log "retry"
+            (base_fields @ [ ("attempt", Int n); ("error", String why) ]);
+          attempt (n + 1))
+        else (n, Error why)
+    in
+    let attempts, outcome = attempt 1 in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (match outcome with
+    | Ok result ->
+      (match cache with
+      | Some c -> Cache.store c ~digest ~job_name:job.Job.name result
+      | None -> ());
+      emit log "job_finish"
+        (base_fields
+        @ [
+            ("elapsed", Float elapsed);
+            ("attempts", Int attempts);
+            ("outcome", String (outcome_string result));
+            ("cycles", Int result.Vm.counters.Ifp_vm.Counters.cycles);
+            ("instrs", Int (Ifp_vm.Counters.total_instrs result.Vm.counters));
+            ("mem_footprint", Int result.Vm.mem_footprint);
+          ]);
+      { job; digest; status = Done; result = Some result; from_cache = false;
+        attempts; elapsed }
+    | Error why ->
+      emit log "job_failed"
+        (base_fields
+        @ [ ("elapsed", Float elapsed); ("attempts", Int attempts);
+            ("error", String why) ]);
+      { job; digest; status = Failed why; result = None; from_cache = false;
+        attempts; elapsed })
+
+let stats_json s =
+  let open Events in
+  [
+    ("jobs", Int s.jobs);
+    ("completed", Int s.completed);
+    ("failed", Int s.failed);
+    ("cache_hits", Int s.cache_hits);
+    ("retries", Int s.retries);
+    ("workers", Int s.workers);
+    ("wall_seconds", Float s.wall_seconds);
+    ( "cache_hit_rate",
+      if s.jobs = 0 then Float 0.0
+      else Float (float_of_int s.cache_hits /. float_of_int s.jobs) );
+  ]
+
+let run ?(workers = 1) ?cache ?(log = Events.null) ?(retries = 2)
+    ?(runner = default_runner) jobs =
+  let open Events in
+  let t0 = Unix.gettimeofday () in
+  let jobs_arr = Array.of_list jobs in
+  let n = Array.length jobs_arr in
+  emit log "campaign_start"
+    [
+      ("jobs", Int n);
+      ("workers", Int workers);
+      ("retries", Int retries);
+      ("cache", match cache with
+        | Some c -> String (Cache.dir c)
+        | None -> Null);
+      ("model_digest", String Job.model_digest);
+    ];
+  (* digests are computed up front on the dispatching domain, against the
+     pristine programs — before any run can touch them *)
+  let digests = Array.map Job.digest jobs_arr in
+  let slots = Array.make n None in
+  let tasks =
+    Array.init n (fun i () ->
+        slots.(i) <-
+          Some
+            (run_job ~cache ~log ~retries ~runner ~digest:digests.(i)
+               jobs_arr.(i)))
+  in
+  Pool.run ~workers tasks;
+  let outcomes =
+    Array.mapi
+      (fun i slot ->
+        match slot with
+        | Some o -> o
+        | None ->
+          (* only reachable if the pool dropped a task on the floor *)
+          { job = jobs_arr.(i); digest = digests.(i);
+            status = Failed "task never ran"; result = None;
+            from_cache = false; attempts = 0; elapsed = 0.0 })
+      slots
+  in
+  let stats =
+    Array.fold_left
+      (fun s o ->
+        {
+          s with
+          completed = (s.completed + match o.status with Done -> 1 | _ -> 0);
+          failed = (s.failed + match o.status with Failed _ -> 1 | _ -> 0);
+          cache_hits = (s.cache_hits + if o.from_cache then 1 else 0);
+          retries = s.retries + max 0 (o.attempts - 1);
+        })
+      { jobs = n; completed = 0; failed = 0; cache_hits = 0; retries = 0;
+        workers; wall_seconds = 0.0 }
+      outcomes
+  in
+  let stats = { stats with wall_seconds = Unix.gettimeofday () -. t0 } in
+  emit log "campaign_end" (stats_json stats);
+  (outcomes, stats)

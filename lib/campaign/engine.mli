@@ -1,0 +1,66 @@
+(** The campaign engine: runs a batch of {!Job.t}s across a
+    {!Pool.run} of worker domains, with per-job result caching
+    ({!Cache}), bounded retries, fault isolation and {!Events} JSONL
+    observability.
+
+    {2 Fault model}
+
+    Guest-program failures — traps, aborts, and runaway programs cut off
+    by the VM's [max_cycles] budget — are {e results}, not engine
+    failures: the job completes [Done] and the reporting layer decides
+    what a trapped variant means (for Juliet bad cases it is the expected
+    outcome; for benchmark rows it becomes a status annotation). An
+    engine-level failure is an OCaml exception escaping the runner (a
+    simulator bug, out-of-memory, an injected fault in tests): the job is
+    retried up to [retries] extra times and then marked {!Failed},
+    leaving every other job of the campaign unaffected.
+
+    {2 Determinism}
+
+    Each job constructs its own VM state from scratch inside the runner
+    (there is no shared mutable state in [lib/vm]; the workload PRNG
+    [__seed] is a guest global living in per-run simulated memory), and
+    outcomes are collected into a slot array indexed by submission order,
+    so aggregation over the outcome array is independent of worker count
+    and scheduling. [run ~workers:8 jobs] and [run ~workers:1 jobs]
+    produce equal outcome data (modulo [elapsed] timings). *)
+
+type status = Done | Failed of string
+
+type outcome = {
+  job : Job.t;
+  digest : string;
+  status : status;
+  result : Ifp_vm.Vm.result option;  (** [Some] iff [status = Done] *)
+  from_cache : bool;
+  attempts : int;  (** runner invocations: 0 on a cache hit, else >= 1 *)
+  elapsed : float;  (** seconds, including cache probe *)
+}
+
+type stats = {
+  jobs : int;
+  completed : int;
+  failed : int;
+  cache_hits : int;
+  retries : int;  (** total extra attempts across all jobs *)
+  workers : int;
+  wall_seconds : float;
+}
+
+val run :
+  ?workers:int ->
+  ?cache:Cache.t ->
+  ?log:Events.t ->
+  ?retries:int ->
+  ?runner:(Job.t -> Ifp_vm.Vm.result) ->
+  Job.t list ->
+  outcome array * stats
+(** Runs the batch. Defaults: [workers = 1], no cache, no log,
+    [retries = 2] (i.e. up to 3 attempts), [runner] = [Vm.run] with the
+    job's config. Outcomes are in submission order. Events emitted:
+    [campaign_start], [job_start], [job_finish], [cache_hit], [retry],
+    [job_failed], [campaign_end]. *)
+
+val stats_json : stats -> (string * Events.json) list
+(** The stats record as JSON fields (used both for the [campaign_end]
+    event and for the end-of-run aggregate file). *)

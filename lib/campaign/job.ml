@@ -1,0 +1,63 @@
+module Vm = Ifp_vm.Vm
+module Cost = Ifp_vm.Cost
+module Tag = Ifp_isa.Tag
+module Insn = Ifp_isa.Insn
+
+type t = {
+  name : string;
+  group : string;
+  variant : string;
+  config : Vm.config;
+  prog : Ifp_compiler.Ir.program;
+}
+
+let make ~name ~group ~variant ~config prog =
+  { name; group; variant; config; prog }
+
+let variant_string (v : Vm.variant) =
+  match v with
+  | Vm.Baseline -> "baseline"
+  | Vm.Ifp -> "ifp"
+  | Vm.Ifp_no_promote -> "ifp-no-promote"
+
+let alloc_string (a : Vm.alloc_kind) =
+  match a with
+  | Vm.Alloc_baseline -> "baseline"
+  | Vm.Alloc_wrapped -> "wrapped"
+  | Vm.Alloc_subheap -> "subheap"
+  | Vm.Alloc_mixed -> "mixed"
+
+let config_fingerprint (c : Vm.config) =
+  Printf.sprintf
+    "variant=%s;alloc=%s;seed=%Ld;max_cycles=%d;narrowing=%b;\
+     infer_alloc_types=%b;trace_limit=%d"
+    (variant_string c.variant) (alloc_string c.alloc) c.seed c.max_cycles
+    c.narrowing c.infer_alloc_types c.trace_limit
+
+let model_digest =
+  let ifp_kinds =
+    [
+      Insn.Promote; Insn.Ifpmac; Insn.Ldbnd; Insn.Stbnd; Insn.Ifpbnd;
+      Insn.Ifpadd; Insn.Ifpidx; Insn.Ifpchk; Insn.Ifpextract; Insn.Ifpmd;
+    ]
+  in
+  let cost_part =
+    Printf.sprintf "alu=%d;mul=%d;div=%d;fp=%d;branch=%d;call=%d;mem=%d;miss=%d;promote=%d;walk=%d;mac=%d;ifp=%s"
+      Cost.alu Cost.mul Cost.div Cost.fp Cost.branch Cost.call Cost.mem
+      Cost.miss_penalty Cost.promote_base Cost.walk_per_elem Cost.mac_check
+      (String.concat ","
+         (List.map (fun k -> string_of_int (Cost.ifp_cycles k)) ifp_kinds))
+  in
+  let isa_part =
+    Printf.sprintf "granule=%d;lo_max_obj=%d;lo_max_elems=%d;sh_max_elems=%d;gt_entries=%d"
+      Tag.granule Tag.local_offset_max_object Tag.local_offset_max_elements
+      Tag.subheap_max_elements Tag.global_table_entries
+  in
+  Digest.to_hex (Digest.string (cost_part ^ "|" ^ isa_part))
+
+let digest t =
+  let prog_text = Ifp_compiler.Ir_pp.program_to_string t.prog in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ model_digest; config_fingerprint t.config; prog_text ]))

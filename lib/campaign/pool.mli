@@ -1,0 +1,16 @@
+(** A [Domain]-based worker pool (OCaml 5, no external dependencies).
+
+    Tasks are drained from a mutex/condition work queue by [workers]
+    domains. With [workers <= 1] the tasks run inline on the calling
+    domain in submission order — the guaranteed-serial reference path the
+    determinism tests compare against.
+
+    The pool is oblivious to results: tasks are [unit -> unit] thunks
+    that record their own output (typically into a per-index slot of a
+    pre-sized array, which is race-free since every slot has exactly one
+    writer). Tasks must not raise; a stray exception is caught and
+    dropped so one bad task cannot tear down a worker. *)
+
+val run : workers:int -> (unit -> unit) array -> unit
+(** Runs every task to completion before returning. Spawns
+    [min workers (Array.length tasks)] domains ([workers <= 1]: none). *)

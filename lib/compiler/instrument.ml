@@ -245,9 +245,14 @@ let run ?(config = default_config) (prog : Ir.program) =
   List.iter
     (fun (f : Ir.func) -> if f.instrumented then List.iter scan_stmt f.body)
     prog.funcs;
-  List.iter
-    (fun (g : Ir.global) -> g.registered <- Hashtbl.mem addr_taken g.gname)
-    prog.globals;
+  (* fresh global records: never mutate the input program — it may be
+     shared with concurrent runs and with content-digest computations *)
+  let globals =
+    List.map
+      (fun (g : Ir.global) ->
+        { g with Ir.registered = Hashtbl.mem addr_taken g.gname })
+      prog.globals
+  in
   let gtys = Hashtbl.create 8 in
   List.iter (fun (g : Ir.global) -> Hashtbl.replace gtys g.gname g.gty) prog.globals;
   let funcs =
@@ -263,9 +268,9 @@ let run ?(config = default_config) (prog : Ir.program) =
       prog.funcs
   in
   let globals_registered =
-    List.length (List.filter (fun (g : Ir.global) -> g.registered) prog.globals)
+    List.length (List.filter (fun (g : Ir.global) -> g.registered) globals)
   in
-  ( { prog with funcs },
+  ( { prog with funcs; globals },
     {
       locals_registered = !regs;
       locals_skipped = !skips;

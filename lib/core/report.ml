@@ -9,19 +9,48 @@ type row = {
   wrapped_np : Vm.result;
 }
 
-let evaluate ~name prog =
+let variants =
+  [
+    ("baseline", Vm.baseline);
+    ("subheap", Vm.ifp_subheap);
+    ("wrapped", Vm.ifp_wrapped);
+    ("subheap-np", Vm.no_promote Vm.Alloc_subheap);
+    ("wrapped-np", Vm.no_promote Vm.Alloc_wrapped);
+  ]
+
+let of_results ~name ~lookup =
   {
     name;
-    baseline = Vm.run ~config:Vm.baseline prog;
-    subheap = Vm.run ~config:Vm.ifp_subheap prog;
-    wrapped = Vm.run ~config:Vm.ifp_wrapped prog;
-    subheap_np = Vm.run ~config:(Vm.no_promote Vm.Alloc_subheap) prog;
-    wrapped_np = Vm.run ~config:(Vm.no_promote Vm.Alloc_wrapped) prog;
+    baseline = lookup "baseline";
+    subheap = lookup "subheap";
+    wrapped = lookup "wrapped";
+    subheap_np = lookup "subheap-np";
+    wrapped_np = lookup "wrapped-np";
   }
+
+let evaluate ~name prog =
+  let results =
+    List.map (fun (vname, config) -> (vname, Vm.run ~config prog)) variants
+  in
+  of_results ~name ~lookup:(fun vname -> List.assoc vname results)
 
 let evaluate_variants ~name prog variants =
   ignore name;
   List.map (fun (vname, config) -> (vname, Vm.run ~config prog)) variants
+
+let aborted_result msg =
+  {
+    Vm.outcome = Vm.Aborted msg;
+    counters = Ifp_vm.Counters.create ();
+    alloc_stats = Ifp_alloc.Alloc_intf.fresh_stats ();
+    alloc_extra = [];
+    cache_accesses = 0;
+    cache_misses = 0;
+    mem_footprint = 0;
+    output = [];
+    instrument_report = None;
+    trace = [];
+  }
 
 let runtime_overhead ~(baseline : Vm.result) (r : Vm.result) =
   Ifp_util.Stats.ratio
@@ -55,3 +84,18 @@ let check_outcomes row =
       ("subheap-np", row.subheap_np);
       ("wrapped-np", row.wrapped_np);
     ]
+
+let status_string row =
+  match check_outcomes row with
+  | [] -> "ok"
+  | bad ->
+    String.concat ","
+      (List.map
+         (fun (vname, why) ->
+           let kind =
+             match String.index_opt why ':' with
+             | Some i -> String.sub why 0 i
+             | None -> why
+           in
+           vname ^ "(" ^ kind ^ ")")
+         bad)

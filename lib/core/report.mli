@@ -12,8 +12,23 @@ type row = {
   wrapped_np : Ifp_vm.Vm.result;
 }
 
+val variants : (string * Ifp_vm.Vm.config) list
+(** The five standard configurations of a row, in reporting order:
+    [baseline], [subheap], [wrapped], [subheap-np], [wrapped-np]. *)
+
+val of_results : name:string -> lookup:(string -> Ifp_vm.Vm.result) -> row
+(** Assembles a row from per-variant results, e.g. ones computed by the
+    campaign engine. [lookup] is applied to each name in {!variants}. *)
+
+val aborted_result : string -> Ifp_vm.Vm.result
+(** A zeroed placeholder result with [Aborted msg] outcome — used to
+    keep a row renderable when a variant's job failed at the engine
+    level (the failure stays visible via {!check_outcomes} /
+    {!status_string}). *)
+
 val evaluate : name:string -> Ifp_compiler.Ir.program -> row
-(** Runs the workload under all five configurations. *)
+(** Runs the workload under all five configurations, serially in the
+    calling domain. *)
 
 val evaluate_variants :
   name:string ->
@@ -34,3 +49,9 @@ val memory_overhead : baseline:Ifp_vm.Vm.result -> Ifp_vm.Vm.result -> float
 val check_outcomes : row -> (string * string) list
 (** Configurations that did not finish cleanly, as (variant, reason) —
     expected to be empty for the benchmark workloads. *)
+
+val status_string : row -> string
+(** ["ok"], or a compact comma-separated summary of the variants that
+    did not finish, e.g. ["wrapped(trap),subheap-np(abort)"] — the
+    status column of the report tables. Full reasons are available from
+    {!check_outcomes}. *)

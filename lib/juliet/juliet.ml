@@ -373,20 +373,23 @@ type verdict = Detected | Silent | False_positive | Error of string
 
 type outcome = { case : case; bad_verdict : verdict; good_ok : bool }
 
-let run_case ~config case =
-  let run p = Vm.run ~config p in
+let outcome_of_results case ~bad ~good =
   let bad_verdict =
-    match (run case.bad).Vm.outcome with
+    match bad.Vm.outcome with
     | Vm.Trapped _ -> Detected
     | Vm.Finished _ -> Silent
     | Vm.Aborted m -> Error m
   in
   let good_ok =
-    match (run case.good).Vm.outcome with
+    match good.Vm.outcome with
     | Vm.Finished _ -> true
     | Vm.Trapped _ | Vm.Aborted _ -> false
   in
   { case; bad_verdict; good_ok }
+
+let run_case ~config case =
+  let run p = Vm.run ~config p in
+  outcome_of_results case ~bad:(run case.bad) ~good:(run case.good)
 
 type summary = {
   total : int;
@@ -396,8 +399,7 @@ type summary = {
   good_failures : int;
 }
 
-let run_all ~config cases =
-  let outcomes = List.map (run_case ~config) cases in
+let summarize outcomes =
   let summary =
     List.fold_left
       (fun s o ->
@@ -412,3 +414,12 @@ let run_all ~config cases =
       outcomes
   in
   (outcomes, summary)
+
+let run_all_with ~run cases =
+  summarize
+    (List.map
+       (fun case ->
+         outcome_of_results case ~bad:(run case `Bad) ~good:(run case `Good))
+       cases)
+
+let run_all ~config cases = summarize (List.map (run_case ~config) cases)

@@ -75,3 +75,11 @@ type summary = {
 }
 
 val run_all : config:Ifp_vm.Vm.config -> case list -> outcome list * summary
+
+val run_all_with :
+  run:(case -> [ `Good | `Bad ] -> Ifp_vm.Vm.result) ->
+  case list ->
+  outcome list * summary
+(** Like {!run_all}, but the per-program results come from [run] — the
+    hook the campaign engine uses to serve cached/parallel results while
+    the verdict logic stays here. *)

@@ -5,8 +5,6 @@ let geomean = function
     let sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
     exp (sum /. float_of_int n)
 
-let geomean_overhead = geomean
-
 let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

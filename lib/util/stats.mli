@@ -3,13 +3,14 @@
 val geomean : float list -> float
 (** Geometric mean of positive values. Empty list yields [1.0]. *)
 
-val geomean_overhead : float list -> float
-(** Geometric mean of overhead ratios expressed as e.g. [1.12] for +12%;
-    values must be positive. Returns the mean ratio. *)
-
 val mean : float list -> float
 val percent : float -> string
 (** [percent 1.12] is ["+12%"]; [percent 0.94] is ["-6%"]. *)
 
 val ratio : float -> float -> float
-(** [ratio x base] with a guard against a zero base. *)
+(** [ratio x base] is [x /. base], except that [ratio x 0.] is defined
+    as [0.] for every [x] (including [x = 0.]). The zero-base case
+    arises when a variant produced no work to compare against (e.g. an
+    aborted run with zero cycles); callers that feed the result to
+    {!geomean} should filter such sentinel zeros out first, since a zero
+    ratio is not a meaningful overhead. *)

@@ -80,4 +80,11 @@ type result = {
 val run : ?config:config -> Ifp_compiler.Ir.program -> result
 (** Typechecks, instruments (for IFP variants), executes [main]. Raises
     {!Ifp_compiler.Typecheck.Type_error} on ill-typed programs; all
-    runtime failures are reported in [outcome]. *)
+    runtime failures are reported in [outcome].
+
+    Concurrency contract: [run] builds all of its state — {!Ifp_machine.Memory},
+    {!Ifp_metadata.Meta}, allocator, counters — afresh per call, never
+    mutates the input program (instrumentation copies it), and touches no
+    library-level mutable globals, so concurrent [run]s from multiple
+    domains are safe and deterministic. lib/campaign's parallel engine
+    relies on this. *)

@@ -4,7 +4,13 @@
     plus small helpers. *)
 
 val seed_global : Ifp_compiler.Ir.global
-(** Scalar [i64] global ["__seed"], accessed by name (uninstrumented). *)
+(** Scalar [i64] global ["__seed"], accessed by name (uninstrumented).
+
+    Note for parallel campaigns: although this [Ir.global] record is
+    shared by every workload program, the PRNG {e state} lives at the
+    global's address in each run's own simulated memory — there is no
+    host-side mutable state here, so concurrent runs of workloads using
+    [__seed] stay independent and deterministic. *)
 
 val rand_func : Ifp_compiler.Ir.func
 (** [__rand() : i64] — LCG, returns a non-negative 31-bit value. *)

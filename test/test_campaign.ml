@@ -1,0 +1,229 @@
+(* Tests for the lib/campaign experiment engine: serial-vs-parallel
+   determinism, on-disk cache round-trips and invalidation, fault
+   isolation with bounded retries, and the JSONL event log. *)
+
+open Core
+module Job = Ifp_campaign.Job
+module Engine = Ifp_campaign.Engine
+module Rcache = Ifp_campaign.Cache
+module Events = Ifp_campaign.Events
+module W = Ifp_workloads.Workload
+module Registry = Ifp_workloads.Registry
+
+let temp_dir prefix =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let jobs_for_workloads names =
+  List.concat_map
+    (fun name ->
+      let wl = Option.get (Registry.find name) in
+      let prog = Lazy.force wl.W.prog in
+      List.map
+        (fun (vname, config) ->
+          Job.make ~name:(name ^ "/" ^ vname) ~group:name ~variant:vname
+            ~config prog)
+        Report.variants)
+    names
+
+(* three cheap workloads keep this test fast while still crossing all
+   five configurations *)
+let det_workloads = [ "wolfcrypt-dh"; "power"; "ks" ]
+
+let test_serial_parallel_determinism () =
+  let jobs = jobs_for_workloads det_workloads in
+  let serial, s_stats = Engine.run ~workers:1 jobs in
+  let parallel, p_stats = Engine.run ~workers:4 jobs in
+  Alcotest.(check int) "same job count" s_stats.Engine.jobs p_stats.Engine.jobs;
+  Alcotest.(check int) "all completed serially" (List.length jobs)
+    s_stats.Engine.completed;
+  Alcotest.(check int) "all completed in parallel" (List.length jobs)
+    p_stats.Engine.completed;
+  Array.iteri
+    (fun idx (s : Engine.outcome) ->
+      let p = parallel.(idx) in
+      Alcotest.(check string)
+        "outcome order matches submission order" s.Engine.job.Job.name
+        p.Engine.job.Job.name;
+      Alcotest.(check string) "digests agree" s.Engine.digest p.Engine.digest;
+      Alcotest.(check bool)
+        (Printf.sprintf "results for %s identical" s.Engine.job.Job.name)
+        true
+        (s.Engine.result = p.Engine.result))
+    serial;
+  (* the aggregate a renderer would compute is identical too *)
+  let row outcomes name =
+    Report.of_results ~name ~lookup:(fun vname ->
+        let o =
+          Array.to_list outcomes
+          |> List.find (fun (o : Engine.outcome) ->
+                 o.Engine.job.Job.name = name ^ "/" ^ vname)
+        in
+        Option.get o.Engine.result)
+  in
+  List.iter
+    (fun name ->
+      let rs = row serial name and rp = row parallel name in
+      Alcotest.(check bool)
+        (name ^ " row equal") true
+        (rs.Report.subheap.Vm.counters = rp.Report.subheap.Vm.counters
+        && Report.status_string rs = Report.status_string rp))
+    det_workloads
+
+let tiny_job ?(seed = 0x5eedL) name =
+  let prog =
+    Ir.program ~tenv:Ctype.empty_tenv ~globals:[]
+      [ Ir.func "main" [] Ctype.I64 [ Ir.Return (Some (Ir.i 42)) ] ]
+  in
+  Job.make ~name ~group:"tiny" ~variant:"subheap"
+    ~config:{ Vm.ifp_subheap with seed }
+    prog
+
+let test_cache_roundtrip () =
+  let dir = temp_dir "ifp-cache-test" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cache = Rcache.create ~dir in
+      let job = tiny_job "tiny/subheap" in
+      let cold, cold_stats = Engine.run ~cache [ job ] in
+      Alcotest.(check bool) "cold run misses" false cold.(0).Engine.from_cache;
+      Alcotest.(check int) "no hits cold" 0 cold_stats.Engine.cache_hits;
+      let warm, warm_stats = Engine.run ~cache [ job ] in
+      Alcotest.(check bool) "warm run hits" true warm.(0).Engine.from_cache;
+      Alcotest.(check int) "one hit warm" 1 warm_stats.Engine.cache_hits;
+      Alcotest.(check int) "hit runs nothing" 0 warm.(0).Engine.attempts;
+      Alcotest.(check bool) "cached result identical" true
+        (cold.(0).Engine.result = warm.(0).Engine.result);
+      (* a config change (different MAC seed) must change the digest and
+         miss the cache *)
+      let other = tiny_job ~seed:0xfeedL "tiny/subheap" in
+      Alcotest.(check bool) "config change changes digest" false
+        (Job.digest job = Job.digest other);
+      let miss, _ = Engine.run ~cache [ other ] in
+      Alcotest.(check bool) "changed config misses" false
+        miss.(0).Engine.from_cache;
+      (* direct store/find round-trip *)
+      let digest = Job.digest job in
+      Alcotest.(check bool) "find returns stored entry" true
+        (Rcache.find cache ~digest <> None);
+      Alcotest.(check bool) "unknown digest misses" true
+        (Rcache.find cache ~digest:(String.make 32 '0') = None);
+      (* a corrupted entry is a miss, never an error *)
+      let rec find_results path =
+        if Sys.is_directory path then
+          Array.to_list (Sys.readdir path)
+          |> List.concat_map (fun f -> find_results (Filename.concat path f))
+        else if Filename.check_suffix path ".result" then [ path ]
+        else []
+      in
+      List.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc "corrupt";
+          close_out oc)
+        (find_results dir);
+      Alcotest.(check bool) "corrupt entry is a miss" true
+        (Rcache.find cache ~digest = None))
+
+let test_retry_then_fail () =
+  let log_path = Filename.temp_file "ifp-campaign-test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log_path with Sys_error _ -> ())
+    (fun () ->
+      let ok = tiny_job "tiny/ok" in
+      let boom = tiny_job ~seed:1L "tiny/boom" in
+      let runner (job : Job.t) =
+        if job.Job.name = "tiny/boom" then failwith "injected crash"
+        else Vm.run ~config:job.Job.config job.Job.prog
+      in
+      let log = Events.create ~path:log_path in
+      let outcomes, stats =
+        Engine.run ~retries:2 ~runner ~log [ ok; boom ]
+      in
+      Events.close log;
+      (* the crashing job fails after bounded retries... *)
+      Alcotest.(check bool) "boom failed" true
+        (match outcomes.(1).Engine.status with
+        | Engine.Failed _ -> true
+        | Engine.Done -> false);
+      Alcotest.(check int) "boom attempted 1 + 2 retries" 3
+        outcomes.(1).Engine.attempts;
+      Alcotest.(check bool) "boom has no result" true
+        (outcomes.(1).Engine.result = None);
+      (* ...without killing the rest of the campaign *)
+      Alcotest.(check bool) "ok job done" true
+        (outcomes.(0).Engine.status = Engine.Done);
+      Alcotest.(check int) "stats: one failure" 1 stats.Engine.failed;
+      Alcotest.(check int) "stats: two retries" 2 stats.Engine.retries;
+      (* the JSONL log saw the whole story, one valid object per line *)
+      let lines = ref [] in
+      let ic = open_in log_path in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let count needle =
+        List.length
+          (List.filter
+             (fun l ->
+               String.length l > 0
+               && l.[0] = '{'
+               && l.[String.length l - 1] = '}'
+               &&
+               let re = {|"event":"|} ^ needle ^ {|"|} in
+               let rec contains i =
+                 i + String.length re <= String.length l
+                 && (String.sub l i (String.length re) = re || contains (i + 1))
+               in
+               contains 0)
+             !lines)
+      in
+      Alcotest.(check int) "campaign_start logged" 1 (count "campaign_start");
+      Alcotest.(check int) "two retry events" 2 (count "retry");
+      Alcotest.(check int) "one job_failed event" 1 (count "job_failed");
+      Alcotest.(check int) "one job_finish event" 1 (count "job_finish");
+      Alcotest.(check int) "campaign_end logged" 1 (count "campaign_end"))
+
+let test_failed_job_visible_in_row () =
+  (* a hard-failed variant still renders: the placeholder result keeps
+     the row assemblable and the failure shows up in the status column *)
+  let r = Report.aborted_result "campaign job failed: injected" in
+  let row =
+    Report.of_results ~name:"synthetic" ~lookup:(fun vname ->
+        if vname = "wrapped" then r
+        else
+          Vm.run ~config:(List.assoc vname Report.variants)
+            (Ir.program ~tenv:Ctype.empty_tenv ~globals:[]
+               [ Ir.func "main" [] Ctype.I64 [ Ir.Return (Some (Ir.i 0)) ] ]))
+  in
+  Alcotest.(check string) "status flags the aborted variant"
+    "wrapped(abort)" (Report.status_string row);
+  Alcotest.(check bool) "reason preserved" true
+    (List.mem_assoc "wrapped" (Report.check_outcomes row))
+
+let tests =
+  [
+    Alcotest.test_case "serial = parallel (3 workloads x 5 variants)" `Slow
+      test_serial_parallel_determinism;
+    Alcotest.test_case "cache round-trip and invalidation" `Quick
+      test_cache_roundtrip;
+    Alcotest.test_case "retry then fail, campaign survives" `Quick
+      test_retry_then_fail;
+    Alcotest.test_case "failed variant visible in row status" `Quick
+      test_failed_job_visible_in_row;
+  ]

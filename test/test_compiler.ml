@@ -246,11 +246,15 @@ let test_pass_marks_globals () =
           ];
       ]
   in
-  let _, rep = Instrument.run p in
+  let instrumented, rep = Instrument.run p in
   Alcotest.(check int) "only address-taken global registered" 1
     rep.Instrument.globals_registered;
-  Alcotest.(check bool) "flag set" true g1.registered;
-  Alcotest.(check bool) "by-name global untouched" false g2.registered
+  let out name = Option.get (find_global instrumented name) in
+  Alcotest.(check bool) "flag set" true (out "taken").registered;
+  Alcotest.(check bool) "by-name global untouched" false (out "byname").registered;
+  (* the pass must not mutate its input: the source program is shared
+     with concurrent runs and content-digest computations *)
+  Alcotest.(check bool) "input program untouched" false g1.registered
 
 let tests =
   [

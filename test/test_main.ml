@@ -19,5 +19,6 @@ let () =
       ("lexer", Test_lexer.tests);
       ("parser", Test_parser.tests);
       ("trace-report", Test_trace_report.tests);
+      ("campaign", Test_campaign.tests);
       ("guarantees", Test_guarantees.tests);
     ]
