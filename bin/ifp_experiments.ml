@@ -216,6 +216,8 @@ let result_of ctx name ~config ~prog =
   | Some { Engine.result = Some r; _ } -> r
   | Some { Engine.status = Engine.Failed why; _ } ->
     Report.aborted_result ("campaign job failed: " ^ why)
+  | Some { Engine.status = Engine.Timed_out; _ } ->
+    Report.aborted_result "campaign job timed out"
   | Some { Engine.result = None; _ } ->
     Report.aborted_result "campaign job produced no result"
   | None -> Vm.run ~config prog

@@ -74,7 +74,7 @@ let () =
     (match r.Core.Vm.outcome with
     | Core.Vm.Finished x -> Printf.sprintf "exited with %Ld" x
     | Core.Vm.Trapped t -> "TRAP: " ^ Core.Trap.to_string t
-    | Core.Vm.Aborted m -> "abort: " ^ m);
+    | Core.Vm.Aborted m -> "abort: " ^ Core.Vm.abort_reason_string m);
   Printf.printf
     "[%s] %d instructions (%d IFP), %d cycles, %d promotes (%d valid), footprint %d B\n"
     cfg_name

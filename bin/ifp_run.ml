@@ -32,7 +32,7 @@ let run_one ~verbose name cfg_name cfg =
       (match r.Vm.outcome with
       | Vm.Finished x -> Printf.sprintf "ret=%Ld" x
       | Vm.Trapped t -> "TRAP " ^ Trap.to_string t
-      | Vm.Aborted m -> "ABORT " ^ m)
+      | Vm.Aborted m -> "ABORT " ^ Vm.abort_reason_string m)
       (Counters.total_instrs c) c.cycles
       (Counters.ifp_count c Insn.Promote)
       c.promotes_valid r.Vm.mem_footprint dt;

@@ -82,7 +82,7 @@ let show name cfg =
     (match r.Vm.outcome with
     | Vm.Finished x -> Printf.sprintf "ret=%Ld" x
     | Vm.Trapped t -> "TRAP " ^ Trap.to_string t
-    | Vm.Aborted m -> "ABORT " ^ m)
+    | Vm.Aborted m -> "ABORT " ^ Vm.abort_reason_string m)
     c.local_objs c.heap_objs c.global_objs;
   Printf.printf "           promotes=%d (valid %d), instr overhead x%.2f, footprint %d B\n"
     (Counters.promotes_total c) c.promotes_valid

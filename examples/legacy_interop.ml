@@ -60,7 +60,7 @@ let () =
   (match r.Vm.outcome with
   | Vm.Finished s -> Printf.printf "  legacy lib_sum computed %Ld over the tagged array\n" s
   | Vm.Trapped t -> Printf.printf "  unexpected trap: %s\n" (Trap.to_string t)
-  | Vm.Aborted m -> Printf.printf "  abort: %s\n" m);
+  | Vm.Aborted m -> Printf.printf "  abort: %s\n" (Vm.abort_reason_string m));
 
   print_endline "\nout-of-bounds run (off = 12, array has 8 elements):";
   let r = Vm.run ~config:Vm.ifp_subheap (prog ~off:12) in
@@ -68,7 +68,7 @@ let () =
   | Vm.Trapped t ->
     Printf.printf "  TRAP on the instrumented access: %s\n" (Trap.to_string t)
   | Vm.Finished _ -> print_endline "  (no trap?)"
-  | Vm.Aborted m -> Printf.printf "  abort: %s\n" m);
+  | Vm.Aborted m -> Printf.printf "  abort: %s\n" (Vm.abort_reason_string m));
   print_endline
     "\nnote: the store through the legacy-returned pointer q went through\n\
      silently (bounds cleared at the legacy boundary, §4.1.2), while the\n\

@@ -59,7 +59,7 @@ let show name cfg prog =
     (match r.Vm.outcome with
     | Vm.Finished x -> Printf.sprintf "finished, sensitive[0] = 0x%Lx" x
     | Vm.Trapped t -> "TRAP: " ^ Trap.to_string t
-    | Vm.Aborted m -> "abort: " ^ m)
+    | Vm.Aborted m -> "abort: " ^ Vm.abort_reason_string m)
 
 let () =
   print_endline "write to vulnerable[5] (in bounds):";

@@ -1,6 +1,9 @@
 type t = { root : string }
 
-let format_version = 1
+(* v2: Vm.result gained structured abort reasons and fault_injections
+   (PR 2) — entries marshalled by v1 binaries must never be read back
+   into the new shape. *)
+let format_version = 2
 
 (* header stored alongside the result so [find] can reject entries whose
    file name lies about the content (truncated copy, digest collision) *)
@@ -30,22 +33,38 @@ let path_of t digest =
     (Filename.concat (version_dir t) fanout)
     (digest ^ ".result")
 
+type lookup =
+  | Hit of Ifp_vm.Vm.result
+  | Miss
+  | Quarantined of { path : string; reason : string }
+
+let quarantine_path path = Filename.remove_extension path ^ ".corrupt"
+
 let find t ~digest =
   let path = path_of t digest in
   match open_in_bin path with
-  | exception Sys_error _ -> None
+  | exception Sys_error _ -> Miss
   | ic ->
-    let entry =
+    let verdict =
       try
         let header : entry_header = Marshal.from_channel ic in
-        if header.h_magic = magic && header.h_digest = digest then
+        if header.h_magic <> magic then Error "bad magic"
+        else if header.h_digest <> digest then Error "digest mismatch"
+        else
           let result : Ifp_vm.Vm.result = Marshal.from_channel ic in
-          Some result
-        else None
-      with _ -> None
+          Ok result
+      with _ -> Error "truncated or undecodable entry"
     in
     close_in_noerr ic;
-    entry
+    (match verdict with
+    | Ok result -> Hit result
+    | Error reason ->
+      (* move the damaged file aside so the next run re-misses cleanly
+         instead of re-tripping on it forever; keep it for post-mortem *)
+      let qpath = quarantine_path path in
+      (try Sys.rename path qpath
+       with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+      Quarantined { path = qpath; reason })
 
 let store t ~digest ~job_name result =
   let path = path_of t digest in

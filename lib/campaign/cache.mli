@@ -22,9 +22,19 @@ val create : dir:string -> t
 
 val dir : t -> string
 
-val find : t -> digest:string -> Ifp_vm.Vm.result option
-(** [None] on miss, corruption (any read/unmarshal error), or digest
-    mismatch — a corrupt entry is never fatal. *)
+(** Result of a cache probe. A damaged entry is never fatal: it is
+    quarantined — renamed to [<digest>.corrupt] next to its original
+    location, preserved for post-mortem — and reported so the engine can
+    emit a [cache_corrupt] event; the next probe for the same digest is
+    a clean {!Miss}. *)
+type lookup =
+  | Hit of Ifp_vm.Vm.result
+  | Miss
+  | Quarantined of { path : string; reason : string }
+      (** [path] is the quarantine file; [reason] is why the entry was
+          rejected (bad magic, digest mismatch, truncated/undecodable) *)
+
+val find : t -> digest:string -> lookup
 
 val store : t -> digest:string -> job_name:string -> Ifp_vm.Vm.result -> unit
 (** Atomic (write-to-temp then rename), so concurrent worker domains and

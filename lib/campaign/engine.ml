@@ -1,6 +1,6 @@
 module Vm = Ifp_vm.Vm
 
-type status = Done | Failed of string
+type status = Done | Failed of string | Timed_out
 
 type outcome = {
   job : Job.t;
@@ -16,6 +16,7 @@ type stats = {
   jobs : int;
   completed : int;
   failed : int;
+  timed_out : int;
   cache_hits : int;
   retries : int;
   workers : int;
@@ -28,41 +29,105 @@ let outcome_string (r : Vm.result) =
   match r.Vm.outcome with
   | Vm.Finished _ -> "finished"
   | Vm.Trapped t -> "trapped: " ^ Ifp_isa.Trap.to_string t
-  | Vm.Aborted m -> "aborted: " ^ m
+  | Vm.Aborted m -> "aborted: " ^ Vm.abort_reason_string m
 
-let run_job ~cache ~log ~retries ~runner ~digest (job : Job.t) =
+(* Deterministic retry backoff: [base * 2^(attempt-1)], scaled by a
+   jitter in [1, 1.5) drawn from a PRNG seeded by (digest, attempt) — so
+   two campaigns replaying the same jobs sleep identically, while jobs
+   colliding on a flaky shared resource spread out instead of retrying
+   in lockstep. *)
+let backoff_delay ~base ~digest ~attempt =
+  if base <= 0.0 then 0.0
+  else
+    let dseed =
+      let hex = String.sub digest 0 (min 15 (String.length digest)) in
+      try Int64.of_string ("0x" ^ hex) with Failure _ -> 1L
+    in
+    let rng =
+      Ifp_util.Prng.create (Ifp_util.Prng.mix2 dseed (Int64.of_int attempt))
+    in
+    let jitter = 1.0 +. Ifp_util.Prng.float rng 0.5 in
+    Float.min (base *. (2.0 ** float_of_int (attempt - 1)) *. jitter) 5.0
+
+(* One runner invocation, optionally under a wall-clock watchdog. The
+   stdlib has no timed condition wait, so the watchdog spawns the
+   attempt on its own domain and polls an atomic result slot against the
+   deadline. On timeout the domain is abandoned (OCaml domains cannot be
+   killed): it keeps burning a core until its VM budget trips, but the
+   campaign itself moves on. If the domain limit is hit, the attempt
+   falls back to running inline (no watchdog, but the job still runs). *)
+let run_attempt ~job_timeout ~runner job =
+  let attempt () =
+    match runner job with
+    | result -> `Ok result
+    | exception exn -> `Exn (Printexc.to_string exn)
+  in
+  match job_timeout with
+  | None -> attempt ()
+  | Some limit -> (
+    let slot = Atomic.make None in
+    match Domain.spawn (fun () -> Atomic.set slot (Some (attempt ()))) with
+    | exception _ -> attempt ()
+    | d ->
+      let deadline = Unix.gettimeofday () +. limit in
+      let rec wait () =
+        match Atomic.get slot with
+        | Some r ->
+          Domain.join d;
+          r
+        | None ->
+          if Unix.gettimeofday () >= deadline then `Timeout
+          else (
+            Unix.sleepf 0.005;
+            wait ())
+      in
+      wait ())
+
+let run_job ~cache ~log ~retries ~backoff ~job_timeout ~runner ~digest
+    (job : Job.t) =
   let open Events in
   let t0 = Unix.gettimeofday () in
   let base_fields = [ ("job", String job.Job.name); ("digest", String digest) ] in
   let cached =
     match cache with
-    | None -> None
+    | None -> Cache.Miss
     | Some c -> Cache.find c ~digest
   in
   match cached with
-  | Some result ->
+  | Cache.Hit result ->
     let elapsed = Unix.gettimeofday () -. t0 in
     emit log "cache_hit" (base_fields @ [ ("elapsed", Float elapsed) ]);
     { job; digest; status = Done; result = Some result; from_cache = true;
       attempts = 0; elapsed }
-  | None ->
+  | Cache.Miss | Cache.Quarantined _ ->
+    (match cached with
+    | Cache.Quarantined { path; reason } ->
+      emit log "cache_corrupt"
+        (base_fields @ [ ("path", String path); ("reason", String reason) ])
+    | _ -> ());
     emit log "job_start" base_fields;
     let max_attempts = 1 + max 0 retries in
     let rec attempt n =
-      match runner job with
-      | result -> (n, Ok result)
-      | exception exn ->
-        let why = Printexc.to_string exn in
+      match run_attempt ~job_timeout ~runner job with
+      | `Ok result -> (n, `Ok result)
+      | `Timeout ->
+        (* no retry: a runaway job would just hang the watchdog again *)
+        (n, `Timeout)
+      | `Exn why ->
         if n < max_attempts then (
+          let delay = backoff_delay ~base:backoff ~digest ~attempt:n in
           emit log "retry"
-            (base_fields @ [ ("attempt", Int n); ("error", String why) ]);
+            (base_fields
+            @ [ ("attempt", Int n); ("delay", Float delay);
+                ("error", String why) ]);
+          if delay > 0.0 then Unix.sleepf delay;
           attempt (n + 1))
-        else (n, Error why)
+        else (n, `Err why)
     in
     let attempts, outcome = attempt 1 in
     let elapsed = Unix.gettimeofday () -. t0 in
     (match outcome with
-    | Ok result ->
+    | `Ok result ->
       (match cache with
       | Some c -> Cache.store c ~digest ~job_name:job.Job.name result
       | None -> ());
@@ -78,7 +143,16 @@ let run_job ~cache ~log ~retries ~runner ~digest (job : Job.t) =
           ]);
       { job; digest; status = Done; result = Some result; from_cache = false;
         attempts; elapsed }
-    | Error why ->
+    | `Timeout ->
+      emit log "job_timeout"
+        (base_fields
+        @ [ ("elapsed", Float elapsed); ("attempts", Int attempts);
+            ("limit", match job_timeout with
+              | Some l -> Float l
+              | None -> Null) ]);
+      { job; digest; status = Timed_out; result = None; from_cache = false;
+        attempts; elapsed }
+    | `Err why ->
       emit log "job_failed"
         (base_fields
         @ [ ("elapsed", Float elapsed); ("attempts", Int attempts);
@@ -92,6 +166,7 @@ let stats_json s =
     ("jobs", Int s.jobs);
     ("completed", Int s.completed);
     ("failed", Int s.failed);
+    ("timed_out", Int s.timed_out);
     ("cache_hits", Int s.cache_hits);
     ("retries", Int s.retries);
     ("workers", Int s.workers);
@@ -102,7 +177,7 @@ let stats_json s =
   ]
 
 let run ?(workers = 1) ?cache ?(log = Events.null) ?(retries = 2)
-    ?(runner = default_runner) jobs =
+    ?(backoff = 0.05) ?job_timeout ?(runner = default_runner) jobs =
   let open Events in
   let t0 = Unix.gettimeofday () in
   let jobs_arr = Array.of_list jobs in
@@ -112,6 +187,7 @@ let run ?(workers = 1) ?cache ?(log = Events.null) ?(retries = 2)
       ("jobs", Int n);
       ("workers", Int workers);
       ("retries", Int retries);
+      ("job_timeout", match job_timeout with Some l -> Float l | None -> Null);
       ("cache", match cache with
         | Some c -> String (Cache.dir c)
         | None -> Null);
@@ -125,8 +201,8 @@ let run ?(workers = 1) ?cache ?(log = Events.null) ?(retries = 2)
     Array.init n (fun i () ->
         slots.(i) <-
           Some
-            (run_job ~cache ~log ~retries ~runner ~digest:digests.(i)
-               jobs_arr.(i)))
+            (run_job ~cache ~log ~retries ~backoff ~job_timeout ~runner
+               ~digest:digests.(i) jobs_arr.(i)))
   in
   Pool.run ~workers tasks;
   let outcomes =
@@ -148,11 +224,13 @@ let run ?(workers = 1) ?cache ?(log = Events.null) ?(retries = 2)
           s with
           completed = (s.completed + match o.status with Done -> 1 | _ -> 0);
           failed = (s.failed + match o.status with Failed _ -> 1 | _ -> 0);
+          timed_out =
+            (s.timed_out + match o.status with Timed_out -> 1 | _ -> 0);
           cache_hits = (s.cache_hits + if o.from_cache then 1 else 0);
           retries = s.retries + max 0 (o.attempts - 1);
         })
-      { jobs = n; completed = 0; failed = 0; cache_hits = 0; retries = 0;
-        workers; wall_seconds = 0.0 }
+      { jobs = n; completed = 0; failed = 0; timed_out = 0; cache_hits = 0;
+        retries = 0; workers; wall_seconds = 0.0 }
       outcomes
   in
   let stats = { stats with wall_seconds = Unix.gettimeofday () -. t0 } in

@@ -1,6 +1,7 @@
 (** The campaign engine: runs a batch of {!Job.t}s across a
     {!Pool.run} of worker domains, with per-job result caching
-    ({!Cache}), bounded retries, fault isolation and {!Events} JSONL
+    ({!Cache}), bounded retries with deterministic backoff, a per-job
+    wall-clock watchdog, fault isolation and {!Events} JSONL
     observability.
 
     {2 Fault model}
@@ -12,8 +13,16 @@
     outcome; for benchmark rows it becomes a status annotation). An
     engine-level failure is an OCaml exception escaping the runner (a
     simulator bug, out-of-memory, an injected fault in tests): the job is
-    retried up to [retries] extra times and then marked {!Failed},
-    leaving every other job of the campaign unaffected.
+    retried up to [retries] extra times — sleeping a deterministic
+    exponential backoff with seeded jitter between attempts — and then
+    marked {!Failed}, leaving every other job of the campaign unaffected.
+    A job that exceeds [job_timeout] wall-clock seconds is marked
+    {!Timed_out} without retry (a runaway job would only hang the
+    watchdog again); its worker domain is abandoned, not killed — OCaml
+    domains cannot be cancelled — so it keeps a core busy until the VM
+    cycle budget trips, but the campaign itself proceeds. Corrupted
+    cache entries are quarantined ({!Cache.lookup}) and surfaced as
+    [cache_corrupt] events; the job then runs as a normal miss.
 
     {2 Determinism}
 
@@ -23,9 +32,11 @@
     outcomes are collected into a slot array indexed by submission order,
     so aggregation over the outcome array is independent of worker count
     and scheduling. [run ~workers:8 jobs] and [run ~workers:1 jobs]
-    produce equal outcome data (modulo [elapsed] timings). *)
+    produce equal outcome data (modulo [elapsed] timings). Retry backoff
+    delays are derived from [(digest, attempt)] alone, so a replayed
+    campaign sleeps identically. *)
 
-type status = Done | Failed of string
+type status = Done | Failed of string | Timed_out
 
 type outcome = {
   job : Job.t;
@@ -34,32 +45,43 @@ type outcome = {
   result : Ifp_vm.Vm.result option;  (** [Some] iff [status = Done] *)
   from_cache : bool;
   attempts : int;  (** runner invocations: 0 on a cache hit, else >= 1 *)
-  elapsed : float;  (** seconds, including cache probe *)
+  elapsed : float;  (** seconds, including cache probe and backoff *)
 }
 
 type stats = {
   jobs : int;
   completed : int;
   failed : int;
+  timed_out : int;
   cache_hits : int;
   retries : int;  (** total extra attempts across all jobs *)
   workers : int;
   wall_seconds : float;
 }
 
+val backoff_delay : base:float -> digest:string -> attempt:int -> float
+(** The deterministic retry delay: [base * 2^(attempt-1)] scaled by a
+    jitter factor in [[1, 1.5)] seeded from [(digest, attempt)], capped
+    at 5 s. [0.0] when [base <= 0.0]. Exposed for tests. *)
+
 val run :
   ?workers:int ->
   ?cache:Cache.t ->
   ?log:Events.t ->
   ?retries:int ->
+  ?backoff:float ->
+  ?job_timeout:float ->
   ?runner:(Job.t -> Ifp_vm.Vm.result) ->
   Job.t list ->
   outcome array * stats
 (** Runs the batch. Defaults: [workers = 1], no cache, no log,
-    [retries = 2] (i.e. up to 3 attempts), [runner] = [Vm.run] with the
-    job's config. Outcomes are in submission order. Events emitted:
-    [campaign_start], [job_start], [job_finish], [cache_hit], [retry],
-    [job_failed], [campaign_end]. *)
+    [retries = 2] (i.e. up to 3 attempts), [backoff = 0.05] seconds base
+    delay (pass [0.0] for immediate retries), no [job_timeout] (jobs may
+    run forever), [runner] = [Vm.run] with the job's config. Outcomes
+    are in submission order. Events emitted: [campaign_start],
+    [job_start], [job_finish], [cache_hit], [cache_corrupt], [retry]
+    (with [attempt] and [delay]), [job_timeout], [job_failed],
+    [campaign_end]. *)
 
 val stats_json : stats -> (string * Events.json) list
 (** The stats record as JSON fields (used both for the [campaign_end]

@@ -27,12 +27,17 @@ let alloc_string (a : Vm.alloc_kind) =
   | Vm.Alloc_subheap -> "subheap"
   | Vm.Alloc_mixed -> "mixed"
 
+let fault_string (c : Vm.config) =
+  match c.fault_plan with
+  | None -> "none"
+  | Some p -> Ifp_faultinject.Fault.fingerprint p
+
 let config_fingerprint (c : Vm.config) =
   Printf.sprintf
     "variant=%s;alloc=%s;seed=%Ld;max_cycles=%d;narrowing=%b;\
-     infer_alloc_types=%b;trace_limit=%d"
+     infer_alloc_types=%b;trace_limit=%d;fault=%s"
     (variant_string c.variant) (alloc_string c.alloc) c.seed c.max_cycles
-    c.narrowing c.infer_alloc_types c.trace_limit
+    c.narrowing c.infer_alloc_types c.trace_limit (fault_string c)
 
 let model_digest =
   let ifp_kinds =

@@ -40,7 +40,7 @@ let evaluate_variants ~name prog variants =
 
 let aborted_result msg =
   {
-    Vm.outcome = Vm.Aborted msg;
+    Vm.outcome = Vm.Aborted (Vm.Host_failure msg);
     counters = Ifp_vm.Counters.create ();
     alloc_stats = Ifp_alloc.Alloc_intf.fresh_stats ();
     alloc_extra = [];
@@ -50,6 +50,7 @@ let aborted_result msg =
     output = [];
     instrument_report = None;
     trace = [];
+    fault_injections = [];
   }
 
 let runtime_overhead ~(baseline : Vm.result) (r : Vm.result) =
@@ -71,7 +72,16 @@ let outcome_reason (r : Vm.result) =
   match r.outcome with
   | Vm.Finished _ -> None
   | Vm.Trapped t -> Some ("trap: " ^ Ifp_isa.Trap.to_string t)
-  | Vm.Aborted msg -> Some ("abort: " ^ msg)
+  | Vm.Aborted reason -> Some ("abort: " ^ Vm.abort_reason_string reason)
+
+(* Structured short label for a did-not-finish outcome — derived from the
+   outcome constructors, never by parsing reason strings. *)
+let outcome_kind (r : Vm.result) =
+  match r.outcome with
+  | Vm.Finished _ -> None
+  | Vm.Trapped _ -> Some "trap"
+  | Vm.Aborted Vm.Budget_exhausted -> Some "budget"
+  | Vm.Aborted _ -> Some "abort"
 
 let check_outcomes row =
   List.filter_map
@@ -86,16 +96,18 @@ let check_outcomes row =
     ]
 
 let status_string row =
-  match check_outcomes row with
-  | [] -> "ok"
-  | bad ->
-    String.concat ","
-      (List.map
-         (fun (vname, why) ->
-           let kind =
-             match String.index_opt why ':' with
-             | Some i -> String.sub why 0 i
-             | None -> why
-           in
-           vname ^ "(" ^ kind ^ ")")
-         bad)
+  let bad =
+    List.filter_map
+      (fun (vname, r) ->
+        match outcome_kind r with
+        | None -> None
+        | Some kind -> Some (vname ^ "(" ^ kind ^ ")"))
+      [
+        ("baseline", row.baseline);
+        ("subheap", row.subheap);
+        ("wrapped", row.wrapped);
+        ("subheap-np", row.subheap_np);
+        ("wrapped-np", row.wrapped_np);
+      ]
+  in
+  match bad with [] -> "ok" | bad -> String.concat "," bad

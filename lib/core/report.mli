@@ -21,10 +21,15 @@ val of_results : name:string -> lookup:(string -> Ifp_vm.Vm.result) -> row
     campaign engine. [lookup] is applied to each name in {!variants}. *)
 
 val aborted_result : string -> Ifp_vm.Vm.result
-(** A zeroed placeholder result with [Aborted msg] outcome — used to
-    keep a row renderable when a variant's job failed at the engine
-    level (the failure stays visible via {!check_outcomes} /
-    {!status_string}). *)
+(** A zeroed placeholder result with [Aborted (Host_failure msg)]
+    outcome — used to keep a row renderable when a variant's job failed
+    at the engine level (the failure stays visible via
+    {!check_outcomes} / {!status_string}). *)
+
+val outcome_kind : Ifp_vm.Vm.result -> string option
+(** [None] for a finished run, otherwise the short status-column label
+    (["trap"] / ["budget"] / ["abort"]), derived from the outcome
+    constructors — never by parsing reason strings. *)
 
 val evaluate : name:string -> Ifp_compiler.Ir.program -> row
 (** Runs the workload under all five configurations, serially in the

@@ -1,0 +1,59 @@
+module Trap = Ifp_isa.Trap
+
+type observed = {
+  outcome : [ `Finished of int64 | `Trapped of Trap.t | `Aborted of string ];
+  output : string list;
+}
+
+type t =
+  | Detected of { trap : Trap.t; expected : bool }
+  | Silent_corruption
+  | Benign
+  | Not_fired
+  | Aborted of string
+
+(* Which traps each fault class is architecturally supposed to raise.
+   Poisoned_dereference appears everywhere a promote can poison the
+   pointer instead of trapping immediately; Heap_smash may legitimately
+   surface as any trap, depending on what the bytes hit. *)
+let expected_trap cls (trap : Trap.t) =
+  match (cls, trap) with
+  | Fault.Heap_smash, _ -> true
+  | Fault.Tag_flip, _ -> true
+  | ( Fault.Bounds_corrupt,
+      (Trap.Bounds_violation _ | Trap.Poisoned_dereference _) ) ->
+    true
+  | ( Fault.Meta_tamper,
+      ( Trap.Mac_mismatch _ | Trap.Invalid_metadata _
+      | Trap.Poisoned_dereference _ | Trap.Bounds_violation _ ) ) ->
+    true
+  | ( Fault.Mac_flip,
+      ( Trap.Mac_mismatch _ | Trap.Invalid_metadata _
+      | Trap.Poisoned_dereference _ ) ) ->
+    true
+  | Fault.Stale_meta, _ ->
+    (* wiped metadata can surface as any of the five traps, depending on
+       what the zeroed record aliases *)
+    true
+  | (Fault.Bounds_corrupt | Fault.Meta_tamper | Fault.Mac_flip), _ -> false
+
+let classify ~cls ~fired ~golden ~faulted =
+  match faulted.outcome with
+  | `Trapped trap -> Detected { trap; expected = expected_trap cls trap }
+  | `Aborted m -> Aborted m
+  | `Finished ret ->
+    if not fired then Not_fired
+    else (
+      match golden.outcome with
+      | `Finished gret
+        when Int64.equal gret ret && faulted.output = golden.output ->
+        Benign
+      | _ -> Silent_corruption)
+
+let to_string = function
+  | Detected { expected = true; _ } -> "detected"
+  | Detected { expected = false; _ } -> "detected-unexpected"
+  | Silent_corruption -> "silent"
+  | Benign -> "benign"
+  | Not_fired -> "not-fired"
+  | Aborted _ -> "aborted"

@@ -1,0 +1,36 @@
+(** Outcome classification for fault-injection runs (the three-way split
+    of the paper-style security evaluation, RV-CURE/CryptSan fashion):
+    a faulted run either {e trapped} (the defense detected it), finished
+    with output differing from the uninjected golden run ({e silent
+    corruption} — what Baseline is expected to show), or finished
+    identically ({e benign} — the flipped bits were never consumed).
+
+    Kept free of [Vm] types so the library can sit below the VM:
+    callers distil a run into an {!observed}. *)
+
+type observed = {
+  outcome :
+    [ `Finished of int64 | `Trapped of Ifp_isa.Trap.t | `Aborted of string ];
+  output : string list;
+}
+
+type t =
+  | Detected of { trap : Ifp_isa.Trap.t; expected : bool }
+      (** trapped; [expected] when the trap is one the fault class is
+          architecturally supposed to raise *)
+  | Silent_corruption
+  | Benign
+  | Not_fired  (** the trigger never found a usable injection point *)
+  | Aborted of string
+      (** the faulted run died in the simulator (e.g. cycle budget after
+          corruption sent the program spinning) — counted separately,
+          neither detection nor silence *)
+
+val expected_trap : Fault.fault_class -> Ifp_isa.Trap.t -> bool
+
+val classify : cls:Fault.fault_class -> fired:bool -> golden:observed -> faulted:observed -> t
+(** [golden] must come from the same program/config with no plan. *)
+
+val to_string : t -> string
+(** Short machine-friendly label: [detected] / [detected-unexpected] /
+    [silent] / [benign] / [not-fired] / [aborted]. *)

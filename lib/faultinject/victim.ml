@@ -1,0 +1,150 @@
+open Ifp_compiler.Ir
+module Ctype = Ifp_types.Ctype
+
+let name = "pointer_maze"
+
+let node_ty = Ctype.Struct "fnode"
+let np = Ctype.Ptr node_ty
+let ip = Ctype.Ptr Ctype.I64
+let ipp = Ctype.Ptr ip
+
+let n_nodes = 6
+let n_fillers = 10
+let filler_words = 64 (* 512 B each: fits the local-offset scheme *)
+let node_vals = 6
+let rounds = 12
+
+let tenv =
+  Ctype.declare Ctype.empty_tenv
+    {
+      Ctype.sname = "fnode";
+      fields =
+        [
+          { fname = "vals"; fty = Ctype.Array (Ctype.I64, node_vals) };
+          { fname = "next"; fty = Ctype.Ptr (Ctype.Struct "fnode") };
+        ];
+    }
+
+let for_ var ~below body =
+  [
+    Let (var, Ctype.I64, i 0);
+    While (v var <: below, body @ [ Assign (var, v var +: i 1) ]);
+  ]
+
+let build () =
+  let main =
+    func "main" [] Ctype.I64
+      (List.concat
+         [
+           (* filler chunks, reachable only through a heap pointer array *)
+           [ Let ("fills", ipp, Malloc (ip, i n_fillers)) ];
+           for_ "f" ~below:(i n_fillers)
+             (List.concat
+                [
+                  [ Let ("chunk", ip, Malloc (Ctype.I64, i filler_words)) ];
+                  for_ "w" ~below:(i filler_words)
+                    [
+                      Store
+                        ( Ctype.I64,
+                          Gep (Ctype.I64, v "chunk", [ at (v "w") ]),
+                          (v "f" *: i 1021) +: (v "w" *: i 7) );
+                    ];
+                  [
+                    Store
+                      ( ip,
+                        Gep (ip, v "fills", [ at (v "f") ]),
+                        v "chunk" );
+                  ];
+                ]);
+           (* linked node list, head parked in heap memory *)
+           [ Let ("head", np, null node_ty) ];
+           for_ "k" ~below:(i n_nodes)
+             (List.concat
+                [
+                  [ Let ("nd", np, Malloc (node_ty, i 1)) ];
+                  for_ "j" ~below:(i node_vals)
+                    [
+                      Store
+                        ( Ctype.I64,
+                          Gep (node_ty, v "nd", [ fld "vals"; at (v "j") ]),
+                          (v "k" *: i 131) +: v "j" );
+                    ];
+                  [
+                    Store (np, Gep (node_ty, v "nd", [ fld "next" ]), v "head");
+                    Assign ("head", v "nd");
+                  ];
+                ]);
+           [
+             Let ("hp", Ctype.Ptr np, Malloc (np, i 1));
+             Store (np, Gep (np, v "hp", [ at (i 0) ]), v "head");
+             Let ("sum", Ctype.I64, i 0);
+           ];
+           (* the measured loop: every pointer re-loaded from memory each
+              round, so each round re-promotes (and re-checks) everything *)
+           for_ "r" ~below:(i rounds)
+             (List.concat
+                [
+                  [ Let ("p", np, Load (np, Gep (np, v "hp", [ at (i 0) ]))) ];
+                  [
+                    While
+                      ( Binop (Ne, v "p", null node_ty),
+                        List.concat
+                          [
+                            for_ "j" ~below:(i node_vals)
+                              [
+                                Assign
+                                  ( "sum",
+                                    v "sum"
+                                    +: Load
+                                         ( Ctype.I64,
+                                           Gep
+                                             ( node_ty,
+                                               v "p",
+                                               [ fld "vals"; at (v "j") ] ) )
+                                  );
+                              ];
+                            [
+                              Store
+                                ( Ctype.I64,
+                                  Gep
+                                    ( node_ty,
+                                      v "p",
+                                      [ fld "vals"; at (v "r" %: i node_vals) ]
+                                    ),
+                                  v "sum" );
+                              Assign
+                                ( "p",
+                                  Load (np, Gep (node_ty, v "p", [ fld "next" ]))
+                                );
+                            ];
+                          ] );
+                  ];
+                  for_ "f" ~below:(i n_fillers)
+                    (List.concat
+                       [
+                         [
+                           Let
+                             ( "c",
+                               ip,
+                               Load (ip, Gep (ip, v "fills", [ at (v "f") ])) );
+                         ];
+                         for_ "w" ~below:(i filler_words)
+                           [
+                             Assign
+                               ( "sum",
+                                 v "sum"
+                                 +: Load
+                                      ( Ctype.I64,
+                                        Gep (Ctype.I64, v "c", [ at (v "w") ])
+                                      ) );
+                           ];
+                       ]);
+                  [ Expr (Call ("__print_i64", [ v "sum" ])) ];
+                ]);
+           [ Return (Some (v "sum")) ];
+         ])
+  in
+  program ~tenv ~globals:[] [ main ]
+
+let shared = lazy (build ())
+let program () = Lazy.force shared

@@ -1,0 +1,21 @@
+(** The fault-campaign victim: a MiniC program shaped so every fault
+    class has something real to corrupt, continuously.
+
+    Requirements it is built to meet:
+    - allocates eagerly (~6 KiB of live heap data in the first pages) so
+      heap smashes land on populated memory;
+    - re-loads every heap pointer from memory each round, so promotes —
+      and hence metadata/MAC checks — happen throughout the run, long
+      after any trigger fires;
+    - prints a running checksum every round, so a single corrupted data
+      byte changes the observable output (silent corruption is visible
+      to the classifier, not just a wrong exit code). *)
+
+val name : string
+
+val program : unit -> Ifp_compiler.Ir.program
+(** The shared immutable program (instrumentation copies it; safe for
+    concurrent campaign runs). *)
+
+val rounds : int
+(** Checksum lines the program prints. *)

@@ -378,7 +378,7 @@ let outcome_of_results case ~bad ~good =
     match bad.Vm.outcome with
     | Vm.Trapped _ -> Detected
     | Vm.Finished _ -> Silent
-    | Vm.Aborted m -> Error m
+    | Vm.Aborted m -> Error (Vm.abort_reason_string m)
   in
   let good_ok =
     match good.Vm.outcome with

@@ -91,6 +91,8 @@ let write_u8 t a v =
   end;
   Bytes.unsafe_set p.data (off_of_addr a) (Char.unsafe_chr (v land 0xFF))
 
+let xor_u8 t a mask = write_u8 t a (read_u8 t a lxor (mask land 0xFF))
+
 (* Fast paths when the whole access fits in one page; otherwise byte-wise. *)
 let read_u16 t a =
   let off = off_of_addr a in

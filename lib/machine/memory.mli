@@ -38,6 +38,12 @@ val read_u32 : t -> int64 -> int64
 val read_u64 : t -> int64 -> int64
 
 val write_u8 : t -> int64 -> int -> unit
+
+val xor_u8 : t -> int64 -> int -> unit
+(** [xor_u8 m a mask] flips the bits of [mask] in the byte at [a] — the
+    fault-injection bit-flip primitive. Faults like any other access. *)
+
+
 val write_u16 : t -> int64 -> int -> unit
 val write_u32 : t -> int64 -> int64 -> unit
 val write_u64 : t -> int64 -> int64 -> unit

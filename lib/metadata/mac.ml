@@ -1,5 +1,7 @@
 type key = int64
 
+let bits = 48
+
 let fresh_key rng = Ifp_util.Prng.next64 rng
 
 let compute ~key fields =

@@ -9,6 +9,9 @@
 
 type key = int64
 
+val bits : int
+(** MAC width in bits (48) — the span a fault injector may flip. *)
+
 val fresh_key : Ifp_util.Prng.t -> key
 
 val compute : key:key -> int64 list -> int64

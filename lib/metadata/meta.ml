@@ -8,6 +8,15 @@ type obj_meta = { obj_base : int64; obj_size : int; layout_ptr : int64 }
 
 type creg_v = { block_size_log2 : int; metadata_offset : int64 }
 
+type scheme = Scheme_local_offset | Scheme_subheap | Scheme_global_table
+
+type live_entry = {
+  scheme : scheme;
+  meta_addr : int64;
+  meta_bytes : int;
+  mac_off : int option;
+}
+
 type t = {
   mem : Memory.t;
   key : Mac.key;
@@ -20,6 +29,9 @@ type t = {
   mutable gt_free : int list;
   mutable gt_used : int;
   cregs : creg_v option array;
+  live : (int64, live_entry) Hashtbl.t;
+      (* every metadata record currently in memory, keyed by address —
+         the fault injector's target registry *)
 }
 
 let layout_magic = 0x4C544231L (* "LTB1" *)
@@ -41,10 +53,24 @@ let create ~memory ~mac_key ~layout_region:(lbase, lsize)
     gt_free = List.init (entries - 1) (fun i -> i + 1);
     gt_used = 0;
     cregs = Array.make 16 None;
+    live = Hashtbl.create 64;
   }
 
 let memory t = t.mem
 let mac_key t = t.key
+
+let live_add t e = Hashtbl.replace t.live e.meta_addr e
+let live_remove t meta_addr = Hashtbl.remove t.live meta_addr
+
+let live_entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.live []
+  |> List.sort (fun a b -> Int64.compare a.meta_addr b.meta_addr)
+
+let wipe_entry t e =
+  for i = 0 to e.meta_bytes - 1 do
+    Memory.write_u8 t.mem (Int64.add e.meta_addr (Int64.of_int i)) 0
+  done;
+  live_remove t e.meta_addr
 
 (* ------------------------------------------------------------------ *)
 (* Layout tables                                                       *)
@@ -131,6 +157,9 @@ module Local_offset = struct
     Memory.write_u32 t.mem (Int64.add meta_addr 4L)
       (Int64.shift_right_logical mac 16);
     Memory.write_u64 t.mem (Int64.add meta_addr 8L) layout_ptr;
+    live_add t
+      { scheme = Scheme_local_offset; meta_addr; meta_bytes = metadata_size;
+        mac_off = Some 2 };
     let granule_off = Bits.align_up size Tag.granule / Tag.granule in
     Tag.make_local_offset ~addr:base ~granule_off ~subobj:0
 
@@ -146,7 +175,8 @@ module Local_offset = struct
     let meta_addr = Tag.metadata_addr_local_offset ptr in
     for i = 0 to metadata_size - 1 do
       Memory.write_u8 t.mem (Int64.add meta_addr (Int64.of_int i)) 0
-    done
+    done;
+    live_remove t meta_addr
 
   let lookup t ptr =
     let meta_addr = Tag.metadata_addr_local_offset ptr in
@@ -220,7 +250,10 @@ module Subheap = struct
       (Int64.to_int (Int64.logand mac 0xFFFFL));
     Memory.write_u32 t.mem (Int64.add meta_addr 26L)
       (Int64.shift_right_logical mac 16);
-    Memory.write_u16 t.mem (Int64.add meta_addr 30L) 0
+    Memory.write_u16 t.mem (Int64.add meta_addr 30L) 0;
+    live_add t
+      { scheme = Scheme_subheap; meta_addr; meta_bytes = block_metadata_size;
+        mac_off = Some 24 }
 
   let clear_block_metadata t ~creg ~block_base =
     match t.cregs.(creg) with
@@ -229,7 +262,8 @@ module Subheap = struct
       let meta_addr = meta_addr_of ~creg:c ~block_base in
       for i = 0 to block_metadata_size - 1 do
         Memory.write_u8 t.mem (Int64.add meta_addr (Int64.of_int i)) 0
-      done
+      done;
+      live_remove t meta_addr
 
   let tag_pointer ~creg ~addr = Tag.make_subheap ~addr ~creg ~subobj:0
 
@@ -318,6 +352,9 @@ module Global_table = struct
       in
       Memory.write_u64 t.mem addr w0;
       Memory.write_u64 t.mem (Int64.add addr 8L) w1;
+      live_add t
+        { scheme = Scheme_global_table; meta_addr = addr; meta_bytes = 16;
+          mac_off = None };
       Some (Tag.make_global_table ~addr:base ~index:i)
 
   let deregister t ptr =
@@ -326,6 +363,7 @@ module Global_table = struct
       let addr = row_addr t i in
       Memory.write_u64 t.mem addr 0L;
       Memory.write_u64 t.mem (Int64.add addr 8L) 0L;
+      live_remove t addr;
       t.gt_free <- i :: t.gt_free;
       t.gt_used <- t.gt_used - 1
     end

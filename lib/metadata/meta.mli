@@ -49,6 +49,31 @@ val create :
 val memory : t -> Ifp_machine.Memory.t
 val mac_key : t -> Mac.key
 
+(** {1 Live-entry registry}
+
+    Every metadata record currently materialised in memory, tracked so
+    the fault injector ({!Ifp_faultinject.Fault}) can pick tampering
+    targets without re-deriving each scheme's placement rules. The
+    registry is bookkeeping only — lookups never consult it. *)
+
+type scheme = Scheme_local_offset | Scheme_subheap | Scheme_global_table
+
+type live_entry = {
+  scheme : scheme;
+  meta_addr : int64;
+  meta_bytes : int;  (** record length: 16, 32 or 16 bytes *)
+  mac_off : int option;
+      (** byte offset of the 48-bit MAC within the record; [None] for
+          global-table rows, which carry no MAC *)
+}
+
+val live_entries : t -> live_entry list
+(** Currently-registered records, sorted by address (deterministic). *)
+
+val wipe_entry : t -> live_entry -> unit
+(** Zero the record in memory (attacker memset / stale-metadata fault)
+    without touching allocator bookkeeping. *)
+
 (** {1 Layout tables} *)
 
 val intern_layout : t -> Ifp_types.Ctype.tenv -> Ifp_types.Ctype.t -> int64

@@ -12,6 +12,7 @@ module Alloc = Ifp_alloc.Alloc_intf
 module Ir = Ifp_compiler.Ir
 module Typecheck = Ifp_compiler.Typecheck
 module Instrument = Ifp_compiler.Instrument
+module Fault = Ifp_faultinject.Fault
 
 type variant = Baseline | Ifp | Ifp_no_promote
 
@@ -25,6 +26,7 @@ type config = {
   narrowing : bool;
   infer_alloc_types : bool;
   trace_limit : int;
+  fault_plan : Fault.plan option;
 }
 
 type trace_event =
@@ -42,6 +44,7 @@ let default_config =
     narrowing = true;
     infer_alloc_types = false;
     trace_limit = 0;
+    fault_plan = None;
   }
 
 let baseline = default_config
@@ -54,7 +57,21 @@ let no_narrowing alloc =
 
 let ifp_mixed = { default_config with variant = Ifp; alloc = Alloc_mixed }
 
-type outcome = Finished of int64 | Trapped of Trap.t | Aborted of string
+type abort_reason =
+  | Budget_exhausted
+  | Stack_overflow
+  | Out_of_memory of string
+  | Program_error of string
+  | Host_failure of string
+
+let abort_reason_string = function
+  | Budget_exhausted -> "cycle budget exceeded"
+  | Stack_overflow -> "stack overflow"
+  | Out_of_memory m -> "OOM: " ^ m
+  | Program_error m -> m
+  | Host_failure m -> m
+
+type outcome = Finished of int64 | Trapped of Trap.t | Aborted of abort_reason
 
 type result = {
   outcome : outcome;
@@ -67,6 +84,9 @@ type result = {
   output : string list;
   instrument_report : Instrument.report option;
   trace : trace_event list;  (** first [trace_limit] IFP events, in order *)
+  fault_injections : string list;
+      (** corruptions performed by the armed fault injector, in order;
+          always [[]] when [fault_plan = None] *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -76,7 +96,10 @@ type value = VI of int64 | VF of float | VP of int64 * Bounds.t
 exception Return_exc of value
 exception Break_exc
 exception Continue_exc
-exception Abort of string
+exception Abort of abort_reason
+
+(* runtime-detected ill-formed IR or guest misuse *)
+let abort msg = raise (Abort (Program_error msg))
 
 type gobj = {
   gaddr : int64;
@@ -107,6 +130,7 @@ type state = {
   fmeta : (string, func_meta) Hashtbl.t;
   globals : (string, gobj) Hashtbl.t;
   layouts : (Ctype.t, Layout.t) Hashtbl.t;
+  inj : Fault.t option;
   mutable sp : int64;
   stack_limit : int64;
   mutable out : string list;
@@ -125,7 +149,7 @@ let trace st ev =
 (* ---- cost charging ------------------------------------------------ *)
 
 let budget_check st =
-  if st.c.cycles > st.cfg.max_cycles then raise (Abort "cycle budget exceeded")
+  if st.c.cycles > st.cfg.max_cycles then raise (Abort Budget_exhausted)
 
 let base st n =
   st.c.base_instrs <- st.c.base_instrs + n;
@@ -171,7 +195,7 @@ let as_float = function VF f -> f | VI x -> Int64.to_float x | VP (w, _) -> Int6
 let as_ptr = function
   | VP (w, b) -> (w, b)
   | VI w -> (w, Bounds.no_bounds)
-  | VF _ -> raise (Abort "float used as pointer")
+  | VF _ -> abort "float used as pointer"
 
 let truth v = if Int64.equal (as_int v) 0L then false else true
 
@@ -204,9 +228,17 @@ let checked_access st frame ptr bounds ~size ~is_store =
   end;
   ignore is_store
 
+(* fault-injection hook: [None] in every ordinary run, so the only cost
+   when off is this match *)
+let injected_bounds st w b ~size =
+  match st.inj with
+  | None -> b
+  | Some inj -> Fault.on_access inj ~addr:(Tag.addr w) ~size ~bounds:b
+
 let do_load st frame ty addrv =
   let w, b = as_ptr addrv in
   let bytes = Ctype.sizeof st.tenv ty in
+  let b = injected_bounds st w b ~size:bytes in
   checked_access st frame w b ~size:bytes ~is_store:false;
   let a = Tag.addr w in
   charge_load st a bytes;
@@ -221,6 +253,7 @@ let do_load st frame ty addrv =
 let do_store st frame ty addrv v =
   let w, b = as_ptr addrv in
   let bytes = Ctype.sizeof st.tenv ty in
+  let b = injected_bounds st w b ~size:bytes in
   checked_access st frame w b ~size:bytes ~is_store:true;
   let a = Tag.addr w in
   let raw =
@@ -259,7 +292,7 @@ let eval_gep st frame pointee basev steps ~eval =
   let rec walk ty addr nb leading = function
     | [] -> (addr, nb)
     | Ir.S_field f :: rest ->
-      let s = match ty with Ctype.Struct s -> s | _ -> raise (Abort "gep: bad field") in
+      let s = match ty with Ctype.Struct s -> s | _ -> abort "gep: bad field" in
       let off, fty = Ctype.field_offset st.tenv s f in
       let addr' = Int64.add addr (Int64.of_int off) in
       let nb' =
@@ -276,7 +309,7 @@ let eval_gep st frame pointee basev steps ~eval =
       | _ when leading ->
         let esz = Int64.of_int (Ctype.sizeof st.tenv ty) in
         walk ty (Int64.add addr (Int64.mul k esz)) nb false rest
-      | _ -> raise (Abort "gep: index into non-array"))
+      | _ -> abort "gep: index into non-array")
   in
   let final_addr, nb = walk pointee addr0 None true steps in
   let delta = Int64.sub final_addr addr0 in
@@ -318,6 +351,7 @@ let eval_gep st frame pointee basev steps ~eval =
 
 let eval_promote st v =
   let w, b = as_ptr v in
+  let w = match st.inj with Some inj -> Fault.on_promote inj w | None -> w in
   match st.cfg.variant with
   | Baseline -> v
   | Ifp_no_promote ->
@@ -354,6 +388,18 @@ let eval_promote st v =
                 "retrieved:narrow-failed:" ^ m);
             bounds = Format.asprintf "%a" Bounds.pp r.Promote.bounds;
           });
+    (* Adversarial mode: with a fault injector armed, an invalid-metadata
+       promote traps architecturally (the paper's §3.3 MAC-mismatch trap)
+       instead of deferring detection to the poisoned dereference — this
+       is the configuration whose trap paths the fault campaign measures.
+       Ordinary runs keep the deferred-poison semantics unchanged. *)
+    (match (r.outcome, st.inj) with
+    | Promote.Metadata_invalid reason, Some _ ->
+      st.c.promotes_invalid_meta <- st.c.promotes_invalid_meta + 1;
+      if String.equal reason "MAC mismatch" then
+        Trap.raise_trap (Trap.Mac_mismatch { ptr = w })
+      else Trap.raise_trap (Trap.Invalid_metadata { ptr = w; reason })
+    | _ -> ());
     (match r.outcome with
     | Promote.Bypass_poisoned -> st.c.promotes_poisoned <- st.c.promotes_poisoned + 1
     | Promote.Bypass_null -> st.c.promotes_null <- st.c.promotes_null + 1
@@ -372,7 +418,7 @@ let eval_promote st v =
 
 let register_local st frame name =
   match Hashtbl.find_opt frame.locals name with
-  | None -> raise (Abort ("register of unknown local " ^ name))
+  | None -> abort ("register of unknown local " ^ name)
   | Some (addr, ty, tagged) -> (
     let meta = match st.meta with Some m -> m | None -> assert false in
     let size = Ctype.sizeof st.tenv ty in
@@ -425,7 +471,7 @@ let rec eval st frame (e : Ir.expr) : value =
   | Var name -> (
     match Hashtbl.find_opt frame.vars name with
     | Some r -> !r
-    | None -> raise (Abort ("unbound variable " ^ name)))
+    | None -> abort ("unbound variable " ^ name))
   | Binop (Ir.LAnd, a, b) ->
     base st 1;
     if not (truth (eval st frame a)) then VI 0L
@@ -440,7 +486,7 @@ let rec eval st frame (e : Ir.expr) : value =
   | Addr_local name -> (
     base st 1;
     match Hashtbl.find_opt frame.locals name with
-    | None -> raise (Abort ("address of unknown local " ^ name))
+    | None -> abort ("address of unknown local " ^ name)
     | Some (addr, ty, tagged) ->
       let size = Ctype.sizeof st.tenv ty in
       if ifp_mode st && frame.instrumented then begin
@@ -450,7 +496,7 @@ let rec eval st frame (e : Ir.expr) : value =
       else VP (addr, Bounds.no_bounds))
   | Addr_global g -> (
     match Hashtbl.find_opt st.globals g with
-    | None -> raise (Abort ("unknown global " ^ g))
+    | None -> abort ("unknown global " ^ g)
     | Some go ->
       if ifp_mode st && frame.instrumented then begin
         (* the "getptr" helper call of §4.2.2 *)
@@ -464,7 +510,7 @@ let rec eval st frame (e : Ir.expr) : value =
       end)
   | Load_global g -> (
     match Hashtbl.find_opt st.globals g with
-    | None -> raise (Abort ("unknown global " ^ g))
+    | None -> abort ("unknown global " ^ g)
     | Some go ->
       (* by-name access: untagged, uninstrumented *)
       let gty =
@@ -496,7 +542,7 @@ let rec eval st frame (e : Ir.expr) : value =
     match (ty, v) with
     | Ctype.Ptr _, VI w -> VP (w, Bounds.no_bounds)
     | Ctype.Ptr _, (VP _ as p) -> p
-    | Ctype.Ptr _, VF _ -> raise (Abort "float to pointer cast")
+    | Ctype.Ptr _, VF _ -> abort "float to pointer cast"
     | Ctype.F64, v ->
       base st 1;
       VF (as_float v)
@@ -539,12 +585,12 @@ and eval_binop st op a b =
   | Ir.Div ->
     cycles st (Cost.div - 1);
     let d = as_int b in
-    if Int64.equal d 0L then raise (Abort "division by zero");
+    if Int64.equal d 0L then abort "division by zero";
     int_op Int64.div
   | Ir.Rem ->
     cycles st (Cost.div - 1);
     let d = as_int b in
-    if Int64.equal d 0L then raise (Abort "remainder by zero");
+    if Int64.equal d 0L then abort "remainder by zero";
     int_op Int64.rem
   | Ir.LAnd | Ir.LOr -> assert false (* short-circuit, handled in eval *)
   | Ir.BAnd -> int_op Int64.logand
@@ -612,10 +658,10 @@ and eval_call st frame fn args =
     | [ v ] -> st.out <- Printf.sprintf "%.6g" (as_float v) :: st.out
     | _ -> ());
     VI 0L
-  | "__abort" -> raise (Abort "program called __abort")
+  | "__abort" -> abort "program called __abort"
   | _ -> (
     match Hashtbl.find_opt st.funcs fn with
-    | None -> raise (Abort ("call to unknown function " ^ fn))
+    | None -> abort ("call to unknown function " ^ fn)
     | Some f ->
       budget_check st;
       (* call + ret + prologue/epilogue (ra/s-reg save, sp adjust) *)
@@ -667,7 +713,7 @@ and exec st frame (s : Ir.stmt) : unit =
     base st 1;
     match Hashtbl.find_opt frame.vars name with
     | Some r -> r := v
-    | None -> raise (Abort ("assign to unbound variable " ^ name)))
+    | None -> abort ("assign to unbound variable " ^ name))
   | Decl_local (name, ty) ->
     if not (Hashtbl.mem frame.locals name) then begin
       let size = Ctype.sizeof st.tenv ty in
@@ -679,7 +725,7 @@ and exec st frame (s : Ir.stmt) : unit =
       let addr =
         Ifp_util.Bits.align_down64 (Int64.sub st.sp (Int64.of_int footprint)) 16
       in
-      if Int64.compare addr st.stack_limit < 0 then raise (Abort "stack overflow");
+      if Int64.compare addr st.stack_limit < 0 then raise (Abort Stack_overflow);
       st.sp <- addr;
       base st 1;
       Hashtbl.replace frame.locals name (addr, ty, ref addr)
@@ -691,7 +737,7 @@ and exec st frame (s : Ir.stmt) : unit =
   | Store_global (g, e) -> (
     let v = eval st frame e in
     match Hashtbl.find_opt st.globals g with
-    | None -> raise (Abort ("unknown global " ^ g))
+    | None -> abort ("unknown global " ^ g)
     | Some go ->
       let gty =
         match Ir.find_global st.prog g with
@@ -817,7 +863,7 @@ let setup_globals st =
         Int64.compare !bump
           (Int64.add Memmap.globals_base (Int64.of_int Memmap.globals_size))
         > 0
-      then raise (Abort "globals region exhausted");
+      then abort "globals region exhausted";
       let go =
         { gaddr = addr; gsize = size; gtagged = addr; gbounds = Bounds.no_bounds }
       in
@@ -913,6 +959,14 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
       in
       Ifp_alloc.Mixed.create ~subheap ~wrapped
   in
+  let inj =
+    Option.map
+      (fun plan -> Fault.create plan ~mem ~heap_base:Memmap.heap_base)
+      config.fault_plan
+  in
+  (match (inj, meta) with
+  | Some i, Some m -> Fault.attach_meta i m
+  | _ -> ());
   let st =
     {
       cfg = config;
@@ -922,6 +976,7 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
       cache;
       meta;
       allocator;
+      inj;
       c = Counters.create ();
       funcs = Hashtbl.create 64;
       fmeta = Hashtbl.create 64;
@@ -943,7 +998,7 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
     match setup_globals st with
     | () -> (
       match Hashtbl.find_opt st.funcs "main" with
-      | None -> Aborted "no main function"
+      | None -> Aborted (Program_error "no main function")
       | Some mainf -> (
         let frame =
           {
@@ -961,7 +1016,7 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
           Trapped t
         | exception Abort msg -> Aborted msg
         | exception Memory.Fault (_, a) -> Trapped (Trap.Memory_fault a)
-        | exception Alloc.Out_of_memory msg -> Aborted ("OOM: " ^ msg)))
+        | exception Alloc.Out_of_memory msg -> Aborted (Out_of_memory msg)))
     | exception Abort msg -> Aborted msg
   in
   let alloc_stats = st.allocator.stats () in
@@ -979,4 +1034,6 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
     output = List.rev st.out;
     instrument_report = report;
     trace = List.rev st.trace;
+    fault_injections =
+      (match inj with Some i -> Fault.injections i | None -> []);
   }

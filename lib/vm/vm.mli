@@ -36,6 +36,13 @@ type config = {
   trace_limit : int;
       (** collect the first N IFP events (promotes with outcomes, object
           registrations, the trap) into {!result.trace}; 0 = off *)
+  fault_plan : Ifp_faultinject.Fault.plan option;
+      (** arm a fault injector for this run ({!Ifp_faultinject.Fault});
+          [None] (the default) leaves execution byte-identical to a build
+          without the subsystem. Armed runs also harden promote: an
+          invalid-metadata promote traps ([Mac_mismatch] /
+          [Invalid_metadata]) instead of deferring detection to the
+          poisoned dereference. *)
 }
 
 type trace_event =
@@ -55,10 +62,24 @@ val no_narrowing : alloc_kind -> config
 
 val ifp_mixed : config
 
+(** Why a run was aborted (simulator-level, not a protection trap) —
+    structured so the campaign status column and the fault classifier
+    never parse message strings. *)
+type abort_reason =
+  | Budget_exhausted  (** [max_cycles] exceeded (runaway program) *)
+  | Stack_overflow
+  | Out_of_memory of string  (** allocator exhausted *)
+  | Program_error of string  (** ill-formed IR / guest misuse at runtime *)
+  | Host_failure of string
+      (** harness-level failure attached by campaign plumbing (never
+          produced by {!run} itself) *)
+
+val abort_reason_string : abort_reason -> string
+
 type outcome =
   | Finished of int64  (** [main]'s return value *)
   | Trapped of Ifp_isa.Trap.t
-  | Aborted of string  (** simulator-level failure (budget, bad IR) *)
+  | Aborted of abort_reason
 
 type result = {
   outcome : outcome;
@@ -75,6 +96,9 @@ type result = {
   trace : trace_event list;
       (** first [trace_limit] IFP events (always includes a trailing
           {!T_trap} when the run trapped) *)
+  fault_injections : string list;
+      (** corruptions performed by the armed fault injector, in order;
+          [[]] when [fault_plan = None] or the trigger never fired *)
 }
 
 val run : ?config:config -> Ifp_compiler.Ir.program -> result

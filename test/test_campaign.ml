@@ -119,10 +119,12 @@ let test_cache_roundtrip () =
       (* direct store/find round-trip *)
       let digest = Job.digest job in
       Alcotest.(check bool) "find returns stored entry" true
-        (Rcache.find cache ~digest <> None);
+        (match Rcache.find cache ~digest with
+        | Rcache.Hit _ -> true
+        | _ -> false);
       Alcotest.(check bool) "unknown digest misses" true
-        (Rcache.find cache ~digest:(String.make 32 '0') = None);
-      (* a corrupted entry is a miss, never an error *)
+        (Rcache.find cache ~digest:(String.make 32 '0') = Rcache.Miss);
+      (* a corrupted entry is quarantined, never an error *)
       let rec find_results path =
         if Sys.is_directory path then
           Array.to_list (Sys.readdir path)
@@ -136,8 +138,13 @@ let test_cache_roundtrip () =
           output_string oc "corrupt";
           close_out oc)
         (find_results dir);
-      Alcotest.(check bool) "corrupt entry is a miss" true
-        (Rcache.find cache ~digest = None))
+      Alcotest.(check bool) "corrupt entry is quarantined to .corrupt" true
+        (match Rcache.find cache ~digest with
+        | Rcache.Quarantined { path; _ } ->
+          Filename.check_suffix path ".corrupt" && Sys.file_exists path
+        | _ -> false);
+      Alcotest.(check bool) "probe after quarantine is a clean miss" true
+        (Rcache.find cache ~digest = Rcache.Miss))
 
 let test_retry_then_fail () =
   let log_path = Filename.temp_file "ifp-campaign-test" ".jsonl" in
@@ -159,7 +166,7 @@ let test_retry_then_fail () =
       Alcotest.(check bool) "boom failed" true
         (match outcomes.(1).Engine.status with
         | Engine.Failed _ -> true
-        | Engine.Done -> false);
+        | Engine.Done | Engine.Timed_out -> false);
       Alcotest.(check int) "boom attempted 1 + 2 retries" 3
         outcomes.(1).Engine.attempts;
       Alcotest.(check bool) "boom has no result" true
@@ -199,6 +206,38 @@ let test_retry_then_fail () =
       Alcotest.(check int) "one job_finish event" 1 (count "job_finish");
       Alcotest.(check int) "campaign_end logged" 1 (count "campaign_end"))
 
+let test_backoff_deterministic () =
+  let d = String.make 32 'a' in
+  let d1 = Engine.backoff_delay ~base:0.05 ~digest:d ~attempt:1 in
+  let d1' = Engine.backoff_delay ~base:0.05 ~digest:d ~attempt:1 in
+  let d2 = Engine.backoff_delay ~base:0.05 ~digest:d ~attempt:2 in
+  Alcotest.(check (float 0.0)) "same (digest, attempt), same delay" d1 d1';
+  Alcotest.(check bool) "delay grows with attempt" true (d2 > d1);
+  Alcotest.(check bool) "within the jitter envelope" true
+    (d1 >= 0.05 && d1 < 0.075 && d2 >= 0.1 && d2 < 0.15);
+  Alcotest.(check (float 0.0)) "zero base disables the sleep" 0.0
+    (Engine.backoff_delay ~base:0.0 ~digest:d ~attempt:3)
+
+let test_watchdog_times_out () =
+  let ok = tiny_job "tiny/ok" in
+  let stuck = tiny_job ~seed:2L "tiny/stuck" in
+  let runner (job : Job.t) =
+    if job.Job.name = "tiny/stuck" then Unix.sleepf 2.0;
+    Vm.run ~config:job.Job.config job.Job.prog
+  in
+  let outcomes, stats =
+    Engine.run ~retries:2 ~job_timeout:0.2 ~runner [ ok; stuck ]
+  in
+  Alcotest.(check bool) "stuck job timed out" true
+    (outcomes.(1).Engine.status = Engine.Timed_out);
+  Alcotest.(check bool) "no result for a timed-out job" true
+    (outcomes.(1).Engine.result = None);
+  Alcotest.(check int) "a timeout is not retried" 1 outcomes.(1).Engine.attempts;
+  Alcotest.(check bool) "rest of the campaign unaffected" true
+    (outcomes.(0).Engine.status = Engine.Done);
+  Alcotest.(check int) "stats count the timeout" 1 stats.Engine.timed_out;
+  Alcotest.(check int) "a timeout is not a failure" 0 stats.Engine.failed
+
 let test_failed_job_visible_in_row () =
   (* a hard-failed variant still renders: the placeholder result keeps
      the row assemblable and the failure shows up in the status column *)
@@ -224,6 +263,10 @@ let tests =
       test_cache_roundtrip;
     Alcotest.test_case "retry then fail, campaign survives" `Quick
       test_retry_then_fail;
+    Alcotest.test_case "backoff delay is deterministic and bounded" `Quick
+      test_backoff_deterministic;
+    Alcotest.test_case "watchdog cuts off a runaway job" `Quick
+      test_watchdog_times_out;
     Alcotest.test_case "failed variant visible in row status" `Quick
       test_failed_job_visible_in_row;
   ]

@@ -208,7 +208,7 @@ let prop_all_configs_agree =
         match (run Vm.baseline).Vm.outcome with
         | Vm.Trapped t ->
           QCheck.Test.fail_report ("baseline trapped: " ^ Trap.to_string t)
-        | Vm.Aborted m -> QCheck.Test.fail_report ("baseline aborted: " ^ m)
+        | Vm.Aborted m -> QCheck.Test.fail_report ("baseline aborted: " ^ Vm.abort_reason_string m)
         | Vm.Finished expected ->
           List.for_all
             (fun (name, cfg) ->
@@ -221,7 +221,7 @@ let prop_all_configs_agree =
               | Vm.Trapped t ->
                 QCheck.Test.fail_report
                   (name ^ " trapped (false positive): " ^ Trap.to_string t)
-              | Vm.Aborted m -> QCheck.Test.fail_report (name ^ " aborted: " ^ m))
+              | Vm.Aborted m -> QCheck.Test.fail_report (name ^ " aborted: " ^ Vm.abort_reason_string m))
             configs))
 
 let prop_generated_programs_typecheck =

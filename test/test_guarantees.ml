@@ -132,7 +132,7 @@ let test_tag_destruction_loses_protection_but_stays_silent () =
   match (Vm.run ~config:Vm.ifp_subheap prog).Vm.outcome with
   | Vm.Finished _ -> ()
   | Vm.Trapped t -> Alcotest.fail ("false positive: " ^ Trap.to_string t)
-  | Vm.Aborted m -> Alcotest.fail m
+  | Vm.Aborted m -> Alcotest.fail (Vm.abort_reason_string m)
 
 (* -- off-by-one pointers: legal to hold, illegal to dereference -- *)
 
@@ -164,7 +164,7 @@ let test_one_past_end_pointer_legal_until_deref () =
   | Vm.Finished _ -> ()
   | Vm.Trapped t ->
     Alcotest.fail ("end-pointer idiom false positive: " ^ Trap.to_string t)
-  | Vm.Aborted m -> Alcotest.fail m);
+  | Vm.Aborted m -> Alcotest.fail (Vm.abort_reason_string m));
   match (Vm.run ~config:Vm.ifp_subheap (prog ~deref:true)).Vm.outcome with
   | Vm.Trapped _ -> ()
   | _ -> Alcotest.fail "dereferencing the end pointer should trap"

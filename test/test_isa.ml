@@ -124,6 +124,48 @@ let test_ifpextract_demote () =
   let q = Insn.ifpextract p ~bounds:b in
   Alcotest.(check bool) "wildly out marked oob" true (Tag.poison q = Tag.Oob)
 
+(* every trap constructor renders: to_string is total and injective over
+   the constructors, and pp agrees with it *)
+let test_trap_strings_total () =
+  let traps =
+    [
+      Trap.Poisoned_dereference 0x1000L;
+      Trap.Bounds_violation { ptr = 1L; lo = 0L; hi = 8L; size = 16 };
+      Trap.Invalid_metadata { ptr = 2L; reason = "r" };
+      Trap.Mac_mismatch { ptr = 3L };
+      Trap.Memory_fault 0x4L;
+    ]
+  in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "to_string non-empty" true
+        (String.length (Trap.to_string t) > 0);
+      let b = Buffer.create 64 in
+      let fmt = Format.formatter_of_buffer b in
+      Trap.pp fmt t;
+      Format.pp_print_flush fmt ();
+      Alcotest.(check string) "pp agrees with to_string" (Trap.to_string t)
+        (Buffer.contents b))
+    traps;
+  let labels = List.map Trap.to_string traps in
+  Alcotest.(check int) "labels pairwise distinct" (List.length labels)
+    (List.length (List.sort_uniq compare labels))
+
+(* a trapped run's trace always closes with the T_trap event *)
+let test_trapped_trace_ends_in_trap () =
+  let plan =
+    Ifp_faultinject.Fault.default_plan Ifp_faultinject.Fault.Tag_flip ~seed:0L
+  in
+  let config =
+    { Vm.ifp_wrapped with Vm.trace_limit = 256; fault_plan = Some plan }
+  in
+  let r = Vm.run ~config (Ifp_faultinject.Victim.program ()) in
+  Alcotest.(check bool) "run trapped" true
+    (match r.Vm.outcome with Vm.Trapped _ -> true | _ -> false);
+  match List.rev r.Vm.trace with
+  | Vm.T_trap _ :: _ -> ()
+  | _ -> Alcotest.fail "trace does not end in T_trap"
+
 let tests =
   [
     Alcotest.test_case "tag fields" `Quick test_tag_fields;
@@ -143,4 +185,7 @@ let tests =
     Alcotest.test_case "ifpchk" `Quick test_ifpchk;
     Alcotest.test_case "poison check on deref" `Quick test_poison_check_on_deref;
     Alcotest.test_case "ifpextract demote" `Quick test_ifpextract_demote;
+    Alcotest.test_case "trap strings total" `Quick test_trap_strings_total;
+    Alcotest.test_case "trapped trace ends in T_trap" `Quick
+      test_trapped_trace_ends_in_trap;
   ]

@@ -20,5 +20,6 @@ let () =
       ("parser", Test_parser.tests);
       ("trace-report", Test_trace_report.tests);
       ("campaign", Test_campaign.tests);
+      ("faultinject", Test_faultinject.tests);
       ("guarantees", Test_guarantees.tests);
     ]

@@ -11,7 +11,7 @@ let ret ?config src =
   match (run ?config src).Vm.outcome with
   | Vm.Finished x -> x
   | Vm.Trapped t -> Alcotest.fail ("trapped: " ^ Trap.to_string t)
-  | Vm.Aborted m -> Alcotest.fail ("aborted: " ^ m)
+  | Vm.Aborted m -> Alcotest.fail ("aborted: " ^ Vm.abort_reason_string m)
 
 let test_arith_and_control () =
   let src =

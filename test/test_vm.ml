@@ -24,7 +24,7 @@ let expect_ret ?config ?globals ?funcs expected body =
   match r.Vm.outcome with
   | Vm.Finished x -> Alcotest.(check int64) "return value" expected x
   | Vm.Trapped t -> Alcotest.fail ("trapped: " ^ Trap.to_string t)
-  | Vm.Aborted m -> Alcotest.fail ("aborted: " ^ m)
+  | Vm.Aborted m -> Alcotest.fail ("aborted: " ^ Vm.abort_reason_string m)
 
 let test_arith () =
   expect_ret 42L [ Return (Some ((i 6 *: i 8) -: (i 12 /: i 2))) ];
@@ -144,7 +144,10 @@ let test_stack_overflow_aborts () =
   in
   let r = run_main ~funcs:[ looper ] [ Return (Some (Call ("deep", [ i 0 ]))) ] in
   match r.Vm.outcome with
-  | Vm.Aborted msg -> Alcotest.(check string) "stack overflow" "stack overflow" msg
+  | Vm.Aborted msg ->
+    Alcotest.(check string)
+      "stack overflow" "stack overflow"
+      (Vm.abort_reason_string msg)
   | _ -> Alcotest.fail "expected stack overflow"
 
 let test_legacy_clears_bounds () =

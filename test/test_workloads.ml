@@ -16,7 +16,7 @@ let ret_of name (r : Vm.result) =
   match r.Vm.outcome with
   | Vm.Finished x -> x
   | Vm.Trapped t -> Alcotest.fail (name ^ " trapped: " ^ Trap.to_string t)
-  | Vm.Aborted m -> Alcotest.fail (name ^ " aborted: " ^ m)
+  | Vm.Aborted m -> Alcotest.fail (name ^ " aborted: " ^ Vm.abort_reason_string m)
 
 let results : (string, (string * Vm.result) list) Hashtbl.t = Hashtbl.create 32
 
