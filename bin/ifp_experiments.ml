@@ -16,8 +16,17 @@
    tables printed on stdout are byte-identical for any `-j`; an
    end-of-run aggregate is written to BENCH_experiments.json.
 
+   Runs are crash-safe when given a write-ahead journal (--journal):
+   each completion is CRC32-framed and flushed before the next job, so
+   after a SIGKILL/OOM/power loss, --resume JOURNAL replays the finished
+   prefix and re-runs only the rest — converging to tables and
+   aggregates identical to an uninterrupted run. SIGINT/SIGTERM drain
+   gracefully: running jobs finish and are journaled, pending jobs are
+   skipped, and the process exits nonzero (resume with --resume).
+
    Usage: ifp_experiments [TARGET] [-j N] [--cache-dir DIR] [--no-cache]
                           [--log FILE] [--no-log] [--retries N]
+                          [--journal FILE] [--resume FILE]
                           [--bench-out FILE] *)
 
 open Core
@@ -28,6 +37,7 @@ module Job = Ifp_campaign.Job
 module Engine = Ifp_campaign.Engine
 module Rcache = Ifp_campaign.Cache
 module Events = Ifp_campaign.Events
+module Cli = Ifp_campaign.Cli
 
 (* ---------------- options ---------------- *)
 
@@ -38,6 +48,9 @@ type opts = {
   log_path : string option;
   bench_out : string;
   retries : int;
+  journal : string option;
+  resume : bool;
+  chaos_kill_after : int option;
 }
 
 let default_opts =
@@ -48,15 +61,23 @@ let default_opts =
     log_path = Some "campaign.jsonl";
     bench_out = "BENCH_experiments.json";
     retries = 2;
+    journal = None;
+    resume = false;
+    chaos_kill_after = None;
   }
 
 let usage () =
   prerr_endline
     "usage: ifp_experiments [TARGET] [-j N] [--cache-dir DIR] [--no-cache]\n\
     \                       [--log FILE] [--no-log] [--retries N]\n\
+    \                       [--journal FILE] [--resume FILE]\n\
     \                       [--bench-out FILE]\n\
      TARGET: all table2 table4 fig10 fig11 fig12 fig13 baselines extensions\n\
-    \        juliet  (default: all)";
+    \        juliet  (default: all)\n\
+    \  --journal FILE  write-ahead journal of completed jobs (crash-safe)\n\
+    \  --resume FILE   replay FILE's completed jobs, run the rest, keep\n\
+    \                  journaling to it; tolerates a torn final record\n\
+    \  (--chaos-kill-after N: test hook — SIGKILL self after N jobs)";
   exit 1
 
 let parse_opts argv =
@@ -85,6 +106,11 @@ let parse_opts argv =
     | "--log" -> o := { !o with log_path = Some (next "--log") }
     | "--no-log" -> o := { !o with log_path = None }
     | "--retries" -> o := { !o with retries = int_arg "--retries" }
+    | "--journal" -> o := { !o with journal = Some (next "--journal") }
+    | "--resume" ->
+      o := { !o with journal = Some (next "--resume"); resume = true }
+    | "--chaos-kill-after" ->
+      o := { !o with chaos_kill_after = Some (int_arg "--chaos-kill-after") }
     | "--bench-out" -> o := { !o with bench_out = next "--bench-out" }
     | "-h" | "--help" -> usage ()
     | s when String.length s > 0 && s.[0] = '-' ->
@@ -218,6 +244,9 @@ let result_of ctx name ~config ~prog =
     Report.aborted_result ("campaign job failed: " ^ why)
   | Some { Engine.status = Engine.Timed_out; _ } ->
     Report.aborted_result "campaign job timed out"
+  | Some { Engine.status = Engine.Skipped; _ } ->
+    (* only reachable if rendering proceeds despite an interrupt *)
+    Report.aborted_result "campaign job skipped (interrupted)"
   | Some { Engine.result = None; _ } ->
     Report.aborted_result "campaign job produced no result"
   | None -> Vm.run ~config prog
@@ -669,14 +698,31 @@ let () =
   let opts = parse_opts Sys.argv in
   let jobs = dedupe_jobs (jobs_for_target opts.target) in
   let cache = Option.map (fun dir -> Rcache.create ~dir) opts.cache_dir in
-  let log =
-    match opts.log_path with
-    | Some path -> Events.create ~path
-    | None -> Events.null
+  let stop = Cli.install_interrupt () in
+  let journal, replay = Cli.open_journal ~path:opts.journal ~resume:opts.resume in
+  let log, log_truncated = Cli.open_log ~path:opts.log_path ~resume:opts.resume in
+  Cli.emit_resumed log ~replay ~log_truncated;
+  let on_job_done =
+    match opts.chaos_kill_after with
+    | Some n -> Ifp_campaign.Chaos.arm_kill ~after:n
+    | None -> fun _ -> ()
   in
   let outcomes, stats =
-    Engine.run ~workers:opts.workers ?cache ~log ~retries:opts.retries jobs
+    Engine.run ~workers:opts.workers ?cache ?journal ~log ~stop ~on_job_done
+      ~retries:opts.retries jobs
   in
+  if stats.Engine.interrupted then
+    Cli.finish
+      ~hint:
+        (Printf.sprintf
+           "campaign interrupted: %d done, %d skipped%s"
+           (stats.Engine.completed + stats.Engine.failed
+          + stats.Engine.timed_out)
+           stats.Engine.skipped
+           (match opts.journal with
+           | Some p -> Printf.sprintf "; resume with --resume %s" p
+           | None -> " (no --journal: a re-run starts from the cache only)"))
+      ~journal ~log ~interrupted:true ();
   let ctx = { outcomes = Hashtbl.create (Array.length outcomes * 2) } in
   Array.iter
     (fun (o : Engine.outcome) -> Hashtbl.replace ctx.outcomes o.job.Job.name o)
@@ -698,4 +744,4 @@ let () =
   List.iter run (targets_of opts.target);
   Events.write_json_file ~path:opts.bench_out
     (bench_aggregate ~opts ~stats ctx (needs_rows opts.target));
-  Events.close log
+  Cli.finish ~journal ~log ~interrupted:false ()

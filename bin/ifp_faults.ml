@@ -15,8 +15,13 @@
    watchdog). The coverage table is printed on stdout and the per-class
    x per-variant counts are written to BENCH_faults.json.
 
+   With --journal the campaign is crash-safe: completions are written
+   ahead to a CRC32-framed journal, --resume JOURNAL replays them, and
+   SIGINT/SIGTERM drain gracefully (exit 130, resumable).
+
    Usage: ifp_faults [--seeds N] [-j N] [--cache-dir DIR] [--no-cache]
                      [--log FILE] [--no-log] [--timeout SECS]
+                     [--journal FILE] [--resume FILE]
                      [--retries N] [--out FILE] *)
 
 open Core
@@ -24,6 +29,7 @@ module Job = Ifp_campaign.Job
 module Engine = Ifp_campaign.Engine
 module Rcache = Ifp_campaign.Cache
 module Events = Ifp_campaign.Events
+module Cli = Ifp_campaign.Cli
 module Fault = Ifp_faultinject.Fault
 module Classify = Ifp_faultinject.Classify
 module Victim = Ifp_faultinject.Victim
@@ -39,6 +45,8 @@ type opts = {
   out : string;
   retries : int;
   timeout : float option;
+  journal : string option;
+  resume : bool;
 }
 
 let default_opts =
@@ -50,12 +58,15 @@ let default_opts =
     out = "BENCH_faults.json";
     retries = 1;
     timeout = Some 60.0;
+    journal = None;
+    resume = false;
   }
 
 let usage () =
   prerr_endline
     "usage: ifp_faults [--seeds N] [-j N] [--cache-dir DIR] [--no-cache]\n\
     \                  [--log FILE] [--no-log] [--timeout SECS]\n\
+    \                  [--journal FILE] [--resume FILE]\n\
     \                  [--retries N] [--out FILE]";
   exit 1
 
@@ -94,6 +105,9 @@ let parse_opts argv =
         Printf.eprintf "bad --timeout argument %S\n" s;
         usage ())
     | "--retries" -> o := { !o with retries = int_arg "--retries" }
+    | "--journal" -> o := { !o with journal = Some (next "--journal") }
+    | "--resume" ->
+      o := { !o with journal = Some (next "--resume"); resume = true }
     | "--out" -> o := { !o with out = next "--out" }
     | "-h" | "--help" -> usage ()
     | s ->
@@ -197,15 +211,23 @@ let () =
   let opts = parse_opts Sys.argv in
   let all_jobs = jobs ~seeds:opts.seeds in
   let cache = Option.map (fun dir -> Rcache.create ~dir) opts.cache_dir in
-  let log =
-    match opts.log_path with
-    | Some path -> Events.create ~path
-    | None -> Events.null
-  in
+  let stop = Cli.install_interrupt () in
+  let journal, replay = Cli.open_journal ~path:opts.journal ~resume:opts.resume in
+  let log, log_truncated = Cli.open_log ~path:opts.log_path ~resume:opts.resume in
+  Cli.emit_resumed log ~replay ~log_truncated;
   let outcomes, stats =
-    Engine.run ~workers:opts.workers ?cache ~log ~retries:opts.retries
-      ?job_timeout:opts.timeout all_jobs
+    Engine.run ~workers:opts.workers ?cache ?journal ~log ~stop
+      ~retries:opts.retries ?job_timeout:opts.timeout all_jobs
   in
+  if stats.Engine.interrupted then
+    Cli.finish
+      ~hint:
+        (Printf.sprintf "fault campaign interrupted: %d skipped%s"
+           stats.Engine.skipped
+           (match opts.journal with
+           | Some p -> Printf.sprintf "; resume with --resume %s" p
+           | None -> ""))
+      ~journal ~log ~interrupted:true ();
   let by_name = Hashtbl.create (Array.length outcomes * 2) in
   Array.iter
     (fun (o : Engine.outcome) -> Hashtbl.replace by_name o.Engine.job.Job.name o)
@@ -318,5 +340,7 @@ let () =
                          per_variant) ))
                 tallies) );
        ]);
-  Events.close log;
-  Printf.printf "wrote %s\n" opts.out
+  Printf.printf "wrote %s\n" opts.out;
+  (* explicit exit: a Timed_out job's abandoned domain must not delay
+     process death once the journal, log and aggregate are flushed *)
+  Cli.finish ~journal ~log ~interrupted:false ()

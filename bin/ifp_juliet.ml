@@ -5,13 +5,18 @@
    so runs parallelise with -j N and repeat invocations hit the on-disk
    result cache.
 
+   With --journal the campaign is crash-safe (write-ahead journal of
+   completed cases); --resume JOURNAL replays it, and SIGINT/SIGTERM
+   drain gracefully (exit 130, resumable).
+
    Usage: ifp_juliet [CONFIG] [-v] [-j N] [--cache-dir DIR] [--no-cache]
-                     [--log FILE] *)
+                     [--journal FILE] [--resume FILE] [--log FILE] *)
 
 module Job = Ifp_campaign.Job
 module Engine = Ifp_campaign.Engine
 module Rcache = Ifp_campaign.Cache
 module Events = Ifp_campaign.Events
+module Cli = Ifp_campaign.Cli
 
 let config_of = function
   | "baseline" -> Core.Vm.baseline
@@ -31,6 +36,8 @@ let () =
   let workers = ref 1 in
   let cache_dir = ref (Some ".ifp-cache") in
   let log_path = ref None in
+  let journal_path = ref None in
+  let resume = ref false in
   let argv = Sys.argv in
   let i = ref 1 in
   let next what =
@@ -48,6 +55,10 @@ let () =
     | "--cache-dir" -> cache_dir := Some (next "--cache-dir")
     | "--no-cache" -> cache_dir := None
     | "--log" -> log_path := Some (next "--log")
+    | "--journal" -> journal_path := Some (next "--journal")
+    | "--resume" ->
+      journal_path := Some (next "--resume");
+      resume := true
     | s when String.length s > 0 && s.[0] = '-' ->
       Printf.eprintf "unknown option %s\n" s;
       exit 1
@@ -72,13 +83,22 @@ let () =
       cases
   in
   let cache = Option.map (fun dir -> Rcache.create ~dir) !cache_dir in
-  let log =
-    match !log_path with
-    | Some path -> Events.create ~path
-    | None -> Events.null
+  let stop = Cli.install_interrupt () in
+  let journal, replay = Cli.open_journal ~path:!journal_path ~resume:!resume in
+  let log, log_truncated = Cli.open_log ~path:!log_path ~resume:!resume in
+  Cli.emit_resumed log ~replay ~log_truncated;
+  let outcomes, stats =
+    Engine.run ~workers:!workers ?cache ?journal ~log ~stop jobs
   in
-  let outcomes, _stats = Engine.run ~workers:!workers ?cache ~log jobs in
-  Events.close log;
+  if stats.Engine.interrupted then
+    Cli.finish
+      ~hint:
+        (Printf.sprintf "juliet campaign interrupted: %d skipped%s"
+           stats.Engine.skipped
+           (match !journal_path with
+           | Some p -> Printf.sprintf "; resume with --resume %s" p
+           | None -> ""))
+      ~journal ~log ~interrupted:true ();
   let tbl = Hashtbl.create 256 in
   Array.iter
     (fun (o : Engine.outcome) -> Hashtbl.replace tbl o.job.Job.name o)
@@ -111,4 +131,5 @@ let () =
     outcomes;
   Printf.printf
     "\nsummary: %d/%d bad cases detected, %d missed, %d good-case failures\n"
-    summary.detected summary.total summary.missed summary.good_failures
+    summary.detected summary.total summary.missed summary.good_failures;
+  Cli.finish ~journal ~log ~interrupted:false ()

@@ -1,13 +1,24 @@
+module Crc32 = Ifp_util.Crc32
+
 type t = { root : string }
 
-(* v2: Vm.result gained structured abort reasons and fault_injections
-   (PR 2) — entries marshalled by v1 binaries must never be read back
-   into the new shape. *)
-let format_version = 2
+(* v3: the result payload is CRC32-framed (header carries length +
+   checksum), so torn writes and bit rot are detected deterministically
+   instead of relying on [Marshal] raising on garbage. v2 entries (and
+   v1 before them) live in their own version directory and are simply
+   never read by a v3 binary. *)
+let format_version = 3
 
 (* header stored alongside the result so [find] can reject entries whose
-   file name lies about the content (truncated copy, digest collision) *)
-type entry_header = { h_magic : string; h_digest : string; h_job : string }
+   file name lies about the content (truncated copy, digest collision)
+   before paying for the payload, and verify the payload it does read *)
+type entry_header = {
+  h_magic : string;
+  h_digest : string;
+  h_job : string;
+  h_len : int;  (** payload byte length *)
+  h_crc : int32;  (** CRC-32 of the payload bytes *)
+}
 
 let magic = "ifp-campaign-cache"
 
@@ -36,9 +47,15 @@ let path_of t digest =
 type lookup =
   | Hit of Ifp_vm.Vm.result
   | Miss
-  | Quarantined of { path : string; reason : string }
+  | Quarantined of { path : string; reason : string; crc_mismatch : bool }
 
 let quarantine_path path = Filename.remove_extension path ^ ".corrupt"
+
+let read_exact ic n =
+  let buf = Bytes.create n in
+  match really_input ic buf 0 n with
+  | () -> Some (Bytes.unsafe_to_string buf)
+  | exception End_of_file -> None
 
 let find t ~digest =
   let path = path_of t digest in
@@ -48,23 +65,34 @@ let find t ~digest =
     let verdict =
       try
         let header : entry_header = Marshal.from_channel ic in
-        if header.h_magic <> magic then Error "bad magic"
-        else if header.h_digest <> digest then Error "digest mismatch"
+        if header.h_magic <> magic then Error ("bad magic", false)
+        else if header.h_digest <> digest then Error ("digest mismatch", false)
+        else if header.h_len < 0 then Error ("negative payload length", false)
         else
-          let result : Ifp_vm.Vm.result = Marshal.from_channel ic in
-          Ok result
-      with _ -> Error "truncated or undecodable entry"
+          match read_exact ic header.h_len with
+          | None -> Error ("truncated payload", true)
+          | Some payload ->
+            if Crc32.string payload <> header.h_crc then
+              Error ("payload crc mismatch", true)
+            else (
+              match (Marshal.from_string payload 0 : Ifp_vm.Vm.result) with
+              | result -> Ok result
+              | exception _ ->
+                (* crc verified but the shape didn't decode: a
+                   same-version serialisation bug, not a torn write *)
+                Error ("undecodable payload", false))
+      with _ -> Error ("truncated or undecodable header", false)
     in
     close_in_noerr ic;
     (match verdict with
     | Ok result -> Hit result
-    | Error reason ->
+    | Error (reason, crc_mismatch) ->
       (* move the damaged file aside so the next run re-misses cleanly
          instead of re-tripping on it forever; keep it for post-mortem *)
       let qpath = quarantine_path path in
       (try Sys.rename path qpath
        with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
-      Quarantined { path = qpath; reason })
+      Quarantined { path = qpath; reason; crc_mismatch })
 
 let store t ~digest ~job_name result =
   let path = path_of t digest in
@@ -74,9 +102,13 @@ let store t ~digest ~job_name result =
       Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
         (Domain.self () :> int)
     in
+    let payload = Marshal.to_string result [] in
     let oc = open_out_bin tmp in
-    Marshal.to_channel oc { h_magic = magic; h_digest = digest; h_job = job_name } [];
-    Marshal.to_channel oc result [];
+    Marshal.to_channel oc
+      { h_magic = magic; h_digest = digest; h_job = job_name;
+        h_len = String.length payload; h_crc = Crc32.string payload }
+      [];
+    output_string oc payload;
     close_out oc;
     Sys.rename tmp path
   with Sys_error _ | Unix.Unix_error _ -> ()

@@ -4,7 +4,10 @@
     [digest] is the job's content digest ({!Job.digest}) and [d0d1] its
     first two hex characters (fan-out to keep directories small). Each
     file is an atomic-renamed [Marshal] of a small header plus the
-    {!Ifp_vm.Vm.result}.
+    {!Ifp_vm.Vm.result} payload; since format v3 the header carries the
+    payload's length and CRC-32 ({!Ifp_util.Crc32}), so a torn write or
+    flipped bit is detected {e deterministically} on read instead of
+    depending on [Marshal] happening to raise.
 
     Invalidation is entirely key-driven: the job digest covers the
     lowered program, the configuration and the cost-model/ISA constants
@@ -25,14 +28,18 @@ val dir : t -> string
 (** Result of a cache probe. A damaged entry is never fatal: it is
     quarantined — renamed to [<digest>.corrupt] next to its original
     location, preserved for post-mortem — and reported so the engine can
-    emit a [cache_corrupt] event; the next probe for the same digest is
-    a clean {!Miss}. *)
+    emit a [cache_corrupt] (or, for checksum failures,
+    [cache_crc_mismatch]) event; the next probe for the same digest is a
+    clean {!Miss}. *)
 type lookup =
   | Hit of Ifp_vm.Vm.result
   | Miss
-  | Quarantined of { path : string; reason : string }
+  | Quarantined of { path : string; reason : string; crc_mismatch : bool }
       (** [path] is the quarantine file; [reason] is why the entry was
-          rejected (bad magic, digest mismatch, truncated/undecodable) *)
+          rejected. [crc_mismatch] holds when the CRC32 framing caught
+          the damage (short or checksum-failing payload — a torn write
+          or bit rot), as opposed to a header-level rejection (bad
+          magic, digest mismatch, undecodable header). *)
 
 val find : t -> digest:string -> lookup
 

@@ -1,0 +1,55 @@
+let install_interrupt () =
+  let flag = Atomic.make false in
+  let arm signum =
+    try
+      Sys.set_signal signum
+        (Sys.Signal_handle (fun _ -> Atomic.set flag true))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  arm Sys.sigint;
+  arm Sys.sigterm;
+  fun () -> Atomic.get flag
+
+let open_journal ~path ~resume =
+  match path with
+  | None -> (None, None)
+  | Some path ->
+    if resume then
+      let j, rep = Journal.open_resume ~path in
+      (Some j, Some rep)
+    else (Some (Journal.create ~path), None)
+
+let open_log ~path ~resume =
+  match path with
+  | None -> (Events.null, false)
+  | Some path ->
+    if resume then Events.open_append ~path
+    else (Events.create ~path, false)
+
+let emit_resumed log ~replay ~log_truncated =
+  match replay with
+  | None -> ()
+  | Some (rep : Journal.replay) ->
+    Events.emit log "campaign_resumed"
+      [
+        ("replayed", Events.Int (List.length rep.Journal.entries));
+        ("journal_torn_tail", Events.Bool rep.Journal.torn_tail);
+        ("log_torn_line", Events.Bool log_truncated);
+      ]
+
+let finish ?hint ~journal ~log ~interrupted () =
+  (* order matters: the journal is the source of truth for resume — it
+     goes down first; the log close is best-effort observability *)
+  Option.iter Journal.close journal;
+  Events.close log;
+  if interrupted then (
+    Option.iter prerr_endline hint;
+    (* 130 = 128 + SIGINT, the conventional "killed by Ctrl-C" status;
+       we use it for SIGTERM drains too — callers only need nonzero *)
+    Stdlib.exit 130)
+  else
+    (* explicit exit, not a return from main: abandoned watchdog domains
+       (Timed_out jobs) may still be running and must not be waited on
+       once every output is flushed — see the Engine process-exit
+       contract *)
+    Stdlib.exit 0

@@ -1,6 +1,6 @@
 module Vm = Ifp_vm.Vm
 
-type status = Done | Failed of string | Timed_out
+type status = Journal.status = Done | Failed of string | Timed_out | Skipped
 
 type outcome = {
   job : Job.t;
@@ -8,6 +8,7 @@ type outcome = {
   status : status;
   result : Vm.result option;
   from_cache : bool;
+  from_journal : bool;
   attempts : int;
   elapsed : float;
 }
@@ -17,10 +18,13 @@ type stats = {
   completed : int;
   failed : int;
   timed_out : int;
+  skipped : int;
   cache_hits : int;
+  journal_replays : int;
   retries : int;
   workers : int;
   wall_seconds : float;
+  interrupted : bool;
 }
 
 let default_runner (job : Job.t) = Vm.run ~config:job.Job.config job.Job.prog
@@ -83,82 +87,127 @@ let run_attempt ~job_timeout ~runner job =
       in
       wait ())
 
-let run_job ~cache ~log ~retries ~backoff ~job_timeout ~runner ~digest
-    (job : Job.t) =
+(* The write-ahead discipline: the record is framed, checksummed and
+   flushed before [on_job_done] fires, so a chaos plan (or a real crash)
+   that kills the process right after the n-th completion leaves a
+   journal replaying to exactly n jobs. *)
+let journal_append ~journal ~digest (job : Job.t) status result =
+  match journal with
+  | None -> ()
+  | Some j ->
+    Journal.append j
+      { Journal.digest; job_name = job.Job.name; status; result }
+
+let run_job ~cache ~journal ~on_job_done ~log ~retries ~backoff ~job_timeout
+    ~runner ~digest (job : Job.t) =
   let open Events in
   let t0 = Unix.gettimeofday () in
   let base_fields = [ ("job", String job.Job.name); ("digest", String digest) ] in
-  let cached =
-    match cache with
-    | None -> Cache.Miss
-    | Some c -> Cache.find c ~digest
+  let finish outcome =
+    (match outcome.status with
+    | Skipped -> ()
+    | status ->
+      if not outcome.from_journal then (
+        journal_append ~journal ~digest job status outcome.result;
+        on_job_done outcome));
+    outcome
   in
-  match cached with
-  | Cache.Hit result ->
+  (* a journaled completion is authoritative: this campaign (or the one
+     being resumed) already finished the job, whatever the cache says *)
+  match Option.map (fun j -> Journal.find j ~digest) journal with
+  | Some (Some entry) ->
     let elapsed = Unix.gettimeofday () -. t0 in
-    emit log "cache_hit" (base_fields @ [ ("elapsed", Float elapsed) ]);
-    { job; digest; status = Done; result = Some result; from_cache = true;
-      attempts = 0; elapsed }
-  | Cache.Miss | Cache.Quarantined _ ->
-    (match cached with
-    | Cache.Quarantined { path; reason } ->
-      emit log "cache_corrupt"
-        (base_fields @ [ ("path", String path); ("reason", String reason) ])
-    | _ -> ());
-    emit log "job_start" base_fields;
-    let max_attempts = 1 + max 0 retries in
-    let rec attempt n =
-      match run_attempt ~job_timeout ~runner job with
-      | `Ok result -> (n, `Ok result)
-      | `Timeout ->
-        (* no retry: a runaway job would just hang the watchdog again *)
-        (n, `Timeout)
-      | `Exn why ->
-        if n < max_attempts then (
-          let delay = backoff_delay ~base:backoff ~digest ~attempt:n in
-          emit log "retry"
-            (base_fields
-            @ [ ("attempt", Int n); ("delay", Float delay);
-                ("error", String why) ]);
-          if delay > 0.0 then Unix.sleepf delay;
-          attempt (n + 1))
-        else (n, `Err why)
+    emit log "journal_replay"
+      (base_fields
+      @ [ ("status",
+           String
+             (match entry.Journal.status with
+             | Done -> "done"
+             | Failed why -> "failed: " ^ why
+             | Timed_out -> "timed_out"
+             | Skipped -> "skipped"));
+          ("elapsed", Float elapsed) ]);
+    finish
+      { job; digest; status = entry.Journal.status;
+        result = entry.Journal.result; from_cache = false;
+        from_journal = true; attempts = 0; elapsed }
+  | Some None | None -> (
+    let cached =
+      match cache with
+      | None -> Cache.Miss
+      | Some c -> Cache.find c ~digest
     in
-    let attempts, outcome = attempt 1 in
-    let elapsed = Unix.gettimeofday () -. t0 in
-    (match outcome with
-    | `Ok result ->
-      (match cache with
-      | Some c -> Cache.store c ~digest ~job_name:job.Job.name result
-      | None -> ());
-      emit log "job_finish"
-        (base_fields
-        @ [
-            ("elapsed", Float elapsed);
-            ("attempts", Int attempts);
-            ("outcome", String (outcome_string result));
-            ("cycles", Int result.Vm.counters.Ifp_vm.Counters.cycles);
-            ("instrs", Int (Ifp_vm.Counters.total_instrs result.Vm.counters));
-            ("mem_footprint", Int result.Vm.mem_footprint);
-          ]);
-      { job; digest; status = Done; result = Some result; from_cache = false;
-        attempts; elapsed }
-    | `Timeout ->
-      emit log "job_timeout"
-        (base_fields
-        @ [ ("elapsed", Float elapsed); ("attempts", Int attempts);
-            ("limit", match job_timeout with
-              | Some l -> Float l
-              | None -> Null) ]);
-      { job; digest; status = Timed_out; result = None; from_cache = false;
-        attempts; elapsed }
-    | `Err why ->
-      emit log "job_failed"
-        (base_fields
-        @ [ ("elapsed", Float elapsed); ("attempts", Int attempts);
-            ("error", String why) ]);
-      { job; digest; status = Failed why; result = None; from_cache = false;
-        attempts; elapsed })
+    match cached with
+    | Cache.Hit result ->
+      let elapsed = Unix.gettimeofday () -. t0 in
+      emit log "cache_hit" (base_fields @ [ ("elapsed", Float elapsed) ]);
+      finish
+        { job; digest; status = Done; result = Some result; from_cache = true;
+          from_journal = false; attempts = 0; elapsed }
+    | Cache.Miss | Cache.Quarantined _ ->
+      (match cached with
+      | Cache.Quarantined { path; reason; crc_mismatch } ->
+        emit log
+          (if crc_mismatch then "cache_crc_mismatch" else "cache_corrupt")
+          (base_fields @ [ ("path", String path); ("reason", String reason) ])
+      | _ -> ());
+      emit log "job_start" base_fields;
+      let max_attempts = 1 + max 0 retries in
+      let rec attempt n =
+        match run_attempt ~job_timeout ~runner job with
+        | `Ok result -> (n, `Ok result)
+        | `Timeout ->
+          (* no retry: a runaway job would just hang the watchdog again *)
+          (n, `Timeout)
+        | `Exn why ->
+          if n < max_attempts then (
+            let delay = backoff_delay ~base:backoff ~digest ~attempt:n in
+            emit log "retry"
+              (base_fields
+              @ [ ("attempt", Int n); ("delay", Float delay);
+                  ("error", String why) ]);
+            if delay > 0.0 then Unix.sleepf delay;
+            attempt (n + 1))
+          else (n, `Err why)
+      in
+      let attempts, outcome = attempt 1 in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      (match outcome with
+      | `Ok result ->
+        (match cache with
+        | Some c -> Cache.store c ~digest ~job_name:job.Job.name result
+        | None -> ());
+        emit log "job_finish"
+          (base_fields
+          @ [
+              ("elapsed", Float elapsed);
+              ("attempts", Int attempts);
+              ("outcome", String (outcome_string result));
+              ("cycles", Int result.Vm.counters.Ifp_vm.Counters.cycles);
+              ("instrs", Int (Ifp_vm.Counters.total_instrs result.Vm.counters));
+              ("mem_footprint", Int result.Vm.mem_footprint);
+            ]);
+        finish
+          { job; digest; status = Done; result = Some result;
+            from_cache = false; from_journal = false; attempts; elapsed }
+      | `Timeout ->
+        emit log "job_timeout"
+          (base_fields
+          @ [ ("elapsed", Float elapsed); ("attempts", Int attempts);
+              ("limit", match job_timeout with
+                | Some l -> Float l
+                | None -> Null) ]);
+        finish
+          { job; digest; status = Timed_out; result = None;
+            from_cache = false; from_journal = false; attempts; elapsed }
+      | `Err why ->
+        emit log "job_failed"
+          (base_fields
+          @ [ ("elapsed", Float elapsed); ("attempts", Int attempts);
+              ("error", String why) ]);
+        finish
+          { job; digest; status = Failed why; result = None;
+            from_cache = false; from_journal = false; attempts; elapsed }))
 
 let stats_json s =
   let open Events in
@@ -167,17 +216,21 @@ let stats_json s =
     ("completed", Int s.completed);
     ("failed", Int s.failed);
     ("timed_out", Int s.timed_out);
+    ("skipped", Int s.skipped);
     ("cache_hits", Int s.cache_hits);
+    ("journal_replays", Int s.journal_replays);
     ("retries", Int s.retries);
     ("workers", Int s.workers);
     ("wall_seconds", Float s.wall_seconds);
+    ("interrupted", Bool s.interrupted);
     ( "cache_hit_rate",
       if s.jobs = 0 then Float 0.0
       else Float (float_of_int s.cache_hits /. float_of_int s.jobs) );
   ]
 
-let run ?(workers = 1) ?cache ?(log = Events.null) ?(retries = 2)
-    ?(backoff = 0.05) ?job_timeout ?(runner = default_runner) jobs =
+let run ?(workers = 1) ?cache ?journal ?(log = Events.null) ?(retries = 2)
+    ?(backoff = 0.05) ?job_timeout ?(stop = fun () -> false)
+    ?(on_job_done = fun _ -> ()) ?(runner = default_runner) jobs =
   let open Events in
   let t0 = Unix.gettimeofday () in
   let jobs_arr = Array.of_list jobs in
@@ -201,8 +254,16 @@ let run ?(workers = 1) ?cache ?(log = Events.null) ?(retries = 2)
     Array.init n (fun i () ->
         slots.(i) <-
           Some
-            (run_job ~cache ~log ~retries ~backoff ~job_timeout ~runner
-               ~digest:digests.(i) jobs_arr.(i)))
+            (* graceful-shutdown drain: jobs already started run to
+               completion (and are journaled); jobs not yet started are
+               skipped, so resume re-runs exactly those *)
+            (if stop () then
+               { job = jobs_arr.(i); digest = digests.(i); status = Skipped;
+                 result = None; from_cache = false; from_journal = false;
+                 attempts = 0; elapsed = 0.0 }
+             else
+               run_job ~cache ~journal ~on_job_done ~log ~retries ~backoff
+                 ~job_timeout ~runner ~digest:digests.(i) jobs_arr.(i)))
   in
   Pool.run ~workers tasks;
   let outcomes =
@@ -214,7 +275,8 @@ let run ?(workers = 1) ?cache ?(log = Events.null) ?(retries = 2)
           (* only reachable if the pool dropped a task on the floor *)
           { job = jobs_arr.(i); digest = digests.(i);
             status = Failed "task never ran"; result = None;
-            from_cache = false; attempts = 0; elapsed = 0.0 })
+            from_cache = false; from_journal = false; attempts = 0;
+            elapsed = 0.0 })
       slots
   in
   let stats =
@@ -226,13 +288,22 @@ let run ?(workers = 1) ?cache ?(log = Events.null) ?(retries = 2)
           failed = (s.failed + match o.status with Failed _ -> 1 | _ -> 0);
           timed_out =
             (s.timed_out + match o.status with Timed_out -> 1 | _ -> 0);
+          skipped = (s.skipped + match o.status with Skipped -> 1 | _ -> 0);
           cache_hits = (s.cache_hits + if o.from_cache then 1 else 0);
+          journal_replays =
+            (s.journal_replays + if o.from_journal then 1 else 0);
           retries = s.retries + max 0 (o.attempts - 1);
         })
-      { jobs = n; completed = 0; failed = 0; timed_out = 0; cache_hits = 0;
-        retries = 0; workers; wall_seconds = 0.0 }
+      { jobs = n; completed = 0; failed = 0; timed_out = 0; skipped = 0;
+        cache_hits = 0; journal_replays = 0; retries = 0; workers;
+        wall_seconds = 0.0; interrupted = false }
       outcomes
   in
-  let stats = { stats with wall_seconds = Unix.gettimeofday () -. t0 } in
-  emit log "campaign_end" (stats_json stats);
+  let interrupted = stop () || stats.skipped > 0 in
+  let stats =
+    { stats with wall_seconds = Unix.gettimeofday () -. t0; interrupted }
+  in
+  emit log
+    (if interrupted then "campaign_interrupted" else "campaign_end")
+    (stats_json stats);
   (outcomes, stats)

@@ -98,6 +98,63 @@ type t = {
 let create ~path =
   { oc = Some (open_out path); mutex = Mutex.create (); t0 = Unix.gettimeofday () }
 
+(* ---- crash-tolerant reading ----
+
+   The writer appends [line ^ "\n"] and flushes, so the only damage a
+   crash can do is a final line with no terminating newline. Complete
+   lines are well-formed by construction; the object-shape filter below
+   is belt-and-braces against foreign editors. *)
+
+let looks_like_event l =
+  String.length l >= 2 && l.[0] = '{' && l.[String.length l - 1] = '}'
+
+let read_lines ~path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ([], false)
+  | ic ->
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in_noerr ic;
+    let truncated = len > 0 && s.[len - 1] <> '\n' in
+    (* the final split part is "" when the file is newline-terminated and
+       the torn partial line otherwise — dropped either way *)
+    let rec complete = function
+      | [] | [ _ ] -> []
+      | x :: rest -> x :: complete rest
+    in
+    ( List.filter looks_like_event (complete (String.split_on_char '\n' s)),
+      truncated )
+
+let iter_lines ~path f =
+  let lines, truncated = read_lines ~path in
+  List.iter f lines;
+  truncated
+
+let open_append ~path =
+  (* byte offset just past the last complete line; everything after it
+     is a torn append that must not be glued onto the next line *)
+  let keep =
+    match open_in_bin path with
+    | exception Sys_error _ -> 0
+    | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in_noerr ic;
+      (match String.rindex_opt s '\n' with Some i -> i + 1 | None -> 0)
+  in
+  let truncated =
+    match Unix.stat path with
+    | exception Unix.Unix_error _ -> false
+    | st -> st.Unix.st_size > keep
+  in
+  if truncated then (
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    Unix.ftruncate fd keep;
+    Unix.close fd);
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  ( { oc = Some oc; mutex = Mutex.create (); t0 = Unix.gettimeofday () },
+    truncated )
+
 let null = { oc = None; mutex = Mutex.create (); t0 = 0.0 }
 
 let emit t event fields =

@@ -33,6 +33,25 @@ type t
 val create : path:string -> t
 (** Opens (truncates) [path] for writing. *)
 
+val open_append : path:string -> t * bool
+(** Reopens an existing log for appending (creating it if missing) —
+    the resume path: an interrupted campaign's log is continued, not
+    thrown away. A torn final line (crash mid-append) is physically
+    truncated away first; the returned flag reports whether that
+    happened. Timestamps restart from the reopen. *)
+
+val read_lines : path:string -> string list * bool
+(** Crash-tolerant read: every complete (newline-terminated,
+    object-shaped) JSONL line of the file, in order, plus a
+    [truncated] flag that is [true] iff the file ends in a partial
+    line — the signature of a writer killed mid-append. The partial
+    line is dropped, never returned. A missing file reads as
+    [([], false)]. *)
+
+val iter_lines : path:string -> (string -> unit) -> bool
+(** [iter_lines ~path f] applies [f] to each complete line (as
+    {!read_lines}) and returns the [truncated] flag. *)
+
 val null : t
 (** A sink that discards everything (logging disabled). *)
 

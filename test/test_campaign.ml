@@ -166,7 +166,7 @@ let test_retry_then_fail () =
       Alcotest.(check bool) "boom failed" true
         (match outcomes.(1).Engine.status with
         | Engine.Failed _ -> true
-        | Engine.Done | Engine.Timed_out -> false);
+        | Engine.Done | Engine.Timed_out | Engine.Skipped -> false);
       Alcotest.(check int) "boom attempted 1 + 2 retries" 3
         outcomes.(1).Engine.attempts;
       Alcotest.(check bool) "boom has no result" true
@@ -238,6 +238,113 @@ let test_watchdog_times_out () =
   Alcotest.(check int) "stats count the timeout" 1 stats.Engine.timed_out;
   Alcotest.(check int) "a timeout is not a failure" 0 stats.Engine.failed
 
+let find_results dir =
+  let rec go path =
+    if Sys.is_directory path then
+      Array.to_list (Sys.readdir path)
+      |> List.concat_map (fun f -> go (Filename.concat path f))
+    else if Filename.check_suffix path ".result" then [ path ]
+    else []
+  in
+  go dir
+
+let test_cache_crc_catches_damage () =
+  (* the v3 CRC framing must catch both torn writes (short payload) and
+     bit rot (flipped byte) deterministically, flagged [crc_mismatch] *)
+  let damage_and_probe damage =
+    let dir = temp_dir "ifp-cache-crc" in
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        let cache = Rcache.create ~dir in
+        let job = tiny_job "tiny/crc" in
+        let _ = Engine.run ~cache [ job ] in
+        let path = List.hd (find_results dir) in
+        damage path;
+        Rcache.find cache ~digest:(Job.digest job))
+  in
+  let flip_last_byte path =
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+    let size = (Unix.fstat fd).Unix.st_size in
+    ignore (Unix.lseek fd (size - 1) Unix.SEEK_SET);
+    let b = Bytes.create 1 in
+    ignore (Unix.read fd b 0 1);
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+    ignore (Unix.lseek fd (size - 1) Unix.SEEK_SET);
+    ignore (Unix.write fd b 0 1);
+    Unix.close fd
+  in
+  let truncate_payload path =
+    let size = (Unix.stat path).Unix.st_size in
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+    Unix.ftruncate fd (size - 7);
+    Unix.close fd
+  in
+  (match damage_and_probe flip_last_byte with
+  | Rcache.Quarantined { crc_mismatch; _ } ->
+    Alcotest.(check bool) "flipped byte flagged as CRC mismatch" true
+      crc_mismatch
+  | _ -> Alcotest.fail "flipped byte not quarantined");
+  match damage_and_probe truncate_payload with
+  | Rcache.Quarantined { crc_mismatch; _ } ->
+    Alcotest.(check bool) "torn payload flagged as CRC mismatch" true
+      crc_mismatch
+  | _ -> Alcotest.fail "torn payload not quarantined"
+
+let test_events_torn_line_tolerated () =
+  let path = Filename.temp_file "ifp-events-torn" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let log = Events.create ~path in
+      Events.emit log "one" [];
+      Events.emit log "two" [];
+      Events.close log;
+      let lines, truncated = Events.read_lines ~path in
+      Alcotest.(check (pair int bool)) "clean log: all lines, not truncated"
+        (2, false)
+        (List.length lines, truncated);
+      (* tear the final line mid-object, as a killed writer would *)
+      let size = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (size - 5);
+      Unix.close fd;
+      let lines, truncated = Events.read_lines ~path in
+      Alcotest.(check (pair int bool)) "torn log: partial line dropped"
+        (1, true)
+        (List.length lines, truncated);
+      Alcotest.(check bool) "surviving line is the first event" true
+        (match lines with
+        | [ l ] ->
+          let re = {|"event":"one"|} in
+          let rec contains i =
+            i + String.length re <= String.length l
+            && (String.sub l i (String.length re) = re || contains (i + 1))
+          in
+          contains 0
+        | _ -> false);
+      (* iter_lines agrees *)
+      let seen = ref 0 in
+      let truncated' = Events.iter_lines ~path (fun _ -> incr seen) in
+      Alcotest.(check (pair int bool)) "iter_lines agrees" (1, true)
+        (!seen, truncated');
+      (* open_append physically repairs the torn tail and continues *)
+      let log, repaired = Events.open_append ~path in
+      Alcotest.(check bool) "open_append reports the repair" true repaired;
+      Events.emit log "three" [];
+      Events.close log;
+      let lines, truncated = Events.read_lines ~path in
+      Alcotest.(check (pair int bool)) "appended log reads clean" (2, false)
+        (List.length lines, truncated);
+      let log, repaired = Events.open_append ~path in
+      Alcotest.(check bool) "clean reopen repairs nothing" false repaired;
+      Events.close log;
+      (* a missing file reads as empty, not an error *)
+      let ghost = path ^ ".missing" in
+      Alcotest.(check (pair int bool)) "missing file reads empty" (0, false)
+        (let ls, t = Events.read_lines ~path:ghost in
+         (List.length ls, t)))
+
 let test_failed_job_visible_in_row () =
   (* a hard-failed variant still renders: the placeholder result keeps
      the row assemblable and the failure shows up in the status column *)
@@ -267,6 +374,10 @@ let tests =
       test_backoff_deterministic;
     Alcotest.test_case "watchdog cuts off a runaway job" `Quick
       test_watchdog_times_out;
+    Alcotest.test_case "cache CRC catches torn writes and bit rot" `Quick
+      test_cache_crc_catches_damage;
+    Alcotest.test_case "event log tolerates a torn final line" `Quick
+      test_events_torn_line_tolerated;
     Alcotest.test_case "failed variant visible in row status" `Quick
       test_failed_job_visible_in_row;
   ]

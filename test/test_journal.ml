@@ -1,0 +1,244 @@
+(* Tests for the campaign write-ahead journal: framed append/replay
+   round-trips, idempotent replay, torn-tail tolerance byte by byte,
+   resume-truncation, and the engine treating replayed records as
+   authoritative (no re-run). *)
+
+open Core
+module Job = Ifp_campaign.Job
+module Engine = Ifp_campaign.Engine
+module Journal = Ifp_campaign.Journal
+module Crc32 = Ifp_util.Crc32
+
+let temp_path prefix =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s-%d-%d.wal" prefix (Unix.getpid ()) (Random.bits ()))
+
+let with_temp_path prefix f =
+  let path = temp_path prefix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let tiny_prog i =
+  Ir.program ~tenv:Ctype.empty_tenv ~globals:[]
+    [ Ir.func "main" [] Ctype.I64 [ Ir.Return (Some (Ir.i i)) ] ]
+
+let tiny_job i =
+  Job.make
+    ~name:(Printf.sprintf "tiny/%d" i)
+    ~group:"tiny" ~variant:"subheap" ~config:Vm.ifp_subheap (tiny_prog i)
+
+(* one real Vm.result so the marshalled payload has the full shape *)
+let sample_result =
+  lazy (Vm.run ~config:Vm.ifp_subheap (tiny_prog 1))
+
+let sample_entries () =
+  [
+    { Journal.digest = String.make 32 'a'; job_name = "j/a";
+      status = Journal.Done; result = Some (Lazy.force sample_result) };
+    { Journal.digest = String.make 32 'b'; job_name = "j/b";
+      status = Journal.Failed "injected"; result = None };
+    { Journal.digest = String.make 32 'c'; job_name = "j/c";
+      status = Journal.Timed_out; result = None };
+  ]
+
+let entry_key (e : Journal.entry) =
+  ( e.Journal.digest,
+    e.Journal.job_name,
+    (match e.Journal.status with
+    | Journal.Done -> "done"
+    | Journal.Failed w -> "failed:" ^ w
+    | Journal.Timed_out -> "timed_out"
+    | Journal.Skipped -> "skipped"),
+    e.Journal.result <> None )
+
+let write_entries path entries =
+  let j = Journal.create ~path in
+  List.iter (Journal.append j) entries;
+  Journal.close j
+
+let test_roundtrip () =
+  with_temp_path "ifp-journal-rt" (fun path ->
+      let entries = sample_entries () in
+      write_entries path entries;
+      let rep = Journal.replay ~path in
+      Alcotest.(check bool) "no torn tail" false rep.Journal.torn_tail;
+      Alcotest.(check int) "all records back" (List.length entries)
+        (List.length rep.Journal.entries);
+      List.iter2
+        (fun e r ->
+          Alcotest.(check bool) "entry round-trips" true
+            (entry_key e = entry_key r))
+        entries rep.Journal.entries;
+      (* the Done record's result is the full Vm.result, byte-for-byte *)
+      let done_entry = List.hd rep.Journal.entries in
+      Alcotest.(check bool) "result payload identical" true
+        (done_entry.Journal.result = Some (Lazy.force sample_result)))
+
+let test_replay_idempotent () =
+  with_temp_path "ifp-journal-idem" (fun path ->
+      let entries = sample_entries () in
+      write_entries path entries;
+      let r1 = Journal.replay ~path in
+      let r2 = Journal.replay ~path in
+      Alcotest.(check bool) "replaying twice = once" true
+        (List.map entry_key r1.Journal.entries
+        = List.map entry_key r2.Journal.entries);
+      (* a duplicate digest replays to one entry: the later record wins *)
+      let j = Journal.create ~path in
+      Journal.append j
+        { Journal.digest = "d"; job_name = "dup"; status = Journal.Failed "v1";
+          result = None };
+      Journal.append j
+        { Journal.digest = "d"; job_name = "dup";
+          status = Journal.Failed "v2"; result = None };
+      Journal.close j;
+      let rep = Journal.replay ~path in
+      Alcotest.(check int) "duplicates collapse" 1
+        (List.length rep.Journal.entries);
+      Alcotest.(check bool) "last record wins" true
+        (match (List.hd rep.Journal.entries).Journal.status with
+        | Journal.Failed "v2" -> true
+        | _ -> false);
+      (* resume-replay is itself idempotent: open/close cycles do not
+         change what replays *)
+      let j2, rep2 = Journal.open_resume ~path in
+      Journal.close j2;
+      let j3, rep3 = Journal.open_resume ~path in
+      Journal.close j3;
+      Alcotest.(check bool) "open_resume twice = once" true
+        (List.map entry_key rep2.Journal.entries
+        = List.map entry_key rep3.Journal.entries))
+
+let test_torn_tail_every_byte () =
+  (* chop the file after every byte boundary inside the final record:
+     replay must always return the first two records intact and never
+     error — the torn-record loss is exactly one record *)
+  with_temp_path "ifp-journal-torn" (fun path ->
+      let entries = sample_entries () in
+      write_entries path entries;
+      let full = (Unix.stat path).Unix.st_size in
+      write_entries path (List.filteri (fun i _ -> i < 2) entries);
+      let two = (Unix.stat path).Unix.st_size in
+      let read_file p =
+        let ic = open_in_bin p in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      write_entries path entries;
+      let bytes = read_file path in
+      for cut = two + 1 to full - 1 do
+        let oc = open_out_bin path in
+        output_string oc (String.sub bytes 0 cut);
+        close_out oc;
+        let rep = Journal.replay ~path in
+        Alcotest.(check int)
+          (Printf.sprintf "cut at %d keeps two records" cut)
+          2
+          (List.length rep.Journal.entries);
+        Alcotest.(check bool)
+          (Printf.sprintf "cut at %d reports torn tail" cut)
+          true rep.Journal.torn_tail
+      done;
+      (* resume after a torn cut physically truncates back to the last
+         intact frame and appending again converges *)
+      let oc = open_out_bin path in
+      output_string oc (String.sub bytes 0 (full - 1));
+      close_out oc;
+      let j, rep = Journal.open_resume ~path in
+      Alcotest.(check bool) "resume saw the torn tail" true
+        rep.Journal.torn_tail;
+      Alcotest.(check int) "file truncated to intact prefix" two
+        (Unix.stat path).Unix.st_size;
+      Journal.append j (List.nth entries 2);
+      Journal.close j;
+      let rep = Journal.replay ~path in
+      Alcotest.(check bool) "re-append converges to the full set" true
+        (List.map entry_key rep.Journal.entries
+        = List.map entry_key (sample_entries ()))
+      )
+
+let test_missing_empty_and_bad_magic () =
+  let missing = temp_path "ifp-journal-missing" in
+  let rep = Journal.replay ~path:missing in
+  Alcotest.(check (pair int bool)) "missing file: empty, not torn" (0, false)
+    (List.length rep.Journal.entries, rep.Journal.torn_tail);
+  with_temp_path "ifp-journal-badmagic" (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "this is not a journal at all.......";
+      close_out oc;
+      Alcotest.check_raises "bad magic raises" (Journal.Bad_magic path)
+        (fun () -> ignore (Journal.replay ~path)));
+  with_temp_path "ifp-journal-empty" (fun path ->
+      let oc = open_out_bin path in
+      close_out oc;
+      let j, rep = Journal.open_resume ~path in
+      Alcotest.(check int) "empty file resumes to zero entries" 0
+        (List.length rep.Journal.entries);
+      Journal.append j (List.hd (sample_entries ()));
+      Journal.close j;
+      Alcotest.(check int) "append after empty-resume lands" 1
+        (List.length (Journal.replay ~path).Journal.entries))
+
+let test_engine_replay_is_authoritative () =
+  with_temp_path "ifp-journal-engine" (fun path ->
+      let jobs = List.init 3 tiny_job in
+      let journal = Journal.create ~path in
+      let first, s1 = Engine.run ~journal jobs in
+      Journal.close journal;
+      Alcotest.(check int) "fresh run replays nothing" 0
+        s1.Engine.journal_replays;
+      Alcotest.(check int) "journal holds every completion" 3
+        (List.length (Journal.replay ~path).Journal.entries);
+      (* resume with a runner that must never fire: replayed records are
+         authoritative, so the engine serves all three without running *)
+      let journal, _ = Journal.open_resume ~path in
+      let booby (_ : Job.t) = failwith "runner must not run on replay" in
+      let again, s2 = Engine.run ~journal ~runner:booby ~retries:0 jobs in
+      Journal.close journal;
+      Alcotest.(check int) "all jobs replayed" 3 s2.Engine.journal_replays;
+      Alcotest.(check int) "no failures" 0 s2.Engine.failed;
+      Array.iteri
+        (fun i (o : Engine.outcome) ->
+          Alcotest.(check bool) "flagged from_journal" true
+            o.Engine.from_journal;
+          Alcotest.(check int) "zero attempts" 0 o.Engine.attempts;
+          Alcotest.(check bool) "replayed result identical" true
+            (o.Engine.result = first.(i).Engine.result))
+        again)
+
+(* property: the backoff envelope (satellite spec) — for any digest and
+   attempt, delay in [base*2^(n-1), 1.5*base*2^(n-1)] capped at 5 s *)
+let prop_backoff_envelope =
+  let gen =
+    QCheck.Gen.(
+      triple
+        (string_size ~gen:(oneofl [ '0'; '7'; 'a'; 'f'; 'z' ]) (return 32))
+        (int_range 1 12)
+        (float_range 0.001 2.0))
+  in
+  QCheck.Test.make ~count:500
+    ~name:"backoff delay within [lo, 1.5*lo] capped at 5s, deterministic"
+    (QCheck.make gen) (fun (digest, attempt, base) ->
+      let d = Engine.backoff_delay ~base ~digest ~attempt in
+      let d' = Engine.backoff_delay ~base ~digest ~attempt in
+      let lo = base *. (2.0 ** float_of_int (attempt - 1)) in
+      d = d'
+      && d >= Float.min lo 5.0
+      && d <= Float.min (1.5 *. lo) 5.0)
+
+let tests =
+  [
+    Alcotest.test_case "framed append/replay round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "replay is idempotent; duplicates collapse" `Quick
+      test_replay_idempotent;
+    Alcotest.test_case "torn tail tolerated at every byte offset" `Quick
+      test_torn_tail_every_byte;
+    Alcotest.test_case "missing/empty/bad-magic files" `Quick
+      test_missing_empty_and_bad_magic;
+    Alcotest.test_case "engine serves replayed records without re-running"
+      `Quick test_engine_replay_is_authoritative;
+    QCheck_alcotest.to_alcotest prop_backoff_envelope;
+  ]
