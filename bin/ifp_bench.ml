@@ -1,0 +1,230 @@
+(* Host-performance microbenchmark for the simulator hot path.
+
+   Times the fig10 workloads under the slot-resolved interpreter
+   (Vm.run) and the name-keyed reference interpreter (Vm_ref.run) on the
+   same VM configurations, and reports host wall-clock nanoseconds per
+   simulated instruction for both engines plus the speedup. While
+   timing, it also cross-checks that the two engines agree on outcome,
+   every counter, cache statistics and program output — a run that
+   diverges fails loudly rather than producing a pretty but meaningless
+   table.
+
+   The aggregate is written to BENCH_vm.json. Unlike the experiment
+   tables, this output is wall-clock and host-dependent by nature; the
+   JSON is for trend tracking, not byte-diffing (CI only checks shape
+   and the engine-agreement bit).
+
+     ifp_bench [--quick] [--reps N] [--out PATH] [workload ...]
+
+   --quick  three workloads, one rep: the CI smoke configuration. *)
+
+module W = Ifp_workloads.Workload
+module Registry = Ifp_workloads.Registry
+module Vm = Core.Vm
+module Vm_ref = Core.Vm_ref
+module Counters = Core.Counters
+module Events = Ifp_campaign.Events
+
+type opts = {
+  quick : bool;
+  reps : int;
+  out : string;
+  only : string list;  (* empty = fig10 set *)
+}
+
+let usage () =
+  prerr_endline
+    "usage: ifp_bench [--quick] [--reps N] [--out PATH] [workload ...]";
+  exit 2
+
+let parse_opts argv =
+  let opts = ref { quick = false; reps = 3; out = "BENCH_vm.json"; only = [] } in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      opts := { !opts with quick = true; reps = 1 };
+      go rest
+    | "--reps" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 -> opts := { !opts with reps = n }
+      | _ -> usage ());
+      go rest
+    | "--out" :: p :: rest ->
+      opts := { !opts with out = p };
+      go rest
+    | w :: rest ->
+      if String.length w > 0 && w.[0] = '-' then usage ();
+      opts := { !opts with only = !opts.only @ [ w ] };
+      go rest
+  in
+  go (List.tl (Array.to_list argv));
+  !opts
+
+let quick_set = [ "treeadd"; "mst"; "ft" ]
+
+let workloads opts =
+  match opts.only with
+  | [] ->
+    if opts.quick then
+      List.filter (fun (w : W.t) -> List.mem w.name quick_set) Registry.all
+    else Registry.all
+  | names ->
+    List.map
+      (fun n ->
+        match Registry.find n with
+        | Some w -> w
+        | None ->
+          Printf.eprintf "unknown workload %s (have: %s)\n" n
+            (String.concat " " Registry.names);
+          exit 2)
+      names
+
+let configs =
+  [
+    ("baseline", Vm.baseline);
+    ("ifp-subheap", Vm.ifp_subheap);
+    ("ifp-wrapped", Vm.ifp_wrapped);
+  ]
+
+(* ---- engine agreement ------------------------------------------------ *)
+
+let outcome_string = function
+  | Vm.Finished v -> "finished:" ^ Int64.to_string v
+  | Vm.Trapped t -> "trapped:" ^ Core.Trap.to_string t
+  | Vm.Aborted r -> "aborted:" ^ Vm.abort_reason_string r
+
+let counters_fields (c : Counters.t) =
+  [
+    ("base_instrs", c.base_instrs);
+    ("cycles", c.cycles);
+    ("loads", c.loads);
+    ("stores", c.stores);
+    ("implicit_checks", c.implicit_checks);
+    ("promotes_valid", c.promotes_valid);
+    ("ifp_total", Counters.ifp_total c);
+  ]
+
+let agree (a : Vm.result) (b : Vm.result) =
+  let errs = ref [] in
+  let chk name x y =
+    if x <> y then errs := Printf.sprintf "%s: %s vs %s" name x y :: !errs
+  in
+  chk "outcome" (outcome_string a.outcome) (outcome_string b.outcome);
+  List.iter2
+    (fun (n, x) (_, y) -> chk n (string_of_int x) (string_of_int y))
+    (counters_fields a.counters)
+    (counters_fields b.counters);
+  Array.iteri
+    (fun i x ->
+      chk (Printf.sprintf "ifp[%d]" i) (string_of_int x)
+        (string_of_int b.counters.ifp.(i)))
+    a.counters.ifp;
+  chk "cache_accesses" (string_of_int a.cache_accesses)
+    (string_of_int b.cache_accesses);
+  chk "cache_misses" (string_of_int a.cache_misses)
+    (string_of_int b.cache_misses);
+  chk "mem_footprint" (string_of_int a.mem_footprint)
+    (string_of_int b.mem_footprint);
+  chk "output" (String.concat "|" a.output) (String.concat "|" b.output);
+  List.rev !errs
+
+(* ---- timing ---------------------------------------------------------- *)
+
+(* best-of-N wall clock: the minimum is the least noise-contaminated
+   observation of the true cost *)
+let time_best ~reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+type row = {
+  wname : string;
+  cname : string;
+  sim_instrs : int;
+  ref_ns : float;  (* host ns per simulated instruction, Vm_ref *)
+  vm_ns : float;  (* host ns per simulated instruction, Vm *)
+  mismatches : string list;
+}
+
+let bench_one ~reps (wl : W.t) (cname, config) =
+  let prog = Lazy.force wl.prog in
+  let vm_res, vm_t = time_best ~reps (fun () -> Vm.run ~config prog) in
+  let ref_res, ref_t = time_best ~reps (fun () -> Vm_ref.run ~config prog) in
+  let sim_instrs = max 1 (Counters.total_instrs vm_res.Vm.counters) in
+  let per t = t *. 1e9 /. float_of_int sim_instrs in
+  {
+    wname = wl.name;
+    cname;
+    sim_instrs;
+    ref_ns = per ref_t;
+    vm_ns = per vm_t;
+    mismatches = agree vm_res ref_res;
+  }
+
+(* ---- reporting ------------------------------------------------------- *)
+
+let json_of_rows rows geo_speedup ok opts =
+  let open Events in
+  Obj
+    [
+      ("bench", String "ifp_bench");
+      ("unit", String "host ns per simulated instruction");
+      ("quick", Bool opts.quick);
+      ("reps", Int opts.reps);
+      ("engines_agree", Bool ok);
+      ( "rows",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("workload", String r.wname);
+                   ("config", String r.cname);
+                   ("sim_instrs", Int r.sim_instrs);
+                   ("before_ns_per_instr", Float r.ref_ns);
+                   ("after_ns_per_instr", Float r.vm_ns);
+                   ("speedup", Float (r.ref_ns /. r.vm_ns));
+                 ])
+             rows) );
+      ("geomean_speedup", Float geo_speedup);
+    ]
+
+let () =
+  let opts = parse_opts Sys.argv in
+  let wls = workloads opts in
+  let rows =
+    List.concat_map
+      (fun wl ->
+        List.map
+          (fun cfg ->
+            let r = bench_one ~reps:opts.reps wl cfg in
+            Printf.printf "%-12s %-12s %9d sim-instrs  %7.2f -> %6.2f ns/instr  %5.2fx%s\n%!"
+              r.wname r.cname r.sim_instrs r.ref_ns r.vm_ns
+              (r.ref_ns /. r.vm_ns)
+              (if r.mismatches = [] then "" else "  ENGINE MISMATCH");
+            r)
+          configs)
+      wls
+  in
+  let geo =
+    Core.Stats.geomean (List.map (fun r -> r.ref_ns /. r.vm_ns) rows)
+  in
+  let bad = List.filter (fun r -> r.mismatches <> []) rows in
+  List.iter
+    (fun r ->
+      Printf.eprintf "MISMATCH %s/%s:\n" r.wname r.cname;
+      List.iter (Printf.eprintf "  %s\n") r.mismatches)
+    bad;
+  Printf.printf "\ngeo-mean speedup (Vm_ref -> Vm): %.2fx over %d runs\n" geo
+    (List.length rows);
+  Events.write_json_file ~path:opts.out
+    (json_of_rows rows geo (bad = []) opts);
+  Printf.printf "wrote %s\n" opts.out;
+  if bad <> [] then exit 1

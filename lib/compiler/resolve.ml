@@ -1,0 +1,486 @@
+(* Resolve: one-time lowering from the name-based IR to a slot-addressed
+   program the VM can execute without any per-access hashing.
+
+   The pass interns every variable and stack-local name to a dense
+   integer slot, pre-binds call targets to function indices, resolves
+   globals to indices in a flat table, and bakes in every quantity the
+   interpreter previously recomputed per access: scalar sizes, struct
+   field offsets, gep element strides and static subobject-index deltas,
+   malloc size scales and layout multiplicity, cast/let coercion kinds.
+
+   The lowering is purely structural — it must not change observable
+   behaviour. Programs that fail at runtime in the reference
+   interpreter (unbound variables reached through a non-taken branch,
+   unknown locals, unknown call targets) keep failing with the same
+   abort messages: slots for names that are never bound still exist and
+   the VM detects the unbound state with a sentinel, and statically
+   unresolvable references lower to [Bad]/[Bad_store_global] nodes that
+   abort with the reference message when (and only when) executed. *)
+
+module Ctype = Ifp_types.Ctype
+module Layout = Ifp_types.Layout
+
+(* Scalar class of a memory access: decides how raw little-endian bytes
+   become a value and back. *)
+type vclass = Cls_int | Cls_f64 | Cls_ptr
+
+type cast_kind =
+  | Cast_ptr
+  | Cast_f64
+  | Cast_int of int  (* sign-extension width: max 1 (sizeof target) *)
+
+type coerce_kind = K_i8 | K_i16 | K_i32 | K_i64 | K_f64 | K_ptr | K_other
+
+type call_target =
+  | C_func of int
+  | C_print_i64
+  | C_print_f64
+  | C_abort
+  | C_unknown of string
+
+type gstep =
+  | Rs_field of { off : int; fsize : int }
+      (** struct member: add [off]; narrowed bounds are [fsize] bytes *)
+  | Rs_index of { esize : int; idx : expr }
+      (** dynamic index with element stride [esize] *)
+  | Rs_bad of string  (** ill-formed step: abort when executed *)
+
+and expr =
+  | Int of int64
+  | Float of float
+  | Var of int
+  | Binop of Ir.binop * expr * expr
+  | Unop of Ir.unop * expr
+  | Load of { cls : vclass; bytes : int; addr : expr }
+  | Addr_local of int
+  | Addr_global of int
+  | Load_global of { g : int; cls : vclass; bytes : int }
+  | Gep of { base : expr; steps : gstep list; idx_delta : int }
+  | Call of { target : call_target; args : expr list; n_args : int }
+  | Malloc of {
+      scale : int;  (* bytes per count unit: sizeof elem, or 1 *)
+      count : expr;
+      cty : Ctype.t option;  (* element type handed to the allocator *)
+      layout_multi : bool;  (* layout table has > 1 element *)
+    }
+  | Cast of { kind : cast_kind; e : expr }
+  | Ifp_promote of expr
+  | Bad of string  (** statically-unresolvable reference; aborts *)
+
+type stmt =
+  | Let of { slot : int; k : coerce_kind; e : expr }
+  | Assign of { slot : int; e : expr }
+  | Decl_local of { slot : int; size : int; tyid : int }
+  | Store of { cls : vclass; bytes : int; addr : expr; v : expr }
+  | Store_global of { g : int; cls : vclass; bytes : int; e : expr }
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Expr of expr
+  | Free of expr
+  | Break
+  | Continue
+  | Ifp_register_local of int
+  | Ifp_deregister_local of int
+  | Bad_store_global of { e : expr; msg : string }
+
+type func = {
+  fname : string;
+  params : int list;  (* var slots of the parameters, in order *)
+  n_vars : int;
+  var_names : string array;  (* slot -> source name, diagnostics only *)
+  n_locals : int;
+  local_names : string array;
+  body : stmt list;
+  instrumented : bool;
+  has_calls : bool;
+  ptr_regs : int;
+}
+
+type rglobal = {
+  gname : string;
+  gty : Ctype.t;
+  gsize : int;  (* raw sizeof; the VM allocates max 1 gsize bytes *)
+  gregistered : bool;
+}
+
+type program = {
+  tenv : Ctype.tenv;
+  globals : rglobal array;
+  funcs : func array;
+  main : int;  (* index into funcs, or -1 *)
+  types : Ctype.t array;  (* local-decl types: the VM's layout-ptr cache key *)
+}
+
+(* ------------------------------------------------------------------ *)
+
+type renv = {
+  tenv : Ctype.tenv;
+  fidx : (string, int) Hashtbl.t;  (* function name -> index, last wins *)
+  gidx : (string, int) Hashtbl.t;  (* global name -> index, last wins *)
+  gfirst : (string, Ctype.t) Hashtbl.t;  (* first-declaration type *)
+  tyids : (Ctype.t, int) Hashtbl.t;
+  mutable types_rev : Ctype.t list;
+  mutable n_types : int;
+  layouts : (Ctype.t, Layout.t) Hashtbl.t;  (* resolve-time only *)
+}
+
+type fenv = {
+  vslots : (string, int) Hashtbl.t;
+  mutable vnames_rev : string list;
+  mutable n_vars : int;
+  lslots : (string, int) Hashtbl.t;
+  mutable lnames_rev : string list;
+  mutable n_locals : int;
+}
+
+let tyid_of r ty =
+  match Hashtbl.find_opt r.tyids ty with
+  | Some i -> i
+  | None ->
+    let i = r.n_types in
+    Hashtbl.replace r.tyids ty i;
+    r.types_rev <- ty :: r.types_rev;
+    r.n_types <- i + 1;
+    i
+
+let layout_of r ty =
+  match Hashtbl.find_opt r.layouts ty with
+  | Some l -> l
+  | None ->
+    let l = Layout.build r.tenv ty in
+    Hashtbl.replace r.layouts ty l;
+    l
+
+let var_slot fe name =
+  match Hashtbl.find_opt fe.vslots name with
+  | Some s -> s
+  | None ->
+    let s = fe.n_vars in
+    Hashtbl.replace fe.vslots name s;
+    fe.vnames_rev <- name :: fe.vnames_rev;
+    fe.n_vars <- s + 1;
+    s
+
+let local_slot fe name =
+  match Hashtbl.find_opt fe.lslots name with
+  | Some s -> s
+  | None ->
+    let s = fe.n_locals in
+    Hashtbl.replace fe.lslots name s;
+    fe.lnames_rev <- name :: fe.lnames_rev;
+    fe.n_locals <- s + 1;
+    s
+
+let vclass_of ty =
+  match ty with
+  | Ctype.Ptr _ -> Cls_ptr
+  | Ctype.F64 -> Cls_f64
+  | _ -> Cls_int
+
+let coerce_kind_of ty =
+  match ty with
+  | Ctype.I8 -> K_i8
+  | Ctype.I16 -> K_i16
+  | Ctype.I32 -> K_i32
+  | Ctype.I64 -> K_i64
+  | Ctype.F64 -> K_f64
+  | Ctype.Ptr _ -> K_ptr
+  | Ctype.Void | Ctype.Struct _ | Ctype.Array _ -> K_other
+
+(* Static mirror of the interpreter's gep walk. A bad field aborts
+   before anything on that step runs; a bad index aborts after the index
+   expression has been evaluated and counted, hence the zero-stride
+   [Rs_index] in front of its [Rs_bad]. *)
+(* Merge runs of consecutive field steps: offsets add, and the narrowed
+   bounds the VM derives come from the last field of the run at the
+   accumulated address, so a single step with the summed offset and the
+   last field's size is observationally identical. Most struct geps
+   collapse to one static step this way. *)
+let rec fold_fields = function
+  | Rs_field { off = o1; fsize = _ } :: Rs_field { off = o2; fsize } :: rest ->
+    fold_fields (Rs_field { off = o1 + o2; fsize } :: rest)
+  | s :: rest -> s :: fold_fields rest
+  | [] -> []
+
+let rec resolve_gep_steps r fe pointee steps =
+  let rec walk ty leading = function
+    | [] -> []
+    | Ir.S_field f :: rest -> (
+      match ty with
+      | Ctype.Struct s ->
+        let off, fty = Ctype.field_offset r.tenv s f in
+        let fsize = Ctype.sizeof r.tenv fty in
+        Rs_field { off; fsize } :: walk fty false rest
+      | _ -> [ Rs_bad "gep: bad field" ])
+    | Ir.S_index ie :: rest -> (
+      let idx = resolve_expr r fe ie in
+      match ty with
+      | Ctype.Array (elt, _) ->
+        Rs_index { esize = Ctype.sizeof r.tenv elt; idx } :: walk elt false rest
+      | _ when leading ->
+        Rs_index { esize = Ctype.sizeof r.tenv ty; idx } :: walk ty false rest
+      | _ -> [ Rs_index { esize = 0; idx }; Rs_bad "gep: index into non-array" ])
+  in
+  walk pointee true steps
+
+and resolve_expr r fe (e : Ir.expr) : expr =
+  match e with
+  | Ir.Int x -> Int x
+  | Ir.Float f -> Float f
+  | Ir.Var name -> Var (var_slot fe name)
+  | Ir.Binop (op, a, b) -> Binop (op, resolve_expr r fe a, resolve_expr r fe b)
+  | Ir.Unop (op, a) -> Unop (op, resolve_expr r fe a)
+  | Ir.Load (ty, addr) ->
+    Load
+      {
+        cls = vclass_of ty;
+        bytes = Ctype.sizeof r.tenv ty;
+        addr = resolve_expr r fe addr;
+      }
+  | Ir.Addr_local name -> Addr_local (local_slot fe name)
+  | Ir.Addr_global g -> (
+    match Hashtbl.find_opt r.gidx g with
+    | Some i -> Addr_global i
+    | None -> Bad ("unknown global " ^ g))
+  | Ir.Load_global g -> (
+    match Hashtbl.find_opt r.gidx g with
+    | Some i ->
+      (* the reference interpreter reads the type from the first
+         declaration of the name, the address from the last *)
+      let gty = Hashtbl.find r.gfirst g in
+      Load_global { g = i; cls = vclass_of gty; bytes = Ctype.sizeof r.tenv gty }
+    | None -> Bad ("unknown global " ^ g))
+  | Ir.Gep (pointee, base, steps) ->
+    let rsteps = fold_fields (resolve_gep_steps r fe pointee steps) in
+    let clean =
+      List.for_all (function Rs_bad _ -> false | _ -> true) rsteps
+    in
+    let idx_delta =
+      if not clean then 0
+      else
+        (* the static subobject-index immediate the compiler would bake
+           into ifpidx (reference: Vm.gep_idx_delta) *)
+        match Typecheck.layout_path r.tenv pointee steps with
+        | [] -> 0
+        | path -> (
+          match Layout.index_of_path (layout_of r pointee) path with
+          | Some d -> d
+          | None -> 0)
+        | exception Typecheck.Type_error _ -> 0
+    in
+    Gep { base = resolve_expr r fe base; steps = rsteps; idx_delta }
+  | Ir.Call (fn, args) ->
+    let target =
+      match fn with
+      | "__print_i64" -> C_print_i64
+      | "__print_f64" -> C_print_f64
+      | "__abort" -> C_abort
+      | _ -> (
+        match Hashtbl.find_opt r.fidx fn with
+        | Some i -> C_func i
+        | None -> C_unknown fn)
+    in
+    Call
+      {
+        target;
+        args = List.map (resolve_expr r fe) args;
+        n_args = List.length args;
+      }
+  | Ir.Malloc (ty, n) ->
+    Malloc
+      {
+        scale = Ctype.sizeof r.tenv ty;
+        count = resolve_expr r fe n;
+        cty = Some ty;
+        layout_multi = Layout.length (layout_of r ty) > 1;
+      }
+  | Ir.Malloc_bytes n ->
+    Malloc { scale = 1; count = resolve_expr r fe n; cty = None; layout_multi = false }
+  | Ir.Malloc_sized (ty, n) ->
+    Malloc
+      {
+        scale = 1;
+        count = resolve_expr r fe n;
+        cty = Some ty;
+        layout_multi = Layout.length (layout_of r ty) > 1;
+      }
+  | Ir.Cast (ty, a) ->
+    let kind =
+      match ty with
+      | Ctype.Ptr _ -> Cast_ptr
+      | Ctype.F64 -> Cast_f64
+      | _ -> Cast_int (max 1 (Ctype.sizeof r.tenv ty))
+    in
+    Cast { kind; e = resolve_expr r fe a }
+  | Ir.Ifp_promote e -> Ifp_promote (resolve_expr r fe e)
+
+let rec resolve_stmt r fe (s : Ir.stmt) : stmt =
+  match s with
+  | Ir.Let (name, ty, e) ->
+    let e = resolve_expr r fe e in
+    Let { slot = var_slot fe name; k = coerce_kind_of ty; e }
+  | Ir.Assign (name, e) ->
+    let e = resolve_expr r fe e in
+    Assign { slot = var_slot fe name; e }
+  | Ir.Decl_local (name, ty) ->
+    Decl_local
+      {
+        slot = local_slot fe name;
+        size = Ctype.sizeof r.tenv ty;
+        tyid = tyid_of r ty;
+      }
+  | Ir.Store (ty, addr, v) ->
+    Store
+      {
+        cls = vclass_of ty;
+        bytes = Ctype.sizeof r.tenv ty;
+        addr = resolve_expr r fe addr;
+        v = resolve_expr r fe v;
+      }
+  | Ir.Store_global (g, e) -> (
+    let e = resolve_expr r fe e in
+    match Hashtbl.find_opt r.gidx g with
+    | Some i ->
+      let gty = Hashtbl.find r.gfirst g in
+      Store_global
+        { g = i; cls = vclass_of gty; bytes = Ctype.sizeof r.tenv gty; e }
+    | None -> Bad_store_global { e; msg = "unknown global " ^ g })
+  | Ir.If (c, t, e) ->
+    If
+      ( resolve_expr r fe c,
+        List.map (resolve_stmt r fe) t,
+        List.map (resolve_stmt r fe) e )
+  | Ir.While (c, body) ->
+    While (resolve_expr r fe c, List.map (resolve_stmt r fe) body)
+  | Ir.Return None -> Return None
+  | Ir.Return (Some e) -> Return (Some (resolve_expr r fe e))
+  | Ir.Expr e -> Expr (resolve_expr r fe e)
+  | Ir.Free e -> Free (resolve_expr r fe e)
+  | Ir.Break -> Break
+  | Ir.Continue -> Continue
+  | Ir.Ifp_register_local name -> Ifp_register_local (local_slot fe name)
+  | Ir.Ifp_deregister_local name -> Ifp_deregister_local (local_slot fe name)
+
+(* Register-pressure scan for the spill cost model (reference:
+   Vm.func_meta_of). *)
+let func_meta_of (f : Ir.func) =
+  let has_calls = ref false in
+  let ptr_regs = ref 0 in
+  List.iter
+    (fun (_, ty) -> match ty with Ctype.Ptr _ -> incr ptr_regs | _ -> ())
+    f.params;
+  let rec scan_expr (e : Ir.expr) =
+    match e with
+    | Call _ -> has_calls := true
+    | Int _ | Float _ | Var _ | Addr_local _ | Addr_global _ | Load_global _ -> ()
+    | Binop (_, a, b) ->
+      scan_expr a;
+      scan_expr b
+    | Unop (_, a) | Cast (_, a) | Ifp_promote a | Load (_, a) | Malloc (_, a)
+    | Malloc_bytes a | Malloc_sized (_, a) ->
+      scan_expr a
+    | Gep (_, b, steps) ->
+      scan_expr b;
+      List.iter
+        (function Ir.S_index ie -> scan_expr ie | Ir.S_field _ -> ())
+        steps
+  in
+  let rec scan_stmt (s : Ir.stmt) =
+    match s with
+    | Let (_, Ctype.Ptr _, e) ->
+      incr ptr_regs;
+      scan_expr e
+    | Let (_, _, e) | Assign (_, e) | Store_global (_, e) | Expr e | Free e ->
+      scan_expr e
+    | Store (_, a, e) ->
+      scan_expr a;
+      scan_expr e
+    | If (c, t, e) ->
+      scan_expr c;
+      List.iter scan_stmt t;
+      List.iter scan_stmt e
+    | While (c, b) ->
+      scan_expr c;
+      List.iter scan_stmt b
+    | Return (Some e) -> scan_expr e
+    | Decl_local _ | Return None | Break | Continue | Ifp_register_local _
+    | Ifp_deregister_local _ ->
+      ()
+  in
+  List.iter scan_stmt f.body;
+  (!has_calls, !ptr_regs)
+
+let resolve_func r (f : Ir.func) : func =
+  let fe =
+    {
+      vslots = Hashtbl.create 16;
+      vnames_rev = [];
+      n_vars = 0;
+      lslots = Hashtbl.create 8;
+      lnames_rev = [];
+      n_locals = 0;
+    }
+  in
+  let params = List.map (fun (pname, _) -> var_slot fe pname) f.params in
+  let body = List.map (resolve_stmt r fe) f.body in
+  let has_calls, ptr_regs = func_meta_of f in
+  {
+    fname = f.fname;
+    params;
+    n_vars = fe.n_vars;
+    var_names = Array.of_list (List.rev fe.vnames_rev);
+    n_locals = fe.n_locals;
+    local_names = Array.of_list (List.rev fe.lnames_rev);
+    body;
+    instrumented = f.instrumented;
+    has_calls;
+    ptr_regs;
+  }
+
+let run (prog : Ir.program) : program =
+  let r =
+    {
+      tenv = prog.tenv;
+      fidx = Hashtbl.create 64;
+      gidx = Hashtbl.create 16;
+      gfirst = Hashtbl.create 16;
+      tyids = Hashtbl.create 16;
+      types_rev = [];
+      n_types = 0;
+      layouts = Hashtbl.create 16;
+    }
+  in
+  List.iteri
+    (fun i (g : Ir.global) ->
+      (* last declaration wins for the address, like the reference
+         interpreter's Hashtbl.replace during setup; the first wins for
+         by-name access types, like Ir.find_global *)
+      Hashtbl.replace r.gidx g.gname i;
+      if not (Hashtbl.mem r.gfirst g.gname) then
+        Hashtbl.replace r.gfirst g.gname g.gty)
+    prog.globals;
+  List.iteri (fun i (f : Ir.func) -> Hashtbl.replace r.fidx f.fname i) prog.funcs;
+  let funcs = Array.of_list (List.map (resolve_func r) prog.funcs) in
+  let globals =
+    Array.of_list
+      (List.map
+         (fun (g : Ir.global) ->
+           {
+             gname = g.gname;
+             gty = g.gty;
+             gsize = Ctype.sizeof prog.tenv g.gty;
+             gregistered = g.registered;
+           })
+         prog.globals)
+  in
+  let main =
+    match Hashtbl.find_opt r.fidx "main" with Some i -> i | None -> -1
+  in
+  {
+    tenv = prog.tenv;
+    globals;
+    funcs;
+    main;
+    types = Array.of_list (List.rev r.types_rev);
+  }

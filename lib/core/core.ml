@@ -10,8 +10,10 @@
        promote engine}
     {- {!Alloc}, {!Baseline_alloc}, {!Wrapped_alloc}, {!Subheap_alloc},
        {!Buddy} — the runtime-library allocators}
-    {- {!Ir}, {!Typecheck}, {!Instrument} — MiniC and the compiler pass}
-    {- {!Vm}, {!Counters}, {!Cost}, {!Memmap} — the execution engine}
+    {- {!Ir}, {!Typecheck}, {!Instrument}, {!Resolve} — MiniC and the
+       compiler passes}
+    {- {!Vm}, {!Vm_ref}, {!Counters}, {!Cost}, {!Memmap} — the execution
+       engines (slot-resolved and reference)}
     {- {!Report} — multi-variant evaluation harness (Table 4 /
        Fig. 10–12 rows)}}
 
@@ -46,7 +48,9 @@ module Lexer = Ifp_compiler.Lexer
 module Parser = Ifp_compiler.Parser
 module Typecheck = Ifp_compiler.Typecheck
 module Instrument = Ifp_compiler.Instrument
+module Resolve = Ifp_compiler.Resolve
 module Vm = Ifp_vm.Vm
+module Vm_ref = Ifp_vm.Vm_ref
 module Counters = Ifp_vm.Counters
 module Cost = Ifp_vm.Cost
 module Memmap = Ifp_vm.Memmap

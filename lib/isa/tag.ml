@@ -10,11 +10,14 @@ let local_offset_max_elements = 64
 let subheap_max_elements = 256
 let global_table_entries = 4096
 
-let addr p = Bits.u48 p
+(* field decoders are open-coded shift/mask (not [Bits.extract_int]):
+   they run on every tagged-pointer operation and the extra call is
+   measurable without flambda *)
+let addr p = Int64.logand p 0xFFFF_FFFF_FFFFL
 let with_addr p a = Bits.insert p ~lo:0 ~width:48 a
 
 let poison p =
-  match Bits.extract_int p ~lo:62 ~width:2 with
+  match Int64.to_int (Int64.shift_right_logical p 62) land 3 with
   | 0 -> Valid
   | 1 -> Oob
   | _ -> Invalid
@@ -24,7 +27,7 @@ let with_poison p s =
   Bits.insert_int p ~lo:62 ~width:2 v
 
 let scheme p =
-  match Bits.extract_int p ~lo:60 ~width:2 with
+  match Int64.to_int (Int64.shift_right_logical p 60) land 3 with
   | 0 -> Legacy
   | 1 -> Local_offset
   | 2 -> Subheap
@@ -36,13 +39,13 @@ let with_scheme p s =
   in
   Bits.insert_int p ~lo:60 ~width:2 v
 
-let meta12 p = Bits.extract_int p ~lo:48 ~width:12
+let meta12 p = Int64.to_int (Int64.shift_right_logical p 48) land 0xFFF
 let with_meta12 p v = Bits.insert_int p ~lo:48 ~width:12 v
 
 let subobj_index p =
   match scheme p with
-  | Local_offset -> Some (Bits.extract_int p ~lo:48 ~width:6)
-  | Subheap -> Some (Bits.extract_int p ~lo:48 ~width:8)
+  | Local_offset -> Some (Int64.to_int (Int64.shift_right_logical p 48) land 0x3F)
+  | Subheap -> Some (Int64.to_int (Int64.shift_right_logical p 48) land 0xFF)
   | Legacy | Global_table -> None
 
 let with_subobj_index p i =
@@ -51,12 +54,12 @@ let with_subobj_index p i =
   | Subheap -> Bits.insert_int p ~lo:48 ~width:8 (min i 255)
   | Legacy | Global_table -> p
 
-let granule_offset p = Bits.extract_int p ~lo:54 ~width:6
+let granule_offset p = Int64.to_int (Int64.shift_right_logical p 54) land 0x3F
 let with_granule_offset p v = Bits.insert_int p ~lo:54 ~width:6 v
 
-let creg_index p = Bits.extract_int p ~lo:56 ~width:4
+let creg_index p = Int64.to_int (Int64.shift_right_logical p 56) land 0xF
 
-let table_index p = Bits.extract_int p ~lo:48 ~width:12
+let table_index p = Int64.to_int (Int64.shift_right_logical p 48) land 0xFFF
 
 let make_legacy a = Bits.u48 a
 

@@ -3,8 +3,11 @@ type access = Load | Store
 type t = {
   ways : int;
   sets : int;
+  set_mask : int; (* sets - 1; sets is a power of two *)
   line_shift : int;
-  tags : int64 array; (* sets * ways, -1L = invalid *)
+  tags : int array; (* sets * ways, -1 = invalid; lines are < 2^48 so
+                       they fit an immediate int and tag compares stay
+                       unboxed *)
   lru : int array; (* sets * ways: higher = more recently used *)
   mutable clock : int;
   mutable n_accesses : int;
@@ -20,30 +23,36 @@ let create ?(size_bytes = 32768) ?(ways = 8) ?(line_bytes = 64) () =
   {
     ways;
     sets;
+    set_mask = sets - 1;
     line_shift = Ifp_util.Bits.log2_exact line_bytes;
-    tags = Array.make (sets * ways) (-1L);
+    tags = Array.make (sets * ways) (-1);
     lru = Array.make (sets * ways) 0;
     clock = 0;
     n_accesses = 0;
     n_misses = 0;
   }
 
-let access t addr _kind =
+(* line is < 2^48, so the truncation to int is exact; sets is a power of
+   two, so masking equals the modulo the set index needs. *)
+let line_of t addr =
+  Int64.to_int (Int64.shift_right_logical (Ifp_util.Bits.u48 addr) t.line_shift)
+
+let access_line t line =
   t.n_accesses <- t.n_accesses + 1;
   t.clock <- t.clock + 1;
-  let line = Int64.shift_right_logical (Ifp_util.Bits.u48 addr) t.line_shift in
-  let set = Int64.to_int (Int64.rem line (Int64.of_int t.sets)) in
+  let set = line land t.set_mask in
   let base = set * t.ways in
   let rec find i =
-    if i >= t.ways then None
-    else if Int64.equal t.tags.(base + i) line then Some i
+    if i >= t.ways then -1
+    else if Array.unsafe_get t.tags (base + i) = line then i
     else find (i + 1)
   in
-  match find 0 with
-  | Some i ->
+  let i = find 0 in
+  if i >= 0 then begin
     t.lru.(base + i) <- t.clock;
     true
-  | None ->
+  end
+  else begin
     t.n_misses <- t.n_misses + 1;
     (* evict the least recently used way *)
     let victim = ref 0 in
@@ -53,17 +62,27 @@ let access t addr _kind =
     t.tags.(base + !victim) <- line;
     t.lru.(base + !victim) <- t.clock;
     false
+  end
+
+let access t addr _kind = access_line t (line_of t addr)
 
 let access_range t addr ~bytes kind =
-  let line_bytes = 1 lsl t.line_shift in
-  let first = Int64.to_int (Int64.logand addr (Int64.of_int (line_bytes - 1))) in
-  let n_lines = (first + bytes + line_bytes - 1) / line_bytes in
-  let misses = ref 0 in
-  for i = 0 to max 0 (n_lines - 1) do
-    let a = Int64.add addr (Int64.of_int (i * line_bytes)) in
-    if not (access t a kind) then incr misses
-  done;
-  !misses
+  ignore kind;
+  if bytes <= 0 then 0
+  else begin
+    let line_bytes = 1 lsl t.line_shift in
+    let first = Int64.to_int (Int64.logand addr (Int64.of_int (line_bytes - 1))) in
+    let n_lines = (first + bytes + line_bytes - 1) / line_bytes in
+    if n_lines = 1 then if access_line t (line_of t addr) then 0 else 1
+    else begin
+      let misses = ref 0 in
+      for i = 0 to n_lines - 1 do
+        let a = Int64.add addr (Int64.of_int (i * line_bytes)) in
+        if not (access_line t (line_of t a)) then incr misses
+      done;
+      !misses
+    end
+  end
 
 let accesses t = t.n_accesses
 let misses t = t.n_misses
@@ -73,6 +92,6 @@ let reset_stats t =
   t.n_misses <- 0
 
 let flush t =
-  Array.fill t.tags 0 (Array.length t.tags) (-1L);
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.lru 0 (Array.length t.lru) 0;
   reset_stats t

@@ -16,7 +16,8 @@ val access : t -> int64 -> access -> bool
 
 val access_range : t -> int64 -> bytes:int -> access -> int
 (** Touch every line overlapped by [\[addr, addr+bytes)]; returns the
-    number of misses. *)
+    number of misses. An empty range ([bytes <= 0]) touches nothing and
+    returns 0. *)
 
 val accesses : t -> int
 val misses : t -> int

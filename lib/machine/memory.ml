@@ -3,38 +3,71 @@ let page_shift = 12
 
 type page = { data : Bytes.t; mutable written : bool }
 
+(* Direct-mapped page-lookup cache. One entry is not enough: an
+   instrumented run interleaves data accesses with metadata-region
+   accesses and a single slot thrashes between them. *)
+let pcache_slots = 256
+
+let pcache_mask = pcache_slots - 1
+
+(* The mapped set is a handful of large contiguous regions (globals,
+   layout table, stack, heap), so it is kept as a sorted list of
+   disjoint page-number intervals instead of a per-page table: mapping
+   a 256 MiB heap is one cons, not 65536 hashtable inserts. *)
 type t = {
   pages : (int, page) Hashtbl.t;
-  mapped : (int, unit) Hashtbl.t;
+  mutable mapped : (int * int) list; (* inclusive pno intervals, sorted *)
   mutable touched : int;
-  (* one-entry lookup cache: most accesses hit the same page repeatedly *)
-  mutable last_pno : int;
-  mutable last_page : page option;
+  pcache_pno : int array; (* -1 = empty *)
+  pcache_page : page array;
 }
 
 type fault_kind = Unmapped | Misaligned
 
 exception Fault of fault_kind * int64
 
+let dummy_page = { data = Bytes.create 0; written = true }
+
 let create () =
   {
     pages = Hashtbl.create 1024;
-    mapped = Hashtbl.create 1024;
+    mapped = [];
     touched = 0;
-    last_pno = -1;
-    last_page = None;
+    pcache_pno = Array.make pcache_slots (-1);
+    pcache_page = Array.make pcache_slots dummy_page;
   }
 
 let pno_of_addr a =
   Int64.to_int (Int64.shift_right_logical (Ifp_util.Bits.u48 a) page_shift)
 
+(* insert [lo,hi] into a sorted disjoint interval list, merging
+   overlapping or adjacent intervals *)
+let rec iv_add lo hi = function
+  | [] -> [ (lo, hi) ]
+  | (l, h) :: rest when h + 1 < lo -> (l, h) :: iv_add lo hi rest
+  | (l, h) :: rest when hi + 1 < l -> (lo, hi) :: (l, h) :: rest
+  | (l, h) :: rest -> iv_add (min l lo) (max h hi) rest
+
+(* remove [lo,hi], splitting intervals that straddle an endpoint *)
+let rec iv_remove lo hi = function
+  | [] -> []
+  | (l, h) :: rest when h < lo -> (l, h) :: iv_remove lo hi rest
+  | (l, h) :: rest when hi < l -> (l, h) :: rest
+  | (l, h) :: rest ->
+    let tail = if h > hi then (hi + 1, h) :: rest else iv_remove lo hi rest in
+    if l < lo then (l, lo - 1) :: tail else tail
+
+let rec iv_mem p = function
+  | [] -> false
+  | (l, h) :: rest -> if p < l then false else p <= h || iv_mem p rest
+
 let map t ~base ~size =
   if size < 0 then invalid_arg "Memory.map";
-  let first = pno_of_addr base in
-  let last = pno_of_addr (Int64.add base (Int64.of_int (max 0 (size - 1)))) in
-  for p = first to last do
-    if not (Hashtbl.mem t.mapped p) then Hashtbl.replace t.mapped p ()
-  done
+  if size > 0 then begin
+    let first = pno_of_addr base in
+    let last = pno_of_addr (Int64.add base (Int64.of_int (size - 1))) in
+    t.mapped <- iv_add first last t.mapped
+  end
 
 let unmap t ~base ~size =
   let open Int64 in
@@ -47,23 +80,27 @@ let unmap t ~base ~size =
     to_int (shift_right_logical (Ifp_util.Bits.align_down64 e page_size) page_shift)
     - 1
   in
-  for p = first_full to last_full do
-    Hashtbl.remove t.mapped p;
-    Hashtbl.remove t.pages p;
-    if t.last_pno = p then begin
-      t.last_pno <- -1;
-      t.last_page <- None
-    end
-  done
+  if last_full >= first_full then begin
+    t.mapped <- iv_remove first_full last_full t.mapped;
+    for p = first_full to last_full do
+      Hashtbl.remove t.pages p;
+      let slot = p land pcache_mask in
+      if t.pcache_pno.(slot) = p then begin
+        t.pcache_pno.(slot) <- -1;
+        t.pcache_page.(slot) <- dummy_page
+      end
+    done
+  end
 
-let is_mapped t a = Hashtbl.mem t.mapped (pno_of_addr a)
+let is_mapped t a = iv_mem (pno_of_addr a) t.mapped
 
 let get_page t a =
   let pno = pno_of_addr a in
-  if t.last_pno = pno then
-    match t.last_page with Some p -> p | None -> assert false
+  let slot = pno land pcache_mask in
+  if Array.unsafe_get t.pcache_pno slot = pno then
+    Array.unsafe_get t.pcache_page slot
   else begin
-    if not (Hashtbl.mem t.mapped pno) then raise (Fault (Unmapped, a));
+    if not (iv_mem pno t.mapped) then raise (Fault (Unmapped, a));
     let page =
       match Hashtbl.find_opt t.pages pno with
       | Some p -> p
@@ -72,8 +109,8 @@ let get_page t a =
         Hashtbl.replace t.pages pno p;
         p
     in
-    t.last_pno <- pno;
-    t.last_page <- Some page;
+    Array.unsafe_set t.pcache_pno slot pno;
+    Array.unsafe_set t.pcache_page slot page;
     page
   end
 
@@ -93,6 +130,15 @@ let write_u8 t a v =
 
 let xor_u8 t a mask = write_u8 t a (read_u8 t a lxor (mask land 0xFF))
 
+(* A page-straddling store must fault before any byte is committed, so
+   validate (and materialise) both pages up front. Fault addresses match
+   the byte-wise commit order: an unmapped low page faults at [a], an
+   unmapped high page at the first byte past the page boundary. *)
+let check_straddle t a =
+  let off = off_of_addr a in
+  ignore (get_page t a);
+  ignore (get_page t (Int64.add a (Int64.of_int (page_size - off))))
+
 (* Fast paths when the whole access fits in one page; otherwise byte-wise. *)
 let read_u16 t a =
   let off = off_of_addr a in
@@ -103,8 +149,21 @@ let read_u16 t a =
   else read_u8 t a lor (read_u8 t (Int64.add a 1L) lsl 8)
 
 let write_u16 t a v =
-  write_u8 t a (v land 0xFF);
-  write_u8 t (Int64.add a 1L) ((v lsr 8) land 0xFF)
+  let off = off_of_addr a in
+  if off <= page_size - 2 then begin
+    let p = get_page t a in
+    if not p.written then begin
+      p.written <- true;
+      t.touched <- t.touched + 1
+    end;
+    Bytes.unsafe_set p.data off (Char.unsafe_chr (v land 0xFF));
+    Bytes.unsafe_set p.data (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+  end
+  else begin
+    check_straddle t a;
+    write_u8 t a (v land 0xFF);
+    write_u8 t (Int64.add a 1L) ((v lsr 8) land 0xFF)
+  end
 
 let read_u32 t a =
   let off = off_of_addr a in
@@ -126,6 +185,7 @@ let write_u32 t a v =
     Bytes.set_int32_le p.data off (Int64.to_int32 v)
   end
   else begin
+    check_straddle t a;
     write_u16 t a (Int64.to_int (Int64.logand v 0xFFFFL));
     write_u16 t (Int64.add a 2L)
       (Int64.to_int (Int64.logand (Int64.shift_right_logical v 16) 0xFFFFL))
@@ -151,6 +211,7 @@ let write_u64 t a v =
     Bytes.set_int64_le p.data off v
   end
   else begin
+    check_straddle t a;
     write_u32 t a (Int64.logand v 0xFFFFFFFFL);
     write_u32 t (Int64.add a 4L) (Int64.shift_right_logical v 32)
   end
@@ -184,4 +245,5 @@ let read_string t a ~len =
 
 let touched_pages t = t.touched
 
-let mapped_bytes t = Hashtbl.length t.mapped * page_size
+let mapped_bytes t =
+  List.fold_left (fun acc (l, h) -> acc + (h - l + 1)) 0 t.mapped * page_size

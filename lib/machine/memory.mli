@@ -24,7 +24,7 @@ val page_size : int
 
 val map : t -> base:int64 -> size:int -> unit
 (** Make every page overlapping [\[base, base+size)] accessible,
-    zero-filled. Idempotent. *)
+    zero-filled. Idempotent. A zero-size map is a no-op. *)
 
 val unmap : t -> base:int64 -> size:int -> unit
 (** Revoke accessibility (contents are discarded). Only whole pages fully
@@ -47,6 +47,9 @@ val xor_u8 : t -> int64 -> int -> unit
 val write_u16 : t -> int64 -> int -> unit
 val write_u32 : t -> int64 -> int64 -> unit
 val write_u64 : t -> int64 -> int64 -> unit
+(** Multi-byte stores are atomic with respect to faults: a store that
+    straddles a page boundary validates both pages before committing any
+    byte, so a raised {!Fault} leaves memory unchanged. *)
 
 val read_size : t -> int64 -> bytes:int -> int64
 (** [read_size m a ~bytes] for [bytes] in {1,2,4,8}. *)

@@ -1,6 +1,13 @@
+(* masks are precomputed: [mask] sits on hot paths (via [u48],
+   [extract], tag-field decoding) and without flambda the shift/sub
+   would re-run at every call *)
+let masks =
+  Array.init 64 (fun w ->
+      if w = 0 then 0L else Int64.sub (Int64.shift_left 1L w) 1L)
+
 let mask w =
   if w < 0 || w > 63 then invalid_arg "Bits.mask";
-  if w = 0 then 0L else Int64.sub (Int64.shift_left 1L w) 1L
+  Array.unsafe_get masks w
 
 let extract x ~lo ~width =
   Int64.logand (Int64.shift_right_logical x lo) (mask width)
@@ -47,4 +54,4 @@ let align_down64 x a =
   if not (is_pow2 a) then invalid_arg "Bits.align_down64";
   Int64.logand x (Int64.lognot (Int64.sub (Int64.of_int a) 1L))
 
-let u48 x = Int64.logand x (mask 48)
+let u48 x = Int64.logand x 0xFFFF_FFFF_FFFFL

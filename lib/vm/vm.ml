@@ -1,5 +1,4 @@
 module Ctype = Ifp_types.Ctype
-module Layout = Ifp_types.Layout
 module Memory = Ifp_machine.Memory
 module Cache = Ifp_machine.Cache
 module Tag = Ifp_isa.Tag
@@ -12,6 +11,7 @@ module Alloc = Ifp_alloc.Alloc_intf
 module Ir = Ifp_compiler.Ir
 module Typecheck = Ifp_compiler.Typecheck
 module Instrument = Ifp_compiler.Instrument
+module R = Ifp_compiler.Resolve
 module Fault = Ifp_faultinject.Fault
 
 type variant = Baseline | Ifp | Ifp_no_promote
@@ -101,6 +101,23 @@ exception Abort of abort_reason
 (* runtime-detected ill-formed IR or guest misuse *)
 let abort msg = raise (Abort (Program_error msg))
 
+(* Slot sentinels. [unbound] marks a variable slot whose Let never
+   executed (reachable post-typecheck through a non-taken branch); it is
+   detected by physical equality, so any VI a program computes — even
+   with the same payload — is a distinct block and never mistaken for
+   it. [local_unset] marks an undeclared stack-local slot; real local
+   addresses are positive and below 2^48. *)
+let unbound : value = VI 0x756E626F756E64L
+let local_unset = Int64.min_int
+
+(* shared immutable results for the hot paths; values are never mutated
+   so sharing is invisible *)
+let vi_zero = VI 0L
+let vi_one = VI 1L
+let null_ptr = VP (0L, Bounds.No_bounds)
+
+let vi_bool b = if b then vi_one else vi_zero
+
 type gobj = {
   gaddr : int64;
   gsize : int;
@@ -108,28 +125,34 @@ type gobj = {
   mutable gbounds : Bounds.t;
 }
 
-type func_meta = { has_calls : bool; ptr_regs : int }
-
+(* Frames are flat slot arrays: variable slots hold values directly,
+   stack-local slots hold the decl-time address/size/type-id and the
+   registration-tagged pointer. All indices were assigned by
+   {!Ifp_compiler.Resolve}, so in-bounds by construction. *)
 type frame = {
-  vars : (string, value ref) Hashtbl.t;
-  locals : (string, int64 * Ctype.t * int64 ref) Hashtbl.t;
-      (* base addr, type, tagged pointer (mutable: set by registration) *)
+  vars : value array;
+  local_addr : int64 array;  (* local_unset until the Decl_local runs *)
+  local_tagged : int64 array;
+  local_size : int array;
+  local_tyid : int array;
   instrumented : bool;
+  rf : R.func;  (* slot -> name tables for diagnostics *)
 }
 
 type state = {
   cfg : config;
-  prog : Ir.program;
+  rp : R.program;
   tenv : Ctype.tenv;
   mem : Memory.t;
   cache : Cache.t;
   meta : Meta.t option;
   allocator : Alloc.t;
   c : Counters.t;
-  funcs : (string, Ir.func) Hashtbl.t;
-  fmeta : (string, func_meta) Hashtbl.t;
-  globals : (string, gobj) Hashtbl.t;
-  layouts : (Ctype.t, Layout.t) Hashtbl.t;
+  globals : gobj array;  (* parallel to rp.globals *)
+  layout_ptrs : int64 array;
+      (* per-run interned-layout cache indexed by R type id; -1 = unset.
+         Meta.intern_layout is idempotent per Meta instance, so caching
+         its result is observationally transparent. *)
   inj : Fault.t option;
   mutable sp : int64;
   stack_limit : int64;
@@ -140,11 +163,13 @@ type state = {
 
 let ifp_mode st = st.cfg.variant <> Baseline
 
-let trace st ev =
-  if st.trace_left > 0 then begin
-    st.trace_left <- st.trace_left - 1;
-    st.trace <- ev st :: st.trace
-  end
+(* Call sites guard on [trace_left] before building the event so the
+   common tracing-off run allocates nothing. *)
+let trace_add st ev =
+  st.trace_left <- st.trace_left - 1;
+  st.trace <- ev :: st.trace
+
+let trace st ev = if st.trace_left > 0 then trace_add st (ev st)
 
 (* ---- cost charging ------------------------------------------------ *)
 
@@ -206,13 +231,17 @@ let sext v bytes =
     let shift = 64 - (n * 8) in
     Int64.shift_right (Int64.shift_left v shift) shift
 
-let layout_of st ty =
-  match Hashtbl.find_opt st.layouts ty with
-  | Some l -> l
-  | None ->
-    let l = Layout.build st.tenv ty in
-    Hashtbl.replace st.layouts ty l;
-    l
+(* Per-run layout pointer for a resolve-assigned type id: intern on
+   first use, then serve from the flat cache. *)
+let layout_ptr_of st tyid =
+  let p = st.layout_ptrs.(tyid) in
+  if not (Int64.equal p (-1L)) then p
+  else begin
+    let meta = match st.meta with Some m -> m | None -> assert false in
+    let p = Meta.intern_layout meta st.tenv st.rp.types.(tyid) in
+    st.layout_ptrs.(tyid) <- p;
+    p
+  end
 
 (* ---- memory access with protection semantics ---------------------- *)
 
@@ -235,117 +264,44 @@ let injected_bounds st w b ~size =
   | None -> b
   | Some inj -> Fault.on_access inj ~addr:(Tag.addr w) ~size ~bounds:b
 
-let do_load st frame ty addrv =
+let do_load st frame cls bytes addrv =
   let w, b = as_ptr addrv in
-  let bytes = Ctype.sizeof st.tenv ty in
   let b = injected_bounds st w b ~size:bytes in
   checked_access st frame w b ~size:bytes ~is_store:false;
   let a = Tag.addr w in
   charge_load st a bytes;
   match Memory.read_size st.mem a ~bytes with
   | raw -> (
-    match ty with
-    | Ctype.Ptr _ -> VP (raw, Bounds.no_bounds)
-    | Ctype.F64 -> VF (Int64.float_of_bits raw)
-    | _ -> VI (sext raw bytes))
+    match cls with
+    | R.Cls_ptr -> VP (raw, Bounds.no_bounds)
+    | R.Cls_f64 -> VF (Int64.float_of_bits raw)
+    | R.Cls_int -> VI (sext raw bytes))
   | exception Memory.Fault (_, fa) -> Trap.raise_trap (Trap.Memory_fault fa)
 
-let do_store st frame ty addrv v =
+(* raw bits a value stores as, under a scalar class. For pointer slots
+   the demote path applies: the tagged word goes to memory, the bounds
+   register is dropped, ifpextract refreshes poison bits. *)
+let store_raw st frame cls v =
+  match (cls, v) with
+  | R.Cls_f64, _ -> Int64.bits_of_float (as_float v)
+  | R.Cls_ptr, VP (pw, pb) ->
+    if ifp_mode st && frame.instrumented && pb <> Bounds.No_bounds then begin
+      charge_ifp st Insn.Ifpextract 1;
+      Insn.ifpextract pw ~bounds:pb
+    end
+    else pw
+  | _, v -> as_int v
+
+let do_store st frame cls bytes addrv v =
   let w, b = as_ptr addrv in
-  let bytes = Ctype.sizeof st.tenv ty in
   let b = injected_bounds st w b ~size:bytes in
   checked_access st frame w b ~size:bytes ~is_store:true;
   let a = Tag.addr w in
-  let raw =
-    match (ty, v) with
-    | Ctype.F64, _ -> Int64.bits_of_float (as_float v)
-    | Ctype.Ptr _, VP (pw, pb) ->
-      (* demote: the pointer value (tag included) goes to memory; the
-         bounds register is dropped. ifpextract refreshes poison bits. *)
-      if ifp_mode st && frame.instrumented && pb <> Bounds.No_bounds then begin
-        charge_ifp st Insn.Ifpextract 1;
-        Insn.ifpextract pw ~bounds:pb
-      end
-      else pw
-    | _, v -> as_int v
-  in
+  let raw = store_raw st frame cls v in
   charge_store st a bytes;
   match Memory.write_size st.mem a ~bytes raw with
   | () -> ()
   | exception Memory.Fault (_, fa) -> Trap.raise_trap (Trap.Memory_fault fa)
-
-(* ---- gep ----------------------------------------------------------- *)
-
-(* Memoised subobject-index delta for a gep site: the static constant the
-   compiler would bake into the ifpidx immediate. *)
-let gep_idx_delta st pointee steps =
-  match Typecheck.layout_path st.tenv pointee steps with
-  | [] -> 0
-  | path -> (
-    let layout = layout_of st pointee in
-    match Layout.index_of_path layout path with Some d -> d | None -> 0)
-
-let eval_gep st frame pointee basev steps ~eval =
-  let w, b = as_ptr basev in
-  let addr0 = Tag.addr w in
-  let dyn = ref 0 in
-  let rec walk ty addr nb leading = function
-    | [] -> (addr, nb)
-    | Ir.S_field f :: rest ->
-      let s = match ty with Ctype.Struct s -> s | _ -> abort "gep: bad field" in
-      let off, fty = Ctype.field_offset st.tenv s f in
-      let addr' = Int64.add addr (Int64.of_int off) in
-      let nb' =
-        Bounds.make ~lo:addr' ~hi:(Int64.add addr' (Int64.of_int (Ctype.sizeof st.tenv fty)))
-      in
-      walk fty addr' (Some nb') false rest
-    | Ir.S_index ie :: rest ->
-      let k = as_int (eval ie) in
-      incr dyn;
-      (match ty with
-      | Ctype.Array (elt, _) ->
-        let esz = Int64.of_int (Ctype.sizeof st.tenv elt) in
-        walk elt (Int64.add addr (Int64.mul k esz)) nb false rest
-      | _ when leading ->
-        let esz = Int64.of_int (Ctype.sizeof st.tenv ty) in
-        walk ty (Int64.add addr (Int64.mul k esz)) nb false rest
-      | _ -> abort "gep: index into non-array")
-  in
-  let final_addr, nb = walk pointee addr0 None true steps in
-  let delta = Int64.sub final_addr addr0 in
-  if ifp_mode st && frame.instrumented then begin
-    let out_bounds =
-      match b with
-      | Bounds.No_bounds -> Bounds.no_bounds
-      | _ -> ( match nb with Some x -> x | None -> b)
-    in
-    (* the muls for dynamic indexes stay ordinary ALU work; the final add
-       becomes ifpadd (address + tag update) *)
-    if !dyn > 0 then begin
-      st.c.base_instrs <- st.c.base_instrs + !dyn;
-      cycles st (!dyn * Cost.mul)
-    end;
-    charge_ifp st Insn.Ifpadd 1;
-    let w' = Insn.ifpadd w ~delta ~bounds:out_bounds in
-    let idxd = gep_idx_delta st pointee steps in
-    let w' =
-      if idxd > 0 then begin
-        charge_ifp st Insn.Ifpidx 1;
-        Insn.ifpidx w' idxd
-      end
-      else w'
-    in
-    if not (Bounds.equal out_bounds b) then charge_ifp st Insn.Ifpbnd 1;
-    VP (w', out_bounds)
-  end
-  else begin
-    if !dyn > 0 then begin
-      st.c.base_instrs <- st.c.base_instrs + (!dyn * 2);
-      cycles st (!dyn * (Cost.mul + Cost.alu))
-    end
-    else base st 0;
-    VP (Int64.add w delta, Bounds.no_bounds)
-  end
 
 (* ---- promote -------------------------------------------------------- *)
 
@@ -372,8 +328,9 @@ let eval_promote st v =
       ((r.walk_elems * Cost.walk_per_elem)
       + (r.divisions * Cost.div)
       + (r.mac_checks * Cost.mac_check));
-    trace st (fun _ ->
-        T_promote
+    if st.trace_left > 0 then
+      trace_add st
+        (T_promote
           {
             ptr = w;
             outcome =
@@ -416,20 +373,24 @@ let eval_promote st v =
 
 (* ---- local object registration -------------------------------------- *)
 
-let register_local st frame name =
-  match Hashtbl.find_opt frame.locals name with
-  | None -> abort ("register of unknown local " ^ name)
-  | Some (addr, ty, tagged) -> (
+let register_local st frame slot =
+  let addr = frame.local_addr.(slot) in
+  if Int64.equal addr local_unset then
+    abort ("register of unknown local " ^ frame.rf.local_names.(slot))
+  else begin
     let meta = match st.meta with Some m -> m | None -> assert false in
-    let size = Ctype.sizeof st.tenv ty in
-    let layout_ptr = Meta.intern_layout meta st.tenv ty in
+    let size = frame.local_size.(slot) in
+    let layout_ptr = layout_ptr_of st frame.local_tyid.(slot) in
     let has_layout = not (Int64.equal layout_ptr 0L) in
     st.c.local_objs <- st.c.local_objs + 1;
     if has_layout then st.c.local_objs_layout <- st.c.local_objs_layout + 1;
-    trace st (fun _ -> T_register { what = "local:" ^ name; ptr = addr; size });
+    if st.trace_left > 0 then
+      trace_add st
+        (T_register
+           { what = "local:" ^ frame.rf.local_names.(slot); ptr = addr; size });
     if Meta.Local_offset.fits ~size then begin
       let p = Meta.Local_offset.register meta ~base:addr ~size ~layout_ptr in
-      tagged := p;
+      frame.local_tagged.(slot) <- p;
       base st 6;
       charge_ifp st Insn.Ifpmac 1;
       charge_ifp st Insn.Ifpmd 1;
@@ -438,20 +399,22 @@ let register_local st frame name =
     else
       match Meta.Global_table.register meta ~base:addr ~size ~layout_ptr with
       | Some p ->
-        tagged := p;
+        frame.local_tagged.(slot) <- p;
         base st 50;
         charge_ifp st Insn.Ifpmd 1
       | None ->
-        tagged := addr;
-        base st 20)
+        frame.local_tagged.(slot) <- addr;
+        base st 20
+  end
 
-let deregister_local st frame name =
-  match Hashtbl.find_opt frame.locals name with
-  | None -> ()
-  | Some (_, _, tagged) -> (
+let deregister_local st frame slot =
+  if Int64.equal frame.local_addr.(slot) local_unset then ()
+  else begin
     let meta = match st.meta with Some m -> m | None -> assert false in
-    let p = !tagged in
-    trace st (fun _ -> T_deregister { what = "local:" ^ name; ptr = p });
+    let p = frame.local_tagged.(slot) in
+    if st.trace_left > 0 then
+      trace_add st
+        (T_deregister { what = "local:" ^ frame.rf.local_names.(slot); ptr = p });
     match Tag.scheme p with
     | Tag.Local_offset ->
       Meta.Local_offset.deregister meta p;
@@ -460,97 +423,259 @@ let deregister_local st frame name =
     | Tag.Global_table ->
       Meta.Global_table.deregister meta p;
       base st 30
-    | Tag.Legacy | Tag.Subheap -> ())
+    | Tag.Legacy | Tag.Subheap -> ()
+  end
 
 (* ---- the interpreter ------------------------------------------------ *)
 
-let rec eval st frame (e : Ir.expr) : value =
+(* Shared zero-length arrays: a function with no stack locals (the
+   common case) gets frames whose local tables are these never-written
+   empties instead of four fresh allocations per call. *)
+let empty_i64 : int64 array = [||]
+let empty_int : int array = [||]
+let empty_vals : value array = [||]
+
+let make_frame (f : R.func) =
+  if f.n_locals = 0 then
+    {
+      vars = (if f.n_vars = 0 then empty_vals else Array.make f.n_vars unbound);
+      local_addr = empty_i64;
+      local_tagged = empty_i64;
+      local_size = empty_int;
+      local_tyid = empty_int;
+      instrumented = f.instrumented;
+      rf = f;
+    }
+  else
+    {
+      vars = Array.make f.n_vars unbound;
+      local_addr = Array.make f.n_locals local_unset;
+      local_tagged = Array.make f.n_locals 0L;
+      local_size = Array.make f.n_locals 0;
+      local_tyid = Array.make f.n_locals 0;
+      instrumented = f.instrumented;
+      rf = f;
+    }
+
+let rec eval st frame (e : R.expr) : value =
   match e with
-  | Int x -> VI x
-  | Float f -> VF f
-  | Var name -> (
-    match Hashtbl.find_opt frame.vars name with
-    | Some r -> !r
-    | None -> abort ("unbound variable " ^ name))
-  | Binop (Ir.LAnd, a, b) ->
+  | R.Int x -> VI x
+  | R.Float f -> VF f
+  | R.Var i ->
+    (* in-bounds by resolution *)
+    let v = Array.unsafe_get frame.vars i in
+    if v == unbound then abort ("unbound variable " ^ frame.rf.var_names.(i))
+    else v
+  | R.Binop (Ir.LAnd, a, b) ->
     base st 1;
-    if not (truth (eval st frame a)) then VI 0L
-    else VI (if truth (eval st frame b) then 1L else 0L)
-  | Binop (Ir.LOr, a, b) ->
+    if not (truth (eval st frame a)) then vi_zero
+    else vi_bool (truth (eval st frame b))
+  | R.Binop (Ir.LOr, a, b) ->
     base st 1;
-    if truth (eval st frame a) then VI 1L
-    else VI (if truth (eval st frame b) then 1L else 0L)
-  | Binop (op, a, b) -> eval_binop st op (eval st frame a) (eval st frame b)
-  | Unop (op, a) -> eval_unop st op (eval st frame a)
-  | Load (ty, addr) -> do_load st frame ty (eval st frame addr)
-  | Addr_local name -> (
+    if truth (eval st frame a) then vi_one
+    else vi_bool (truth (eval st frame b))
+  | R.Binop (op, a, b) -> eval_binop st op (eval st frame a) (eval st frame b)
+  | R.Unop (op, a) -> eval_unop st op (eval st frame a)
+  | R.Load { cls; bytes; addr } -> do_load st frame cls bytes (eval st frame addr)
+  | R.Addr_local slot ->
     base st 1;
-    match Hashtbl.find_opt frame.locals name with
-    | None -> abort ("address of unknown local " ^ name)
-    | Some (addr, ty, tagged) ->
-      let size = Ctype.sizeof st.tenv ty in
-      if ifp_mode st && frame.instrumented then begin
-        charge_ifp st Insn.Ifpbnd 1;
-        VP (!tagged, Bounds.of_base_size addr size)
-      end
-      else VP (addr, Bounds.no_bounds))
-  | Addr_global g -> (
-    match Hashtbl.find_opt st.globals g with
-    | None -> abort ("unknown global " ^ g)
-    | Some go ->
-      if ifp_mode st && frame.instrumented then begin
-        (* the "getptr" helper call of §4.2.2 *)
-        base st 5;
-        charge_ifp st Insn.Ifpbnd 1;
-        VP (go.gtagged, go.gbounds)
-      end
-      else begin
-        base st 1;
-        VP (go.gaddr, Bounds.no_bounds)
-      end)
-  | Load_global g -> (
-    match Hashtbl.find_opt st.globals g with
-    | None -> abort ("unknown global " ^ g)
-    | Some go ->
-      (* by-name access: untagged, uninstrumented *)
-      let gty =
-        match Ir.find_global st.prog g with
-        | Some { gty; _ } -> gty
-        | None -> assert false
-      in
-      let bytes = Ctype.sizeof st.tenv gty in
-      charge_load st go.gaddr bytes;
-      let raw = Memory.read_size st.mem go.gaddr ~bytes in
-      (match gty with
-      | Ctype.Ptr _ -> VP (raw, Bounds.no_bounds)
-      | Ctype.F64 -> VF (Int64.float_of_bits raw)
-      | _ -> VI (sext raw bytes)))
-  | Gep (pointee, bse, steps) ->
-    eval_gep st frame pointee (eval st frame bse) steps ~eval:(eval st frame)
-  | Call (fn, args) -> eval_call st frame fn args
-  | Malloc (ty, n) ->
-    let count = Int64.to_int (as_int (eval st frame n)) in
-    do_malloc st frame ~size:(max 1 count * Ctype.sizeof st.tenv ty) ~cty:(Some ty)
-  | Malloc_bytes n ->
-    let bytes = Int64.to_int (as_int (eval st frame n)) in
-    do_malloc st frame ~size:(max 1 bytes) ~cty:None
-  | Malloc_sized (ty, n) ->
-    let bytes = Int64.to_int (as_int (eval st frame n)) in
-    do_malloc st frame ~size:(max 1 bytes) ~cty:(Some ty)
-  | Cast (ty, a) -> (
-    let v = eval st frame a in
-    match (ty, v) with
-    | Ctype.Ptr _, VI w -> VP (w, Bounds.no_bounds)
-    | Ctype.Ptr _, (VP _ as p) -> p
-    | Ctype.Ptr _, VF _ -> abort "float to pointer cast"
-    | Ctype.F64, v ->
+    let addr = frame.local_addr.(slot) in
+    if Int64.equal addr local_unset then
+      abort ("address of unknown local " ^ frame.rf.local_names.(slot))
+    else if ifp_mode st && frame.instrumented then begin
+      charge_ifp st Insn.Ifpbnd 1;
+      VP (frame.local_tagged.(slot), Bounds.of_base_size addr frame.local_size.(slot))
+    end
+    else VP (addr, Bounds.no_bounds)
+  | R.Addr_global g ->
+    let go = st.globals.(g) in
+    if ifp_mode st && frame.instrumented then begin
+      (* the "getptr" helper call of §4.2.2 *)
+      base st 5;
+      charge_ifp st Insn.Ifpbnd 1;
+      VP (go.gtagged, go.gbounds)
+    end
+    else begin
+      base st 1;
+      VP (go.gaddr, Bounds.no_bounds)
+    end
+  | R.Load_global { g; cls; bytes } -> (
+    (* by-name access: untagged, uninstrumented *)
+    let go = st.globals.(g) in
+    charge_load st go.gaddr bytes;
+    let raw = Memory.read_size st.mem go.gaddr ~bytes in
+    match cls with
+    | R.Cls_ptr -> VP (raw, Bounds.no_bounds)
+    | R.Cls_f64 -> VF (Int64.float_of_bits raw)
+    | R.Cls_int -> VI (sext raw bytes))
+  | R.Gep { base; steps; idx_delta } ->
+    eval_gep st frame (eval st frame base) steps idx_delta
+  | R.Call { target; args; n_args } -> eval_call st frame target args n_args
+  | R.Malloc { scale; count; cty; layout_multi } ->
+    let n = Int64.to_int (eval_i st frame count) in
+    do_malloc st frame ~size:(max 1 n * scale) ~cty ~layout_multi
+  | R.Cast { kind; e } -> (
+    let v = eval st frame e in
+    match kind with
+    | R.Cast_ptr -> (
+      match v with
+      | VI w -> if Int64.equal w 0L then null_ptr else VP (w, Bounds.no_bounds)
+      | VP _ -> v
+      | VF _ -> abort "float to pointer cast")
+    | R.Cast_f64 ->
       base st 1;
       VF (as_float v)
-    | _, VF f ->
+    | R.Cast_int n -> (
+      match v with
+      | VF f ->
+        base st 1;
+        VI (Int64.of_float f)
+      | v -> VI (sext (as_int v) n)))
+  | R.Ifp_promote e -> eval_promote st (eval st frame e)
+  | R.Bad msg -> abort msg
+
+(* Unboxed integer evaluation: [eval_i st frame e] computes
+   [as_int (eval st frame e)] without materialising the intermediate
+   value, for the integer contexts (conditions, integer arithmetic, gep
+   indexes, malloc counts, integer stores) where the hot path would
+   otherwise allocate per node. Charges and failure order match the
+   generic path exactly — including the right-to-left operand
+   evaluation the generic [Binop] application performs. *)
+and eval_i st frame (e : R.expr) : int64 =
+  match e with
+  | R.Int x -> x
+  | R.Var i ->
+    let v = Array.unsafe_get frame.vars i in
+    if v == unbound then abort ("unbound variable " ^ frame.rf.var_names.(i))
+    else as_int v
+  | R.Binop (Ir.LAnd, a, b) ->
+    base st 1;
+    if Int64.equal (eval_i st frame a) 0L then 0L
+    else if Int64.equal (eval_i st frame b) 0L then 0L
+    else 1L
+  | R.Binop (Ir.LOr, a, b) ->
+    base st 1;
+    if not (Int64.equal (eval_i st frame a) 0L) then 1L
+    else if Int64.equal (eval_i st frame b) 0L then 0L
+    else 1L
+  | R.Binop
+      ( (( Ir.Add | Ir.Sub | Ir.Mul | Ir.Div | Ir.Rem | Ir.BAnd | Ir.BOr
+         | Ir.BXor | Ir.Shl | Ir.Shr ) as op),
+        a,
+        b ) -> (
+    let y = eval_i st frame b in
+    let x = eval_i st frame a in
+    match op with
+    | Ir.Add ->
       base st 1;
-      VI (Int64.of_float f)
-    | _, v -> VI (sext (as_int v) (max 1 (Ctype.sizeof st.tenv ty))))
-  | Ifp_promote e -> eval_promote st (eval st frame e)
+      Int64.add x y
+    | Ir.Sub ->
+      base st 1;
+      Int64.sub x y
+    | Ir.Mul ->
+      cycles st (Cost.mul - 1);
+      base st 1;
+      Int64.mul x y
+    | Ir.Div ->
+      cycles st (Cost.div - 1);
+      if Int64.equal y 0L then abort "division by zero";
+      base st 1;
+      Int64.div x y
+    | Ir.Rem ->
+      cycles st (Cost.div - 1);
+      if Int64.equal y 0L then abort "remainder by zero";
+      base st 1;
+      Int64.rem x y
+    | Ir.BAnd ->
+      base st 1;
+      Int64.logand x y
+    | Ir.BOr ->
+      base st 1;
+      Int64.logor x y
+    | Ir.BXor ->
+      base st 1;
+      Int64.logxor x y
+    | Ir.Shl ->
+      base st 1;
+      Int64.shift_left x (Int64.to_int y land 63)
+    | Ir.Shr ->
+      base st 1;
+      Int64.shift_right_logical x (Int64.to_int y land 63)
+    | _ -> assert false)
+  | R.Unop (((Ir.Neg | Ir.BNot | Ir.LNot) as op), a) -> (
+    let x = eval_i st frame a in
+    base st 1;
+    match op with
+    | Ir.Neg -> Int64.neg x
+    | Ir.BNot -> Int64.lognot x
+    | Ir.LNot -> if Int64.equal x 0L then 1L else 0L
+    | _ -> assert false)
+  | R.Load { cls = R.Cls_int; bytes; addr } ->
+    do_load_int st frame bytes (eval st frame addr)
+  | R.Binop (((Ir.Eq | Ir.Ne | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge) as op), a, b) ->
+    (* operands may be pointers; evaluate generically, compare unboxed *)
+    let vb = eval st frame b in
+    let va = eval st frame a in
+    base st 1;
+    let c =
+      match (va, vb) with
+      | VP (wa, _), VP (wb, _) -> Int64.compare (Tag.addr wa) (Tag.addr wb)
+      | _ -> Int64.compare (as_int va) (as_int vb)
+    in
+    (match op with
+    | Ir.Eq -> if c = 0 then 1L else 0L
+    | Ir.Ne -> if c <> 0 then 1L else 0L
+    | Ir.Lt -> if c < 0 then 1L else 0L
+    | Ir.Le -> if c <= 0 then 1L else 0L
+    | Ir.Gt -> if c > 0 then 1L else 0L
+    | Ir.Ge -> if c >= 0 then 1L else 0L
+    | _ -> assert false)
+  | R.Binop (((Ir.FEq | Ir.FLt | Ir.FLe) as op), a, b) ->
+    let vb = eval st frame b in
+    let va = eval st frame a in
+    base st 1;
+    cycles st (Cost.fp - 1);
+    let y = as_float vb in
+    let x = as_float va in
+    (match op with
+    | Ir.FEq -> if x = y then 1L else 0L
+    | Ir.FLt -> if x < y then 1L else 0L
+    | Ir.FLe -> if x <= y then 1L else 0L
+    | _ -> assert false)
+  | e -> as_int (eval st frame e)
+
+and do_load_int st frame bytes addrv =
+  let w, b =
+    match addrv with
+    | VP (w, b) -> (w, b)
+    | VI w -> (w, Bounds.no_bounds)
+    | VF _ -> abort "float used as pointer"
+  in
+  let b = injected_bounds st w b ~size:bytes in
+  checked_access st frame w b ~size:bytes ~is_store:false;
+  let a = Tag.addr w in
+  charge_load st a bytes;
+  match Memory.read_size st.mem a ~bytes with
+  | raw -> sext raw bytes
+  | exception Memory.Fault (_, fa) -> Trap.raise_trap (Trap.Memory_fault fa)
+
+(* Integer store with the raw word already computed: what [do_store]
+   does for [Cls_int] (whose raw computation has no observable
+   effects), minus the value round-trip. *)
+and do_store_int st frame bytes addrv raw =
+  let w, b =
+    match addrv with
+    | VP (w, b) -> (w, b)
+    | VI w -> (w, Bounds.no_bounds)
+    | VF _ -> abort "float used as pointer"
+  in
+  let b = injected_bounds st w b ~size:bytes in
+  checked_access st frame w b ~size:bytes ~is_store:true;
+  let a = Tag.addr w in
+  charge_store st a bytes;
+  match Memory.write_size st.mem a ~bytes raw with
+  | () -> ()
+  | exception Memory.Fault (_, fa) -> Trap.raise_trap (Trap.Memory_fault fa)
 
 and eval_binop st op a b =
   let int_op f =
@@ -564,7 +689,7 @@ and eval_binop st op a b =
       | VP (wa, _), VP (wb, _) -> (Tag.addr wa, Tag.addr wb)
       | _ -> (as_int a, as_int b)
     in
-    VI (if f (Int64.compare x y) 0 then 1L else 0L)
+    vi_bool (f (Int64.compare x y) 0)
   in
   let fop f =
     base st 1;
@@ -574,7 +699,7 @@ and eval_binop st op a b =
   let fcmp f =
     base st 1;
     cycles st (Cost.fp - 1);
-    VI (if f (as_float a) (as_float b) then 1L else 0L)
+    vi_bool (f (as_float a) (as_float b))
   in
   match op with
   | Ir.Add -> int_op Int64.add
@@ -617,7 +742,7 @@ and eval_unop st op a =
   match op with
   | Ir.Neg -> VI (Int64.neg (as_int a))
   | Ir.BNot -> VI (Int64.lognot (as_int a))
-  | Ir.LNot -> VI (if Int64.equal (as_int a) 0L then 1L else 0L)
+  | Ir.LNot -> vi_bool (Int64.equal (as_int a) 0L)
   | Ir.FNeg ->
     cycles st (Cost.fp - 1);
     VF (-.as_float a)
@@ -628,13 +753,87 @@ and eval_unop st op a =
     cycles st (Cost.fp - 1);
     VI (Int64.of_float (as_float a))
 
-and do_malloc st frame ~size ~cty =
+and eval_gep st frame basev steps idx_delta =
+  let w =
+    match basev with
+    | VP (w, _) | VI w -> w
+    | VF _ -> abort "float used as pointer"
+  in
+  let b = match basev with VP (_, b) -> b | _ -> Bounds.no_bounds in
+  let addr0 = Tag.addr w in
+  (* resolve folded static field runs, so the common shapes are a single
+     step and need neither mutable walk state nor a loop *)
+  match steps with
+  | [] -> gep_finish st frame w b idx_delta ~delta:0L ~dyn:0 ~nb_lo:0L ~nb_hi:0L ~have_nb:false
+  | [ R.Rs_field { off; fsize } ] ->
+    let lo = Int64.add addr0 (Int64.of_int off) in
+    gep_finish st frame w b idx_delta ~delta:(Int64.of_int off) ~dyn:0
+      ~nb_lo:lo ~nb_hi:(Int64.add lo (Int64.of_int fsize)) ~have_nb:true
+  | [ R.Rs_index { esize; idx } ] ->
+    let k = eval_i st frame idx in
+    gep_finish st frame w b idx_delta ~delta:(Int64.mul k (Int64.of_int esize))
+      ~dyn:1 ~nb_lo:0L ~nb_hi:0L ~have_nb:false
+  | steps ->
+    let addr, nb_lo, nb_hi, have_nb, dyn =
+      gep_walk st frame steps addr0 0L 0L false 0
+    in
+    gep_finish st frame w b idx_delta ~delta:(Int64.sub addr addr0) ~dyn
+      ~nb_lo ~nb_hi ~have_nb
+
+and gep_walk st frame steps addr nb_lo nb_hi have_nb dyn =
+  match steps with
+  | [] -> (addr, nb_lo, nb_hi, have_nb, dyn)
+  | R.Rs_field { off; fsize } :: rest ->
+    (* narrowed bounds of the last field step *)
+    let a' = Int64.add addr (Int64.of_int off) in
+    gep_walk st frame rest a' a' (Int64.add a' (Int64.of_int fsize)) true dyn
+  | R.Rs_index { esize; idx } :: rest ->
+    let k = eval_i st frame idx in
+    gep_walk st frame rest
+      (Int64.add addr (Int64.mul k (Int64.of_int esize)))
+      nb_lo nb_hi have_nb (dyn + 1)
+  | R.Rs_bad msg :: _ -> abort msg
+
+and gep_finish st frame w b idx_delta ~delta ~dyn ~nb_lo ~nb_hi ~have_nb =
+  if ifp_mode st && frame.instrumented then begin
+    let out_bounds =
+      match b with
+      | Bounds.No_bounds -> Bounds.no_bounds
+      | _ -> if have_nb then Bounds.make ~lo:nb_lo ~hi:nb_hi else b
+    in
+    (* the muls for dynamic indexes stay ordinary ALU work; the final add
+       becomes ifpadd (address + tag update) *)
+    if dyn > 0 then begin
+      st.c.base_instrs <- st.c.base_instrs + dyn;
+      cycles st (dyn * Cost.mul)
+    end;
+    charge_ifp st Insn.Ifpadd 1;
+    let w' = Insn.ifpadd w ~delta ~bounds:out_bounds in
+    let w' =
+      if idx_delta > 0 then begin
+        charge_ifp st Insn.Ifpidx 1;
+        Insn.ifpidx w' idx_delta
+      end
+      else w'
+    in
+    if not (Bounds.equal out_bounds b) then charge_ifp st Insn.Ifpbnd 1;
+    VP (w', out_bounds)
+  end
+  else begin
+    if dyn > 0 then begin
+      st.c.base_instrs <- st.c.base_instrs + (dyn * 2);
+      cycles st (dyn * (Cost.mul + Cost.alu))
+    end;
+    VP (Int64.add w delta, Bounds.no_bounds)
+  end
+
+and do_malloc st frame ~size ~cty ~layout_multi =
   let cty_for_alloc = if ifp_mode st && frame.instrumented then cty else None in
   let ptr, c = st.allocator.malloc ~size ~cty:cty_for_alloc in
   charge_alloc_cost st c;
   st.c.heap_objs <- st.c.heap_objs + 1;
   (match cty_for_alloc with
-  | Some ty when Layout.length (layout_of st ty) > 1 ->
+  | Some _ when layout_multi ->
     st.c.heap_objs_layout <- st.c.heap_objs_layout + 1
   | Some _ | None -> ());
   if ifp_mode st && frame.instrumented then begin
@@ -643,80 +842,108 @@ and do_malloc st frame ~size ~cty =
   end
   else VP (ptr, Bounds.no_bounds)
 
-and eval_call st frame fn args =
-  let argv = List.map (eval st frame) args in
-  match fn with
-  | "__print_i64" ->
-    base st 3;
-    (match argv with
-    | [ v ] -> st.out <- Int64.to_string (as_int v) :: st.out
-    | _ -> ());
-    VI 0L
-  | "__print_f64" ->
-    base st 3;
-    (match argv with
-    | [ v ] -> st.out <- Printf.sprintf "%.6g" (as_float v) :: st.out
-    | _ -> ());
-    VI 0L
-  | "__abort" -> abort "program called __abort"
-  | _ -> (
-    match Hashtbl.find_opt st.funcs fn with
-    | None -> abort ("call to unknown function " ^ fn)
-    | Some f ->
-      budget_check st;
-      (* call + ret + prologue/epilogue (ra/s-reg save, sp adjust) *)
-      base st (6 + List.length args);
-      cycles st (Cost.call - 1);
-      let fm = Hashtbl.find st.fmeta fn in
-      let spills =
-        if ifp_mode st && f.instrumented && fm.has_calls then min 4 fm.ptr_regs
-        else 0
-      in
-      if spills > 0 then charge_ifp st Insn.Stbnd spills;
-      let callee_frame =
-        {
-          vars = Hashtbl.create 16;
-          locals = Hashtbl.create 4;
-          instrumented = f.instrumented;
-        }
-      in
-      (* extended calling convention: bounds travel with pointer args,
-         unless the callee is legacy code *)
+and eval_call st frame target args n_args =
+  match target with
+  | R.C_func i when List.compare_lengths (st.rp.funcs.(i)).R.params args = 0 ->
+    (* arity matches: evaluate arguments straight into the callee's
+       slots. Binds are unobservable between argument evaluations, so
+       this matches the reference's evaluate-all-then-bind order; the
+       arity-mismatch case keeps the reference path (and its
+       [Invalid_argument] after evaluating every argument). *)
+    let f = st.rp.funcs.(i) in
+    let callee_frame = make_frame f in
+    let rec bind ps es =
+      match (ps, es) with
+      | [], [] -> ()
+      | p :: ps, e :: es ->
+        let v = eval st frame e in
+        (* extended calling convention: bounds travel with pointer args,
+           unless the callee is legacy code *)
+        let v = if f.instrumented then v else strip_bounds v in
+        Array.unsafe_set callee_frame.vars p v;
+        bind ps es
+      | _ -> assert false
+    in
+    bind f.params args;
+    let spills = call_prelude st f n_args in
+    call_run st f callee_frame spills
+  | target -> (
+    let argv = List.map (eval st frame) args in
+    match target with
+    | R.C_print_i64 ->
+      base st 3;
+      (match argv with
+      | [ v ] -> st.out <- Int64.to_string (as_int v) :: st.out
+      | _ -> ());
+      VI 0L
+    | R.C_print_f64 ->
+      base st 3;
+      (match argv with
+      | [ v ] -> st.out <- Printf.sprintf "%.6g" (as_float v) :: st.out
+      | _ -> ());
+      VI 0L
+    | R.C_abort -> abort "program called __abort"
+    | R.C_unknown fn -> abort ("call to unknown function " ^ fn)
+    | R.C_func i ->
+      let f = st.rp.funcs.(i) in
+      let spills = call_prelude st f n_args in
+      let callee_frame = make_frame f in
       List.iter2
-        (fun (pname, _) v ->
+        (fun slot v ->
           let v = if f.instrumented then v else strip_bounds v in
-          Hashtbl.replace callee_frame.vars pname (ref v))
+          Array.unsafe_set callee_frame.vars slot v)
         f.params argv;
-      let saved_sp = st.sp in
-      let ret =
-        match List.iter (exec st callee_frame) f.body with
-        | () -> VI 0L
-        | exception Return_exc v -> v
-      in
-      st.sp <- saved_sp;
-      if spills > 0 then charge_ifp st Insn.Ldbnd spills;
-      (* implicit bounds clearing on return from legacy code (§4.1.2) *)
-      if f.instrumented then ret else strip_bounds ret)
+      call_run st f callee_frame spills)
+
+and call_prelude st (f : R.func) n_args =
+  budget_check st;
+  (* call + ret + prologue/epilogue (ra/s-reg save, sp adjust) *)
+  base st (6 + n_args);
+  cycles st (Cost.call - 1);
+  let spills =
+    if ifp_mode st && f.instrumented && f.has_calls then min 4 f.ptr_regs
+    else 0
+  in
+  if spills > 0 then charge_ifp st Insn.Stbnd spills;
+  spills
+
+and call_run st (f : R.func) callee_frame spills =
+  let saved_sp = st.sp in
+  let ret =
+    match exec_list st callee_frame f.body with
+    | () -> VI 0L
+    | exception Return_exc v -> v
+  in
+  st.sp <- saved_sp;
+  if spills > 0 then charge_ifp st Insn.Ldbnd spills;
+  (* implicit bounds clearing on return from legacy code (§4.1.2) *)
+  if f.instrumented then ret else strip_bounds ret
 
 and strip_bounds = function
   | VP (w, _) -> VP (w, Bounds.no_bounds)
   | v -> v
 
-and exec st frame (s : Ir.stmt) : unit =
+and exec st frame (s : R.stmt) : unit =
   match s with
-  | Let (name, ty, e) ->
-    let v = coerce st ty (eval st frame e) in
+  | R.Let { slot; k; e } ->
+    let v =
+      match k with
+      | R.K_i64 -> VI (eval_i st frame e)
+      | R.K_i32 -> VI (sext (eval_i st frame e) 4)
+      | R.K_i16 -> VI (sext (eval_i st frame e) 2)
+      | R.K_i8 -> VI (sext (eval_i st frame e) 1)
+      | k -> coerce k (eval st frame e)
+    in
     base st 1;
-    Hashtbl.replace frame.vars name (ref v)
-  | Assign (name, e) -> (
+    Array.unsafe_set frame.vars slot v
+  | R.Assign { slot; e } ->
     let v = eval st frame e in
     base st 1;
-    match Hashtbl.find_opt frame.vars name with
-    | Some r -> r := v
-    | None -> abort ("assign to unbound variable " ^ name))
-  | Decl_local (name, ty) ->
-    if not (Hashtbl.mem frame.locals name) then begin
-      let size = Ctype.sizeof st.tenv ty in
+    if Array.unsafe_get frame.vars slot == unbound then
+      abort ("assign to unbound variable " ^ frame.rf.var_names.(slot))
+    else Array.unsafe_set frame.vars slot v
+  | R.Decl_local { slot; size; tyid } ->
+    if Int64.equal frame.local_addr.(slot) local_unset then begin
       let footprint =
         if ifp_mode st && frame.instrumented then
           Meta.Local_offset.footprint ~size
@@ -728,131 +955,85 @@ and exec st frame (s : Ir.stmt) : unit =
       if Int64.compare addr st.stack_limit < 0 then raise (Abort Stack_overflow);
       st.sp <- addr;
       base st 1;
-      Hashtbl.replace frame.locals name (addr, ty, ref addr)
+      frame.local_addr.(slot) <- addr;
+      frame.local_tagged.(slot) <- addr;
+      frame.local_size.(slot) <- size;
+      frame.local_tyid.(slot) <- tyid
     end
-  | Store (ty, addr, v) ->
+  | R.Store { cls = R.Cls_int; bytes; addr; v } ->
+    let a = eval st frame addr in
+    let raw = eval_i st frame v in
+    do_store_int st frame bytes a raw
+  | R.Store { cls; bytes; addr; v } ->
     let a = eval st frame addr in
     let value = eval st frame v in
-    do_store st frame ty a value
-  | Store_global (g, e) -> (
+    do_store st frame cls bytes a value
+  | R.Store_global { g; cls = R.Cls_int; bytes; e } ->
+    let raw = eval_i st frame e in
+    let go = st.globals.(g) in
+    charge_store st go.gaddr bytes;
+    Memory.write_size st.mem go.gaddr ~bytes raw
+  | R.Store_global { g; cls; bytes; e } ->
     let v = eval st frame e in
-    match Hashtbl.find_opt st.globals g with
-    | None -> abort ("unknown global " ^ g)
-    | Some go ->
-      let gty =
-        match Ir.find_global st.prog g with
-        | Some { gty; _ } -> gty
-        | None -> assert false
-      in
-      let bytes = Ctype.sizeof st.tenv gty in
-      charge_store st go.gaddr bytes;
-      let raw =
-        match (gty, v) with
-        | Ctype.F64, _ -> Int64.bits_of_float (as_float v)
-        | Ctype.Ptr _, VP (pw, pb) ->
-          if ifp_mode st && frame.instrumented && pb <> Bounds.No_bounds then begin
-            charge_ifp st Insn.Ifpextract 1;
-            Insn.ifpextract pw ~bounds:pb
-          end
-          else pw
-        | _, v -> as_int v
-      in
-      Memory.write_size st.mem go.gaddr ~bytes raw)
-  | If (c, t, e) ->
+    let go = st.globals.(g) in
+    charge_store st go.gaddr bytes;
+    let raw = store_raw st frame cls v in
+    Memory.write_size st.mem go.gaddr ~bytes raw
+  | R.If (c, t, e) ->
     base st 2 (* compare + branch *);
-    if truth (eval st frame c) then List.iter (exec st frame) t
-    else List.iter (exec st frame) e
-  | While (c, body) ->
+    if not (Int64.equal (eval_i st frame c) 0L) then exec_list st frame t
+    else exec_list st frame e
+  | R.While (c, body) ->
     let rec loop () =
       budget_check st;
       base st 2 (* compare + branch *);
-      if truth (eval st frame c) then begin
-        (match List.iter (exec st frame) body with
+      if not (Int64.equal (eval_i st frame c) 0L) then begin
+        (match exec_list st frame body with
         | () -> ()
         | exception Continue_exc -> ());
         loop ()
       end
     in
     (try loop () with Break_exc -> ())
-  | Return None -> raise (Return_exc (VI 0L))
-  | Return (Some e) -> raise (Return_exc (eval st frame e))
-  | Expr e -> ignore (eval st frame e)
-  | Free e ->
+  | R.Return None -> raise (Return_exc (VI 0L))
+  | R.Return (Some e) -> raise (Return_exc (eval st frame e))
+  | R.Expr e -> ignore (eval st frame e)
+  | R.Free e ->
     let w, _ = as_ptr (eval st frame e) in
     let c = st.allocator.free w in
     charge_alloc_cost st c
-  | Break -> raise Break_exc
-  | Continue -> raise Continue_exc
-  | Ifp_register_local name -> register_local st frame name
-  | Ifp_deregister_local name -> deregister_local st frame name
+  | R.Break -> raise Break_exc
+  | R.Continue -> raise Continue_exc
+  | R.Ifp_register_local slot -> register_local st frame slot
+  | R.Ifp_deregister_local slot -> deregister_local st frame slot
+  | R.Bad_store_global { e; msg } ->
+    ignore (eval st frame e);
+    abort msg
 
-and coerce st ty v =
-  match ty with
-  | Ctype.I8 -> VI (sext (as_int v) 1)
-  | Ctype.I16 -> VI (sext (as_int v) 2)
-  | Ctype.I32 -> VI (sext (as_int v) 4)
-  | Ctype.I64 -> VI (as_int v)
-  | Ctype.F64 -> VF (as_float v)
-  | Ctype.Ptr _ -> (
+and exec_list st frame = function
+  | [] -> ()
+  | s :: rest ->
+    exec st frame s;
+    exec_list st frame rest
+
+and coerce k v =
+  match k with
+  | R.K_i8 -> VI (sext (as_int v) 1)
+  | R.K_i16 -> VI (sext (as_int v) 2)
+  | R.K_i32 -> VI (sext (as_int v) 4)
+  | R.K_i64 -> VI (as_int v)
+  | R.K_f64 -> VF (as_float v)
+  | R.K_ptr -> (
     match v with VP _ -> v | VI w -> VP (w, Bounds.no_bounds) | VF _ -> v)
-  | Ctype.Void | Ctype.Struct _ | Ctype.Array _ ->
-    ignore st;
-    v
+  | R.K_other -> v
 
 (* ---- program setup --------------------------------------------------- *)
 
-let func_meta_of (f : Ir.func) =
-  let has_calls = ref false in
-  let ptr_regs = ref 0 in
-  List.iter
-    (fun (_, ty) -> match ty with Ctype.Ptr _ -> incr ptr_regs | _ -> ())
-    f.params;
-  let rec scan_expr (e : Ir.expr) =
-    match e with
-    | Call _ -> has_calls := true
-    | Int _ | Float _ | Var _ | Addr_local _ | Addr_global _ | Load_global _ -> ()
-    | Binop (_, a, b) ->
-      scan_expr a;
-      scan_expr b
-    | Unop (_, a) | Cast (_, a) | Ifp_promote a | Load (_, a) | Malloc (_, a)
-    | Malloc_bytes a | Malloc_sized (_, a) ->
-      scan_expr a
-    | Gep (_, b, steps) ->
-      scan_expr b;
-      List.iter
-        (function Ir.S_index ie -> scan_expr ie | Ir.S_field _ -> ())
-        steps
-  in
-  let rec scan_stmt (s : Ir.stmt) =
-    match s with
-    | Let (_, Ctype.Ptr _, e) ->
-      incr ptr_regs;
-      scan_expr e
-    | Let (_, _, e) | Assign (_, e) | Store_global (_, e) | Expr e | Free e ->
-      scan_expr e
-    | Store (_, a, e) ->
-      scan_expr a;
-      scan_expr e
-    | If (c, t, e) ->
-      scan_expr c;
-      List.iter scan_stmt t;
-      List.iter scan_stmt e
-    | While (c, b) ->
-      scan_expr c;
-      List.iter scan_stmt b
-    | Return (Some e) -> scan_expr e
-    | Decl_local _ | Return None | Break | Continue | Ifp_register_local _
-    | Ifp_deregister_local _ ->
-      ()
-  in
-  List.iter scan_stmt f.body;
-  { has_calls = !has_calls; ptr_regs = !ptr_regs }
-
 let setup_globals st =
   let bump = ref Memmap.globals_base in
-  List.iter
-    (fun (g : Ir.global) ->
-      let size = max 1 (Ctype.sizeof st.tenv g.gty) in
+  Array.iteri
+    (fun i (g : R.rglobal) ->
+      let size = max 1 g.gsize in
       let footprint =
         if ifp_mode st then Meta.Local_offset.footprint ~size
         else Ifp_util.Bits.align_up size 16
@@ -867,7 +1048,7 @@ let setup_globals st =
       let go =
         { gaddr = addr; gsize = size; gtagged = addr; gbounds = Bounds.no_bounds }
       in
-      (if ifp_mode st && g.registered then
+      (if ifp_mode st && g.gregistered then
          match st.meta with
          | None -> ()
          | Some meta ->
@@ -887,8 +1068,8 @@ let setup_globals st =
              | Some p -> go.gtagged <- p
              | None -> ());
       go.gbounds <- Bounds.of_base_size addr size;
-      Hashtbl.replace st.globals g.gname go)
-    st.prog.globals
+      st.globals.(i) <- go)
+    st.rp.globals
 
 let run ?(config = default_config) (raw_prog : Ir.program) =
   Typecheck.check_program raw_prog;
@@ -903,6 +1084,8 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
       in
       (p, Some r)
   in
+  (* one-time lowering to slots; everything after runs hash-free *)
+  let rp = R.run prog in
   let mem = Memory.create () in
   let cache = Cache.create () in
   (* map fixed regions *)
@@ -967,10 +1150,13 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
   (match (inj, meta) with
   | Some i, Some m -> Fault.attach_meta i m
   | _ -> ());
+  let dummy_gobj =
+    { gaddr = 0L; gsize = 0; gtagged = 0L; gbounds = Bounds.no_bounds }
+  in
   let st =
     {
       cfg = config;
-      prog;
+      rp;
       tenv = prog.tenv;
       mem;
       cache;
@@ -978,10 +1164,8 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
       allocator;
       inj;
       c = Counters.create ();
-      funcs = Hashtbl.create 64;
-      fmeta = Hashtbl.create 64;
-      globals = Hashtbl.create 16;
-      layouts = Hashtbl.create 32;
+      globals = Array.make (Array.length rp.globals) dummy_gobj;
+      layout_ptrs = Array.make (Array.length rp.types) (-1L);
       sp = Memmap.stack_top;
       stack_limit = Int64.sub Memmap.stack_top (Int64.of_int Memmap.stack_size);
       out = [];
@@ -989,25 +1173,14 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
       trace_left = config.trace_limit;
     }
   in
-  List.iter
-    (fun (f : Ir.func) ->
-      Hashtbl.replace st.funcs f.fname f;
-      Hashtbl.replace st.fmeta f.fname (func_meta_of f))
-    prog.funcs;
   let outcome =
     match setup_globals st with
     | () -> (
-      match Hashtbl.find_opt st.funcs "main" with
-      | None -> Aborted (Program_error "no main function")
-      | Some mainf -> (
-        let frame =
-          {
-            vars = Hashtbl.create 16;
-            locals = Hashtbl.create 4;
-            instrumented = mainf.instrumented;
-          }
-        in
-        match List.iter (exec st frame) mainf.body with
+      if rp.main < 0 then Aborted (Program_error "no main function")
+      else
+        let mainf = rp.funcs.(rp.main) in
+        let frame = make_frame mainf in
+        match exec_list st frame mainf.body with
         | () -> Finished 0L
         | exception Return_exc v -> Finished (as_int v)
         | exception Trap.Trap t ->
@@ -1016,7 +1189,7 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
           Trapped t
         | exception Abort msg -> Aborted msg
         | exception Memory.Fault (_, a) -> Trapped (Trap.Memory_fault a)
-        | exception Alloc.Out_of_memory msg -> Aborted (Out_of_memory msg)))
+        | exception Alloc.Out_of_memory msg -> Aborted (Out_of_memory msg))
     | exception Abort msg -> Aborted msg
   in
   let alloc_stats = st.allocator.stats () in

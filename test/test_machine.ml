@@ -77,6 +77,115 @@ let prop_rw_any =
       Memory.write_size m a ~bytes v;
       Int64.equal (Memory.read_size m a ~bytes) v)
 
+let test_map_size_zero () =
+  let m = Memory.create () in
+  Memory.map m ~base:0x5000L ~size:0;
+  Alcotest.(check bool) "size-0 map maps nothing" false (Memory.is_mapped m 0x5000L);
+  Alcotest.(check int) "no bytes mapped" 0 (Memory.mapped_bytes m);
+  Alcotest.check_raises "still faults"
+    (Memory.Fault (Memory.Unmapped, 0x5000L))
+    (fun () -> ignore (Memory.read_u8 m 0x5000L))
+
+let test_map_intervals () =
+  let m = Memory.create () in
+  Memory.map m ~base:0x0L ~size:4096;
+  Memory.map m ~base:0x2000L ~size:8192;
+  (* filling the gap must merge the regions, not double-count them *)
+  Memory.map m ~base:0x1000L ~size:4096;
+  Memory.map m ~base:0x2000L ~size:4096 (* remap is a no-op *);
+  Alcotest.(check bool) "merged region mapped" true (Memory.is_mapped m 0x3FFFL);
+  Alcotest.(check int) "mapped bytes" (4 * 4096) (Memory.mapped_bytes m);
+  Memory.unmap m ~base:0x1000L ~size:4096;
+  Alcotest.(check bool) "hole unmapped" false (Memory.is_mapped m 0x1000L);
+  Alcotest.(check bool) "left of hole intact" true (Memory.is_mapped m 0xFFFL);
+  Alcotest.(check bool) "right of hole intact" true (Memory.is_mapped m 0x2000L);
+  Alcotest.(check int) "mapped bytes after hole" (3 * 4096) (Memory.mapped_bytes m)
+
+let test_torn_store () =
+  (* a store straddling into an unmapped page must fault before any
+     byte is committed (no torn store) *)
+  let m = Memory.create () in
+  Memory.map m ~base:0x1000L ~size:4096;
+  Memory.write_u64 m 0x1FF0L 0x1122334455667788L;
+  (match Memory.write_u64 m 0x1FFCL 0xDEADBEEFCAFEBABEL with
+  | () -> Alcotest.fail "expected fault"
+  | exception Memory.Fault (Memory.Unmapped, a) ->
+    Alcotest.(check int64) "faults at first unmapped byte" 0x2000L a);
+  Alcotest.(check int64) "earlier data intact" 0x1122334455667788L
+    (Memory.read_u64 m 0x1FF0L);
+  for i = 0 to 3 do
+    Alcotest.(check int) "no partial bytes written" 0
+      (Memory.read_u8 m (Int64.add 0x1FFCL (Int64.of_int i)))
+  done
+
+(* Byte-wise reference model: a [Bytes.t] shadow of the mapped region,
+   updated little-endian on every successful store. The simulated
+   memory must agree byte-for-byte after an arbitrary op sequence —
+   any size, any alignment, page-straddling or faulting. *)
+let model_base = 0x10000L
+let model_size = 4 * 4096
+
+let model_write model off bytes v =
+  for i = 0 to bytes - 1 do
+    Bytes.set model (off + i)
+      (Char.chr
+         (Int64.to_int
+            (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let model_read model off bytes =
+  let r = ref 0L in
+  for i = bytes - 1 downto 0 do
+    r :=
+      Int64.logor
+        (Int64.shift_left !r 8)
+        (Int64.of_int (Char.code (Bytes.get model (off + i))))
+  done;
+  !r
+
+let prop_byte_model =
+  QCheck.Test.make ~count:100 ~name:"memory agrees with a byte-wise model"
+    QCheck.(
+      list_of_size (Gen.int_range 1 40)
+        (triple (int_bound (model_size + 64)) int64 (int_range 0 7)))
+    (fun ops ->
+      let m = Memory.create () in
+      Memory.map m ~base:model_base ~size:model_size;
+      let model = Bytes.make model_size '\000' in
+      let ok = ref true in
+      List.iter
+        (fun (off, v, sel) ->
+          let bytes = [| 1; 2; 4; 8 |].(sel land 3) in
+          (* half the ops are forced onto a page boundary so straddling
+             paths stay exercised *)
+          let off =
+            if sel >= 4 then (off / 4096 * 4096) + 4096 - (bytes / 2) - 1
+            else off
+          in
+          let a = Int64.add model_base (Int64.of_int off) in
+          if off >= 0 && off + bytes <= model_size then begin
+            Memory.write_size m a ~bytes v;
+            model_write model off bytes v;
+            if not (Int64.equal (Memory.read_size m a ~bytes) (model_read model off bytes))
+            then ok := false
+          end
+          else begin
+            (* outside (or straddling out of) the region: the write
+               must fault and leave memory untouched; the final sweep
+               checks the latter *)
+            match Memory.write_size m a ~bytes v with
+            | () -> ok := false
+            | exception Memory.Fault _ -> ()
+          end)
+        ops;
+      for i = 0 to model_size - 1 do
+        if
+          Memory.read_u8 m (Int64.add model_base (Int64.of_int i))
+          <> Char.code (Bytes.get model i)
+        then ok := false
+      done;
+      !ok)
+
 let test_cache_hit_miss () =
   let c = Cache.create () in
   Alcotest.(check bool) "cold miss" false (Cache.access c 0x1000L Cache.Load);
@@ -105,6 +214,30 @@ let test_cache_range () =
   let misses = Cache.access_range c 0x103CL ~bytes:8 Cache.Load in
   Alcotest.(check int) "warm" 0 misses
 
+let test_cache_empty_range () =
+  let c = Cache.create () in
+  Alcotest.(check int) "zero-byte range misses nothing" 0
+    (Cache.access_range c 0x1000L ~bytes:0 Cache.Load);
+  Alcotest.(check int) "and records no access" 0 (Cache.accesses c);
+  Alcotest.(check int) "negative size likewise" 0
+    (Cache.access_range c 0x1000L ~bytes:(-4) Cache.Load)
+
+let test_cache_set_indexing () =
+  (* conflicting lines must land in the same set and evict LRU-first;
+     a set-index masking bug would spread them across sets *)
+  let c = Cache.create ~size_bytes:256 ~ways:2 ~line_bytes:64 () in
+  (* 2 sets: even lines map to set 0, odd lines to set 1 *)
+  ignore (Cache.access c 0x000L Cache.Load) (* set 0 *);
+  ignore (Cache.access c 0x040L Cache.Load) (* set 1 *);
+  ignore (Cache.access c 0x080L Cache.Load) (* set 0 *);
+  ignore (Cache.access c 0x100L Cache.Load) (* set 0: evicts LRU 0x000 *);
+  Alcotest.(check bool) "other set undisturbed" true
+    (Cache.access c 0x040L Cache.Load);
+  Alcotest.(check bool) "LRU way evicted" false
+    (Cache.access c 0x000L Cache.Load);
+  Alcotest.(check bool) "recent way kept" true
+    (Cache.access c 0x100L Cache.Load)
+
 let test_cache_flush () =
   let c = Cache.create () in
   ignore (Cache.access c 0x1000L Cache.Load);
@@ -123,8 +256,14 @@ let tests =
     Alcotest.test_case "strings" `Quick test_strings;
     Alcotest.test_case "tag bits ignored" `Quick test_tag_bits_ignored;
     QCheck_alcotest.to_alcotest prop_rw_any;
+    Alcotest.test_case "map size zero" `Quick test_map_size_zero;
+    Alcotest.test_case "map interval merging" `Quick test_map_intervals;
+    Alcotest.test_case "no torn store on straddle fault" `Quick test_torn_store;
+    QCheck_alcotest.to_alcotest prop_byte_model;
     Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
     Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
     Alcotest.test_case "cache range access" `Quick test_cache_range;
+    Alcotest.test_case "cache empty range" `Quick test_cache_empty_range;
+    Alcotest.test_case "cache set indexing" `Quick test_cache_set_indexing;
     Alcotest.test_case "cache flush" `Quick test_cache_flush;
   ]

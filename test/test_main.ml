@@ -9,6 +9,7 @@ let () =
       ("metadata", Test_metadata.tests);
       ("alloc", Test_alloc.tests);
       ("compiler", Test_compiler.tests);
+      ("resolve", Test_resolve.tests);
       ("vm", Test_vm.tests);
       ("pipeline", Test_pipeline.tests);
       ("workloads", Test_workloads.tests);
