@@ -200,7 +200,7 @@ let tests =
               (Filename.get_temp_dir_name ())
               (Printf.sprintf "ifp-bench-cache-%d" (Unix.getpid ()))
           in
-          let cache = Ifp_campaign.Cache.create ~dir in
+          let cache = Ifp_campaign.Cache.create ~dir () in
           let result = Vm.run ~config:Vm.ifp_subheap (Lazy.force small_prog) in
           let digest = String.make 32 'a' in
           fun () ->

@@ -45,6 +45,7 @@ type opts = {
   target : string;
   workers : int;
   cache_dir : string option;
+  cache_max_bytes : int option;
   log_path : string option;
   bench_out : string;
   retries : int;
@@ -58,6 +59,7 @@ let default_opts =
     target = "all";
     workers = 1;
     cache_dir = Some ".ifp-cache";
+    cache_max_bytes = None;
     log_path = Some "campaign.jsonl";
     bench_out = "BENCH_experiments.json";
     retries = 2;
@@ -69,6 +71,7 @@ let default_opts =
 let usage () =
   prerr_endline
     "usage: ifp_experiments [TARGET] [-j N] [--cache-dir DIR] [--no-cache]\n\
+    \                       [--cache-max-bytes BYTES[k|M|G]]\n\
     \                       [--log FILE] [--no-log] [--retries N]\n\
     \                       [--journal FILE] [--resume FILE]\n\
     \                       [--bench-out FILE]\n\
@@ -103,6 +106,13 @@ let parse_opts argv =
     | "-j" | "--jobs" -> o := { !o with workers = max 1 (int_arg "-j") }
     | "--cache-dir" -> o := { !o with cache_dir = Some (next "--cache-dir") }
     | "--no-cache" -> o := { !o with cache_dir = None }
+    | "--cache-max-bytes" -> (
+      let s = next "--cache-max-bytes" in
+      match Cli.parse_bytes s with
+      | Some b -> o := { !o with cache_max_bytes = Some b }
+      | None ->
+        Printf.eprintf "bad --cache-max-bytes argument %S\n" s;
+        usage ())
     | "--log" -> o := { !o with log_path = Some (next "--log") }
     | "--no-log" -> o := { !o with log_path = None }
     | "--retries" -> o := { !o with retries = int_arg "--retries" }
@@ -697,7 +707,11 @@ let needs_rows target =
 let () =
   let opts = parse_opts Sys.argv in
   let jobs = dedupe_jobs (jobs_for_target opts.target) in
-  let cache = Option.map (fun dir -> Rcache.create ~dir) opts.cache_dir in
+  let cache =
+    Option.map
+      (fun dir -> Rcache.create ?max_bytes:opts.cache_max_bytes ~dir ())
+      opts.cache_dir
+  in
   let stop = Cli.install_interrupt () in
   let journal, replay = Cli.open_journal ~path:opts.journal ~resume:opts.resume in
   let log, log_truncated = Cli.open_log ~path:opts.log_path ~resume:opts.resume in

@@ -41,6 +41,7 @@ type opts = {
   seeds : int;
   workers : int;
   cache_dir : string option;
+  cache_max_bytes : int option;
   log_path : string option;
   out : string;
   retries : int;
@@ -54,6 +55,7 @@ let default_opts =
     seeds = 20;
     workers = 1;
     cache_dir = Some ".ifp-cache";
+    cache_max_bytes = None;
     log_path = Some "faults.jsonl";
     out = "BENCH_faults.json";
     retries = 1;
@@ -65,6 +67,7 @@ let default_opts =
 let usage () =
   prerr_endline
     "usage: ifp_faults [--seeds N] [-j N] [--cache-dir DIR] [--no-cache]\n\
+    \                  [--cache-max-bytes BYTES[k|M|G]]\n\
     \                  [--log FILE] [--no-log] [--timeout SECS]\n\
     \                  [--journal FILE] [--resume FILE]\n\
     \                  [--retries N] [--out FILE]";
@@ -94,6 +97,13 @@ let parse_opts argv =
     | "-j" | "--jobs" -> o := { !o with workers = max 1 (int_arg "-j") }
     | "--cache-dir" -> o := { !o with cache_dir = Some (next "--cache-dir") }
     | "--no-cache" -> o := { !o with cache_dir = None }
+    | "--cache-max-bytes" -> (
+      let s = next "--cache-max-bytes" in
+      match Cli.parse_bytes s with
+      | Some b -> o := { !o with cache_max_bytes = Some b }
+      | None ->
+        Printf.eprintf "bad --cache-max-bytes argument %S\n" s;
+        usage ())
     | "--log" -> o := { !o with log_path = Some (next "--log") }
     | "--no-log" -> o := { !o with log_path = None }
     | "--timeout" -> (
@@ -210,7 +220,11 @@ let detection_rate t =
 let () =
   let opts = parse_opts Sys.argv in
   let all_jobs = jobs ~seeds:opts.seeds in
-  let cache = Option.map (fun dir -> Rcache.create ~dir) opts.cache_dir in
+  let cache =
+    Option.map
+      (fun dir -> Rcache.create ?max_bytes:opts.cache_max_bytes ~dir ())
+      opts.cache_dir
+  in
   let stop = Cli.install_interrupt () in
   let journal, replay = Cli.open_journal ~path:opts.journal ~resume:opts.resume in
   let log, log_truncated = Cli.open_log ~path:opts.log_path ~resume:opts.resume in

@@ -35,6 +35,7 @@ let () =
   let verbose = ref false in
   let workers = ref 1 in
   let cache_dir = ref (Some ".ifp-cache") in
+  let cache_max_bytes = ref None in
   let log_path = ref None in
   let journal_path = ref None in
   let resume = ref false in
@@ -54,6 +55,13 @@ let () =
       workers := max 1 (int_of_string_opt (next "-j") |> Option.value ~default:1)
     | "--cache-dir" -> cache_dir := Some (next "--cache-dir")
     | "--no-cache" -> cache_dir := None
+    | "--cache-max-bytes" -> (
+      let s = next "--cache-max-bytes" in
+      match Cli.parse_bytes s with
+      | Some b -> cache_max_bytes := Some b
+      | None ->
+        Printf.eprintf "bad --cache-max-bytes argument %S\n" s;
+        exit 1)
     | "--log" -> log_path := Some (next "--log")
     | "--journal" -> journal_path := Some (next "--journal")
     | "--resume" ->
@@ -82,7 +90,11 @@ let () =
         ])
       cases
   in
-  let cache = Option.map (fun dir -> Rcache.create ~dir) !cache_dir in
+  let cache =
+    Option.map
+      (fun dir -> Rcache.create ?max_bytes:!cache_max_bytes ~dir ())
+      !cache_dir
+  in
   let stop = Cli.install_interrupt () in
   let journal, replay = Cli.open_journal ~path:!journal_path ~resume:!resume in
   let log, log_truncated = Cli.open_log ~path:!log_path ~resume:!resume in

@@ -1,0 +1,466 @@
+(* Load generator for ifp_serviced: forks N client processes, each with
+   its own tenant identity, and hammers the daemon with a mixed stream
+   of experiment, fault-injection and Juliet jobs (tens of thousands of
+   submissions cycling over a few dozen distinct jobs, so the sharded
+   result cache sees both cold misses and a long hot tail).
+
+   Each child records per-job latency, backpressure rejections and the
+   MD5 of every completion's canonical result bytes. The parent merges
+   the summaries, computes exact p50/p95/p99 and throughput (overall and
+   per tenant), cross-checks that every client saw identical bytes for
+   identical job digests, optionally re-runs every distinct job directly
+   through Engine.default_runner to assert daemon-served ≡ direct-run
+   byte-for-byte (--verify, on by default), asks the daemon for its own
+   stats snapshot, and writes the whole benchmark to BENCH_service.json.
+
+   Exits nonzero on any child failure, cross-client inconsistency or
+   verification mismatch.
+
+   Usage: ifp_loadgen [--socket PATH] [--clients N] [-n JOBS]
+                      [--seeds N] [--juliet N] [--out FILE]
+                      [--no-verify] [--quiet] *)
+
+module Job = Ifp_campaign.Job
+module Engine = Ifp_campaign.Engine
+module Events = Ifp_campaign.Events
+module Vm = Ifp_vm.Vm
+module Report = Core.Report
+module W = Ifp_workloads.Workload
+module Registry = Ifp_workloads.Registry
+module Fault = Ifp_faultinject.Fault
+module Victim = Ifp_faultinject.Victim
+module Juliet = Ifp_juliet.Juliet
+module Client = Ifp_service.Client
+module Protocol = Ifp_service.Protocol
+
+(* ---------------- options ---------------- *)
+
+type opts = {
+  socket : string;
+  clients : int;
+  jobs : int;
+  seeds : int;  (** fault-plan seeds per class x variant *)
+  juliet : int;  (** Juliet cases in the mix (good+bad each) *)
+  out : string;
+  verify : bool;
+  quiet : bool;
+}
+
+let default_opts =
+  {
+    socket = "ifp-service.sock";
+    clients = 2;
+    jobs = 10_000;
+    seeds = 2;
+    juliet = 8;
+    out = "BENCH_service.json";
+    verify = true;
+    quiet = false;
+  }
+
+let usage () =
+  prerr_endline
+    "usage: ifp_loadgen [--socket PATH] [--clients N] [-n JOBS]\n\
+    \                   [--seeds N] [--juliet N] [--out FILE]\n\
+    \                   [--no-verify] [--quiet]\n\
+     Hammers a running ifp_serviced with a mixed job stream from N\n\
+     forked client processes and writes throughput + latency quantiles\n\
+     to --out (default BENCH_service.json).";
+  exit 1
+
+let parse_opts argv =
+  let o = ref default_opts in
+  let i = ref 1 in
+  let next what =
+    incr i;
+    if !i >= Array.length argv then (
+      Printf.eprintf "missing argument to %s\n" what;
+      usage ())
+    else argv.(!i)
+  in
+  let int_arg what =
+    let s = next what in
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> n
+    | _ ->
+      Printf.eprintf "bad %s argument %S\n" what s;
+      usage ()
+  in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--socket" -> o := { !o with socket = next "--socket" }
+    | "--clients" -> o := { !o with clients = max 1 (int_arg "--clients") }
+    | "-n" | "--jobs" -> o := { !o with jobs = max 1 (int_arg "-n") }
+    | "--seeds" -> o := { !o with seeds = max 1 (int_arg "--seeds") }
+    | "--juliet" -> o := { !o with juliet = int_arg "--juliet" }
+    | "--out" -> o := { !o with out = next "--out" }
+    | "--verify" -> o := { !o with verify = true }
+    | "--no-verify" -> o := { !o with verify = false }
+    | "--quiet" -> o := { !o with quiet = true }
+    | "-h" | "--help" -> usage ()
+    | s ->
+      Printf.eprintf "unknown option %s\n" s;
+      usage ());
+    incr i
+  done;
+  !o
+
+(* ---------------- the distinct job mix ---------------- *)
+
+(* the same cheap workloads the campaign tests use: the point here is
+   protocol/scheduler/cache traffic, not simulator wall-clock *)
+let experiment_workloads = [ "wolfcrypt-dh"; "power"; "ks" ]
+
+let experiment_jobs () =
+  List.concat_map
+    (fun name ->
+      match Registry.find name with
+      | None -> []
+      | Some wl ->
+        let prog = Lazy.force wl.W.prog in
+        List.map
+          (fun (vname, config) ->
+            Job.make ~name:(name ^ "/" ^ vname) ~group:name ~variant:vname
+              ~config prog)
+          Report.variants)
+    experiment_workloads
+
+let fault_variants =
+  [
+    ("baseline", Vm.baseline);
+    ("ifp", Vm.ifp_wrapped);
+    ("ifp-np", Vm.no_promote Vm.Alloc_wrapped);
+  ]
+
+let fault_jobs ~seeds =
+  let prog = Victim.program () in
+  List.concat_map
+    (fun cls ->
+      List.concat_map
+        (fun (vname, config) ->
+          List.init seeds (fun seed ->
+              let plan = Fault.default_plan cls ~seed:(Int64.of_int seed) in
+              Job.make
+                ~name:
+                  (Printf.sprintf "fault/%s/%s/%d" (Fault.class_name cls)
+                     vname seed)
+                ~group:("fault/" ^ Fault.class_name cls)
+                ~variant:vname
+                ~config:{ config with Vm.fault_plan = Some plan }
+                prog))
+        fault_variants)
+    Fault.all_classes
+
+let juliet_jobs ~count =
+  if count <= 0 then []
+  else
+    let config = Vm.ifp_wrapped in
+    let cases = Juliet.all_cases () in
+    let cases = List.filteri (fun i _ -> i < count) cases in
+    List.concat_map
+      (fun (c : Juliet.case) ->
+        [
+          Job.make
+            ~name:(Printf.sprintf "juliet/%s/bad" c.id)
+            ~group:("juliet/" ^ c.id) ~variant:"wrapped" ~config c.bad;
+          Job.make
+            ~name:(Printf.sprintf "juliet/%s/good" c.id)
+            ~group:("juliet/" ^ c.id) ~variant:"wrapped" ~config c.good;
+        ])
+      cases
+
+let distinct_jobs opts =
+  let jobs =
+    experiment_jobs () @ fault_jobs ~seeds:opts.seeds
+    @ juliet_jobs ~count:opts.juliet
+  in
+  if jobs = [] then (
+    prerr_endline "ifp_loadgen: empty job mix";
+    exit 1);
+  Array.of_list jobs
+
+(* ---------------- child processes ---------------- *)
+
+type child_summary = {
+  cs_tenant : string;
+  cs_weight : int;
+  cs_done : int;
+  cs_busy : int;  (** backpressure rejections absorbed by retry *)
+  cs_cache_hits : int;  (** completions flagged from_cache *)
+  cs_not_done : int;  (** completions with a non-Done engine status *)
+  cs_lat : float array;  (** per-job seconds, submit to reply *)
+  cs_md5 : (string * string) list;  (** job digest -> MD5 of result bytes *)
+  cs_errors : string list;
+}
+
+(* child [k] takes stream positions k, k+clients, k+2*clients, ... so
+   every client sees the full mix and distinct jobs interleave across
+   tenants (maximal shard-lock and scheduler contention) *)
+let run_child ~opts ~jobs ~k ~out_file =
+  let tenant = "t" ^ string_of_int k in
+  let weight = 1 + (k mod 2) in
+  let n_distinct = Array.length jobs in
+  let busy = ref 0 in
+  let cache_hits = ref 0 in
+  let not_done = ref 0 in
+  let lat = ref [] in
+  let md5 = Hashtbl.create 64 in
+  let errors = ref [] in
+  let completed = ref 0 in
+  (try
+     let c = Client.connect ~weight ~socket:opts.socket ~tenant () in
+     let i = ref k in
+     while !i < opts.jobs do
+       let job = jobs.(!i mod n_distinct) in
+       let t0 = Unix.gettimeofday () in
+       let comp =
+         Client.submit_wait ~on_busy:(fun _ -> incr busy) c job
+       in
+       lat := (Unix.gettimeofday () -. t0) :: !lat;
+       incr completed;
+       if comp.Protocol.c_from_cache then incr cache_hits;
+       (match comp.Protocol.c_status with
+       | Engine.Done -> ()
+       | st ->
+         incr not_done;
+         errors :=
+           Printf.sprintf "%s: %s" job.Job.name (Protocol.status_string st)
+           :: !errors);
+       let h = Digest.to_hex (Digest.string comp.Protocol.c_result_bytes) in
+       (match Hashtbl.find_opt md5 comp.Protocol.c_digest with
+       | None -> Hashtbl.add md5 comp.Protocol.c_digest h
+       | Some h' when h' = h -> ()
+       | Some h' ->
+         errors :=
+           Printf.sprintf "%s: result bytes changed between repeats (%s vs %s)"
+             job.Job.name h' h
+           :: !errors);
+       i := !i + opts.clients
+     done;
+     Client.close c
+   with e -> errors := ("client " ^ tenant ^ ": " ^ Printexc.to_string e) :: !errors);
+  let summary =
+    {
+      cs_tenant = tenant;
+      cs_weight = weight;
+      cs_done = !completed;
+      cs_busy = !busy;
+      cs_cache_hits = !cache_hits;
+      cs_not_done = !not_done;
+      cs_lat = Array.of_list (List.rev !lat);
+      cs_md5 = Hashtbl.fold (fun k v acc -> (k, v) :: acc) md5 [];
+      cs_errors = List.rev !errors;
+    }
+  in
+  let oc = open_out_bin out_file in
+  Marshal.to_channel oc summary [];
+  close_out oc;
+  (* _exit: skip at_exit so the child never flushes the parent's
+     buffered stdout a second time *)
+  if summary.cs_errors = [] then Unix._exit 0 else Unix._exit 1
+
+(* ---------------- aggregation ---------------- *)
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (ceil (q *. float n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let latency_json lat =
+  let sorted = Array.copy lat in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let mean =
+    if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 sorted /. float n
+  in
+  let ms s = Events.Float (1000.0 *. s) in
+  Events.Obj
+    [
+      ("count", Events.Int n);
+      ("mean_ms", ms mean);
+      ("p50_ms", ms (quantile sorted 0.50));
+      ("p95_ms", ms (quantile sorted 0.95));
+      ("p99_ms", ms (quantile sorted 0.99));
+      ("max_ms", ms (if n = 0 then 0.0 else sorted.(n - 1)));
+    ]
+
+let () =
+  let opts = parse_opts Sys.argv in
+  let jobs = distinct_jobs opts in
+  if not opts.quiet then
+    Printf.printf
+      "ifp_loadgen: %d jobs (%d distinct) across %d clients -> %s\n%!"
+      opts.jobs (Array.length jobs) opts.clients opts.socket;
+  let t_start = Unix.gettimeofday () in
+  let children =
+    List.init opts.clients (fun k ->
+        let out_file = Filename.temp_file "ifp-loadgen" ".child" in
+        flush stdout;
+        flush stderr;
+        match Unix.fork () with
+        | 0 -> run_child ~opts ~jobs ~k ~out_file
+        | pid -> (pid, out_file))
+  in
+  let child_failed = ref false in
+  let summaries =
+    List.map
+      (fun (pid, out_file) ->
+        let _, status = Unix.waitpid [] pid in
+        (match status with
+        | Unix.WEXITED 0 -> ()
+        | _ -> child_failed := true);
+        let summary =
+          try
+            let ic = open_in_bin out_file in
+            let s : child_summary = Marshal.from_channel ic in
+            close_in ic;
+            Some s
+          with _ -> None
+        in
+        (try Sys.remove out_file with Sys_error _ -> ());
+        summary)
+      children
+    |> List.filter_map Fun.id
+  in
+  let wall = Unix.gettimeofday () -. t_start in
+  if List.length summaries < opts.clients then child_failed := true;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun e -> Printf.eprintf "ifp_loadgen: %s: %s\n" s.cs_tenant e)
+        s.cs_errors)
+    summaries;
+  let total_done = List.fold_left (fun a s -> a + s.cs_done) 0 summaries in
+  let total_busy = List.fold_left (fun a s -> a + s.cs_busy) 0 summaries in
+  let total_hits =
+    List.fold_left (fun a s -> a + s.cs_cache_hits) 0 summaries
+  in
+  let total_not_done =
+    List.fold_left (fun a s -> a + s.cs_not_done) 0 summaries
+  in
+  let all_lat = Array.concat (List.map (fun s -> s.cs_lat) summaries) in
+  (* every tenant that ran a given digest must have seen the same bytes:
+     cache-served, queue-served and freshly-run replies all agree *)
+  let observed = Hashtbl.create 64 in
+  let consistency_errors = ref 0 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (digest, h) ->
+          match Hashtbl.find_opt observed digest with
+          | None -> Hashtbl.add observed digest h
+          | Some h' when h' = h -> ()
+          | Some _ ->
+            incr consistency_errors;
+            Printf.eprintf
+              "ifp_loadgen: cross-client result mismatch for digest %s\n"
+              digest)
+        s.cs_md5)
+    summaries;
+  (* --verify: the acceptance check — daemon-served results must be
+     byte-identical (canonical No_sharing marshalling) to running the
+     same job directly through the engine's runner in this process *)
+  let verify_checked = ref 0 in
+  let verify_mismatches = ref 0 in
+  if opts.verify then begin
+    if not opts.quiet then
+      Printf.printf "ifp_loadgen: verifying %d distinct jobs vs direct run...\n%!"
+        (Array.length jobs);
+    let seen = Hashtbl.create 64 in
+    Array.iter
+      (fun job ->
+        let digest = Job.digest job in
+        if not (Hashtbl.mem seen digest) then begin
+          Hashtbl.add seen digest ();
+          match Hashtbl.find_opt observed digest with
+          | None -> ()  (* job count below mix size: never submitted *)
+          | Some daemon_md5 ->
+            incr verify_checked;
+            let direct =
+              Protocol.encode_result (Some (Engine.default_runner job))
+            in
+            let direct_md5 = Digest.to_hex (Digest.string direct) in
+            if direct_md5 <> daemon_md5 then begin
+              incr verify_mismatches;
+              Printf.eprintf
+                "ifp_loadgen: VERIFY MISMATCH %s (daemon %s, direct %s)\n"
+                job.Job.name daemon_md5 direct_md5
+            end
+        end)
+      jobs
+  end;
+  (* the daemon's own view: shard hit rates, queue depths, utilization *)
+  let server_stats =
+    try
+      let c = Client.connect ~socket:opts.socket ~tenant:"loadgen-stats" () in
+      let json = Client.stats c in
+      Client.close c;
+      json
+    with _ -> Events.Null
+  in
+  let throughput = if wall > 0.0 then float total_done /. wall else 0.0 in
+  let tenant_json s =
+    Events.Obj
+      [
+        ("tenant", Events.String s.cs_tenant);
+        ("weight", Events.Int s.cs_weight);
+        ("jobs", Events.Int s.cs_done);
+        ("busy_rejections", Events.Int s.cs_busy);
+        ("cache_hits", Events.Int s.cs_cache_hits);
+        ("latency", latency_json s.cs_lat);
+      ]
+  in
+  let bench =
+    Events.Obj
+      [
+        ("bench", Events.String "service");
+        ("socket", Events.String opts.socket);
+        ("clients", Events.Int opts.clients);
+        ("jobs_requested", Events.Int opts.jobs);
+        ("jobs_completed", Events.Int total_done);
+        ("distinct_jobs", Events.Int (Array.length jobs));
+        ("wall_s", Events.Float wall);
+        ("throughput_jobs_per_s", Events.Float throughput);
+        ("latency", latency_json all_lat);
+        ("busy_rejections", Events.Int total_busy);
+        ("client_observed_cache_hits", Events.Int total_hits);
+        ("non_done_completions", Events.Int total_not_done);
+        ("cross_client_mismatches", Events.Int !consistency_errors);
+        ( "verify",
+          if opts.verify then
+            Events.Obj
+              [
+                ("checked", Events.Int !verify_checked);
+                ("mismatches", Events.Int !verify_mismatches);
+              ]
+          else Events.Null );
+        ("tenants", Events.List (List.map tenant_json summaries));
+        ("server", server_stats);
+      ]
+  in
+  Events.write_json_file ~path:opts.out bench;
+  if not opts.quiet then begin
+    let sorted = Array.copy all_lat in
+    Array.sort compare sorted;
+    Printf.printf
+      "ifp_loadgen: %d jobs in %.2f s (%.0f jobs/s)  p50 %.2f ms  p95 %.2f \
+       ms  p99 %.2f ms\n"
+      total_done wall throughput
+      (1000.0 *. quantile sorted 0.50)
+      (1000.0 *. quantile sorted 0.95)
+      (1000.0 *. quantile sorted 0.99);
+    Printf.printf
+      "ifp_loadgen: %d busy rejections, %d client-observed cache hits; \
+       wrote %s\n"
+      total_busy total_hits opts.out;
+    if opts.verify then
+      Printf.printf "ifp_loadgen: verify: %d checked, %d mismatches\n"
+        !verify_checked !verify_mismatches
+  end;
+  let failed =
+    !child_failed || total_done < opts.jobs || !consistency_errors > 0
+    || !verify_mismatches > 0 || total_not_done > 0
+  in
+  exit (if failed then 1 else 0)

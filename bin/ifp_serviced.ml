@@ -1,0 +1,182 @@
+(* The experiment daemon: serves experiment/fault/juliet jobs to many
+   concurrent clients over a Unix-domain socket (see lib/service and
+   DESIGN.md §9).
+
+   The process runs until SIGTERM/SIGINT, then drains gracefully:
+   in-flight and queued jobs complete and are answered, new work is
+   refused, the socket is unlinked, and the final stats snapshot is
+   printed (and written to --stats-out) before a clean exit 0.
+
+   Usage: ifp_serviced [--socket PATH] [-j N] [--cache-dir DIR]
+                       [--no-cache] [--cache-max-bytes BYTES[k|M|G]]
+                       [--shards N] [--queue-depth N] [--retries N]
+                       [--timeout SECS] [--log FILE] [--stats-out FILE]
+                       [--ready-fd FD] *)
+
+module Cli = Ifp_campaign.Cli
+module Events = Ifp_campaign.Events
+module Shard = Ifp_service.Shard
+module Server = Ifp_service.Server
+
+type opts = {
+  socket : string;
+  workers : int;
+  cache_dir : string option;
+  cache_max_bytes : int option;
+  shards : int;
+  queue_depth : int;
+  retries : int;
+  timeout : float option;
+  log_path : string option;
+  stats_out : string option;
+  ready_fd : int option;
+}
+
+let default_opts =
+  {
+    socket = "ifp-service.sock";
+    workers = 2;
+    cache_dir = Some ".ifp-service-cache";
+    cache_max_bytes = None;
+    shards = 8;
+    queue_depth = 64;
+    retries = 1;
+    timeout = None;
+    log_path = Some "service.jsonl";
+    stats_out = None;
+    ready_fd = None;
+  }
+
+let usage () =
+  prerr_endline
+    "usage: ifp_serviced [--socket PATH] [-j N] [--cache-dir DIR]\n\
+    \                    [--no-cache] [--cache-max-bytes BYTES[k|M|G]]\n\
+    \                    [--shards N] [--queue-depth N] [--retries N]\n\
+    \                    [--timeout SECS] [--log FILE] [--no-log]\n\
+    \                    [--stats-out FILE] [--ready-fd FD]\n\
+     Serves experiment jobs over a Unix-domain socket until SIGTERM,\n\
+     then drains gracefully and exits 0. --ready-fd FD writes one byte\n\
+     to FD once the socket is listening (for supervisors and CI).";
+  exit 1
+
+let parse_opts argv =
+  let o = ref default_opts in
+  let i = ref 1 in
+  let next what =
+    incr i;
+    if !i >= Array.length argv then (
+      Printf.eprintf "missing argument to %s\n" what;
+      usage ())
+    else argv.(!i)
+  in
+  let int_arg what =
+    let s = next what in
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> n
+    | _ ->
+      Printf.eprintf "bad %s argument %S\n" what s;
+      usage ()
+  in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--socket" -> o := { !o with socket = next "--socket" }
+    | "-j" | "--jobs" | "--workers" -> o := { !o with workers = max 1 (int_arg "-j") }
+    | "--cache-dir" -> o := { !o with cache_dir = Some (next "--cache-dir") }
+    | "--no-cache" -> o := { !o with cache_dir = None }
+    | "--cache-max-bytes" -> (
+      let s = next "--cache-max-bytes" in
+      match Cli.parse_bytes s with
+      | Some b -> o := { !o with cache_max_bytes = Some b }
+      | None ->
+        Printf.eprintf "bad --cache-max-bytes argument %S\n" s;
+        usage ())
+    | "--shards" -> o := { !o with shards = max 1 (int_arg "--shards") }
+    | "--queue-depth" -> o := { !o with queue_depth = max 1 (int_arg "--queue-depth") }
+    | "--retries" -> o := { !o with retries = int_arg "--retries" }
+    | "--timeout" -> (
+      let s = next "--timeout" in
+      match float_of_string_opt s with
+      | Some t when t > 0.0 -> o := { !o with timeout = Some t }
+      | Some _ -> o := { !o with timeout = None }
+      | None ->
+        Printf.eprintf "bad --timeout argument %S\n" s;
+        usage ())
+    | "--log" -> o := { !o with log_path = Some (next "--log") }
+    | "--no-log" -> o := { !o with log_path = None }
+    | "--stats-out" -> o := { !o with stats_out = Some (next "--stats-out") }
+    | "--ready-fd" -> o := { !o with ready_fd = Some (int_arg "--ready-fd") }
+    | "-h" | "--help" -> usage ()
+    | s ->
+      Printf.eprintf "unknown option %s\n" s;
+      usage ());
+    incr i
+  done;
+  !o
+
+let () =
+  let opts = parse_opts Sys.argv in
+  let shard =
+    Option.map
+      (fun dir ->
+        Shard.create ?max_bytes:opts.cache_max_bytes ~dir ~shards:opts.shards
+          ())
+      opts.cache_dir
+  in
+  let log =
+    match opts.log_path with
+    | Some path -> Events.create ~path
+    | None -> Events.null
+  in
+  (* the daemon's whole point is install-then-restore: serve until a
+     signal, drain, put the old handlers back, exit 0 *)
+  let signals = Cli.install_stop () in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:opts.socket) with
+      Server.workers = opts.workers;
+      shard;
+      queue_depth = opts.queue_depth;
+      retries = opts.retries;
+      job_timeout = opts.timeout;
+      log;
+      banner = "ifp_serviced/1";
+    }
+  in
+  Printf.printf "ifp_serviced: listening on %s (%d workers, %s)\n%!"
+    opts.socket opts.workers
+    (match opts.cache_dir with
+    | Some dir -> Printf.sprintf "%d cache shards in %s" opts.shards dir
+    | None -> "no cache");
+  (* readiness signal for supervisors: one byte once the socket exists.
+     Server.run binds before serving, but we only learn "bound" by
+     polling; a pipe write after run returns would be too late, so we
+     watch for the socket file from a helper thread. *)
+  (match opts.ready_fd with
+  | None -> ()
+  | Some fdnum ->
+    let fd : Unix.file_descr = Obj.magic (fdnum : int) in
+    ignore
+      (Thread.create
+         (fun () ->
+           let rec wait n =
+             if n <= 0 then ()
+             else if Sys.file_exists opts.socket then (
+               (try ignore (Unix.write fd (Bytes.of_string "R") 0 1)
+                with Unix.Unix_error _ -> ());
+               try Unix.close fd with Unix.Unix_error _ -> ())
+             else (
+               Thread.delay 0.02;
+               wait (n - 1))
+           in
+           wait 500)
+         ()));
+  let final = Server.run ~stop:signals.Cli.stop cfg in
+  signals.Cli.restore ();
+  (match opts.stats_out with
+  | Some path -> Events.write_json_file ~path final
+  | None -> ());
+  print_endline (Events.json_to_string final);
+  Events.close log;
+  (* clean drain is the daemon's success path — unlike the batch CLIs'
+     exit 130, SIGTERM here means "retire", not "interrupted" *)
+  exit 0

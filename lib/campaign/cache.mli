@@ -14,16 +14,54 @@
     ({!Job.model_digest}), so any of those changing simply misses the
     cache. {!format_version} is bumped when the serialised shape itself
     changes; old version directories are ignored (and can be deleted
-    freely — the cache is always safe to wipe). *)
+    freely — the cache is always safe to wipe).
+
+    {2 Byte budget}
+
+    With [?max_bytes], the cache is an LRU with size accounting: every
+    successful [find] refreshes the entry's mtime, and a [store] that
+    pushes the directory past the budget triggers a sweep that deletes
+    oldest-mtime entries until it fits again. The sweep re-walks the
+    directory (under a per-instance lock — the "per-shard lock" when the
+    experiment daemon partitions one cache into digest shards), so
+    concurrent campaign processes sharing a directory stay consistent:
+    drift in the running tally heals at the next sweep, and entries
+    deleted under us are skipped, never errors. *)
 
 type t
 
 val format_version : int
 
-val create : dir:string -> t
-(** Opens (creating directories as needed) a cache rooted at [dir]. *)
+val create : ?max_bytes:int -> dir:string -> unit -> t
+(** Opens (creating directories as needed) a cache rooted at [dir],
+    grounding the size tally in whatever entries already exist there.
+    [max_bytes] arms the LRU byte budget; omitted = unbounded (the
+    pre-existing behaviour). *)
 
 val dir : t -> string
+
+type stats = {
+  entries : int;  (** live entries (best-effort running tally) *)
+  bytes : int;  (** total entry bytes on disk (best-effort) *)
+  max_bytes : int option;
+  hits : int;
+  misses : int;  (** includes quarantined probes *)
+  stores : int;
+  evictions : int;  (** entries deleted by the byte-budget sweep *)
+  evicted_bytes : int;
+}
+
+val stats : t -> stats
+(** Counters since [create] (hits/misses/stores/evictions are
+    per-instance, not persisted). *)
+
+val stats_json : t -> Events.json
+(** {!stats} as a JSON object, plus a derived [hit_rate] — the shape the
+    daemon's [stats] reply and the JSONL log carry. *)
+
+val sweep : t -> unit
+(** Force an LRU sweep now (normally triggered by [store] crossing the
+    budget). No-op without [max_bytes]. *)
 
 (** Result of a cache probe. A damaged entry is never fatal: it is
     quarantined — renamed to [<digest>.corrupt] next to its original

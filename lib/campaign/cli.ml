@@ -1,14 +1,66 @@
-let install_interrupt () =
+(* Shared plumbing for the campaign binaries (and the experiment
+   daemon): signal-driven stop flags, journal/log opening under
+   --resume, and the process-exit contract. *)
+
+type signals = {
+  stop : unit -> bool;  (** true once any armed signal has been seen *)
+  restore : unit -> unit;
+      (** reinstall the handlers that were live before [install_stop];
+          idempotent, safe to call from a finaliser path *)
+}
+
+(* The stop-flag wiring, factored so a long-running process (the
+   experiment daemon) can install it for one serving phase and cleanly
+   uninstall on drain: [restore] puts back whatever handlers were
+   previously installed, so nested or repeated install/restore cycles
+   compose. *)
+let install_stop ?(signals = [ Sys.sigint; Sys.sigterm ]) () =
   let flag = Atomic.make false in
-  let arm signum =
-    try
-      Sys.set_signal signum
-        (Sys.Signal_handle (fun _ -> Atomic.set flag true))
-    with Invalid_argument _ | Sys_error _ -> ()
+  let saved =
+    List.filter_map
+      (fun signum ->
+        match
+          Sys.signal signum
+            (Sys.Signal_handle (fun _ -> Atomic.set flag true))
+        with
+        | prev -> Some (signum, prev)
+        | exception (Invalid_argument _ | Sys_error _) -> None)
+      signals
   in
-  arm Sys.sigint;
-  arm Sys.sigterm;
-  fun () -> Atomic.get flag
+  let restored = Atomic.make false in
+  {
+    stop = (fun () -> Atomic.get flag);
+    restore =
+      (fun () ->
+        if not (Atomic.exchange restored true) then
+          List.iter
+            (fun (signum, prev) ->
+              try Sys.set_signal signum prev
+              with Invalid_argument _ | Sys_error _ -> ())
+            saved);
+  }
+
+let install_interrupt () = (install_stop ()).stop
+
+(* "64k" / "100M" / "2G" / plain bytes — for --cache-max-bytes flags *)
+let parse_bytes s =
+  let s = String.trim s in
+  let len = String.length s in
+  if len = 0 then None
+  else
+    let scale, digits =
+      match s.[len - 1] with
+      | 'k' | 'K' -> (1024, String.sub s 0 (len - 1))
+      | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (len - 1))
+      | 'g' | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (len - 1))
+      | '0' .. '9' -> (1, s)
+      | _ -> (0, s)
+    in
+    if scale = 0 then None
+    else
+      match int_of_string_opt digits with
+      | Some n when n >= 0 -> Some (n * scale)
+      | _ -> None
 
 let open_journal ~path ~resume =
   match path with
@@ -37,11 +89,12 @@ let emit_resumed log ~replay ~log_truncated =
         ("log_torn_line", Events.Bool log_truncated);
       ]
 
-let finish ?hint ~journal ~log ~interrupted () =
+let finish ?hint ?signals ~journal ~log ~interrupted () =
   (* order matters: the journal is the source of truth for resume — it
      goes down first; the log close is best-effort observability *)
   Option.iter Journal.close journal;
   Events.close log;
+  Option.iter (fun s -> s.restore ()) signals;
   if interrupted then (
     Option.iter prerr_endline hint;
     (* 130 = 128 + SIGINT, the conventional "killed by Ctrl-C" status;

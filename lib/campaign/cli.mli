@@ -4,12 +4,29 @@
     the interrupted-exit path. Lives in the library so the three drivers
     stay flag-for-flag and event-for-event consistent. *)
 
+type signals = {
+  stop : unit -> bool;  (** true once any armed signal has been seen *)
+  restore : unit -> unit;
+      (** reinstall the handlers live before {!install_stop}; idempotent *)
+}
+
+val install_stop : ?signals:int list -> unit -> signals
+(** Installs handlers (default SIGINT + SIGTERM) that set a shared stop
+    flag, remembering the previous handlers so [restore] can put them
+    back — the shape a long-running process (the experiment daemon)
+    needs to install for one serving phase and cleanly uninstall on
+    drain. Handlers only set the flag — the engine drains in-flight
+    jobs, the driver flushes and exits. Platforms rejecting a signal are
+    tolerated (that signal then never fires the flag). *)
+
 val install_interrupt : unit -> unit -> bool
-(** Installs SIGINT/SIGTERM handlers that set a shared flag and returns
-    the polling function to pass as {!Engine.run}'s [?stop]. Handlers
-    only set the flag — the engine drains in-flight jobs, the driver
-    flushes and exits. Platforms without these signals are tolerated
-    (the returned function then never fires). *)
+(** [(install_stop ()).stop] — the one-shot batch-CLI form, where the
+    process exits right after the drain and never restores handlers. *)
+
+val parse_bytes : string -> int option
+(** Byte-count CLI arguments: plain digits, or with a [k]/[M]/[G]
+    (case-insensitive, 1024-based) suffix. [None] on anything else or on
+    negative values. *)
 
 val open_journal :
   path:string option ->
@@ -32,6 +49,7 @@ val emit_resumed :
 
 val finish :
   ?hint:string ->
+  ?signals:signals ->
   journal:Journal.t option ->
   log:Events.t ->
   interrupted:bool ->
@@ -39,7 +57,8 @@ val finish :
   unit
 (** The single exit point for a campaign driver, enforcing the
     process-exit contract of {!Engine}: flush and close the journal and
-    log, then [Stdlib.exit] — [130] when [interrupted] (printing the
-    resume [hint] to stderr, if any), [0] otherwise — rather than
-    returning from [main] and waiting on abandoned watchdog domains
-    that cannot be cancelled. Never returns. *)
+    log, restore [signals] handlers if given, then [Stdlib.exit] —
+    [130] when [interrupted] (printing the resume [hint] to stderr, if
+    any), [0] otherwise — rather than returning from [main] and waiting
+    on abandoned watchdog domains that cannot be cancelled. Never
+    returns. *)

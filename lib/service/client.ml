@@ -1,0 +1,103 @@
+module Job = Ifp_campaign.Job
+module Events = Ifp_campaign.Events
+
+exception Refused of string
+exception Protocol_error = Protocol.Protocol_error
+
+type t = {
+  fd : Unix.file_descr;
+  tenant : string;
+  mutable closed : bool;
+}
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let unexpected what =
+  raise (Protocol.Protocol_error ("unexpected reply to " ^ what))
+
+(* one request, one reply — EOF mid-conversation is a protocol error
+   (the server only closes between requests or when draining) *)
+let roundtrip t request =
+  Frame.write t.fd (Protocol.encode_request request);
+  match Frame.read t.fd with
+  | None -> raise (Protocol.Protocol_error "server closed the connection")
+  | Some payload -> Protocol.decode_reply payload
+
+let connect ?(weight = 1) ~socket ~tenant () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  let t = { fd; tenant; closed = false } in
+  (try
+     Frame.write fd
+       (Protocol.encode_handshake
+          {
+            Protocol.hs_magic = Protocol.magic;
+            hs_version = Protocol.version;
+            hs_tenant = tenant;
+            hs_weight = weight;
+          });
+     match Frame.read fd with
+     | None -> raise (Protocol.Protocol_error "server closed during handshake")
+     | Some payload -> (
+       match Protocol.decode_reply payload with
+       | Protocol.Welcome _ -> ()
+       | Protocol.Refused reason -> raise (Refused reason)
+       | _ -> unexpected "handshake")
+   with e ->
+     close t;
+     raise e);
+  t
+
+let ping t =
+  match roundtrip t Protocol.Ping with
+  | Protocol.Pong -> ()
+  | Protocol.Refused reason -> raise (Refused reason)
+  | _ -> unexpected "ping"
+
+let stats t =
+  match roundtrip t Protocol.Stats with
+  | Protocol.Stats_reply json -> json
+  | Protocol.Refused reason -> raise (Refused reason)
+  | _ -> unexpected "stats"
+
+type submit_result =
+  | Completed of Protocol.completion
+  | Busy of Protocol.busy
+
+let submit t job =
+  match roundtrip t (Protocol.Submit job) with
+  | Protocol.Completed c -> Completed c
+  | Protocol.Busy b -> Busy b
+  | Protocol.Refused reason -> raise (Refused reason)
+  | _ -> unexpected "submit"
+
+(* the polite client loop the backpressure design assumes: sleep the
+   server-suggested interval and retry. [on_busy] lets callers (the
+   load generator) count rejections. *)
+let submit_wait ?(max_tries = 1000) ?(on_busy = fun _ -> ()) t job =
+  let rec go tries =
+    match submit t job with
+    | Completed c -> c
+    | Busy b ->
+      if tries >= max_tries then
+        raise
+          (Protocol.Protocol_error
+             (Printf.sprintf "still busy after %d tries" tries))
+      else begin
+        on_busy b;
+        Unix.sleepf (Float.max 0.001 b.Protocol.b_retry_after);
+        go (tries + 1)
+      end
+  in
+  go 1
+
+let result_of_completion (c : Protocol.completion) =
+  Protocol.decode_result c.Protocol.c_result_bytes

@@ -1,0 +1,54 @@
+(** Client library for the experiment daemon: connect + versioned
+    handshake, blocking submit with backpressure-aware retry, stats and
+    ping. One connection = one tenant identity = one outstanding request
+    at a time (run several clients — threads, domains or processes —
+    for concurrency; the load generator forks processes). *)
+
+module Job = Ifp_campaign.Job
+module Events = Ifp_campaign.Events
+
+type t
+
+exception Refused of string
+(** The server refused the handshake (bad magic/version skew) or is
+    draining. *)
+
+exception Protocol_error of string
+(** Re-export of {!Protocol.Protocol_error}: unexpected reply shape or
+    mid-conversation EOF. {!Frame.Framing_error} propagates as itself. *)
+
+val connect : ?weight:int -> socket:string -> tenant:string -> unit -> t
+(** Connects to the daemon's Unix-domain socket and performs the
+    handshake ([weight] is the tenant's fair-share weight, default 1).
+    Raises {!Refused}, {!Protocol_error}, or [Unix.Unix_error]
+    ([ENOENT]/[ECONNREFUSED] when no daemon is listening). *)
+
+val close : t -> unit
+
+val ping : t -> unit
+
+val stats : t -> Events.json
+(** The server's observability snapshot (also mirrored server-side to
+    its JSONL log). *)
+
+type submit_result =
+  | Completed of Protocol.completion
+  | Busy of Protocol.busy  (** bounded-queue backpressure: retry later *)
+
+val submit : t -> Job.t -> submit_result
+(** One job; blocks until the server answers (job completion or
+    immediate [Busy]). *)
+
+val submit_wait :
+  ?max_tries:int ->
+  ?on_busy:(Protocol.busy -> unit) ->
+  t ->
+  Job.t ->
+  Protocol.completion
+(** {!submit}, sleeping the server-suggested [b_retry_after] and
+    retrying on [Busy] (at most [max_tries] attempts, default 1000).
+    [on_busy] observes each rejection (the load generator counts
+    them). *)
+
+val result_of_completion : Protocol.completion -> Ifp_vm.Vm.result option
+(** Decode the canonical result bytes (see {!Protocol.encode_result}). *)

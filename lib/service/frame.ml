@@ -1,0 +1,95 @@
+module Crc32 = Ifp_util.Crc32
+
+(* Wire framing for the experiment service: every message travels as
+
+     <len : u32 big-endian> <crc : u32 big-endian> <payload : len bytes>
+
+   where [crc] is the CRC-32 of the payload — the same discipline as the
+   campaign journal's on-disk frames, applied to the socket. A frame
+   that fails any check (torn header, absurd length, short payload, CRC
+   mismatch) is a protocol violation: the connection carrying it is
+   dead, because after damage there is no way to re-synchronise a
+   length-prefixed stream. *)
+
+exception Framing_error of string
+(** Raised on any malformed frame; the connection must be dropped. *)
+
+(* A frame longer than this is garbage, not a message — refuse to
+   allocate for it (a torn or hostile length word can read as 4 GiB).
+   Large enough for any marshalled job or result by orders of
+   magnitude. *)
+let max_frame = 64 * 1024 * 1024
+
+let header_bytes = 8
+
+let put_u32 b pos v =
+  Bytes.set b pos (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff));
+  Bytes.set b (pos + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
+  Bytes.set b (pos + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
+  Bytes.set b (pos + 3) (Char.chr (Int32.to_int v land 0xff))
+
+let get_u32 s pos =
+  let b i = Int32.of_int (Char.code (Bytes.get s (pos + i))) in
+  Int32.logor
+    (Int32.shift_left (b 0) 24)
+    (Int32.logor
+       (Int32.shift_left (b 1) 16)
+       (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+
+(* a Unix.write can be short (signals, socket buffers): loop *)
+let write_all fd buf pos len =
+  let off = ref pos and left = ref len in
+  while !left > 0 do
+    let n = Unix.write fd buf !off !left in
+    off := !off + n;
+    left := !left - n
+  done
+
+let write fd payload =
+  let len = String.length payload in
+  if len > max_frame then
+    raise (Framing_error (Printf.sprintf "refusing to send %d-byte frame" len));
+  let buf = Bytes.create (header_bytes + len) in
+  put_u32 buf 0 (Int32.of_int len);
+  put_u32 buf 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 buf header_bytes len;
+  write_all fd buf 0 (Bytes.length buf)
+
+(* [at_start]: distinguishes a clean EOF on a frame boundary (None) from
+   a torn mid-frame EOF (Framing_error) *)
+let read_exact fd n ~what ~at_start =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    match Unix.read fd buf !off (n - !off) with
+    | 0 -> eof := true
+    | k -> off := !off + k
+  done;
+  if !off = n then Some buf
+  else if !off = 0 && at_start then None
+  else
+    raise
+      (Framing_error
+         (Printf.sprintf "torn %s: %d of %d bytes before EOF" what !off n))
+
+let read fd =
+  match read_exact fd header_bytes ~what:"header" ~at_start:true with
+  | None -> None
+  | Some header ->
+    let len = Int32.to_int (get_u32 header 0) in
+    let crc = get_u32 header 4 in
+    if len < 0 || len > max_frame then
+      raise (Framing_error (Printf.sprintf "oversized frame: %d bytes" len));
+    let payload =
+      match read_exact fd len ~what:"payload" ~at_start:false with
+      | Some b -> Bytes.unsafe_to_string b
+      | None -> assert false (* at_start=false never returns None *)
+    in
+    if Crc32.string payload <> crc then
+      raise
+        (Framing_error
+           (Printf.sprintf "payload crc mismatch (%s != %s)"
+              (Crc32.to_hex (Crc32.string payload))
+              (Crc32.to_hex crc)));
+    Some payload

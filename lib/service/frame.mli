@@ -1,0 +1,31 @@
+(** Wire framing for the experiment service: length-prefixed,
+    CRC32-checksummed messages over a Unix-domain stream socket —
+
+    [<len : u32 be> <crc32(payload) : u32 be> <payload : len bytes>]
+
+    — the campaign journal's on-disk frame discipline
+    ({!Ifp_campaign.Journal}) applied to the wire, built on the same
+    {!Ifp_util.Crc32}. A stream that fails any check cannot be
+    re-synchronised (the length prefix is the only structure), so every
+    malformed frame is terminal for its connection. *)
+
+exception Framing_error of string
+(** Torn header, oversized/negative length, short payload, or CRC
+    mismatch. The connection is unusable; drop it. *)
+
+val max_frame : int
+(** Frames longer than this (64 MiB) are rejected — on read {e before}
+    allocating for the claimed length, which is what defangs a torn or
+    hostile length word. *)
+
+val header_bytes : int
+
+val write : Unix.file_descr -> string -> unit
+(** Frames and writes [payload], looping over short writes. Raises
+    [Unix.Unix_error (EPIPE, _, _)] if the peer is gone, and
+    {!Framing_error} when asked to send more than {!max_frame} bytes. *)
+
+val read : Unix.file_descr -> string option
+(** Reads one frame. [None] on a clean EOF at a frame boundary (the
+    peer closed between messages); {!Framing_error} on EOF mid-frame or
+    any validation failure. Blocks until a full frame arrives. *)

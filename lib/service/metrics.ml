@@ -1,0 +1,216 @@
+module Events = Ifp_campaign.Events
+
+(* ---- latency histograms ----
+
+   Power-of-two microsecond buckets: bucket i counts latencies in
+   [2^i, 2^(i+1)) µs, 28 buckets covering 1 µs .. ~134 s — plenty for
+   job latencies that span cache hits (tens of µs) to multi-second
+   experiment runs. Quantiles are read as the upper bound of the bucket
+   containing the q-th sample: an over-estimate by at most 2x, constant
+   memory, O(1) insertion under the owner's lock. The load generator
+   computes exact quantiles client-side from raw samples; these are the
+   daemon's cheap always-on view. *)
+
+let n_buckets = 28
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable max : float;
+  buckets : int array;
+}
+
+let hist_create () =
+  { count = 0; sum = 0.0; max = 0.0; buckets = Array.make n_buckets 0 }
+
+let bucket_of_seconds s =
+  let us = s *. 1e6 in
+  if us < 1.0 then 0
+  else min (n_buckets - 1) (int_of_float (Float.log2 us))
+
+let bucket_upper_seconds i = Float.of_int (1 lsl (i + 1)) *. 1e-6
+
+let hist_add h s =
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. s;
+  if s > h.max then h.max <- s;
+  let i = bucket_of_seconds s in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let hist_quantile h q =
+  if h.count = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.of_int h.count *. q) in
+    let rank = min (h.count - 1) (max 0 rank) in
+    let seen = ref 0 and result = ref (bucket_upper_seconds (n_buckets - 1)) in
+    (try
+       for i = 0 to n_buckets - 1 do
+         seen := !seen + h.buckets.(i);
+         if !seen > rank then begin
+           result := bucket_upper_seconds i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let ms s = Events.Float (s *. 1000.0)
+
+let hist_json h =
+  Events.Obj
+    [
+      ("count", Events.Int h.count);
+      ("mean_ms", if h.count = 0 then Events.Null
+       else ms (h.sum /. Float.of_int h.count));
+      ("p50_ms", ms (hist_quantile h 0.50));
+      ("p95_ms", ms (hist_quantile h 0.95));
+      ("p99_ms", ms (hist_quantile h 0.99));
+      ("max_ms", ms h.max);
+    ]
+
+(* ---- the daemon's counters ---- *)
+
+type tenant = {
+  t_hist : hist;  (** submit-to-reply latency as the server saw it *)
+  mutable t_jobs : int;
+  mutable t_cache_hits : int;
+  mutable t_busy : int;  (** backpressure rejections *)
+}
+
+type t = {
+  m : Mutex.t;
+  t0 : float;
+  mutable connections : int;  (** total accepted *)
+  mutable active : int;  (** currently-open connections *)
+  mutable handshake_rejects : int;
+  mutable protocol_errors : int;
+  mutable submitted : int;
+  mutable busy_rejected : int;
+  mutable drain_rejected : int;
+  mutable completed : int;
+  mutable failed : int;  (** Failed / Timed_out at the engine level *)
+  mutable cache_hits : int;
+  tenants : (string, tenant) Hashtbl.t;
+  worker_busy : float array;  (** per-worker cumulative job seconds *)
+}
+
+let create ~workers =
+  {
+    m = Mutex.create ();
+    t0 = Unix.gettimeofday ();
+    connections = 0;
+    active = 0;
+    handshake_rejects = 0;
+    protocol_errors = 0;
+    submitted = 0;
+    busy_rejected = 0;
+    drain_rejected = 0;
+    completed = 0;
+    failed = 0;
+    cache_hits = 0;
+    tenants = Hashtbl.create 16;
+    worker_busy = Array.make (max 1 workers) 0.0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let tenant_of t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some x -> x
+  | None ->
+    let x =
+      { t_hist = hist_create (); t_jobs = 0; t_cache_hits = 0; t_busy = 0 }
+    in
+    Hashtbl.replace t.tenants name x;
+    x
+
+let on_connect t = locked t (fun () -> t.connections <- t.connections + 1;
+                                       t.active <- t.active + 1)
+let on_disconnect t = locked t (fun () -> t.active <- t.active - 1)
+let on_handshake_reject t =
+  locked t (fun () -> t.handshake_rejects <- t.handshake_rejects + 1)
+let on_protocol_error t =
+  locked t (fun () -> t.protocol_errors <- t.protocol_errors + 1)
+let on_submit t = locked t (fun () -> t.submitted <- t.submitted + 1)
+
+let on_busy t ~tenant =
+  locked t (fun () ->
+      t.busy_rejected <- t.busy_rejected + 1;
+      (tenant_of t tenant).t_busy <- (tenant_of t tenant).t_busy + 1)
+
+let on_drain_reject t =
+  locked t (fun () -> t.drain_rejected <- t.drain_rejected + 1)
+
+let on_done t ~tenant ~latency ~from_cache ~ok =
+  locked t (fun () ->
+      if ok then t.completed <- t.completed + 1 else t.failed <- t.failed + 1;
+      if from_cache then t.cache_hits <- t.cache_hits + 1;
+      let tn = tenant_of t tenant in
+      tn.t_jobs <- tn.t_jobs + 1;
+      if from_cache then tn.t_cache_hits <- tn.t_cache_hits + 1;
+      hist_add tn.t_hist latency)
+
+let on_worker_busy t ~worker ~seconds =
+  locked t (fun () ->
+      if worker >= 0 && worker < Array.length t.worker_busy then
+        t.worker_busy.(worker) <- t.worker_busy.(worker) +. seconds)
+
+(* the stats surface: everything the ISSUE's observability story names —
+   queue depths come from the scheduler, shard hit rates from the shard
+   cache, the rest from these counters *)
+let snapshot t ~queues ~shard_json =
+  locked t (fun () ->
+      let uptime = Unix.gettimeofday () -. t.t0 in
+      let workers = Array.length t.worker_busy in
+      let busy = Array.fold_left ( +. ) 0.0 t.worker_busy in
+      let utilization =
+        if uptime <= 0.0 then 0.0
+        else busy /. (uptime *. Float.of_int workers)
+      in
+      Events.Obj
+        [
+          ("uptime_seconds", Events.Float uptime);
+          ("connections", Events.Int t.connections);
+          ("active_connections", Events.Int t.active);
+          ("handshake_rejects", Events.Int t.handshake_rejects);
+          ("protocol_errors", Events.Int t.protocol_errors);
+          ("submitted", Events.Int t.submitted);
+          ("busy_rejected", Events.Int t.busy_rejected);
+          ("drain_rejected", Events.Int t.drain_rejected);
+          ("completed", Events.Int t.completed);
+          ("failed", Events.Int t.failed);
+          ("cache_hits", Events.Int t.cache_hits);
+          ("workers", Events.Int workers);
+          ("worker_busy_seconds", Events.Float busy);
+          ("worker_utilization", Events.Float utilization);
+          ( "queues",
+            Events.List
+              (List.map
+                 (fun (name, weight, depth) ->
+                   Events.Obj
+                     [
+                       ("tenant", Events.String name);
+                       ("weight", Events.Int weight);
+                       ("depth", Events.Int depth);
+                     ])
+                 queues) );
+          ("cache", shard_json);
+          ( "tenants",
+            Events.Obj
+              (Hashtbl.fold
+                 (fun name tn acc ->
+                   ( name,
+                     Events.Obj
+                       [
+                         ("jobs", Events.Int tn.t_jobs);
+                         ("cache_hits", Events.Int tn.t_cache_hits);
+                         ("busy_rejected", Events.Int tn.t_busy);
+                         ("latency", hist_json tn.t_hist);
+                       ] )
+                   :: acc)
+                 t.tenants []
+              |> List.sort compare) );
+        ])

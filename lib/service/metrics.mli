@@ -1,0 +1,53 @@
+(** The daemon's observability surface: counters and per-tenant latency
+    histograms behind one lock, snapshotted into the [stats] reply and
+    mirrored to the JSONL event log.
+
+    Histograms use power-of-two microsecond buckets (28 buckets, 1 µs to
+    ~134 s): O(1) insertion, constant memory, quantiles read as the
+    upper bound of the bucket holding the q-th sample (≤ 2x
+    over-estimate). The load generator computes exact quantiles
+    client-side from raw samples; these are the daemon's cheap always-on
+    view. *)
+
+type hist
+
+val hist_create : unit -> hist
+val hist_add : hist -> float -> unit
+(** Record a latency in seconds. Not thread-safe on its own — callers
+    hold their own lock (the {!t} operations below do). *)
+
+val hist_quantile : hist -> float -> float
+(** Upper bound (seconds) of the bucket containing the [q]-th sample;
+    [0.] when empty. *)
+
+val hist_json : hist -> Ifp_campaign.Events.json
+
+type t
+
+val create : workers:int -> t
+
+val on_connect : t -> unit
+val on_disconnect : t -> unit
+val on_handshake_reject : t -> unit
+val on_protocol_error : t -> unit
+val on_submit : t -> unit
+val on_busy : t -> tenant:string -> unit
+val on_drain_reject : t -> unit
+
+val on_done :
+  t -> tenant:string -> latency:float -> from_cache:bool -> ok:bool -> unit
+(** [latency] is server-side submit-to-finish seconds; [ok] means the
+    engine status was [Done] (guest traps included — those are results,
+    not failures). *)
+
+val on_worker_busy : t -> worker:int -> seconds:float -> unit
+
+val snapshot :
+  t ->
+  queues:(string * int * int) list ->
+  shard_json:Ifp_campaign.Events.json ->
+  Ifp_campaign.Events.json
+(** The [stats] reply body: uptime, connection/submission/completion
+    counters, worker utilization (busy seconds / workers x uptime),
+    [queues] (from {!Sched.depths}), the shard-cache section, and
+    per-tenant job counts + latency histograms. *)

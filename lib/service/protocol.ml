@@ -1,0 +1,93 @@
+module Job = Ifp_campaign.Job
+module Engine = Ifp_campaign.Engine
+module Events = Ifp_campaign.Events
+
+let magic = "ifp-service"
+let version = 1
+
+exception Protocol_error of string
+
+type handshake = {
+  hs_magic : string;
+  hs_version : int;
+  hs_tenant : string;
+  hs_weight : int;  (** fair-share weight; clamped to >= 1 server-side *)
+}
+
+type request =
+  | Submit of Job.t
+  | Stats
+  | Ping
+
+(* A completed job as it travels back to the client. [result_bytes] is
+   the {e canonical} serialisation ([Marshal] with [No_sharing]) of the
+   [Vm.result option]: equal results serialise to equal bytes regardless
+   of in-heap sharing history (a cache round-trip introduces sharing
+   that a fresh run lacks), which is what lets clients and tests assert
+   daemon-served ≡ direct-run byte-for-byte. *)
+type completion = {
+  c_digest : string;
+  c_status : Engine.status;
+  c_result_bytes : string;
+  c_from_cache : bool;
+  c_attempts : int;
+  c_elapsed : float;  (** server-side seconds, submit-to-finish *)
+}
+
+type busy = {
+  b_tenant : string;
+  b_depth : int;  (** the tenant queue's depth at rejection *)
+  b_limit : int;
+  b_retry_after : float;  (** server-suggested client backoff, seconds *)
+}
+
+type reply =
+  | Welcome of { version : int; banner : string }
+  | Refused of string  (** handshake rejection or drain refusal *)
+  | Busy of busy
+  | Completed of completion
+  | Stats_reply of Events.json
+  | Pong
+
+let encode_result (r : Ifp_vm.Vm.result option) =
+  Marshal.to_string r [ Marshal.No_sharing ]
+
+let decode_result s : Ifp_vm.Vm.result option =
+  try Marshal.from_string s 0
+  with _ -> raise (Protocol_error "undecodable result payload")
+
+let encode_handshake (h : handshake) = Marshal.to_string h []
+let encode_request (r : request) = Marshal.to_string r []
+let encode_reply (r : reply) = Marshal.to_string r []
+
+(* The CRC framing has already vouched for integrity by the time these
+   run, so a decode failure means a peer speaking a different dialect
+   (or version skew Marshal happens to survive structurally) — a
+   protocol error, terminal for the connection. *)
+let decode_handshake s : handshake =
+  try Marshal.from_string s 0
+  with _ -> raise (Protocol_error "undecodable handshake")
+
+let decode_request s : request =
+  try Marshal.from_string s 0
+  with _ -> raise (Protocol_error "undecodable request")
+
+let decode_reply s : reply =
+  try Marshal.from_string s 0
+  with _ -> raise (Protocol_error "undecodable reply")
+
+let check_handshake (h : handshake) =
+  if h.hs_magic <> magic then
+    Error (Printf.sprintf "bad magic %S (want %S)" h.hs_magic magic)
+  else if h.hs_version <> version then
+    Error
+      (Printf.sprintf "protocol version %d unsupported (server speaks %d)"
+         h.hs_version version)
+  else if h.hs_tenant = "" then Error "empty tenant name"
+  else Ok ()
+
+let status_string : Engine.status -> string = function
+  | Engine.Done -> "done"
+  | Engine.Failed why -> "failed: " ^ why
+  | Engine.Timed_out -> "timed_out"
+  | Engine.Skipped -> "skipped"

@@ -1,0 +1,94 @@
+(** Message layer of the experiment service, one {!Frame} payload per
+    message.
+
+    Connection lifecycle: the client opens the socket and sends a
+    {!handshake} (magic + protocol {!version} + tenant identity); the
+    server answers [Welcome] or [Refused] and, if welcomed, the
+    connection settles into a strict request/reply rhythm — each
+    {!request} is answered by exactly one {!reply}, in order. [Submit]
+    blocks until the job completes ([Completed]) unless the tenant's
+    queue is full, in which case the server answers [Busy] immediately
+    and the client is expected to back off [b_retry_after] seconds and
+    retry ({!Client.submit_wait} does).
+
+    Payloads are [Marshal]ed OCaml values: every type that crosses the
+    wire ({!Ifp_campaign.Job.t}, {!Ifp_vm.Vm.result},
+    {!Ifp_campaign.Events.json}) is pure data — no closures, no custom
+    blocks — so encoding is stable across the daemon and client
+    binaries built from this tree. The CRC framing below this layer
+    catches torn/corrupt messages; {!Protocol_error} here means a peer
+    speaking a different dialect. Like the rest of the campaign
+    tooling, the socket is a local, same-user coordination channel, not
+    a trust boundary. *)
+
+module Job = Ifp_campaign.Job
+module Engine = Ifp_campaign.Engine
+module Events = Ifp_campaign.Events
+
+val magic : string
+
+val version : int
+(** Bumped whenever any wire-crossing shape changes; the handshake
+    refuses mismatched peers before any job payload is interpreted. *)
+
+exception Protocol_error of string
+
+type handshake = {
+  hs_magic : string;
+  hs_version : int;
+  hs_tenant : string;  (** scheduling identity (fair-share queue key) *)
+  hs_weight : int;  (** fair-share weight; clamped to >= 1 server-side *)
+}
+
+type request =
+  | Submit of Job.t  (** run (or serve from cache) one job *)
+  | Stats  (** observability snapshot, also mirrored to the JSONL log *)
+  | Ping
+
+(** A completed job as it travels back to the client. [c_result_bytes]
+    is the {e canonical} serialisation ([Marshal] with [No_sharing]) of
+    the [Ifp_vm.Vm.result option]: equal results serialise to equal
+    bytes regardless of in-heap sharing history (a cache round-trip
+    introduces sharing a fresh run lacks), which is what lets clients
+    and tests assert daemon-served ≡ direct-run byte-for-byte. *)
+type completion = {
+  c_digest : string;
+  c_status : Engine.status;
+  c_result_bytes : string;
+  c_from_cache : bool;
+  c_attempts : int;
+  c_elapsed : float;  (** server-side seconds, submit-to-finish *)
+}
+
+type busy = {
+  b_tenant : string;
+  b_depth : int;  (** the tenant queue's depth at rejection *)
+  b_limit : int;
+  b_retry_after : float;  (** server-suggested client backoff, seconds *)
+}
+
+type reply =
+  | Welcome of { version : int; banner : string }
+  | Refused of string  (** handshake rejection or drain refusal *)
+  | Busy of busy
+  | Completed of completion
+  | Stats_reply of Events.json
+  | Pong
+
+val encode_result : Ifp_vm.Vm.result option -> string
+(** The canonical bytes carried in [c_result_bytes]; also the form both
+    sides of a byte-identity check must use. *)
+
+val decode_result : string -> Ifp_vm.Vm.result option
+
+val encode_handshake : handshake -> string
+val encode_request : request -> string
+val encode_reply : reply -> string
+
+val decode_handshake : string -> handshake
+val decode_request : string -> request
+val decode_reply : string -> reply
+
+val check_handshake : handshake -> (unit, string) result
+
+val status_string : Engine.status -> string

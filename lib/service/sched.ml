@@ -1,0 +1,154 @@
+(* Fair scheduling across tenants: one bounded FIFO per tenant, drained
+   by weighted round-robin. A tenant with weight [w] gets up to [w]
+   consecutive dequeues per visit of the rotor, so long-term throughput
+   shares approach w_i / Σw_j while each tenant's own jobs stay FIFO.
+   [push] never blocks: a full tenant queue is reported to the caller
+   (the connection handler), which turns it into a [Busy] backpressure
+   reply — clients retry with backoff instead of piling unbounded work
+   into daemon memory. *)
+
+type 'a tenant_q = {
+  name : string;
+  weight : int;
+  q : 'a Queue.t;
+}
+
+type 'a t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  depth_limit : int;
+  mutable tenants : 'a tenant_q array;
+  mutable cursor : int;  (** rotor position: index into [tenants] *)
+  mutable credit : int;  (** dequeues left for [tenants.(cursor)] *)
+  mutable size : int;  (** total queued items across tenants *)
+  mutable closed : bool;
+}
+
+type push_result = Queued of { depth : int } | Full of { depth : int; limit : int }
+
+let create ?(depth_limit = 64) () =
+  {
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    depth_limit = max 1 depth_limit;
+    tenants = [||];
+    cursor = 0;
+    credit = 0;
+    size = 0;
+    closed = false;
+  }
+
+let find_tenant t name =
+  let n = Array.length t.tenants in
+  let rec go i = if i >= n then None else
+    if t.tenants.(i).name = name then Some t.tenants.(i) else go (i + 1)
+  in
+  go 0
+
+(* first push from a tenant fixes its weight for the scheduler's life *)
+let register t ~tenant ~weight =
+  Mutex.lock t.m;
+  (match find_tenant t tenant with
+  | Some _ -> ()
+  | None ->
+    let tq = { name = tenant; weight = max 1 weight; q = Queue.create () } in
+    t.tenants <- Array.append t.tenants [| tq |];
+    (* a fresh rotor starts on the first tenant with its full credit *)
+    if Array.length t.tenants = 1 then t.credit <- tq.weight);
+  Mutex.unlock t.m
+
+let push t ~tenant ?(weight = 1) item =
+  Mutex.lock t.m;
+  let result =
+    if t.closed then Full { depth = 0; limit = 0 }
+    else begin
+      let tq =
+        match find_tenant t tenant with
+        | Some tq -> tq
+        | None ->
+          let tq =
+            { name = tenant; weight = max 1 weight; q = Queue.create () }
+          in
+          t.tenants <- Array.append t.tenants [| tq |];
+          if Array.length t.tenants = 1 then t.credit <- tq.weight;
+          tq
+      in
+      let depth = Queue.length tq.q in
+      if depth >= t.depth_limit then Full { depth; limit = t.depth_limit }
+      else begin
+        Queue.push item tq.q;
+        t.size <- t.size + 1;
+        Condition.signal t.nonempty;
+        Queued { depth = depth + 1 }
+      end
+    end
+  in
+  Mutex.unlock t.m;
+  result
+
+(* caller holds the lock and has checked size > 0 *)
+let take_locked t =
+  let n = Array.length t.tenants in
+  let advance () =
+    t.cursor <- (t.cursor + 1) mod n;
+    t.credit <- t.tenants.(t.cursor).weight
+  in
+  (* at most [n] advances reach a nonempty queue when size > 0; the
+     extra iteration burns leftover credit on an emptied tenant *)
+  let rec go tries =
+    if tries > n then assert false
+    else
+      let tq = t.tenants.(t.cursor) in
+      if t.credit > 0 && not (Queue.is_empty tq.q) then begin
+        t.credit <- t.credit - 1;
+        t.size <- t.size - 1;
+        (tq.name, Queue.pop tq.q)
+      end
+      else begin
+        advance ();
+        go (tries + 1)
+      end
+  in
+  go 0
+
+let pop t =
+  Mutex.lock t.m;
+  let rec wait () =
+    if t.size > 0 then begin
+      let item = take_locked t in
+      Mutex.unlock t.m;
+      Some item
+    end
+    else if t.closed then begin
+      Mutex.unlock t.m;
+      None
+    end
+    else begin
+      Condition.wait t.nonempty t.m;
+      wait ()
+    end
+  in
+  wait ()
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m
+
+let size t =
+  Mutex.lock t.m;
+  let s = t.size in
+  Mutex.unlock t.m;
+  s
+
+let depth_limit t = t.depth_limit
+
+let depths t =
+  Mutex.lock t.m;
+  let d =
+    Array.to_list
+      (Array.map (fun tq -> (tq.name, tq.weight, Queue.length tq.q)) t.tenants)
+  in
+  Mutex.unlock t.m;
+  d

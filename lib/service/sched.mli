@@ -1,0 +1,47 @@
+(** Fair scheduling across tenants: one bounded FIFO per tenant,
+    drained by weighted round-robin.
+
+    A tenant with weight [w] gets up to [w] consecutive dequeues each
+    time the rotor visits it, so long-term throughput shares approach
+    [w_i / Σ w_j] under load while each tenant's own jobs stay FIFO.
+    {!push} never blocks: a full tenant queue is reported to the caller,
+    which the server turns into a [Busy] backpressure reply — clients
+    retry with backoff instead of piling unbounded work into daemon
+    memory.
+
+    Thread-safety: every operation locks the scheduler; {!pop} blocks
+    (condition wait) until an item or {!close}. Producers are the
+    connection-handler threads, consumers the worker domains. *)
+
+type 'a t
+
+type push_result =
+  | Queued of { depth : int }  (** tenant-queue depth after the push *)
+  | Full of { depth : int; limit : int }
+      (** bounded-depth backpressure: nothing was enqueued *)
+
+val create : ?depth_limit:int -> unit -> 'a t
+(** [depth_limit] (default 64, min 1) bounds each {e tenant} queue, not
+    the total. *)
+
+val register : 'a t -> tenant:string -> weight:int -> unit
+(** Pre-register a tenant (weight clamped to >= 1). A tenant's first
+    appearance — here or via {!push} — fixes its weight for the
+    scheduler's life. *)
+
+val push : 'a t -> tenant:string -> ?weight:int -> 'a -> push_result
+(** Enqueue for [tenant], auto-registering it with [weight] (default 1)
+    on first sight. Returns [Full] (and enqueues nothing) when the
+    tenant's queue is at the limit, or when the scheduler is closed. *)
+
+val pop : 'a t -> (string * 'a) option
+(** Next [(tenant, item)] under weighted round-robin; blocks while
+    empty. [None] once the scheduler is closed {e and} fully drained —
+    items pushed before {!close} are always delivered. *)
+
+val close : 'a t -> unit
+val size : 'a t -> int
+val depth_limit : 'a t -> int
+
+val depths : 'a t -> (string * int * int) list
+(** Per-tenant [(name, weight, queued)] — the stats surface. *)

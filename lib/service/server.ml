@@ -1,0 +1,353 @@
+module Job = Ifp_campaign.Job
+module Engine = Ifp_campaign.Engine
+module Events = Ifp_campaign.Events
+
+(* The long-running experiment daemon.
+
+   Topology: the calling thread runs the accept loop (select with a
+   short timeout so the stop flag is polled); every accepted connection
+   gets a lightweight handler {e thread} (I/O-bound: framing, protocol,
+   waiting on tickets); jobs execute on a pool of worker {e domains}
+   (CPU-bound: real parallelism), fed through the fair {!Sched}. A
+   submit becomes a [ticket] — a one-shot mailbox the handler blocks on
+   and the worker fills.
+
+   Results flow through {!Engine.run_job}, the exact single-job path a
+   batch campaign uses (journal-replay check aside — the daemon runs
+   journal-less; durability is the cache's job), which is what keeps
+   daemon-served results byte-identical to a direct [Engine.run].
+
+   Graceful drain: when [stop] fires (typically SIGTERM via
+   {!Ifp_campaign.Cli.install_stop}), the listener closes immediately —
+   new connections are refused by the OS — while accepted work runs to
+   completion: handlers answer every in-flight submit, refuse new ones
+   with [Refused "draining"], and close; once the last handler is gone
+   the scheduler is closed, the workers drain what is queued and exit,
+   and [run] returns the final stats snapshot. *)
+
+type config = {
+  socket_path : string;
+  workers : int;
+  shard : Shard.t option;
+  queue_depth : int;  (** per-tenant bound; overflow = Busy backpressure *)
+  retries : int;
+  backoff : float;
+  job_timeout : float option;
+  log : Events.t;
+  runner : (Job.t -> Ifp_vm.Vm.result) option;  (** test hook *)
+  banner : string;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = 1;
+    shard = None;
+    queue_depth = 64;
+    retries = 1;
+    backoff = 0.05;
+    job_timeout = None;
+    log = Events.null;
+    runner = None;
+    banner = "ifp_serviced";
+  }
+
+type ticket = {
+  t_job : Job.t;
+  t_digest : string;
+  t_tenant : string;
+  t_submitted : float;
+  t_m : Mutex.t;
+  t_c : Condition.t;
+  mutable t_outcome : Engine.outcome option;
+}
+
+let ticket_wait tk =
+  Mutex.lock tk.t_m;
+  while tk.t_outcome = None do
+    Condition.wait tk.t_c tk.t_m
+  done;
+  let o = Option.get tk.t_outcome in
+  Mutex.unlock tk.t_m;
+  o
+
+let ticket_fill tk outcome =
+  Mutex.lock tk.t_m;
+  tk.t_outcome <- Some outcome;
+  Condition.broadcast tk.t_c;
+  Mutex.unlock tk.t_m
+
+(* suggested client backoff when a queue is full: proportional to how
+   much work is already stacked up, bounded to keep retry storms and
+   starvation both at bay *)
+let retry_after ~depth = Float.min 1.0 (0.01 *. Float.of_int (max 1 depth))
+
+type state = {
+  cfg : config;
+  sched : ticket Sched.t;
+  metrics : Metrics.t;
+  draining : bool Atomic.t;
+  active_handlers : int Atomic.t;
+}
+
+let shard_json st =
+  match st.cfg.shard with
+  | Some s -> Shard.stats_json s
+  | None -> Events.Null
+
+let snapshot st =
+  Metrics.snapshot st.metrics ~queues:(Sched.depths st.sched)
+    ~shard_json:(shard_json st)
+
+(* ---- workers (domains) ---- *)
+
+let worker_loop st ~index =
+  let runner = Option.value st.cfg.runner ~default:Engine.default_runner in
+  let rec loop () =
+    match Sched.pop st.sched with
+    | None -> ()
+    | Some (_tenant, tk) ->
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        match
+          Engine.run_job
+            ~cache:(Option.map (fun s -> Shard.pick s ~digest:tk.t_digest)
+                      st.cfg.shard)
+            ~journal:None
+            ~on_job_done:(fun _ -> ())
+            ~log:st.cfg.log ~retries:st.cfg.retries ~backoff:st.cfg.backoff
+            ~job_timeout:st.cfg.job_timeout ~runner ~digest:tk.t_digest
+            tk.t_job
+        with
+        | o -> o
+        | exception exn ->
+          (* run_job already isolates runner faults; this catches bugs in
+             the plumbing itself so a worker domain never dies silently *)
+          {
+            Engine.job = tk.t_job;
+            digest = tk.t_digest;
+            status = Engine.Failed (Printexc.to_string exn);
+            result = None;
+            from_cache = false;
+            from_journal = false;
+            attempts = 1;
+            elapsed = Unix.gettimeofday () -. t0;
+          }
+      in
+      Metrics.on_worker_busy st.metrics ~worker:index
+        ~seconds:(Unix.gettimeofday () -. t0);
+      let ok = match outcome.Engine.status with Engine.Done -> true | _ -> false in
+      Metrics.on_done st.metrics ~tenant:tk.t_tenant
+        ~latency:(Unix.gettimeofday () -. tk.t_submitted)
+        ~from_cache:outcome.Engine.from_cache ~ok;
+      ticket_fill tk outcome;
+      loop ()
+  in
+  loop ()
+
+(* ---- connection handlers (threads) ---- *)
+
+let completion_of_outcome (o : Engine.outcome) ~submitted =
+  {
+    Protocol.c_digest = o.Engine.digest;
+    c_status = o.Engine.status;
+    c_result_bytes = Protocol.encode_result o.Engine.result;
+    c_from_cache = o.Engine.from_cache;
+    c_attempts = o.Engine.attempts;
+    c_elapsed = Unix.gettimeofday () -. submitted;
+  }
+
+let send fd reply = Frame.write fd (Protocol.encode_reply reply)
+
+let handle_request st fd ~tenant ~weight request =
+  match request with
+  | Protocol.Ping -> send fd Protocol.Pong
+  | Protocol.Stats ->
+    let snap = snapshot st in
+    (* the mirror: every stats request also lands in the JSONL log *)
+    Events.emit st.cfg.log "stats" [ ("snapshot", snap) ];
+    send fd (Protocol.Stats_reply snap)
+  | Protocol.Submit job ->
+    Metrics.on_submit st.metrics;
+    if Atomic.get st.draining then begin
+      Metrics.on_drain_reject st.metrics;
+      send fd (Protocol.Refused "draining")
+    end
+    else begin
+      let digest = Job.digest job in
+      let tk =
+        {
+          t_job = job;
+          t_digest = digest;
+          t_tenant = tenant;
+          t_submitted = Unix.gettimeofday ();
+          t_m = Mutex.create ();
+          t_c = Condition.create ();
+          t_outcome = None;
+        }
+      in
+      match Sched.push st.sched ~tenant ~weight tk with
+      | Sched.Full { depth; limit } ->
+        Metrics.on_busy st.metrics ~tenant;
+        send fd
+          (Protocol.Busy
+             {
+               Protocol.b_tenant = tenant;
+               b_depth = depth;
+               b_limit = limit;
+               b_retry_after = retry_after ~depth;
+             })
+      | Sched.Queued _ ->
+        let outcome = ticket_wait tk in
+        send fd
+          (Protocol.Completed
+             (completion_of_outcome outcome ~submitted:tk.t_submitted))
+    end
+
+(* wait until [fd] is readable, polling the drain flag; Draining exits
+   the handler loop between requests (never mid-request) *)
+exception Draining
+
+let wait_readable st fd =
+  let rec go () =
+    if Atomic.get st.draining then raise Draining;
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [], _, _ -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let handler st fd =
+  Metrics.on_connect st.metrics;
+  let close_conn () =
+    Metrics.on_disconnect st.metrics;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  Fun.protect ~finally:close_conn (fun () ->
+      try
+        (* versioned handshake before anything else *)
+        wait_readable st fd;
+        match Frame.read fd with
+        | None -> ()
+        | Some hello ->
+          let hs = Protocol.decode_handshake hello in
+          (match Protocol.check_handshake hs with
+          | Error reason ->
+            Metrics.on_handshake_reject st.metrics;
+            send fd (Protocol.Refused reason)
+          | Ok () ->
+            let tenant = hs.Protocol.hs_tenant in
+            let weight = max 1 hs.Protocol.hs_weight in
+            Sched.register st.sched ~tenant ~weight;
+            send fd
+              (Protocol.Welcome
+                 { version = Protocol.version; banner = st.cfg.banner });
+            Events.emit st.cfg.log "client_connected"
+              [
+                ("tenant", Events.String tenant);
+                ("weight", Events.Int weight);
+              ];
+            let rec serve () =
+              wait_readable st fd;
+              match Frame.read fd with
+              | None -> ()  (* clean disconnect *)
+              | Some payload ->
+                handle_request st fd ~tenant ~weight
+                  (Protocol.decode_request payload);
+                serve ()
+            in
+            serve ())
+      with
+      | Draining -> ()
+      | Frame.Framing_error reason | Protocol.Protocol_error reason ->
+        Metrics.on_protocol_error st.metrics;
+        Events.emit st.cfg.log "protocol_error"
+          [ ("reason", Events.String reason) ];
+        (* best-effort goodbye; the stream may already be dead *)
+        (try send fd (Protocol.Refused reason) with _ -> ())
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        (* client went away mid-reply: the job (if any) has completed
+           and is cached; nothing to clean up *)
+        ()
+      | exn ->
+        Metrics.on_protocol_error st.metrics;
+        Events.emit st.cfg.log "handler_error"
+          [ ("reason", Events.String (Printexc.to_string exn)) ])
+
+(* ---- the daemon ---- *)
+
+let listen_socket path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  sock
+
+let run ?(stop = fun () -> false) cfg =
+  (* a client dying mid-reply must be an EPIPE error, not a fatal signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let st =
+    {
+      cfg;
+      sched = Sched.create ~depth_limit:cfg.queue_depth ();
+      metrics = Metrics.create ~workers:cfg.workers;
+      draining = Atomic.make false;
+      active_handlers = Atomic.make 0;
+    }
+  in
+  let sock = listen_socket cfg.socket_path in
+  Events.emit cfg.log "service_start"
+    [
+      ("socket", Events.String cfg.socket_path);
+      ("workers", Events.Int cfg.workers);
+      ("queue_depth", Events.Int cfg.queue_depth);
+      ( "shards",
+        match cfg.shard with
+        | Some s -> Events.Int (Shard.count s)
+        | None -> Events.Null );
+      ("model_digest", Events.String Job.model_digest);
+    ];
+  let workers =
+    Array.init (max 1 cfg.workers) (fun index ->
+        Domain.spawn (fun () -> worker_loop st ~index))
+  in
+  (* accept loop: select so the stop flag is polled ~5x a second *)
+  let rec accept_loop () =
+    if stop () then ()
+    else
+      match Unix.select [ sock ] [] [] 0.2 with
+      | [], _, _ -> accept_loop ()
+      | _ ->
+        (match Unix.accept sock with
+        | fd, _ ->
+          Atomic.incr st.active_handlers;
+          ignore
+            (Thread.create
+               (fun () ->
+                 Fun.protect
+                   ~finally:(fun () -> Atomic.decr st.active_handlers)
+                   (fun () -> handler st fd))
+               ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  accept_loop ();
+  (* ---- drain ---- *)
+  Atomic.set st.draining true;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  (* handlers exit between requests (or after answering the in-flight
+     one); jobs are bounded, so this terminates — the deadline is a
+     backstop against a byzantine peer wedged mid-frame *)
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  while Atomic.get st.active_handlers > 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  Sched.close st.sched;
+  Array.iter Domain.join workers;
+  let final = snapshot st in
+  Events.emit cfg.log "service_stop" [ ("snapshot", final) ];
+  final

@@ -1,0 +1,56 @@
+(** The long-running experiment daemon: accepts jobs from many
+    concurrent clients over a Unix-domain socket and runs them on a pool
+    of worker domains, with a sharded result cache, weighted-fair
+    scheduling with bounded-depth backpressure, and a [stats]
+    observability surface.
+
+    Topology: the calling thread runs the accept loop (select with a
+    short timeout, polling [stop]); each connection gets a handler
+    {e thread} (I/O-bound); jobs execute on [workers] {e domains}
+    (CPU-bound, real parallelism) fed through {!Sched}. Every job goes
+    through {!Ifp_campaign.Engine.run_job} — the exact single-job path a
+    batch campaign uses — so daemon-served results are byte-identical
+    to a direct [Engine.run] of the same jobs (the canonical-bytes
+    comparison {!Protocol.encode_result} defines; asserted end-to-end in
+    [test/test_service.ml] and by [ifp_loadgen --verify]).
+
+    Graceful drain: when [stop] fires (typically SIGTERM via
+    {!Ifp_campaign.Cli.install_stop}), the listener closes and the
+    socket file is unlinked immediately; in-flight submits are answered,
+    new ones are refused with [Refused "draining"], handlers close,
+    queued work is drained by the workers, and {!run} returns. *)
+
+module Job = Ifp_campaign.Job
+module Events = Ifp_campaign.Events
+
+type config = {
+  socket_path : string;
+  workers : int;  (** worker domains (min 1) *)
+  shard : Shard.t option;  (** [None] = no result cache *)
+  queue_depth : int;  (** per-tenant bound; overflow = [Busy] *)
+  retries : int;  (** engine retries per job, as in batch campaigns *)
+  backoff : float;
+  job_timeout : float option;
+      (** per-job watchdog; [None] (the daemon default) avoids the
+          watchdog's domain-per-attempt cost on the hot path *)
+  log : Events.t;  (** JSONL observability (events + stats mirror) *)
+  runner : (Job.t -> Ifp_vm.Vm.result) option;  (** test hook *)
+  banner : string;
+}
+
+val default_config : socket_path:string -> config
+(** 1 worker, no cache, depth 64, 1 retry, 0.05 s backoff, no timeout,
+    null log. *)
+
+val retry_after : depth:int -> float
+(** The backpressure hint sent with [Busy]: proportional to the queue
+    depth, capped at 1 s. Exposed for tests. *)
+
+val run : ?stop:(unit -> bool) -> config -> Events.json
+(** Binds [socket_path] (unlinking any stale socket), serves until
+    [stop] fires, drains, and returns the final stats snapshot
+    ({!Metrics.snapshot} shape). Emits [service_start], [client_connected],
+    [protocol_error], [stats] (mirroring each stats request) and
+    [service_stop] events, plus the per-job engine events
+    ([job_start]/[job_finish]/[cache_hit]/...). Installs SIGPIPE-ignore
+    (a client dying mid-reply must not kill the daemon). *)

@@ -1,0 +1,72 @@
+module Cache = Ifp_campaign.Cache
+module Events = Ifp_campaign.Events
+
+(* Digest-partitioned result cache: shard i owns the digests whose
+   leading hex byte maps to i, each shard being an independent
+   {!Cache.t} rooted at <dir>/shard-NN with its own lock, byte budget
+   and counters. Partitioning by digest (the content address) spreads
+   load uniformly and means concurrent stores/sweeps contend only
+   within a shard, never across the whole cache. *)
+
+type t = {
+  root : string;
+  shards : Cache.t array;
+}
+
+let create ?max_bytes ~dir ~shards () =
+  let n = max 1 (min 256 shards) in
+  let per_shard = Option.map (fun b -> max 1 (b / n)) max_bytes in
+  {
+    root = dir;
+    shards =
+      Array.init n (fun i ->
+          Cache.create ?max_bytes:per_shard
+            ~dir:(Filename.concat dir (Printf.sprintf "shard-%02d" i))
+            ());
+  }
+
+let dir t = t.root
+let count t = Array.length t.shards
+
+let index t ~digest =
+  (* digests are lowercase hex; fall back to a char sum for anything
+     else so foreign keys still land deterministically *)
+  let v =
+    if String.length digest >= 2 then
+      match int_of_string_opt ("0x" ^ String.sub digest 0 2) with
+      | Some v -> v
+      | None -> Char.code digest.[0]
+    else 0
+  in
+  v mod Array.length t.shards
+
+let pick t ~digest = t.shards.(index t ~digest)
+
+let totals t =
+  Array.fold_left
+    (fun (h, m, e, b) shard ->
+      let s = Cache.stats shard in
+      ( h + s.Cache.hits,
+        m + s.Cache.misses,
+        e + s.Cache.evictions,
+        b + s.Cache.bytes ))
+    (0, 0, 0, 0) t.shards
+
+let stats_json t =
+  let hits, misses, evictions, bytes = totals t in
+  let probes = hits + misses in
+  Events.Obj
+    [
+      ("dir", Events.String t.root);
+      ("shards", Events.Int (Array.length t.shards));
+      ("hits", Events.Int hits);
+      ("misses", Events.Int misses);
+      ("evictions", Events.Int evictions);
+      ("bytes", Events.Int bytes);
+      ( "hit_rate",
+        if probes = 0 then Events.Null
+        else Events.Float (float_of_int hits /. float_of_int probes) );
+      ( "per_shard",
+        Events.List
+          (Array.to_list (Array.map Cache.stats_json t.shards)) );
+    ]

@@ -1,0 +1,28 @@
+(** Digest-partitioned result cache for the experiment daemon.
+
+    Shard [i] owns the digests whose leading hex byte maps to [i], each
+    shard an independent {!Ifp_campaign.Cache.t} rooted at
+    [<dir>/shard-NN] with its own per-instance lock, byte budget (the
+    total split evenly) and hit/miss/eviction counters. Partitioning by
+    the content address spreads load uniformly, and concurrent
+    stores/LRU sweeps contend only within one shard. A sharded
+    directory is {e not} readable by the unsharded campaign cache (and
+    vice versa) — the daemon owns its cache root. *)
+
+type t
+
+val create : ?max_bytes:int -> dir:string -> shards:int -> unit -> t
+(** [shards] clamped to [1..256]. [max_bytes] is the {e total} budget,
+    split evenly across shards. *)
+
+val dir : t -> string
+val count : t -> int
+
+val index : t -> digest:string -> int
+(** Exposed for tests: which shard owns [digest]. *)
+
+val pick : t -> digest:string -> Ifp_campaign.Cache.t
+
+val stats_json : t -> Ifp_campaign.Events.json
+(** Aggregate hits/misses/evictions/bytes/hit-rate plus a [per_shard]
+    breakdown — the [stats] reply's cache section. *)

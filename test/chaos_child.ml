@@ -66,7 +66,7 @@ let () =
     incr i
   done;
   let jobs = List.init n_jobs job in
-  let cache = Option.map (fun dir -> Rcache.create ~dir) !cache_dir in
+  let cache = Option.map (fun dir -> Rcache.create ~dir ()) !cache_dir in
   let stop = Cli.install_interrupt () in
   let journal, _replay = Cli.open_journal ~path:!journal_path ~resume:!resume in
   let on_job_done =

@@ -97,7 +97,7 @@ let test_cache_roundtrip () =
   Fun.protect
     ~finally:(fun () -> rm_rf dir)
     (fun () ->
-      let cache = Rcache.create ~dir in
+      let cache = Rcache.create ~dir () in
       let job = tiny_job "tiny/subheap" in
       let cold, cold_stats = Engine.run ~cache [ job ] in
       Alcotest.(check bool) "cold run misses" false cold.(0).Engine.from_cache;
@@ -256,7 +256,7 @@ let test_cache_crc_catches_damage () =
     Fun.protect
       ~finally:(fun () -> rm_rf dir)
       (fun () ->
-        let cache = Rcache.create ~dir in
+        let cache = Rcache.create ~dir () in
         let job = tiny_job "tiny/crc" in
         let _ = Engine.run ~cache [ job ] in
         let path = List.hd (find_results dir) in
@@ -362,6 +362,128 @@ let test_failed_job_visible_in_row () =
   Alcotest.(check bool) "reason preserved" true
     (List.mem_assoc "wrapped" (Report.check_outcomes row))
 
+let test_cache_lru_byte_budget () =
+  let result =
+    Vm.run ~config:Vm.ifp_subheap
+      (Ir.program ~tenv:Ctype.empty_tenv ~globals:[]
+         [ Ir.func "main" [] Ctype.I64 [ Ir.Return (Some (Ir.i 42)) ] ])
+  in
+  let digest c = String.make 30 c ^ Printf.sprintf "%02d" (Char.code c) in
+  (* entry size depends on the marshalled result, so measure it first *)
+  let entry_bytes =
+    let dir = temp_dir "ifp-cache-measure" in
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        let c = Rcache.create ~dir () in
+        Rcache.store c ~digest:(digest 'a') ~job_name:"jx" result;
+        (Rcache.stats c).Rcache.bytes)
+  in
+  Alcotest.(check bool) "measured a real entry" true (entry_bytes > 0);
+  let dir = temp_dir "ifp-cache-lru" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      (* room for three entries and change: the fourth store must evict *)
+      let budget = (3 * entry_bytes) + (entry_bytes / 2) in
+      let cache = Rcache.create ~max_bytes:budget ~dir () in
+      let store ch =
+        Rcache.store cache ~digest:(digest ch) ~job_name:"jx" result;
+        (* mtime is the LRU clock; keep stores strictly ordered *)
+        Thread.delay 0.02
+      in
+      store 'a';
+      store 'b';
+      store 'c';
+      (* a hit refreshes 'a', demoting 'b' to least-recently-used *)
+      (match Rcache.find cache ~digest:(digest 'a') with
+      | Rcache.Hit _ -> ()
+      | _ -> Alcotest.fail "expected hit on 'a'");
+      Thread.delay 0.02;
+      store 'd';
+      store 'e';
+      let hit ch =
+        match Rcache.find cache ~digest:(digest ch) with
+        | Rcache.Hit _ -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) "'b' (coldest) evicted" false (hit 'b');
+      Alcotest.(check bool) "'c' (next coldest) evicted" false (hit 'c');
+      Alcotest.(check bool) "'a' survived via its hit" true (hit 'a');
+      Alcotest.(check bool) "'d' survived" true (hit 'd');
+      Alcotest.(check bool) "'e' survived" true (hit 'e');
+      let s = Rcache.stats cache in
+      Alcotest.(check int) "two evictions" 2 s.Rcache.evictions;
+      Alcotest.(check int) "three entries left" 3 s.Rcache.entries;
+      Alcotest.(check bool) "tally within budget" true (s.Rcache.bytes <= budget);
+      Alcotest.(check bool) "evicted bytes accounted" true
+        (s.Rcache.evicted_bytes >= 2 * (entry_bytes - 8));
+      (* a reopened cache grounds its tally from the surviving files *)
+      let reopened = Rcache.create ~max_bytes:budget ~dir () in
+      let s2 = Rcache.stats reopened in
+      Alcotest.(check int) "reopen sees the survivors" 3 s2.Rcache.entries;
+      Alcotest.(check int) "reopen grounds the byte tally" s.Rcache.bytes
+        s2.Rcache.bytes)
+
+let test_parse_bytes () =
+  let check input expected =
+    Alcotest.(check (option int))
+      (Printf.sprintf "parse_bytes %S" input)
+      expected
+      (Ifp_campaign.Cli.parse_bytes input)
+  in
+  check "0" (Some 0);
+  check "123" (Some 123);
+  check "1k" (Some 1024);
+  check "2K" (Some 2048);
+  check "1m" (Some (1024 * 1024));
+  check "512M" (Some (512 * 1024 * 1024));
+  check "3g" (Some (3 * 1024 * 1024 * 1024));
+  check "1G" (Some (1024 * 1024 * 1024));
+  check "" None;
+  check "k" None;
+  check "-1" None;
+  check "1.5M" None;
+  check "10x" None;
+  check "1kk" None
+
+let test_install_stop_restores_handlers () =
+  (* SIGUSR1 stands in for SIGTERM so a restored default handler can't
+     kill the test runner *)
+  let fired = ref 0 in
+  let previous =
+    Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> incr fired))
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigusr1 previous)
+    (fun () ->
+      let signals = Ifp_campaign.Cli.install_stop ~signals:[ Sys.sigusr1 ] () in
+      Alcotest.(check bool) "flag starts false" false (signals.stop ());
+      Unix.kill (Unix.getpid ()) Sys.sigusr1;
+      let rec await n =
+        if signals.stop () then ()
+        else if n <= 0 then Alcotest.fail "stop flag never fired"
+        else begin
+          Thread.delay 0.01;
+          await (n - 1)
+        end
+      in
+      await 200;
+      Alcotest.(check int) "counting handler was displaced" 0 !fired;
+      signals.restore ();
+      signals.restore ();  (* idempotent *)
+      Unix.kill (Unix.getpid ()) Sys.sigusr1;
+      let rec await2 n =
+        if !fired > 0 then ()
+        else if n <= 0 then Alcotest.fail "previous handler not restored"
+        else begin
+          Thread.delay 0.01;
+          await2 (n - 1)
+        end
+      in
+      await2 200;
+      Alcotest.(check int) "previous handler back in place" 1 !fired)
+
 let tests =
   [
     Alcotest.test_case "serial = parallel (3 workloads x 5 variants)" `Slow
@@ -380,4 +502,9 @@ let tests =
       test_events_torn_line_tolerated;
     Alcotest.test_case "failed variant visible in row status" `Quick
       test_failed_job_visible_in_row;
+    Alcotest.test_case "cache LRU byte budget evicts coldest" `Quick
+      test_cache_lru_byte_budget;
+    Alcotest.test_case "parse_bytes suffixes" `Quick test_parse_bytes;
+    Alcotest.test_case "install_stop restores previous handlers" `Quick
+      test_install_stop_restores_handlers;
   ]

@@ -206,7 +206,7 @@ let tiny_job i =
 let test_tear_cache_entry_quarantines () =
   let dir = fresh_dir "ifp-chaos-cache" in
   let jobs = List.init 8 tiny_job in
-  let cache = Rcache.create ~dir in
+  let cache = Rcache.create ~dir () in
   let first, _ = Engine.run ~cache jobs in
   let p = Chaos.plan Chaos.Tear_cache_entry ~seed:11L in
   (match Chaos.tear_cache_entry p ~dir with

@@ -25,4 +25,5 @@ let () =
       ("chaos", Test_chaos.tests);
       ("faultinject", Test_faultinject.tests);
       ("guarantees", Test_guarantees.tests);
+      ("service", Test_service.tests);
     ]
