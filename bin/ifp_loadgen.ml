@@ -32,6 +32,7 @@ module Victim = Ifp_faultinject.Victim
 module Juliet = Ifp_juliet.Juliet
 module Client = Ifp_service.Client
 module Protocol = Ifp_service.Protocol
+module Chaosproxy = Ifp_service.Chaosproxy
 
 (* ---------------- options ---------------- *)
 
@@ -44,6 +45,15 @@ type opts = {
   out : string;
   verify : bool;
   quiet : bool;
+  chaos_seed : int64 option;  (** Some = interpose the chaos proxy *)
+  chaos_drop : float;
+  chaos_corrupt : float;
+  chaos_delay : float;
+  chaos_truncate : float;
+  chaos_dribble : float;
+  chaos_dup : float;
+  resilient : bool;  (** children use Client.Resilient *)
+  budget : float;  (** per-submit wall-clock budget (resilient mode) *)
 }
 
 let default_opts =
@@ -56,6 +66,15 @@ let default_opts =
     out = "BENCH_service.json";
     verify = true;
     quiet = false;
+    chaos_seed = None;
+    chaos_drop = 0.02;
+    chaos_corrupt = 0.02;
+    chaos_delay = 0.02;
+    chaos_truncate = 0.01;
+    chaos_dribble = 0.01;
+    chaos_dup = 0.01;
+    resilient = false;
+    budget = 120.0;
   }
 
 let usage () =
@@ -63,9 +82,17 @@ let usage () =
     "usage: ifp_loadgen [--socket PATH] [--clients N] [-n JOBS]\n\
     \                   [--seeds N] [--juliet N] [--out FILE]\n\
     \                   [--no-verify] [--quiet]\n\
+    \                   [--via-chaos SEED] [--chaos-drop R]\n\
+    \                   [--chaos-corrupt R] [--chaos-delay R]\n\
+    \                   [--chaos-truncate R] [--chaos-dribble R]\n\
+    \                   [--chaos-dup R] [--resilient] [--budget SECS]\n\
      Hammers a running ifp_serviced with a mixed job stream from N\n\
      forked client processes and writes throughput + latency quantiles\n\
-     to --out (default BENCH_service.json).";
+     to --out (default BENCH_service.json).\n\
+     --via-chaos SEED interposes a deterministic network-chaos proxy\n\
+     between the clients and the daemon (per-chunk fault rates set by\n\
+     the --chaos-* flags); --resilient switches the clients to the\n\
+     reconnecting circuit-breaker client so the run converges anyway.";
   exit 1
 
 let parse_opts argv =
@@ -97,6 +124,37 @@ let parse_opts argv =
     | "--verify" -> o := { !o with verify = true }
     | "--no-verify" -> o := { !o with verify = false }
     | "--quiet" -> o := { !o with quiet = true }
+    | "--via-chaos" -> (
+      let s = next "--via-chaos" in
+      match Int64.of_string_opt s with
+      | Some seed -> o := { !o with chaos_seed = Some seed }
+      | None ->
+        Printf.eprintf "bad --via-chaos seed %S\n" s;
+        usage ())
+    | ( "--chaos-drop" | "--chaos-corrupt" | "--chaos-delay"
+      | "--chaos-truncate" | "--chaos-dribble" | "--chaos-dup" ) as what -> (
+      let s = next what in
+      match float_of_string_opt s with
+      | Some r when r >= 0.0 && r <= 1.0 ->
+        o :=
+          (match what with
+          | "--chaos-drop" -> { !o with chaos_drop = r }
+          | "--chaos-corrupt" -> { !o with chaos_corrupt = r }
+          | "--chaos-delay" -> { !o with chaos_delay = r }
+          | "--chaos-truncate" -> { !o with chaos_truncate = r }
+          | "--chaos-dribble" -> { !o with chaos_dribble = r }
+          | _ -> { !o with chaos_dup = r })
+      | _ ->
+        Printf.eprintf "bad %s rate %S\n" what s;
+        usage ())
+    | "--resilient" -> o := { !o with resilient = true }
+    | "--budget" -> (
+      let s = next "--budget" in
+      match float_of_string_opt s with
+      | Some b when b > 0.0 -> o := { !o with budget = b }
+      | _ ->
+        Printf.eprintf "bad --budget argument %S\n" s;
+        usage ())
     | "-h" | "--help" -> usage ()
     | s ->
       Printf.eprintf "unknown option %s\n" s;
@@ -191,12 +249,17 @@ type child_summary = {
   cs_lat : float array;  (** per-job seconds, submit to reply *)
   cs_md5 : (string * string) list;  (** job digest -> MD5 of result bytes *)
   cs_errors : string list;
+  (* resilient-mode recovery counters (all 0 for the plain client) *)
+  cs_reconnects : int;
+  cs_resubmits : int;
+  cs_breaker : (int * int * int);  (** (opens, half_opens, closes) *)
 }
 
 (* child [k] takes stream positions k, k+clients, k+2*clients, ... so
    every client sees the full mix and distinct jobs interleave across
-   tenants (maximal shard-lock and scheduler contention) *)
-let run_child ~opts ~jobs ~k ~out_file =
+   tenants (maximal shard-lock and scheduler contention). [socket] is
+   the daemon — or the chaos proxy standing in front of it. *)
+let run_child ~opts ~socket ~jobs ~k ~out_file =
   let tenant = "t" ^ string_of_int k in
   let weight = 1 + (k mod 2) in
   let n_distinct = Array.length jobs in
@@ -207,37 +270,69 @@ let run_child ~opts ~jobs ~k ~out_file =
   let md5 = Hashtbl.create 64 in
   let errors = ref [] in
   let completed = ref 0 in
+  let reconnects = ref 0 in
+  let resubmits = ref 0 in
+  let breaker_transitions = ref (0, 0, 0) in
+  let record job (comp : Protocol.completion) t0 =
+    lat := (Unix.gettimeofday () -. t0) :: !lat;
+    incr completed;
+    if comp.Protocol.c_from_cache then incr cache_hits;
+    (match comp.Protocol.c_status with
+    | Engine.Done -> ()
+    | st ->
+      incr not_done;
+      errors :=
+        Printf.sprintf "%s: %s" job.Job.name (Protocol.status_string st)
+        :: !errors);
+    let h = Digest.to_hex (Digest.string comp.Protocol.c_result_bytes) in
+    match Hashtbl.find_opt md5 comp.Protocol.c_digest with
+    | None -> Hashtbl.add md5 comp.Protocol.c_digest h
+    | Some h' when h' = h -> ()
+    | Some h' ->
+      errors :=
+        Printf.sprintf "%s: result bytes changed between repeats (%s vs %s)"
+          job.Job.name h' h
+        :: !errors
+  in
   (try
-     let c = Client.connect ~weight ~socket:opts.socket ~tenant () in
-     let i = ref k in
-     while !i < opts.jobs do
-       let job = jobs.(!i mod n_distinct) in
-       let t0 = Unix.gettimeofday () in
-       let comp =
-         Client.submit_wait ~on_busy:(fun _ -> incr busy) c job
+     if opts.resilient then begin
+       (* the self-healing client: survives the chaos proxy and daemon
+          restarts by reconnecting + idempotently re-submitting. The
+          per-frame io deadline scales down with the call budget: a
+          dropped frame must cost a slice of the budget, not the 30 s
+          default (one drop would otherwise eat half of --budget 60) *)
+       let io_timeout = Float.max 1.0 (Float.min 30.0 (opts.budget /. 12.0)) in
+       let rt =
+         Client.Resilient.create
+           (Client.Resilient.config ~weight ~io_timeout
+              ~connect_timeout:(Float.min 5.0 io_timeout)
+              ~call_budget:opts.budget ~socket ~tenant ())
        in
-       lat := (Unix.gettimeofday () -. t0) :: !lat;
-       incr completed;
-       if comp.Protocol.c_from_cache then incr cache_hits;
-       (match comp.Protocol.c_status with
-       | Engine.Done -> ()
-       | st ->
-         incr not_done;
-         errors :=
-           Printf.sprintf "%s: %s" job.Job.name (Protocol.status_string st)
-           :: !errors);
-       let h = Digest.to_hex (Digest.string comp.Protocol.c_result_bytes) in
-       (match Hashtbl.find_opt md5 comp.Protocol.c_digest with
-       | None -> Hashtbl.add md5 comp.Protocol.c_digest h
-       | Some h' when h' = h -> ()
-       | Some h' ->
-         errors :=
-           Printf.sprintf "%s: result bytes changed between repeats (%s vs %s)"
-             job.Job.name h' h
-           :: !errors);
-       i := !i + opts.clients
-     done;
-     Client.close c
+       let i = ref k in
+       while !i < opts.jobs do
+         let job = jobs.(!i mod n_distinct) in
+         let t0 = Unix.gettimeofday () in
+         record job (Client.Resilient.submit rt job) t0;
+         i := !i + opts.clients
+       done;
+       busy := Client.Resilient.busy_retries rt;
+       reconnects := Client.Resilient.reconnects rt;
+       resubmits := Client.Resilient.resubmits rt;
+       breaker_transitions :=
+         Ifp_service.Breaker.transitions (Client.Resilient.breaker rt);
+       Client.Resilient.close rt
+     end
+     else begin
+       let c = Client.connect ~weight ~socket ~tenant () in
+       let i = ref k in
+       while !i < opts.jobs do
+         let job = jobs.(!i mod n_distinct) in
+         let t0 = Unix.gettimeofday () in
+         record job (Client.submit_wait ~on_busy:(fun _ -> incr busy) c job) t0;
+         i := !i + opts.clients
+       done;
+       Client.close c
+     end
    with e -> errors := ("client " ^ tenant ^ ": " ^ Printexc.to_string e) :: !errors);
   let summary =
     {
@@ -250,6 +345,9 @@ let run_child ~opts ~jobs ~k ~out_file =
       cs_lat = Array.of_list (List.rev !lat);
       cs_md5 = Hashtbl.fold (fun k v acc -> (k, v) :: acc) md5 [];
       cs_errors = List.rev !errors;
+      cs_reconnects = !reconnects;
+      cs_resubmits = !resubmits;
+      cs_breaker = !breaker_transitions;
     }
   in
   let oc = open_out_bin out_file in
@@ -258,6 +356,67 @@ let run_child ~opts ~jobs ~k ~out_file =
   (* _exit: skip at_exit so the child never flushes the parent's
      buffered stdout a second time *)
   if summary.cs_errors = [] then Unix._exit 0 else Unix._exit 1
+
+(* ---------------- the chaos proxy child ----------------
+
+   The proxy needs pump threads, and this parent forks client processes
+   — forking a multithreaded OCaml process is unsafe (only the forking
+   thread survives; any lock held by another thread stays locked
+   forever). So the proxy lives in its own single-purpose forked child:
+   the parent stays thread-free until all forks are done, and the proxy
+   child never forks. On SIGTERM the child stops the proxy, writes its
+   stats (marshalled Events.json) to [stats_file], and exits. *)
+
+let run_proxy_child ~plan ~listen ~upstream ~stats_file =
+  let stop = Atomic.make false in
+  let handler _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+  let p = Chaosproxy.start ~plan ~listen ~upstream () in
+  while not (Atomic.get stop) do
+    Thread.delay 0.05
+  done;
+  Chaosproxy.stop p;
+  let oc = open_out_bin stats_file in
+  Marshal.to_channel oc (Chaosproxy.stats_json p) [];
+  close_out oc;
+  Unix._exit 0
+
+let start_chaos_proxy opts seed =
+  let plan =
+    Chaosproxy.plan ~delay_rate:opts.chaos_delay ~corrupt_rate:opts.chaos_corrupt
+      ~drop_rate:opts.chaos_drop ~truncate_rate:opts.chaos_truncate
+      ~dribble_rate:opts.chaos_dribble ~duplicate_rate:opts.chaos_dup ~seed ()
+  in
+  let listen = opts.socket ^ ".chaos" in
+  let stats_file = Filename.temp_file "ifp-chaos" ".stats" in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 -> run_proxy_child ~plan ~listen ~upstream:opts.socket ~stats_file
+  | pid ->
+    (* wait for the proxy socket before unleashing the clients *)
+    let rec wait n =
+      if n > 0 && not (Sys.file_exists listen) then (
+        Unix.sleepf 0.02;
+        wait (n - 1))
+    in
+    wait 250;
+    (pid, listen, stats_file, Chaosproxy.fingerprint plan)
+
+let stop_chaos_proxy (pid, _listen, stats_file, _fp) =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+  let stats =
+    try
+      let ic = open_in_bin stats_file in
+      let j : Events.json = Marshal.from_channel ic in
+      close_in ic;
+      j
+    with _ -> Events.Null
+  in
+  (try Sys.remove stats_file with Sys_error _ -> ());
+  stats
 
 (* ---------------- aggregation ---------------- *)
 
@@ -287,12 +446,29 @@ let latency_json lat =
     ]
 
 let () =
+  (* clients write into sockets the chaos proxy severs at will: the
+     write must surface as EPIPE (a retryable connection failure the
+     resilient client absorbs), not SIGPIPE's default process kill.
+     Set before forking so every client child and the proxy child
+     inherit it. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let opts = parse_opts Sys.argv in
   let jobs = distinct_jobs opts in
   if not opts.quiet then
     Printf.printf
       "ifp_loadgen: %d jobs (%d distinct) across %d clients -> %s\n%!"
       opts.jobs (Array.length jobs) opts.clients opts.socket;
+  let chaos = Option.map (start_chaos_proxy opts) opts.chaos_seed in
+  let client_socket =
+    match chaos with
+    | Some (_, listen, _, fp) ->
+      if not opts.quiet then
+        Printf.printf "ifp_loadgen: chaos proxy %s on %s -> %s\n%!" fp listen
+          opts.socket;
+      listen
+    | None -> opts.socket
+  in
   let t_start = Unix.gettimeofday () in
   let children =
     List.init opts.clients (fun k ->
@@ -300,7 +476,7 @@ let () =
         flush stdout;
         flush stderr;
         match Unix.fork () with
-        | 0 -> run_child ~opts ~jobs ~k ~out_file
+        | 0 -> run_child ~opts ~socket:client_socket ~jobs ~k ~out_file
         | pid -> (pid, out_file))
   in
   let child_failed = ref false in
@@ -325,6 +501,7 @@ let () =
     |> List.filter_map Fun.id
   in
   let wall = Unix.gettimeofday () -. t_start in
+  let chaos_stats = Option.map stop_chaos_proxy chaos in
   if List.length summaries < opts.clients then child_failed := true;
   List.iter
     (fun s ->
@@ -339,6 +516,19 @@ let () =
   in
   let total_not_done =
     List.fold_left (fun a s -> a + s.cs_not_done) 0 summaries
+  in
+  let total_reconnects =
+    List.fold_left (fun a s -> a + s.cs_reconnects) 0 summaries
+  in
+  let total_resubmits =
+    List.fold_left (fun a s -> a + s.cs_resubmits) 0 summaries
+  in
+  let breaker_opens, breaker_half_opens, breaker_closes =
+    List.fold_left
+      (fun (o, h, c) s ->
+        let o', h', c' = s.cs_breaker in
+        (o + o', h + h', c + c'))
+      (0, 0, 0) summaries
   in
   let all_lat = Array.concat (List.map (fun s -> s.cs_lat) summaries) in
   (* every tenant that ran a given digest must have seen the same bytes:
@@ -437,6 +627,26 @@ let () =
               ]
           else Events.Null );
         ("tenants", Events.List (List.map tenant_json summaries));
+        ( "chaos",
+          match (chaos_stats, opts.chaos_seed) with
+          | Some stats, Some seed ->
+            Events.Obj
+              [
+                ("seed", Events.String (Int64.to_string seed));
+                ("proxy", stats);
+              ]
+          | _ -> Events.Null );
+        ( "resilience",
+          if opts.resilient then
+            Events.Obj
+              [
+                ("reconnects", Events.Int total_reconnects);
+                ("resubmits", Events.Int total_resubmits);
+                ("breaker_opens", Events.Int breaker_opens);
+                ("breaker_half_opens", Events.Int breaker_half_opens);
+                ("breaker_closes", Events.Int breaker_closes);
+              ]
+          else Events.Null );
         ("server", server_stats);
       ]
   in
@@ -455,6 +665,12 @@ let () =
       "ifp_loadgen: %d busy rejections, %d client-observed cache hits; \
        wrote %s\n"
       total_busy total_hits opts.out;
+    if opts.resilient then
+      Printf.printf
+        "ifp_loadgen: resilience: %d reconnects, %d resubmits, breaker \
+         %d/%d/%d (open/half-open/close)\n"
+        total_reconnects total_resubmits breaker_opens breaker_half_opens
+        breaker_closes;
     if opts.verify then
       Printf.printf "ifp_loadgen: verify: %d checked, %d mismatches\n"
         !verify_checked !verify_mismatches

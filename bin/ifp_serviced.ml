@@ -15,6 +15,7 @@
 
 module Cli = Ifp_campaign.Cli
 module Events = Ifp_campaign.Events
+module Journal = Ifp_campaign.Journal
 module Shard = Ifp_service.Shard
 module Server = Ifp_service.Server
 
@@ -27,6 +28,11 @@ type opts = {
   queue_depth : int;
   retries : int;
   timeout : float option;
+  drain_timeout : float;
+  idle_timeout : float;
+  io_timeout : float;
+  poison_threshold : int;
+  journal_path : string option;
   log_path : string option;
   stats_out : string option;
   ready_fd : int option;
@@ -42,6 +48,11 @@ let default_opts =
     queue_depth = 64;
     retries = 1;
     timeout = None;
+    drain_timeout = 60.0;
+    idle_timeout = 60.0;
+    io_timeout = 30.0;
+    poison_threshold = 3;
+    journal_path = None;
     log_path = Some "service.jsonl";
     stats_out = None;
     ready_fd = None;
@@ -52,11 +63,19 @@ let usage () =
     "usage: ifp_serviced [--socket PATH] [-j N] [--cache-dir DIR]\n\
     \                    [--no-cache] [--cache-max-bytes BYTES[k|M|G]]\n\
     \                    [--shards N] [--queue-depth N] [--retries N]\n\
-    \                    [--timeout SECS] [--log FILE] [--no-log]\n\
+    \                    [--timeout SECS] [--drain-timeout SECS]\n\
+    \                    [--idle-timeout SECS] [--io-timeout SECS]\n\
+    \                    [--poison-threshold N] [--journal FILE]\n\
+    \                    [--log FILE] [--no-log]\n\
     \                    [--stats-out FILE] [--ready-fd FD]\n\
      Serves experiment jobs over a Unix-domain socket until SIGTERM,\n\
      then drains gracefully and exits 0. --ready-fd FD writes one byte\n\
-     to FD once the socket is listening (for supervisors and CI).";
+     to FD once the socket is listening (for supervisors and CI).\n\
+     --journal FILE gives crash-restart durability: completions are\n\
+     journaled before the reply, and a restarted daemon replays them\n\
+     byte-identically. --idle-timeout / --io-timeout reap idle and\n\
+     slow-loris connections; --poison-threshold quarantines a job\n\
+     digest after N worker crashes.";
   exit 1
 
 let parse_opts argv =
@@ -101,6 +120,22 @@ let parse_opts argv =
       | None ->
         Printf.eprintf "bad --timeout argument %S\n" s;
         usage ())
+    | "--drain-timeout" | "--idle-timeout" | "--io-timeout" ->
+      let what = argv.(!i) in
+      let s = next what in
+      (match float_of_string_opt s with
+      | Some t when t > 0.0 ->
+        o :=
+          (match what with
+          | "--drain-timeout" -> { !o with drain_timeout = t }
+          | "--idle-timeout" -> { !o with idle_timeout = t }
+          | _ -> { !o with io_timeout = t })
+      | _ ->
+        Printf.eprintf "bad %s argument %S\n" what s;
+        usage ())
+    | "--poison-threshold" ->
+      o := { !o with poison_threshold = max 1 (int_arg "--poison-threshold") }
+    | "--journal" -> o := { !o with journal_path = Some (next "--journal") }
     | "--log" -> o := { !o with log_path = Some (next "--log") }
     | "--no-log" -> o := { !o with log_path = None }
     | "--stats-out" -> o := { !o with stats_out = Some (next "--stats-out") }
@@ -127,6 +162,20 @@ let () =
     | Some path -> Events.create ~path
     | None -> Events.null
   in
+  (* crash-restart durability: resume over the existing journal (replay
+     is authoritative — a restarted daemon serves prior results
+     byte-identically), truncating any tail torn by a SIGKILL *)
+  let journal =
+    Option.map
+      (fun path ->
+        let j, replay = Journal.open_resume ~path in
+        let n = List.length replay.Journal.entries in
+        if n > 0 then
+          Printf.printf "ifp_serviced: journal replayed %d entries from %s\n%!"
+            n path;
+        j)
+      opts.journal_path
+  in
   (* the daemon's whole point is install-then-restore: serve until a
      signal, drain, put the old handlers back, exit 0 *)
   let signals = Cli.install_stop () in
@@ -138,6 +187,11 @@ let () =
       queue_depth = opts.queue_depth;
       retries = opts.retries;
       job_timeout = opts.timeout;
+      drain_timeout = opts.drain_timeout;
+      idle_timeout = opts.idle_timeout;
+      io_timeout = opts.io_timeout;
+      poison_threshold = opts.poison_threshold;
+      journal;
       log;
       banner = "ifp_serviced/1";
     }
@@ -176,6 +230,7 @@ let () =
   | Some path -> Events.write_json_file ~path final
   | None -> ());
   print_endline (Events.json_to_string final);
+  Option.iter Journal.close journal;
   Events.close log;
   (* clean drain is the daemon's success path — unlike the batch CLIs'
      exit 130, SIGTERM here means "retire", not "interrupted" *)

@@ -112,6 +112,7 @@ val backoff_delay : base:float -> digest:string -> attempt:int -> float
     at 5 s. [0.0] when [base <= 0.0]. Exposed for tests. *)
 
 val run_job :
+  ?fatal:(exn -> bool) ->
   cache:Cache.t option ->
   journal:Journal.t option ->
   on_job_done:(outcome -> unit) ->
@@ -130,7 +131,13 @@ val run_job :
     daemon-served results flow through {e exactly} the code a direct
     {!run} would use and stay byte-identical to it. [digest] must be
     {!Job.digest} of [job] (computed by the caller, which typically also
-    uses it as the cache-shard key). *)
+    uses it as the cache-shard key).
+
+    [fatal] (default: nothing) selects exceptions that must {e escape}
+    the per-job isolation: instead of retries and a [Failed] outcome
+    they re-raise to the caller, so a supervisor (the daemon's worker
+    supervision) can treat them as a worker crash and restart the
+    domain. *)
 
 val default_runner : Job.t -> Ifp_vm.Vm.result
 (** [Vm.run ~config:job.config job.prog] — the [runner] default. *)

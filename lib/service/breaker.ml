@@ -1,0 +1,134 @@
+module Events = Ifp_campaign.Events
+
+(* Per-endpoint circuit breaker for the service client.
+
+   Closed --(threshold consecutive failures)--> Open
+   Open   --(reset_timeout elapsed, next allow)--> Half_open (one probe)
+   Half_open --probe success--> Closed
+   Half_open --probe failure--> Open (re-trip, timer restarts)
+
+   Time is injected (~now) so the state machine is testable without
+   sleeping; production callers omit it and get Unix.gettimeofday.
+   All operations take the instance lock: the resilient client may be
+   shared across threads, and the loadgen children each own one. *)
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+type t = {
+  failure_threshold : int;
+  reset_timeout : float;
+  m : Mutex.t;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable opened_at : float;
+  mutable probe_in_flight : bool;
+  (* transition + rejection counters, for the metrics surface *)
+  mutable opens : int;
+  mutable half_opens : int;
+  mutable closes : int;
+  mutable rejected : int;
+}
+
+let create ?(failure_threshold = 5) ?(reset_timeout = 1.0) () =
+  {
+    failure_threshold = max 1 failure_threshold;
+    reset_timeout = Float.max 0.0 reset_timeout;
+    m = Mutex.create ();
+    state = Closed;
+    consecutive_failures = 0;
+    opened_at = neg_infinity;
+    probe_in_flight = false;
+    opens = 0;
+    half_opens = 0;
+    closes = 0;
+    rejected = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let allow ?now t =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+  locked t (fun () ->
+      match t.state with
+      | Closed -> true
+      | Open ->
+        if now -. t.opened_at >= t.reset_timeout then begin
+          t.state <- Half_open;
+          t.half_opens <- t.half_opens + 1;
+          t.probe_in_flight <- true;
+          true
+        end
+        else begin
+          t.rejected <- t.rejected + 1;
+          false
+        end
+      | Half_open ->
+        (* exactly one probe at a time: concurrent callers wait for the
+           in-flight probe's verdict instead of stampeding the endpoint *)
+        if t.probe_in_flight then begin
+          t.rejected <- t.rejected + 1;
+          false
+        end
+        else begin
+          t.probe_in_flight <- true;
+          true
+        end)
+
+let on_success t =
+  locked t (fun () ->
+      t.consecutive_failures <- 0;
+      t.probe_in_flight <- false;
+      match t.state with
+      | Closed -> ()
+      | Half_open | Open ->
+        (* Open -> Closed directly can only happen if a call admitted
+           before the trip succeeds late; treat it as recovery too *)
+        t.state <- Closed;
+        t.closes <- t.closes + 1)
+
+let on_failure ?now t =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+  locked t (fun () ->
+      t.probe_in_flight <- false;
+      match t.state with
+      | Half_open ->
+        (* the probe failed: re-trip, restart the cool-down clock *)
+        t.state <- Open;
+        t.opened_at <- now;
+        t.opens <- t.opens + 1
+      | Open ->
+        (* a straggler from before the trip; keep the clock as-is *)
+        ()
+      | Closed ->
+        t.consecutive_failures <- t.consecutive_failures + 1;
+        if t.consecutive_failures >= t.failure_threshold then begin
+          t.state <- Open;
+          t.opened_at <- now;
+          t.opens <- t.opens + 1
+        end)
+
+let state t = locked t (fun () -> t.state)
+
+let json t =
+  locked t (fun () ->
+      Events.Obj
+        [
+          ("state", Events.String (state_name t.state));
+          ("consecutive_failures", Events.Int t.consecutive_failures);
+          ("failure_threshold", Events.Int t.failure_threshold);
+          ("reset_timeout_s", Events.Float t.reset_timeout);
+          ("opens", Events.Int t.opens);
+          ("half_opens", Events.Int t.half_opens);
+          ("closes", Events.Int t.closes);
+          ("rejected", Events.Int t.rejected);
+        ])
+
+let transitions t = locked t (fun () -> (t.opens, t.half_opens, t.closes))
+let rejected t = locked t (fun () -> t.rejected)

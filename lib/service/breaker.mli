@@ -1,0 +1,49 @@
+(** Per-endpoint circuit breaker for the service client.
+
+    [Closed] --(threshold consecutive failures)--> [Open]
+    --(after [reset_timeout], next {!allow})--> [Half_open] (single
+    probe) --success--> [Closed], --failure--> [Open] (re-trip).
+
+    While [Open], {!allow} answers [false] without touching the
+    endpoint: a dead daemon costs each call a counter bump instead of a
+    connect timeout, and the fleet of tenants stops hammering a socket
+    that cannot answer. [Half_open] admits exactly one probe at a time;
+    concurrent callers are rejected until the probe's verdict lands.
+
+    Time is injected ([?now], absolute seconds) for deterministic
+    tests; production callers omit it and get [Unix.gettimeofday].
+    Thread-safe. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+
+type t
+
+val create : ?failure_threshold:int -> ?reset_timeout:float -> unit -> t
+(** Defaults: trip after 5 consecutive failures, probe after 1 s. *)
+
+val allow : ?now:float -> t -> bool
+(** May this call proceed? [false] counts as a rejection in {!json}.
+    An [Open] breaker past its cool-down transitions to [Half_open] and
+    admits the caller as the probe. *)
+
+val on_success : t -> unit
+(** Report a successful call: resets the failure streak; a [Half_open]
+    probe success closes the breaker. *)
+
+val on_failure : ?now:float -> t -> unit
+(** Report a failed call: extends the failure streak (tripping at the
+    threshold); a [Half_open] probe failure re-trips to [Open] and
+    restarts the cool-down clock. *)
+
+val state : t -> state
+
+val json : t -> Ifp_campaign.Events.json
+(** State + streak + transition counters ([opens]/[half_opens]/[closes])
+    + [rejected] — the client metrics surface. *)
+
+val transitions : t -> int * int * int
+(** [(opens, half_opens, closes)] — exposed for tests and CI gates. *)
+
+val rejected : t -> int

@@ -1,0 +1,308 @@
+module Prng = Ifp_util.Prng
+module Events = Ifp_campaign.Events
+
+(* An in-path Unix-socket chaos proxy: sits between the service client
+   and the daemon and mangles the byte stream according to a seeded
+   fault plan, in the style of lib/faultinject and lib/campaign/chaos —
+   the attacker model of §3.3/§4.3 applied to the network instead of
+   memory or disk. Every decision is a pure function of
+   (seed, connection index, direction, chunk index), so a given seed
+   replays the exact same hostile network no matter how the threads
+   interleave: the fault *schedule* is deterministic even though which
+   bytes land in which chunk depends on timing.
+
+   The CRC framing (Frame) means corruption is always *detected* —
+   the proxy probes that the endpoints convert detection into recovery
+   (drop the connection, reconnect, idempotent re-submit) instead of
+   serving corrupt results. *)
+
+type action =
+  | Forward  (** pass the chunk through untouched *)
+  | Delay of float  (** sleep, then forward *)
+  | Corrupt of int  (** flip one byte ([offset mod len]), then forward *)
+  | Truncate of int  (** forward a prefix, then kill the connection *)
+  | Drop  (** kill the connection before forwarding: drop mid-frame *)
+  | Dribble  (** slow-loris: forward the chunk one byte at a time *)
+  | Duplicate  (** forward the chunk twice: duplicate delivery *)
+
+let action_name = function
+  | Forward -> "forward"
+  | Delay _ -> "delay"
+  | Corrupt _ -> "corrupt"
+  | Truncate _ -> "truncate"
+  | Drop -> "drop"
+  | Dribble -> "dribble"
+  | Duplicate -> "duplicate"
+
+type plan = {
+  seed : int64;
+  delay_rate : float;
+  delay_max : float;  (** max injected delay, seconds *)
+  corrupt_rate : float;
+  drop_rate : float;
+  truncate_rate : float;
+  dribble_rate : float;
+  dribble_delay : float;  (** per-byte delay while dribbling *)
+  duplicate_rate : float;
+}
+
+let plan ?(delay_rate = 0.0) ?(delay_max = 0.05) ?(corrupt_rate = 0.0)
+    ?(drop_rate = 0.0) ?(truncate_rate = 0.0) ?(dribble_rate = 0.0)
+    ?(dribble_delay = 0.01) ?(duplicate_rate = 0.0) ~seed () =
+  {
+    seed;
+    delay_rate;
+    delay_max;
+    corrupt_rate;
+    drop_rate;
+    truncate_rate;
+    dribble_rate;
+    dribble_delay;
+    duplicate_rate;
+  }
+
+let fingerprint p =
+  Printf.sprintf
+    "chaosproxy:seed=%Ld;delay=%g;corrupt=%g;drop=%g;trunc=%g;dribble=%g;dup=%g"
+    p.seed p.delay_rate p.corrupt_rate p.drop_rate p.truncate_rate
+    p.dribble_rate p.duplicate_rate
+
+type dir = C2s | S2c
+
+let dir_name = function C2s -> "c2s" | S2c -> "s2c"
+
+(* the seeded decision: one throwaway PRNG per (conn, dir, chunk), as
+   Fault.default_plan keys one per (class, seed) — no shared stream to
+   race on, and the schedule for chunk k is independent of whether
+   chunk k-1's bytes arrived coalesced or split *)
+let decide p ~conn ~dir ~chunk =
+  let d = match dir with C2s -> 1L | S2c -> 2L in
+  let rng =
+    Prng.create
+      (Prng.mix2 (Prng.mix2 p.seed (Int64.of_int conn))
+         (Prng.mix2 d (Int64.of_int chunk)))
+  in
+  let u = Prng.float rng 1.0 in
+  let below limit = u < limit in
+  let acc = ref 0.0 in
+  let band rate = (* cumulative threshold test over the unit interval *)
+    acc := !acc +. rate;
+    below !acc
+  in
+  if band p.drop_rate then Drop
+  else if band p.corrupt_rate then Corrupt (Prng.int rng 4096)
+  else if band p.truncate_rate then Truncate (1 + Prng.int rng 64)
+  else if band p.delay_rate then Delay (Prng.float rng p.delay_max)
+  else if band p.dribble_rate then Dribble
+  else if band p.duplicate_rate then Duplicate
+  else Forward
+
+(* ---- runtime ---- *)
+
+type stats = {
+  s_conns : int Atomic.t;
+  s_chunks : int Atomic.t;
+  s_bytes : int Atomic.t;
+  s_delays : int Atomic.t;
+  s_corruptions : int Atomic.t;
+  s_drops : int Atomic.t;
+  s_truncations : int Atomic.t;
+  s_dribbles : int Atomic.t;
+  s_duplicates : int Atomic.t;
+}
+
+type t = {
+  t_plan : plan;
+  listen : string;
+  upstream : string;
+  sock : Unix.file_descr;
+  stop_flag : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  stats : stats;
+  conn_seq : int Atomic.t;
+}
+
+let faults_injected st =
+  Atomic.get st.s_delays + Atomic.get st.s_corruptions
+  + Atomic.get st.s_drops + Atomic.get st.s_truncations
+  + Atomic.get st.s_dribbles + Atomic.get st.s_duplicates
+
+let stats_json t =
+  let s = t.stats in
+  Events.Obj
+    [
+      ("plan", Events.String (fingerprint t.t_plan));
+      ("connections", Events.Int (Atomic.get s.s_conns));
+      ("chunks", Events.Int (Atomic.get s.s_chunks));
+      ("bytes", Events.Int (Atomic.get s.s_bytes));
+      ("faults_injected", Events.Int (faults_injected s));
+      ("delays", Events.Int (Atomic.get s.s_delays));
+      ("corruptions", Events.Int (Atomic.get s.s_corruptions));
+      ("drops", Events.Int (Atomic.get s.s_drops));
+      ("truncations", Events.Int (Atomic.get s.s_truncations));
+      ("dribbles", Events.Int (Atomic.get s.s_dribbles));
+      ("duplicates", Events.Int (Atomic.get s.s_duplicates));
+    ]
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let write_all fd buf pos len =
+  let off = ref pos and left = ref len in
+  while !left > 0 do
+    let n = Unix.write fd buf !off !left in
+    off := !off + n;
+    left := !left - n
+  done
+
+(* both directions share [alive]: a Drop/Truncate (or EOF) in one
+   direction takes the whole connection down, as a real mid-path cut
+   would; shutdown wakes the peer pump out of its select *)
+let kill_conn ~alive ~src ~dst =
+  if not (Atomic.exchange alive false) then ()
+  else begin
+    (try Unix.shutdown src Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.shutdown dst Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  end
+
+let pump t ~conn ~dir ~alive ~src ~dst =
+  let s = t.stats in
+  let buf = Bytes.create 4096 in
+  let chunk = ref 0 in
+  let rec loop () =
+    if (not (Atomic.get alive)) || Atomic.get t.stop_flag then ()
+    else
+      match Unix.select [ src ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | _ -> (
+        match Unix.read src buf 0 (Bytes.length buf) with
+        | 0 -> kill_conn ~alive ~src ~dst
+        | exception Unix.Unix_error _ -> kill_conn ~alive ~src ~dst
+        | n ->
+          Atomic.incr s.s_chunks;
+          ignore (Atomic.fetch_and_add s.s_bytes n);
+          let k = !chunk in
+          incr chunk;
+          let forward () = write_all dst buf 0 n in
+          (match decide t.t_plan ~conn ~dir ~chunk:k with
+          | Forward -> forward ()
+          | Delay d ->
+            Atomic.incr s.s_delays;
+            Thread.delay d;
+            forward ()
+          | Corrupt off ->
+            Atomic.incr s.s_corruptions;
+            let i = off mod n in
+            Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor 0x40));
+            forward ()
+          | Truncate k ->
+            Atomic.incr s.s_truncations;
+            write_all dst buf 0 (min n (max 1 k));
+            kill_conn ~alive ~src ~dst
+          | Drop ->
+            Atomic.incr s.s_drops;
+            kill_conn ~alive ~src ~dst
+          | Dribble ->
+            Atomic.incr s.s_dribbles;
+            for i = 0 to n - 1 do
+              write_all dst buf i 1;
+              Thread.delay t.t_plan.dribble_delay
+            done
+          | Duplicate ->
+            Atomic.incr s.s_duplicates;
+            forward ();
+            forward ());
+          loop ())
+  in
+  (try loop () with
+  | Unix.Unix_error _ -> kill_conn ~alive ~src ~dst
+  | _ -> kill_conn ~alive ~src ~dst);
+  kill_conn ~alive ~src ~dst
+
+let handle_conn t client =
+  match
+    let up = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect up (Unix.ADDR_UNIX t.upstream)
+     with e ->
+       close_quiet up;
+       raise e);
+    up
+  with
+  | exception _ -> close_quiet client
+  | up ->
+    Atomic.incr t.stats.s_conns;
+    let conn = Atomic.fetch_and_add t.conn_seq 1 in
+    let alive = Atomic.make true in
+    let a =
+      Thread.create (fun () -> pump t ~conn ~dir:C2s ~alive ~src:client ~dst:up) ()
+    in
+    let b =
+      Thread.create (fun () -> pump t ~conn ~dir:S2c ~alive ~src:up ~dst:client) ()
+    in
+    Thread.join a;
+    Thread.join b;
+    close_quiet client;
+    close_quiet up
+
+let start ~plan:t_plan ~listen ~upstream () =
+  (* the pump threads write into connections the plan itself severs
+     (Drop/Truncate shut both ends down): without this, the first write
+     into a killed connection raises SIGPIPE and takes the whole
+     process with it instead of surfacing as EPIPE. Same discipline as
+     [Server.run]. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Unix.unlink listen with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX listen);
+  Unix.listen sock 64;
+  let stats =
+    {
+      s_conns = Atomic.make 0;
+      s_chunks = Atomic.make 0;
+      s_bytes = Atomic.make 0;
+      s_delays = Atomic.make 0;
+      s_corruptions = Atomic.make 0;
+      s_drops = Atomic.make 0;
+      s_truncations = Atomic.make 0;
+      s_dribbles = Atomic.make 0;
+      s_duplicates = Atomic.make 0;
+    }
+  in
+  let stop_flag = Atomic.make false in
+  let t =
+    {
+      t_plan;
+      listen;
+      upstream;
+      sock;
+      stop_flag;
+      accept_thread = None;
+      stats;
+      conn_seq = Atomic.make 0;
+    }
+  in
+  let accept_loop () =
+    let rec go () =
+      if Atomic.get stop_flag then ()
+      else
+        match Unix.select [ sock ] [] [] 0.2 with
+        | [], _, _ -> go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | _ ->
+          (match Unix.accept sock with
+          | client, _ ->
+            ignore (Thread.create (fun () -> handle_conn t client) ())
+          | exception Unix.Unix_error _ -> ());
+          go ()
+    in
+    go ()
+  in
+  t.accept_thread <- Some (Thread.create accept_loop ());
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  Option.iter Thread.join t.accept_thread;
+  close_quiet t.sock;
+  (try Unix.unlink t.listen with Unix.Unix_error _ -> ())

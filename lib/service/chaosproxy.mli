@@ -1,0 +1,86 @@
+(** Seeded network-chaos proxy for the experiment service: an in-path
+    Unix-socket proxy that mangles the byte stream between client and
+    daemon according to a deterministic fault plan — the
+    {!Ifp_faultinject}/{!Ifp_campaign.Chaos} attacker model applied to
+    the wire. [ifp_loadgen --via-chaos SEED] drives the real daemon
+    through it; the resilience tests use it directly.
+
+    Determinism: every fault decision is a pure function of
+    [(seed, connection index, direction, chunk index)] ({!decide}), so a
+    seed names a reproducible hostile network regardless of thread
+    interleaving. (Which {e bytes} land in which chunk still depends on
+    timing; the {e schedule} of faults does not.)
+
+    The CRC framing ({!Frame}) guarantees corruption is detected; the
+    proxy probes that both endpoints convert detection into recovery —
+    drop the connection, reconnect, idempotently re-submit — instead of
+    hanging or serving damaged results. *)
+
+type action =
+  | Forward  (** pass the chunk through untouched *)
+  | Delay of float  (** sleep that many seconds, then forward *)
+  | Corrupt of int  (** flip one byte at [offset mod len], then forward *)
+  | Truncate of int  (** forward an [n]-byte prefix, then kill the conn *)
+  | Drop  (** kill the connection before forwarding (drop mid-frame) *)
+  | Dribble  (** slow-loris: forward one byte at a time with delays *)
+  | Duplicate  (** forward the chunk twice (duplicate delivery) *)
+
+val action_name : action -> string
+
+type plan = {
+  seed : int64;
+  delay_rate : float;
+  delay_max : float;
+  corrupt_rate : float;
+  drop_rate : float;
+  truncate_rate : float;
+  dribble_rate : float;
+  dribble_delay : float;
+  duplicate_rate : float;
+}
+
+val plan :
+  ?delay_rate:float ->
+  ?delay_max:float ->
+  ?corrupt_rate:float ->
+  ?drop_rate:float ->
+  ?truncate_rate:float ->
+  ?dribble_rate:float ->
+  ?dribble_delay:float ->
+  ?duplicate_rate:float ->
+  seed:int64 ->
+  unit ->
+  plan
+(** All rates default to 0.0 (a transparent proxy); rates are
+    per-chunk probabilities and are tested cumulatively, so their sum
+    should stay below 1. [delay_max] defaults to 0.05 s,
+    [dribble_delay] to 0.01 s/byte. *)
+
+val fingerprint : plan -> string
+
+type dir = C2s | S2c
+
+val dir_name : dir -> string
+
+val decide : plan -> conn:int -> dir:dir -> chunk:int -> action
+(** The seeded schedule, exposed as a pure function: the action the
+    proxy will take on the [chunk]-th read of direction [dir] of the
+    [conn]-th accepted connection. Same plan, same indices ⇒ same
+    action — asserted by the determinism tests. *)
+
+type t
+
+val start : plan:plan -> listen:string -> upstream:string -> unit -> t
+(** Binds [listen] (unlinking any stale socket) and forwards every
+    accepted connection to [upstream], applying the plan in both
+    directions. Runs on background threads; returns immediately. *)
+
+val stop : t -> unit
+(** Stops accepting, closes the listener and unlinks [listen]. In-flight
+    pumps wind down as their connections close (they poll the stop flag
+    every 0.2 s). *)
+
+val stats_json : t -> Ifp_campaign.Events.json
+(** Connections/chunks/bytes forwarded plus per-action fault counts —
+    the loadgen embeds this in its benchmark JSON so CI can gate on
+    "the plan actually fired". *)

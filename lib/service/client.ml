@@ -1,12 +1,16 @@
 module Job = Ifp_campaign.Job
+module Engine = Ifp_campaign.Engine
 module Events = Ifp_campaign.Events
 
 exception Refused of string
+exception Poisoned of Protocol.poisoned
 exception Protocol_error = Protocol.Protocol_error
+exception Timeout = Frame.Timeout
 
 type t = {
   fd : Unix.file_descr;
   tenant : string;
+  io_timeout : float option;
   mutable closed : bool;
 }
 
@@ -19,24 +23,63 @@ let close t =
 let unexpected what =
   raise (Protocol.Protocol_error ("unexpected reply to " ^ what))
 
+let io_deadline t =
+  Option.map (fun tmo -> Unix.gettimeofday () +. tmo) t.io_timeout
+
 (* one request, one reply — EOF mid-conversation is a protocol error
-   (the server only closes between requests or when draining) *)
-let roundtrip t request =
-  Frame.write t.fd (Protocol.encode_request request);
-  match Frame.read t.fd with
+   (the server only closes between requests or when draining). The
+   request frame is bounded by [io_timeout]; the reply wait by
+   [read_deadline] if given (a submit legitimately blocks for the whole
+   job), else by [io_timeout]. *)
+let roundtrip ?read_deadline t request =
+  Frame.write ?deadline:(io_deadline t) t.fd (Protocol.encode_request request);
+  let deadline =
+    match read_deadline with Some _ -> read_deadline | None -> io_deadline t
+  in
+  match Frame.read ?deadline t.fd with
   | None -> raise (Protocol.Protocol_error "server closed the connection")
   | Some payload -> Protocol.decode_reply payload
 
-let connect ?(weight = 1) ~socket ~tenant () =
+(* connect with an optional deadline: nonblocking connect + select +
+   SO_ERROR, so a wedged listener (or a chaos proxy sitting on the
+   backlog) cannot hang the client forever *)
+let connect_fd ?timeout socket =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (match Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | () -> ()
-  | exception e ->
+  try
+    (match timeout with
+    | None -> Unix.connect fd (Unix.ADDR_UNIX socket)
+    | Some tmo ->
+      Unix.set_nonblock fd;
+      (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> ()
+      | exception
+          Unix.Unix_error
+            ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        let deadline = Unix.gettimeofday () +. tmo in
+        let rec wait () =
+          let left = deadline -. Unix.gettimeofday () in
+          if left <= 0.0 then raise (Frame.Timeout "connect")
+          else
+            match Unix.select [] [ fd ] [] left with
+            | _, [], _ -> raise (Frame.Timeout "connect")
+            | _ -> (
+              match Unix.getsockopt_error fd with
+              | None -> ()
+              | Some err -> raise (Unix.Unix_error (err, "connect", socket)))
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        in
+        wait ());
+      Unix.clear_nonblock fd);
+    fd
+  with e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise e);
-  let t = { fd; tenant; closed = false } in
+    raise e
+
+let connect ?(weight = 1) ?connect_timeout ?io_timeout ~socket ~tenant () =
+  let fd = connect_fd ?timeout:connect_timeout socket in
+  let t = { fd; tenant; io_timeout; closed = false } in
   (try
-     Frame.write fd
+     Frame.write ?deadline:(io_deadline t) fd
        (Protocol.encode_handshake
           {
             Protocol.hs_magic = Protocol.magic;
@@ -44,7 +87,7 @@ let connect ?(weight = 1) ~socket ~tenant () =
             hs_tenant = tenant;
             hs_weight = weight;
           });
-     match Frame.read fd with
+     match Frame.read ?deadline:(io_deadline t) fd with
      | None -> raise (Protocol.Protocol_error "server closed during handshake")
      | Some payload -> (
        match Protocol.decode_reply payload with
@@ -72,17 +115,29 @@ type submit_result =
   | Completed of Protocol.completion
   | Busy of Protocol.busy
 
-let submit t job =
-  match roundtrip t (Protocol.Submit job) with
+let submit ?deadline t job =
+  match roundtrip ?read_deadline:deadline t (Protocol.Submit job) with
   | Protocol.Completed c -> Completed c
   | Protocol.Busy b -> Busy b
   | Protocol.Refused reason -> raise (Refused reason)
+  | Protocol.Poisoned p -> raise (Poisoned p)
   | _ -> unexpected "submit"
 
+(* the retry-storm fix: when a full queue bounces a whole fleet of
+   clients at once, sleeping the server's raw [b_retry_after] wakes them
+   all up at the same instant and they stampede the queue again. Scale
+   the hint by the campaign backoff envelope — deterministic jitter in
+   [1, 1.5) seeded by (digest, attempt) — so each client's wakeup is
+   decorrelated (different digests) yet reproducible (same seed math as
+   engine retries). *)
+let busy_delay ~digest ~attempt ~retry_after =
+  Engine.backoff_delay ~base:(Float.max 0.001 retry_after) ~digest ~attempt
+
 (* the polite client loop the backpressure design assumes: sleep the
-   server-suggested interval and retry. [on_busy] lets callers (the
-   load generator) count rejections. *)
+   jittered server-suggested interval and retry. [on_busy] lets callers
+   (the load generator) count rejections. *)
 let submit_wait ?(max_tries = 1000) ?(on_busy = fun _ -> ()) t job =
+  let digest = Job.digest job in
   let rec go tries =
     match submit t job with
     | Completed c -> c
@@ -93,7 +148,9 @@ let submit_wait ?(max_tries = 1000) ?(on_busy = fun _ -> ()) t job =
              (Printf.sprintf "still busy after %d tries" tries))
       else begin
         on_busy b;
-        Unix.sleepf (Float.max 0.001 b.Protocol.b_retry_after);
+        Unix.sleepf
+          (busy_delay ~digest ~attempt:tries
+             ~retry_after:b.Protocol.b_retry_after);
         go (tries + 1)
       end
   in
@@ -101,3 +158,171 @@ let submit_wait ?(max_tries = 1000) ?(on_busy = fun _ -> ()) t job =
 
 let result_of_completion (c : Protocol.completion) =
   Protocol.decode_result c.Protocol.c_result_bytes
+
+(* ---- the resilient client ---- *)
+
+module Resilient = struct
+  exception Exhausted of string
+
+  type config = {
+    socket : string;
+    tenant : string;
+    weight : int;
+    connect_timeout : float;
+    io_timeout : float;
+    call_budget : float;
+    reconnect_base : float;
+    max_attempts : int;
+    breaker : Breaker.t;
+  }
+
+  let config ?(weight = 1) ?(connect_timeout = 5.0) ?(io_timeout = 30.0)
+      ?(call_budget = 120.0) ?(reconnect_base = 0.05) ?(max_attempts = 100)
+      ?breaker ~socket ~tenant () =
+    {
+      socket;
+      tenant;
+      weight;
+      connect_timeout;
+      io_timeout;
+      call_budget;
+      reconnect_base;
+      max_attempts;
+      breaker =
+        (match breaker with Some b -> b | None -> Breaker.create ());
+    }
+
+  type rt = {
+    cfg : config;
+    mutable conn : t option;
+    mutable ever_connected : bool;
+    mutable reconnects : int;
+    mutable resubmits : int;
+    mutable busy_retries : int;
+  }
+
+  let create cfg =
+    {
+      cfg;
+      conn = None;
+      ever_connected = false;
+      reconnects = 0;
+      resubmits = 0;
+      busy_retries = 0;
+    }
+
+  let drop_conn rt =
+    match rt.conn with
+    | None -> ()
+    | Some c ->
+      close c;
+      rt.conn <- None
+
+  let ensure_conn rt =
+    match rt.conn with
+    | Some c -> c
+    | None ->
+      let c =
+        connect ~weight:rt.cfg.weight ~connect_timeout:rt.cfg.connect_timeout
+          ~io_timeout:rt.cfg.io_timeout ~socket:rt.cfg.socket
+          ~tenant:rt.cfg.tenant ()
+      in
+      if rt.ever_connected then rt.reconnects <- rt.reconnects + 1;
+      rt.ever_connected <- true;
+      rt.conn <- Some c;
+      c
+
+  (* a failure is {e retryable} when the job may still succeed on
+     another attempt: connection-level faults (torn/corrupt frames from
+     a hostile network, timeouts, resets, a dead socket) and every
+     [Refused] — a refusal can be genuine policy (version skew) but can
+     equally be the server reacting to a frame the network corrupted
+     {e in transit} (its goodbye quotes a CRC mismatch, or the mangled
+     handshake happens to mis-decode as bad magic), and the two are
+     indistinguishable per-instance. Retrying resolves the ambiguity: a
+     transient refusal clears; a deterministic one burns through
+     [max_attempts]/[call_budget] and surfaces as [Exhausted]. Terminal
+     immediately: [Poisoned] — a CRC-clean, well-formed verdict that the
+     daemon has quarantined this exact job. *)
+  let submit rt job =
+    let digest = Job.digest job in
+    let deadline = Unix.gettimeofday () +. rt.cfg.call_budget in
+    let remaining () = deadline -. Unix.gettimeofday () in
+    let sleep_capped d =
+      let d = Float.min d (remaining ()) in
+      if d > 0.0 then Unix.sleepf d
+    in
+    let give_up what =
+      raise
+        (Exhausted
+           (Printf.sprintf "%s for %s (budget %.1fs)" what digest
+              rt.cfg.call_budget))
+    in
+    let rec go attempt =
+      if attempt > rt.cfg.max_attempts then give_up "attempts exhausted";
+      if remaining () <= 0.0 then give_up "budget exhausted";
+      if not (Breaker.allow rt.cfg.breaker) then begin
+        (* circuit open: don't even touch the socket; wait out a slice
+           of the cool-down (jittered so a fleet of clients probes the
+           half-open breaker at decorrelated times) *)
+        sleep_capped
+          (Engine.backoff_delay ~base:rt.cfg.reconnect_base ~digest ~attempt);
+        go (attempt + 1)
+      end
+      else
+        let retry_conn_failure () =
+          Breaker.on_failure rt.cfg.breaker;
+          drop_conn rt;
+          sleep_capped
+            (Engine.backoff_delay ~base:rt.cfg.reconnect_base ~digest ~attempt);
+          go (attempt + 1)
+        in
+        match
+          let c = ensure_conn rt in
+          (* jobs are content-addressed by digest, so re-submitting
+             after an ambiguous failure is idempotent: the daemon serves
+             a duplicate from cache/journal instead of re-running it *)
+          submit ~deadline c job
+        with
+        | Completed c ->
+          Breaker.on_success rt.cfg.breaker;
+          c
+        | Busy b ->
+          (* the server answered: the endpoint is healthy, just loaded *)
+          Breaker.on_success rt.cfg.breaker;
+          rt.busy_retries <- rt.busy_retries + 1;
+          sleep_capped
+            (busy_delay ~digest ~attempt ~retry_after:b.Protocol.b_retry_after);
+          go (attempt + 1)
+        | exception Poisoned p ->
+          Breaker.on_success rt.cfg.breaker;
+          raise (Poisoned p)
+        | exception Refused _ ->
+          rt.resubmits <- rt.resubmits + 1;
+          retry_conn_failure ()
+        | exception
+            ( Frame.Framing_error _ | Frame.Timeout _
+            | Protocol.Protocol_error _
+            | Unix.Unix_error _ | End_of_file ) ->
+          if rt.ever_connected && rt.conn <> None then
+            rt.resubmits <- rt.resubmits + 1;
+          retry_conn_failure ()
+    in
+    go 1
+
+  let reconnects rt = rt.reconnects
+  let resubmits rt = rt.resubmits
+  let busy_retries rt = rt.busy_retries
+  let breaker rt = rt.cfg.breaker
+
+  let stats_json rt =
+    Events.Obj
+      [
+        ("reconnects", Events.Int rt.reconnects);
+        ("resubmits", Events.Int rt.resubmits);
+        ("busy_retries", Events.Int rt.busy_retries);
+        ("breaker", Breaker.json rt.cfg.breaker);
+      ]
+
+  let close rt = drop_conn rt
+end

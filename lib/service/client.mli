@@ -2,7 +2,15 @@
     handshake, blocking submit with backpressure-aware retry, stats and
     ping. One connection = one tenant identity = one outstanding request
     at a time (run several clients — threads, domains or processes —
-    for concurrency; the load generator forks processes). *)
+    for concurrency; the load generator forks processes).
+
+    Two layers:
+    - the {e plain} client below: one socket, failures raise;
+    - {!Resilient}: per-call deadlines and budgets, jittered-backoff
+      reconnection, idempotent re-submit (jobs are content-addressed by
+      digest, so a duplicate submit after an ambiguous failure is served
+      from cache/journal, never re-run blind), and a per-endpoint
+      {!Breaker} so a dead daemon is not hammered. *)
 
 module Job = Ifp_campaign.Job
 module Events = Ifp_campaign.Events
@@ -13,14 +21,36 @@ exception Refused of string
 (** The server refused the handshake (bad magic/version skew) or is
     draining. *)
 
+exception Poisoned of Protocol.poisoned
+(** The daemon has quarantined this job's digest (it crashed worker
+    domains repeatedly). Terminal for the job: re-submitting returns the
+    same answer. *)
+
 exception Protocol_error of string
 (** Re-export of {!Protocol.Protocol_error}: unexpected reply shape or
     mid-conversation EOF. {!Frame.Framing_error} propagates as itself. *)
 
-val connect : ?weight:int -> socket:string -> tenant:string -> unit -> t
+exception Timeout of string
+(** Re-export of {!Frame.Timeout}: a connect/read/write deadline
+    expired. *)
+
+val connect :
+  ?weight:int ->
+  ?connect_timeout:float ->
+  ?io_timeout:float ->
+  socket:string ->
+  tenant:string ->
+  unit ->
+  t
 (** Connects to the daemon's Unix-domain socket and performs the
     handshake ([weight] is the tenant's fair-share weight, default 1).
-    Raises {!Refused}, {!Protocol_error}, or [Unix.Unix_error]
+    [connect_timeout] bounds the connect itself (nonblocking connect +
+    select); [io_timeout] bounds every frame this client writes, and
+    every reply read except a submit's completion wait (a job
+    legitimately takes as long as it takes — bound that with
+    {!submit}'s [deadline] or {!Resilient}'s budget). Both default to
+    off, preserving plain blocking behaviour. Raises {!Refused},
+    {!Protocol_error}, {!Timeout}, or [Unix.Unix_error]
     ([ENOENT]/[ECONNREFUSED] when no daemon is listening). *)
 
 val close : t -> unit
@@ -35,9 +65,20 @@ type submit_result =
   | Completed of Protocol.completion
   | Busy of Protocol.busy  (** bounded-queue backpressure: retry later *)
 
-val submit : t -> Job.t -> submit_result
+val submit : ?deadline:float -> t -> Job.t -> submit_result
 (** One job; blocks until the server answers (job completion or
-    immediate [Busy]). *)
+    immediate [Busy]), or until [deadline] (absolute
+    [Unix.gettimeofday] seconds) expires with {!Timeout}. Raises
+    {!Poisoned} for a quarantined digest. *)
+
+val busy_delay : digest:string -> attempt:int -> retry_after:float -> float
+(** The client-side backpressure sleep: the server's [retry_after] hint
+    scaled by the campaign backoff envelope
+    ({!Ifp_campaign.Engine.backoff_delay} — deterministic jitter in
+    [[1, 1.5)] seeded by [(digest, attempt)], exponential in [attempt],
+    capped at 5 s). Distinct digests sleep distinct times, so a fleet
+    of clients bounced by the same full queue wakes up desynchronized
+    instead of stampeding in lockstep. Exposed for tests. *)
 
 val submit_wait :
   ?max_tries:int ->
@@ -45,10 +86,89 @@ val submit_wait :
   t ->
   Job.t ->
   Protocol.completion
-(** {!submit}, sleeping the server-suggested [b_retry_after] and
-    retrying on [Busy] (at most [max_tries] attempts, default 1000).
-    [on_busy] observes each rejection (the load generator counts
-    them). *)
+(** {!submit}, sleeping {!busy_delay} of the server-suggested
+    [b_retry_after] and retrying on [Busy] (at most [max_tries]
+    attempts, default 1000). [on_busy] observes each rejection (the
+    load generator counts them). *)
 
 val result_of_completion : Protocol.completion -> Ifp_vm.Vm.result option
 (** Decode the canonical result bytes (see {!Protocol.encode_result}). *)
+
+(** The self-healing client: wraps the plain client in deadlines, a
+    reconnect loop with deterministic jittered backoff, idempotent
+    re-submit and a circuit {!Breaker}. This is what survives the chaos
+    proxy and a daemon SIGKILL+restart in the resilience gate. *)
+module Resilient : sig
+  exception Exhausted of string
+  (** The call budget or attempt budget ran out before a definitive
+      answer. *)
+
+  type config = {
+    socket : string;
+    tenant : string;
+    weight : int;
+    connect_timeout : float;  (** per-connect deadline, seconds *)
+    io_timeout : float;  (** per-frame deadline, seconds *)
+    call_budget : float;
+        (** overall wall-clock budget for one {!submit} call, across
+            all retries/reconnects/breaker waits *)
+    reconnect_base : float;
+        (** base of the jittered exponential reconnect backoff *)
+    max_attempts : int;
+    breaker : Breaker.t;  (** shared per-endpoint circuit breaker *)
+  }
+
+  val config :
+    ?weight:int ->
+    ?connect_timeout:float ->
+    ?io_timeout:float ->
+    ?call_budget:float ->
+    ?reconnect_base:float ->
+    ?max_attempts:int ->
+    ?breaker:Breaker.t ->
+    socket:string ->
+    tenant:string ->
+    unit ->
+    config
+  (** Defaults: weight 1, connect 5 s, io 30 s, budget 120 s, reconnect
+      base 0.05 s, 100 attempts, a fresh {!Breaker.create}. Pass one
+      [breaker] to every client of the same endpoint so failure
+      evidence is pooled. *)
+
+  type rt
+
+  val create : config -> rt
+
+  val submit : rt -> Job.t -> Protocol.completion
+  (** Submit until a definitive answer, reconnecting (lazily) as
+      needed. Retryable: connection-level faults (frame errors,
+      timeouts, resets, refused connect) and every {!Refused} — a
+      refusal may be the server reacting to a frame the network
+      corrupted in transit, which is indistinguishable from genuine
+      policy per-instance; a deterministic refusal (real version skew)
+      burns the attempt/budget caps and surfaces as {!Exhausted}. Each
+      retry backs off [Engine.backoff_delay] seeded by
+      [(digest, attempt)] and re-submits (idempotent: the digest is the
+      job's identity). [Busy] sleeps the jittered hint and does not
+      trip the breaker. Terminal: a completed reply, {!Poisoned}, or
+      {!Exhausted} when the [call_budget] / [max_attempts] run out.
+      While the breaker is open, attempts wait without touching the
+      socket. *)
+
+  val reconnects : rt -> int
+  (** Connections established after the first (i.e. recoveries). *)
+
+  val resubmits : rt -> int
+  (** Submits retried after a connection-level failure or drain refusal
+      (idempotent duplicates the daemon absorbs via cache/journal). *)
+
+  val busy_retries : rt -> int
+
+  val breaker : rt -> Breaker.t
+
+  val stats_json : rt -> Events.json
+  (** [reconnects], [resubmits], [busy_retries], and the breaker's
+      state/transition counters. *)
+
+  val close : rt -> unit
+end

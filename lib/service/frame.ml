@@ -14,6 +14,13 @@ module Crc32 = Ifp_util.Crc32
 exception Framing_error of string
 (** Raised on any malformed frame; the connection must be dropped. *)
 
+exception Timeout of string
+(** A [?deadline] expired mid-frame. The stream is desynchronised at an
+    unknown byte offset, so the connection must be dropped — but unlike
+    {!Framing_error} the {e peer} did nothing provably wrong: it may
+    just be slow (or a slow-loris attacker, which is the point of the
+    deadline). *)
+
 (* A frame longer than this is garbage, not a message — refuse to
    allocate for it (a torn or hostile length word can read as 4 GiB).
    Large enough for any marshalled job or result by orders of
@@ -36,16 +43,72 @@ let get_u32 s pos =
        (Int32.shift_left (b 1) 16)
        (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
 
-(* a Unix.write can be short (signals, socket buffers): loop *)
-let write_all fd buf pos len =
-  let off = ref pos and left = ref len in
-  while !left > 0 do
-    let n = Unix.write fd buf !off !left in
-    off := !off + n;
-    left := !left - n
-  done
+(* deadline plumbing: [None] keeps the historical fully-blocking
+   behaviour; [Some t] bounds the whole frame (header + payload) by
+   absolute wall-clock [t], which is what defeats a peer dribbling one
+   byte per poll interval (each byte would reset any per-read timeout,
+   but never the frame deadline) *)
 
-let write fd payload =
+let remaining ~what deadline =
+  let left = deadline -. Unix.gettimeofday () in
+  if left <= 0.0 then raise (Timeout what);
+  left
+
+let wait_readable ~what ~deadline fd =
+  match deadline with
+  | None -> ()
+  | Some dl ->
+    let rec go () =
+      match Unix.select [ fd ] [] [] (remaining ~what dl) with
+      | [], _, _ -> raise (Timeout what)
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+
+let wait_writable ~what ~deadline fd =
+  match deadline with
+  | None -> ()
+  | Some dl ->
+    let rec go () =
+      match Unix.select [] [ fd ] [] (remaining ~what dl) with
+      | _, [], _ -> raise (Timeout what)
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+
+(* a Unix.write can be short (signals, socket buffers): loop. With a
+   deadline the fd is switched to non-blocking for the duration (each
+   connection fd is owned by exactly one thread) because a blocking
+   stream-socket send only returns once the whole buffer is queued —
+   select alone cannot bound it. *)
+let write_all ?deadline fd buf pos len =
+  let off = ref pos and left = ref len in
+  match deadline with
+  | None ->
+    while !left > 0 do
+      let n = Unix.write fd buf !off !left in
+      off := !off + n;
+      left := !left - n
+    done
+  | Some _ ->
+    Unix.set_nonblock fd;
+    Fun.protect
+      ~finally:(fun () -> try Unix.clear_nonblock fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        while !left > 0 do
+          wait_writable ~what:"write" ~deadline fd;
+          match Unix.write fd buf !off !left with
+          | n ->
+            off := !off + n;
+            left := !left - n
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            -> ()
+        done)
+
+let write ?deadline fd payload =
   let len = String.length payload in
   if len > max_frame then
     raise (Framing_error (Printf.sprintf "refusing to send %d-byte frame" len));
@@ -53,18 +116,22 @@ let write fd payload =
   put_u32 buf 0 (Int32.of_int len);
   put_u32 buf 4 (Crc32.string payload);
   Bytes.blit_string payload 0 buf header_bytes len;
-  write_all fd buf 0 (Bytes.length buf)
+  write_all ?deadline fd buf 0 (Bytes.length buf)
 
 (* [at_start]: distinguishes a clean EOF on a frame boundary (None) from
    a torn mid-frame EOF (Framing_error) *)
-let read_exact fd n ~what ~at_start =
+let read_exact ?deadline fd n ~what ~at_start =
   let buf = Bytes.create n in
   let off = ref 0 in
   let eof = ref false in
   while (not !eof) && !off < n do
+    wait_readable ~what ~deadline fd;
     match Unix.read fd buf !off (n - !off) with
     | 0 -> eof := true
     | k -> off := !off + k
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
   done;
   if !off = n then Some buf
   else if !off = 0 && at_start then None
@@ -73,8 +140,8 @@ let read_exact fd n ~what ~at_start =
       (Framing_error
          (Printf.sprintf "torn %s: %d of %d bytes before EOF" what !off n))
 
-let read fd =
-  match read_exact fd header_bytes ~what:"header" ~at_start:true with
+let read ?deadline fd =
+  match read_exact ?deadline fd header_bytes ~what:"header" ~at_start:true with
   | None -> None
   | Some header ->
     let len = Int32.to_int (get_u32 header 0) in
@@ -82,7 +149,7 @@ let read fd =
     if len < 0 || len > max_frame then
       raise (Framing_error (Printf.sprintf "oversized frame: %d bytes" len));
     let payload =
-      match read_exact fd len ~what:"payload" ~at_start:false with
+      match read_exact ?deadline fd len ~what:"payload" ~at_start:false with
       | Some b -> Bytes.unsafe_to_string b
       | None -> assert false (* at_start=false never returns None *)
     in

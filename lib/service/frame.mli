@@ -13,6 +13,14 @@ exception Framing_error of string
 (** Torn header, oversized/negative length, short payload, or CRC
     mismatch. The connection is unusable; drop it. *)
 
+exception Timeout of string
+(** A [?deadline] expired mid-frame. The stream is desynchronised at an
+    unknown offset, so the connection must be dropped — but unlike
+    {!Framing_error} the peer did nothing provably wrong: it may just be
+    slow, or a slow-loris client dribbling bytes (which the deadline
+    exists to defeat: per-read timeouts reset on every byte, a frame
+    deadline does not). *)
+
 val max_frame : int
 (** Frames longer than this (64 MiB) are rejected — on read {e before}
     allocating for the claimed length, which is what defangs a torn or
@@ -20,12 +28,17 @@ val max_frame : int
 
 val header_bytes : int
 
-val write : Unix.file_descr -> string -> unit
+val write : ?deadline:float -> Unix.file_descr -> string -> unit
 (** Frames and writes [payload], looping over short writes. Raises
     [Unix.Unix_error (EPIPE, _, _)] if the peer is gone, and
-    {!Framing_error} when asked to send more than {!max_frame} bytes. *)
+    {!Framing_error} when asked to send more than {!max_frame} bytes.
+    With [?deadline] (absolute [Unix.gettimeofday] seconds) the whole
+    frame must be queued by then or {!Timeout} is raised — a reader that
+    stopped draining its socket cannot pin the writer. *)
 
-val read : Unix.file_descr -> string option
+val read : ?deadline:float -> Unix.file_descr -> string option
 (** Reads one frame. [None] on a clean EOF at a frame boundary (the
     peer closed between messages); {!Framing_error} on EOF mid-frame or
-    any validation failure. Blocks until a full frame arrives. *)
+    any validation failure. Blocks until a full frame arrives — bounded
+    by [?deadline] (absolute seconds, {!Timeout} on expiry), which caps
+    the {e whole} frame, not each read. *)

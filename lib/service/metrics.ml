@@ -91,6 +91,14 @@ type t = {
   mutable completed : int;
   mutable failed : int;  (** Failed / Timed_out at the engine level *)
   mutable cache_hits : int;
+  (* self-healing counters (PR 7): worker supervision, connection
+     reaping, reply-send accounting, poison quarantine *)
+  mutable worker_crashes : int;
+  mutable worker_restarts : int;
+  mutable reaped_connections : int;
+  mutable send_failed : int;
+  mutable poisoned_replies : int;
+  mutable crash_requeues : int;
   tenants : (string, tenant) Hashtbl.t;
   worker_busy : float array;  (** per-worker cumulative job seconds *)
 }
@@ -109,6 +117,12 @@ let create ~workers =
     completed = 0;
     failed = 0;
     cache_hits = 0;
+    worker_crashes = 0;
+    worker_restarts = 0;
+    reaped_connections = 0;
+    send_failed = 0;
+    poisoned_replies = 0;
+    crash_requeues = 0;
     tenants = Hashtbl.create 16;
     worker_busy = Array.make (max 1 workers) 0.0;
   }
@@ -143,6 +157,24 @@ let on_busy t ~tenant =
 
 let on_drain_reject t =
   locked t (fun () -> t.drain_rejected <- t.drain_rejected + 1)
+
+let on_worker_crash t =
+  locked t (fun () -> t.worker_crashes <- t.worker_crashes + 1)
+
+let on_worker_restart t =
+  locked t (fun () -> t.worker_restarts <- t.worker_restarts + 1)
+
+let on_reaped t =
+  locked t (fun () -> t.reaped_connections <- t.reaped_connections + 1)
+
+let on_send_failed t =
+  locked t (fun () -> t.send_failed <- t.send_failed + 1)
+
+let on_poisoned t =
+  locked t (fun () -> t.poisoned_replies <- t.poisoned_replies + 1)
+
+let on_crash_requeue t =
+  locked t (fun () -> t.crash_requeues <- t.crash_requeues + 1)
 
 let on_done t ~tenant ~latency ~from_cache ~ok =
   locked t (fun () ->
@@ -183,6 +215,12 @@ let snapshot t ~queues ~shard_json =
           ("completed", Events.Int t.completed);
           ("failed", Events.Int t.failed);
           ("cache_hits", Events.Int t.cache_hits);
+          ("worker_crashes", Events.Int t.worker_crashes);
+          ("worker_restarts", Events.Int t.worker_restarts);
+          ("reaped_connections", Events.Int t.reaped_connections);
+          ("send_failed", Events.Int t.send_failed);
+          ("poisoned_replies", Events.Int t.poisoned_replies);
+          ("crash_requeues", Events.Int t.crash_requeues);
           ("workers", Events.Int workers);
           ("worker_busy_seconds", Events.Float busy);
           ("worker_utilization", Events.Float utilization);

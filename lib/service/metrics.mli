@@ -34,6 +34,29 @@ val on_submit : t -> unit
 val on_busy : t -> tenant:string -> unit
 val on_drain_reject : t -> unit
 
+val on_worker_crash : t -> unit
+(** A worker domain died to an uncaught (fatal) exception. *)
+
+val on_worker_restart : t -> unit
+(** The supervisor respawned a crashed worker domain. *)
+
+val on_reaped : t -> unit
+(** A connection was closed by the idle/slow-loris reaper (half-open
+    handshake, idle past the deadline, or a frame that dribbled past its
+    io deadline). *)
+
+val on_send_failed : t -> unit
+(** A reply could not be delivered (peer gone, or write deadline
+    expired). The job outcome is unaffected — and cached/journaled — but
+    the client never saw this reply. *)
+
+val on_poisoned : t -> unit
+(** A [Poisoned] reply was sent: the submitted digest is quarantined. *)
+
+val on_crash_requeue : t -> unit
+(** A job in flight during a worker crash was re-queued for another
+    attempt (its digest is below the poison threshold). *)
+
 val on_done :
   t -> tenant:string -> latency:float -> from_cache:bool -> ok:bool -> unit
 (** [latency] is server-side submit-to-finish seconds; [ok] means the

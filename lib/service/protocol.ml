@@ -3,7 +3,11 @@ module Engine = Ifp_campaign.Engine
 module Events = Ifp_campaign.Events
 
 let magic = "ifp-service"
-let version = 1
+
+(* v2 added the Poisoned reply (worker-crash quarantine); the handshake
+   requires an exact version match, so v1 clients are refused with a
+   clear reason instead of mis-decoding the new constructor *)
+let version = 2
 
 exception Protocol_error of string
 
@@ -41,6 +45,11 @@ type busy = {
   b_retry_after : float;  (** server-suggested client backoff, seconds *)
 }
 
+type poisoned = {
+  p_digest : string;
+  p_crashes : int;  (** worker crashes attributed to this digest *)
+}
+
 type reply =
   | Welcome of { version : int; banner : string }
   | Refused of string  (** handshake rejection or drain refusal *)
@@ -48,6 +57,11 @@ type reply =
   | Completed of completion
   | Stats_reply of Events.json
   | Pong
+  | Poisoned of poisoned
+      (** the job's digest crashed worker domains [p_crashes] times and
+          is quarantined: the daemon will not run it again. Terminal for
+          the job, not the connection — re-submitting is pointless, but
+          other jobs on the same connection proceed normally. *)
 
 let encode_result (r : Ifp_vm.Vm.result option) =
   Marshal.to_string r [ Marshal.No_sharing ]
@@ -56,25 +70,46 @@ let decode_result s : Ifp_vm.Vm.result option =
   try Marshal.from_string s 0
   with _ -> raise (Protocol_error "undecodable result payload")
 
-let encode_handshake (h : handshake) = Marshal.to_string h []
-let encode_request (r : request) = Marshal.to_string r []
-let encode_reply (r : reply) = Marshal.to_string r []
+(* Every payload leads with a one-byte kind tag ('H'andshake,
+   'R'equest, repl'Y') ahead of the [Marshal] bytes. [Marshal] checks
+   structure, never type: a CRC-valid frame of the {e wrong} message
+   type (a hostile network replaying the client's handshake frame into
+   the server's request loop, say) would otherwise deserialise
+   "successfully" as type confusion — [Submit of Job.t] reading
+   [hs_magic]'s string as a [Job.t] record — and crash the runtime on
+   the first field access. The tag pins each frame to the type its
+   decoder expects, so a replayed or desynchronised frame becomes a
+   clean {!Protocol_error} (connection dropped, client retries) instead
+   of undefined behaviour. *)
+let tag_handshake = 'H'
+let tag_request = 'R'
+let tag_reply = 'Y'
+
+let encode ~tag v = String.make 1 tag ^ Marshal.to_string v []
+
+let decode ~tag ~what s =
+  if String.length s < 1 then
+    raise (Protocol_error (Printf.sprintf "empty %s payload" what))
+  else if s.[0] <> tag then
+    raise
+      (Protocol_error
+         (Printf.sprintf "%s payload tagged %C (want %C)" what s.[0] tag))
+  else
+    try Marshal.from_string s 1
+    with _ -> raise (Protocol_error ("undecodable " ^ what))
+
+let encode_handshake (h : handshake) = encode ~tag:tag_handshake h
+let encode_request (r : request) = encode ~tag:tag_request r
+let encode_reply (r : reply) = encode ~tag:tag_reply r
 
 (* The CRC framing has already vouched for integrity by the time these
-   run, so a decode failure means a peer speaking a different dialect
-   (or version skew Marshal happens to survive structurally) — a
-   protocol error, terminal for the connection. *)
-let decode_handshake s : handshake =
-  try Marshal.from_string s 0
-  with _ -> raise (Protocol_error "undecodable handshake")
-
-let decode_request s : request =
-  try Marshal.from_string s 0
-  with _ -> raise (Protocol_error "undecodable request")
-
-let decode_reply s : reply =
-  try Marshal.from_string s 0
-  with _ -> raise (Protocol_error "undecodable reply")
+   run, so a decode failure means a peer speaking a different dialect,
+   or a well-formed frame arriving where a different message type
+   belongs (replay/desync — see the tag rationale above) — a protocol
+   error, terminal for the connection. *)
+let decode_handshake s : handshake = decode ~tag:tag_handshake ~what:"handshake" s
+let decode_request s : request = decode ~tag:tag_request ~what:"request" s
+let decode_reply s : reply = decode ~tag:tag_reply ~what:"reply" s
 
 let check_handshake (h : handshake) =
   if h.hs_magic <> magic then

@@ -11,15 +11,21 @@
     and the client is expected to back off [b_retry_after] seconds and
     retry ({!Client.submit_wait} does).
 
-    Payloads are [Marshal]ed OCaml values: every type that crosses the
-    wire ({!Ifp_campaign.Job.t}, {!Ifp_vm.Vm.result},
-    {!Ifp_campaign.Events.json}) is pure data — no closures, no custom
-    blocks — so encoding is stable across the daemon and client
-    binaries built from this tree. The CRC framing below this layer
-    catches torn/corrupt messages; {!Protocol_error} here means a peer
-    speaking a different dialect. Like the rest of the campaign
-    tooling, the socket is a local, same-user coordination channel, not
-    a trust boundary. *)
+    Payloads are a one-byte kind tag followed by a [Marshal]ed OCaml
+    value: every type that crosses the wire ({!Ifp_campaign.Job.t},
+    {!Ifp_vm.Vm.result}, {!Ifp_campaign.Events.json}) is pure data — no
+    closures, no custom blocks — so encoding is stable across the
+    daemon and client binaries built from this tree. The tag exists
+    because [Marshal] checks structure, never type: without it a
+    CRC-valid frame of the {e wrong} message type (e.g. a hostile
+    network replaying the handshake frame into the server's request
+    loop) would deserialise as type confusion and crash the runtime;
+    with it, each decoder rejects frames not addressed to its type with
+    a clean {!Protocol_error}. The CRC framing below this layer catches
+    torn/corrupt messages; {!Protocol_error} here means a peer speaking
+    a different dialect or a replayed/desynchronised frame. Like the
+    rest of the campaign tooling, the socket is a local, same-user
+    coordination channel, not a trust boundary. *)
 
 module Job = Ifp_campaign.Job
 module Engine = Ifp_campaign.Engine
@@ -67,6 +73,11 @@ type busy = {
   b_retry_after : float;  (** server-suggested client backoff, seconds *)
 }
 
+type poisoned = {
+  p_digest : string;
+  p_crashes : int;  (** worker crashes attributed to this digest *)
+}
+
 type reply =
   | Welcome of { version : int; banner : string }
   | Refused of string  (** handshake rejection or drain refusal *)
@@ -74,6 +85,12 @@ type reply =
   | Completed of completion
   | Stats_reply of Events.json
   | Pong
+  | Poisoned of poisoned
+      (** the job's digest crashed worker domains [p_crashes] times
+          (>= the daemon's poison threshold) and is quarantined: the
+          daemon refuses to run it again rather than let one bad job
+          take the worker fleet down. Terminal for the job, not the
+          connection. *)
 
 val encode_result : Ifp_vm.Vm.result option -> string
 (** The canonical bytes carried in [c_result_bytes]; also the form both

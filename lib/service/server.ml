@@ -1,6 +1,7 @@
 module Job = Ifp_campaign.Job
 module Engine = Ifp_campaign.Engine
 module Events = Ifp_campaign.Events
+module Journal = Ifp_campaign.Journal
 
 (* The long-running experiment daemon.
 
@@ -13,17 +14,46 @@ module Events = Ifp_campaign.Events
    and the worker fills.
 
    Results flow through {!Engine.run_job}, the exact single-job path a
-   batch campaign uses (journal-replay check aside — the daemon runs
-   journal-less; durability is the cache's job), which is what keeps
-   daemon-served results byte-identical to a direct [Engine.run].
+   batch campaign uses, which is what keeps daemon-served results
+   byte-identical to a direct [Engine.run]. With [journal] set, every
+   completion is also framed/CRC'd/flushed to a write-ahead journal
+   before the reply goes out, so a SIGKILL'd daemon restarted over the
+   same journal serves prior results byte-identically (replay is
+   authoritative, ahead of the cache).
+
+   Self-healing (PR 7):
+   - {e worker supervision}: a fatal exception escaping the job layer
+     (the {!Worker_crash} sentinel, OOM, stack overflow) kills only that
+     worker domain; a supervisor logs [worker_crashed], restarts the
+     domain, and re-queues the in-flight job. A digest that crashes
+     workers [poison_threshold] times is quarantined: its ticket (and
+     any later submit of it) is answered [Poisoned] instead of taking
+     the fleet down.
+   - {e connection reaping}: a connection idle past [idle_timeout]
+     between requests (including a half-open handshake that never sends
+     its hello), or one whose frame dribbles past [io_timeout]
+     (slow-loris), is closed and counted [reaped_connections]. Replies
+     carry the same [io_timeout] write deadline, so a client that stops
+     reading cannot pin a handler; undeliverable replies are counted
+     [send_failed] and logged, never silently dropped.
 
    Graceful drain: when [stop] fires (typically SIGTERM via
    {!Ifp_campaign.Cli.install_stop}), the listener closes immediately —
    new connections are refused by the OS — while accepted work runs to
    completion: handlers answer every in-flight submit, refuse new ones
    with [Refused "draining"], and close; once the last handler is gone
-   the scheduler is closed, the workers drain what is queued and exit,
-   and [run] returns the final stats snapshot. *)
+   (bounded by [drain_timeout]) the scheduler is closed, the workers
+   drain what is queued and exit, and [run] returns the final stats
+   snapshot. *)
+
+exception Worker_crash of string
+(* the worker-killing sentinel: raised by a runner (tests, or real
+   plumbing that knows its domain is wedged) to escape the per-job
+   isolation and hit the supervisor *)
+
+let fatal_exn = function
+  | Worker_crash _ | Out_of_memory | Stack_overflow -> true
+  | _ -> false
 
 type config = {
   socket_path : string;
@@ -33,6 +63,18 @@ type config = {
   retries : int;
   backoff : float;
   job_timeout : float option;
+  drain_timeout : float;  (** max wait for handlers to exit on drain *)
+  idle_timeout : float;
+      (** reap connections silent this long between requests (also the
+          half-open-handshake deadline) *)
+  io_timeout : float;
+      (** per-frame read/write deadline: a frame (in either direction)
+          must complete within this or the connection is reaped *)
+  poison_threshold : int;
+      (** worker crashes per digest before quarantine ([Poisoned]) *)
+  journal : Journal.t option;
+      (** crash-restart durability: completions are journaled before
+          the reply; replay is authoritative on restart *)
   log : Events.t;
   runner : (Job.t -> Ifp_vm.Vm.result) option;  (** test hook *)
   banner : string;
@@ -47,34 +89,50 @@ let default_config ~socket_path =
     retries = 1;
     backoff = 0.05;
     job_timeout = None;
+    drain_timeout = 60.0;
+    idle_timeout = 60.0;
+    io_timeout = 30.0;
+    poison_threshold = 3;
+    journal = None;
     log = Events.null;
     runner = None;
     banner = "ifp_serviced";
   }
 
+(* what the worker hands back through the ticket: a normal engine
+   outcome, or the quarantine verdict for a worker-killing digest *)
+type verdict =
+  | Outcome of Engine.outcome
+  | Poison of { crashes : int }
+
 type ticket = {
   t_job : Job.t;
   t_digest : string;
   t_tenant : string;
+  t_weight : int;
   t_submitted : float;
   t_m : Mutex.t;
   t_c : Condition.t;
-  mutable t_outcome : Engine.outcome option;
+  mutable t_verdict : verdict option;
 }
 
 let ticket_wait tk =
   Mutex.lock tk.t_m;
-  while tk.t_outcome = None do
+  while tk.t_verdict = None do
     Condition.wait tk.t_c tk.t_m
   done;
-  let o = Option.get tk.t_outcome in
+  let v = Option.get tk.t_verdict in
   Mutex.unlock tk.t_m;
-  o
+  v
 
-let ticket_fill tk outcome =
+let ticket_fill tk verdict =
   Mutex.lock tk.t_m;
-  tk.t_outcome <- Some outcome;
-  Condition.broadcast tk.t_c;
+  (* first verdict wins: a crash-requeued ticket that somehow runs twice
+     must not flip an already-delivered answer *)
+  if tk.t_verdict = None then begin
+    tk.t_verdict <- Some verdict;
+    Condition.broadcast tk.t_c
+  end;
   Mutex.unlock tk.t_m
 
 (* suggested client backoff when a queue is full: proportional to how
@@ -88,7 +146,26 @@ type state = {
   metrics : Metrics.t;
   draining : bool Atomic.t;
   active_handlers : int Atomic.t;
+  (* worker supervision: which ticket each worker domain is running
+     (cleared after the verdict is delivered), and per-digest crash
+     counts feeding the poison quarantine *)
+  inflight : ticket option Atomic.t array;
+  poison_m : Mutex.t;
+  poison : (string, int) Hashtbl.t;
 }
+
+let poison_count st digest =
+  Mutex.lock st.poison_m;
+  let n = Option.value ~default:0 (Hashtbl.find_opt st.poison digest) in
+  Mutex.unlock st.poison_m;
+  n
+
+let note_crash st digest =
+  Mutex.lock st.poison_m;
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt st.poison digest) in
+  Hashtbl.replace st.poison digest n;
+  Mutex.unlock st.poison_m;
+  n
 
 let shard_json st =
   match st.cfg.shard with
@@ -107,22 +184,24 @@ let worker_loop st ~index =
     match Sched.pop st.sched with
     | None -> ()
     | Some (_tenant, tk) ->
+      Atomic.set st.inflight.(index) (Some tk);
       let t0 = Unix.gettimeofday () in
       let outcome =
         match
-          Engine.run_job
+          Engine.run_job ~fatal:fatal_exn
             ~cache:(Option.map (fun s -> Shard.pick s ~digest:tk.t_digest)
                       st.cfg.shard)
-            ~journal:None
+            ~journal:st.cfg.journal
             ~on_job_done:(fun _ -> ())
             ~log:st.cfg.log ~retries:st.cfg.retries ~backoff:st.cfg.backoff
             ~job_timeout:st.cfg.job_timeout ~runner ~digest:tk.t_digest
             tk.t_job
         with
         | o -> o
-        | exception exn ->
+        | exception exn when not (fatal_exn exn) ->
           (* run_job already isolates runner faults; this catches bugs in
-             the plumbing itself so a worker domain never dies silently *)
+             the plumbing itself so a worker domain never dies silently.
+             Fatal exceptions pass through to the supervisor. *)
           {
             Engine.job = tk.t_job;
             digest = tk.t_digest;
@@ -140,10 +219,69 @@ let worker_loop st ~index =
       Metrics.on_done st.metrics ~tenant:tk.t_tenant
         ~latency:(Unix.gettimeofday () -. tk.t_submitted)
         ~from_cache:outcome.Engine.from_cache ~ok;
-      ticket_fill tk outcome;
+      ticket_fill tk (Outcome outcome);
+      Atomic.set st.inflight.(index) None;
       loop ()
   in
   loop ()
+
+(* the supervisor: a fatal exception killed the worker mid-job — account
+   the crash to the in-flight digest, requeue or quarantine it, and
+   restart the domain. The worker fleet never shrinks. *)
+let rec supervised_worker st ~index =
+  match worker_loop st ~index with
+  | () -> ()  (* scheduler closed: normal drain exit *)
+  | exception exn ->
+    let tk = Atomic.exchange st.inflight.(index) None in
+    Metrics.on_worker_crash st.metrics;
+    Events.emit st.cfg.log "worker_crashed"
+      [
+        ("worker", Events.Int index);
+        ("error", Events.String (Printexc.to_string exn));
+        ( "digest",
+          match tk with
+          | Some tk -> Events.String tk.t_digest
+          | None -> Events.Null );
+      ];
+    (match tk with
+    | None -> ()
+    | Some tk ->
+      let crashes = note_crash st tk.t_digest in
+      if crashes >= max 1 st.cfg.poison_threshold then begin
+        Events.emit st.cfg.log "digest_poisoned"
+          [
+            ("digest", Events.String tk.t_digest);
+            ("job", Events.String tk.t_job.Job.name);
+            ("crashes", Events.Int crashes);
+          ];
+        ticket_fill tk (Poison { crashes })
+      end
+      else begin
+        Metrics.on_crash_requeue st.metrics;
+        match Sched.push st.sched ~tenant:tk.t_tenant ~weight:tk.t_weight tk with
+        | Sched.Queued _ -> ()
+        | Sched.Full _ ->
+          (* queue gone (drain) or full: answer rather than strand the
+             handler on a ticket nobody will ever run *)
+          ticket_fill tk
+            (Outcome
+               {
+                 Engine.job = tk.t_job;
+                 digest = tk.t_digest;
+                 status =
+                   Engine.Failed
+                     (Printf.sprintf "worker crash (%d); requeue refused"
+                        crashes);
+                 result = None;
+                 from_cache = false;
+                 from_journal = false;
+                 attempts = 1;
+                 elapsed = Unix.gettimeofday () -. tk.t_submitted;
+               })
+      end);
+    Metrics.on_worker_restart st.metrics;
+    Events.emit st.cfg.log "worker_restarted" [ ("worker", Events.Int index) ];
+    supervised_worker st ~index
 
 (* ---- connection handlers (threads) ---- *)
 
@@ -157,66 +295,106 @@ let completion_of_outcome (o : Engine.outcome) ~submitted =
     c_elapsed = Unix.gettimeofday () -. submitted;
   }
 
-let send fd reply = Frame.write fd (Protocol.encode_reply reply)
+let send st fd reply =
+  let deadline = Unix.gettimeofday () +. st.cfg.io_timeout in
+  Frame.write ~deadline fd (Protocol.encode_reply reply)
+
+(* the failure-path sends (refusals, goodbyes): delivery is best-effort,
+   but a failure is counted and logged, never silently swallowed *)
+let send_best_effort st fd reply ~why =
+  try send st fd reply
+  with exn ->
+    Metrics.on_send_failed st.metrics;
+    Events.emit st.cfg.log "send_failed"
+      [
+        ("while", Events.String why);
+        ("error", Events.String (Printexc.to_string exn));
+      ]
 
 let handle_request st fd ~tenant ~weight request =
   match request with
-  | Protocol.Ping -> send fd Protocol.Pong
+  | Protocol.Ping -> send st fd Protocol.Pong
   | Protocol.Stats ->
     let snap = snapshot st in
     (* the mirror: every stats request also lands in the JSONL log *)
     Events.emit st.cfg.log "stats" [ ("snapshot", snap) ];
-    send fd (Protocol.Stats_reply snap)
+    send st fd (Protocol.Stats_reply snap)
   | Protocol.Submit job ->
     Metrics.on_submit st.metrics;
     if Atomic.get st.draining then begin
       Metrics.on_drain_reject st.metrics;
-      send fd (Protocol.Refused "draining")
+      send st fd (Protocol.Refused "draining")
     end
     else begin
       let digest = Job.digest job in
-      let tk =
-        {
-          t_job = job;
-          t_digest = digest;
-          t_tenant = tenant;
-          t_submitted = Unix.gettimeofday ();
-          t_m = Mutex.create ();
-          t_c = Condition.create ();
-          t_outcome = None;
-        }
-      in
-      match Sched.push st.sched ~tenant ~weight tk with
-      | Sched.Full { depth; limit } ->
-        Metrics.on_busy st.metrics ~tenant;
-        send fd
-          (Protocol.Busy
-             {
-               Protocol.b_tenant = tenant;
-               b_depth = depth;
-               b_limit = limit;
-               b_retry_after = retry_after ~depth;
-             })
-      | Sched.Queued _ ->
-        let outcome = ticket_wait tk in
-        send fd
-          (Protocol.Completed
-             (completion_of_outcome outcome ~submitted:tk.t_submitted))
+      let crashes = poison_count st digest in
+      if crashes >= max 1 st.cfg.poison_threshold then begin
+        (* quarantined: answer immediately, never queue it again *)
+        Metrics.on_poisoned st.metrics;
+        send st fd
+          (Protocol.Poisoned { Protocol.p_digest = digest; p_crashes = crashes })
+      end
+      else
+        let tk =
+          {
+            t_job = job;
+            t_digest = digest;
+            t_tenant = tenant;
+            t_weight = weight;
+            t_submitted = Unix.gettimeofday ();
+            t_m = Mutex.create ();
+            t_c = Condition.create ();
+            t_verdict = None;
+          }
+        in
+        match Sched.push st.sched ~tenant ~weight tk with
+        | Sched.Full { depth; limit } ->
+          Metrics.on_busy st.metrics ~tenant;
+          send st fd
+            (Protocol.Busy
+               {
+                 Protocol.b_tenant = tenant;
+                 b_depth = depth;
+                 b_limit = limit;
+                 b_retry_after = retry_after ~depth;
+               })
+        | Sched.Queued _ -> (
+          match ticket_wait tk with
+          | Outcome outcome ->
+            send st fd
+              (Protocol.Completed
+                 (completion_of_outcome outcome ~submitted:tk.t_submitted))
+          | Poison { crashes } ->
+            Metrics.on_poisoned st.metrics;
+            send st fd
+              (Protocol.Poisoned
+                 { Protocol.p_digest = digest; p_crashes = crashes }))
     end
 
 (* wait until [fd] is readable, polling the drain flag; Draining exits
-   the handler loop between requests (never mid-request) *)
+   the handler loop between requests (never mid-request), Reaped kills
+   a connection idle past its deadline (half-open handshakes and
+   gone-quiet clients) *)
 exception Draining
+exception Reaped of string
 
-let wait_readable st fd =
+let wait_readable st fd ~idle_deadline =
   let rec go () =
     if Atomic.get st.draining then raise Draining;
+    if Unix.gettimeofday () > idle_deadline then raise (Reaped "idle");
     match Unix.select [ fd ] [] [] 0.2 with
     | [], _, _ -> go ()
     | _ -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
   in
   go ()
+
+(* one frame: readability bounded by the idle deadline, then the frame
+   itself bounded by io_timeout — a slow-loris can neither sit silent
+   nor dribble its way past the reaper *)
+let read_frame st fd ~idle_deadline =
+  wait_readable st fd ~idle_deadline;
+  Frame.read ~deadline:(Unix.gettimeofday () +. st.cfg.io_timeout) fd
 
 let handler st fd =
   Metrics.on_connect st.metrics;
@@ -226,21 +404,25 @@ let handler st fd =
   in
   Fun.protect ~finally:close_conn (fun () ->
       try
-        (* versioned handshake before anything else *)
-        wait_readable st fd;
-        match Frame.read fd with
+        (* versioned handshake before anything else; a half-open peer
+           that never says hello is reaped on the same idle clock *)
+        match
+          read_frame st fd
+            ~idle_deadline:(Unix.gettimeofday () +. st.cfg.idle_timeout)
+        with
         | None -> ()
         | Some hello ->
           let hs = Protocol.decode_handshake hello in
           (match Protocol.check_handshake hs with
           | Error reason ->
             Metrics.on_handshake_reject st.metrics;
-            send fd (Protocol.Refused reason)
+            send_best_effort st fd (Protocol.Refused reason)
+              ~why:"handshake_reject"
           | Ok () ->
             let tenant = hs.Protocol.hs_tenant in
             let weight = max 1 hs.Protocol.hs_weight in
             Sched.register st.sched ~tenant ~weight;
-            send fd
+            send st fd
               (Protocol.Welcome
                  { version = Protocol.version; banner = st.cfg.banner });
             Events.emit st.cfg.log "client_connected"
@@ -249,8 +431,10 @@ let handler st fd =
                 ("weight", Events.Int weight);
               ];
             let rec serve () =
-              wait_readable st fd;
-              match Frame.read fd with
+              match
+                read_frame st fd
+                  ~idle_deadline:(Unix.gettimeofday () +. st.cfg.idle_timeout)
+              with
               | None -> ()  (* clean disconnect *)
               | Some payload ->
                 handle_request st fd ~tenant ~weight
@@ -260,16 +444,22 @@ let handler st fd =
             serve ())
       with
       | Draining -> ()
+      | Reaped why | Frame.Timeout why ->
+        Metrics.on_reaped st.metrics;
+        Events.emit st.cfg.log "connection_reaped"
+          [ ("reason", Events.String why) ]
       | Frame.Framing_error reason | Protocol.Protocol_error reason ->
         Metrics.on_protocol_error st.metrics;
         Events.emit st.cfg.log "protocol_error"
           [ ("reason", Events.String reason) ];
         (* best-effort goodbye; the stream may already be dead *)
-        (try send fd (Protocol.Refused reason) with _ -> ())
+        send_best_effort st fd (Protocol.Refused reason) ~why:"protocol_error"
       | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
         (* client went away mid-reply: the job (if any) has completed
-           and is cached; nothing to clean up *)
-        ()
+           and is cached/journaled, but this reply was undeliverable *)
+        Metrics.on_send_failed st.metrics;
+        Events.emit st.cfg.log "send_failed"
+          [ ("while", Events.String "reply"); ("error", Events.String "peer gone") ]
       | exn ->
         Metrics.on_protocol_error st.metrics;
         Events.emit st.cfg.log "handler_error"
@@ -295,6 +485,9 @@ let run ?(stop = fun () -> false) cfg =
       metrics = Metrics.create ~workers:cfg.workers;
       draining = Atomic.make false;
       active_handlers = Atomic.make 0;
+      inflight = Array.init (max 1 cfg.workers) (fun _ -> Atomic.make None);
+      poison_m = Mutex.create ();
+      poison = Hashtbl.create 16;
     }
   in
   let sock = listen_socket cfg.socket_path in
@@ -307,11 +500,14 @@ let run ?(stop = fun () -> false) cfg =
         match cfg.shard with
         | Some s -> Events.Int (Shard.count s)
         | None -> Events.Null );
+      ("journal", Events.Bool (cfg.journal <> None));
+      ("idle_timeout", Events.Float cfg.idle_timeout);
+      ("io_timeout", Events.Float cfg.io_timeout);
       ("model_digest", Events.String Job.model_digest);
     ];
   let workers =
     Array.init (max 1 cfg.workers) (fun index ->
-        Domain.spawn (fun () -> worker_loop st ~index))
+        Domain.spawn (fun () -> supervised_worker st ~index))
   in
   (* accept loop: select so the stop flag is polled ~5x a second *)
   let rec accept_loop () =
@@ -340,9 +536,10 @@ let run ?(stop = fun () -> false) cfg =
   (try Unix.close sock with Unix.Unix_error _ -> ());
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
   (* handlers exit between requests (or after answering the in-flight
-     one); jobs are bounded, so this terminates — the deadline is a
-     backstop against a byzantine peer wedged mid-frame *)
-  let deadline = Unix.gettimeofday () +. 60.0 in
+     one); jobs are bounded and frames carry io deadlines, so this
+     terminates — [drain_timeout] is the backstop against a byzantine
+     peer the reaper somehow hasn't shed *)
+  let deadline = Unix.gettimeofday () +. cfg.drain_timeout in
   while Atomic.get st.active_handlers > 0 && Unix.gettimeofday () < deadline do
     Thread.delay 0.02
   done;

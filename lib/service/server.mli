@@ -1,8 +1,11 @@
 (** The long-running experiment daemon: accepts jobs from many
     concurrent clients over a Unix-domain socket and runs them on a pool
     of worker domains, with a sharded result cache, weighted-fair
-    scheduling with bounded-depth backpressure, and a [stats]
-    observability surface.
+    scheduling with bounded-depth backpressure, a [stats] observability
+    surface — and, as of PR 7, self-healing: worker-domain supervision
+    with poison-digest quarantine, idle/slow-loris connection reaping,
+    accounted (never silently swallowed) reply sends, and optional
+    crash-restart durability through the campaign write-ahead journal.
 
     Topology: the calling thread runs the accept loop (select with a
     short timeout, polling [stop]); each connection gets a handler
@@ -14,14 +17,49 @@
     comparison {!Protocol.encode_result} defines; asserted end-to-end in
     [test/test_service.ml] and by [ifp_loadgen --verify]).
 
+    Self-healing:
+    - {e Worker supervision.} A fatal exception escaping the job layer
+      ({!Worker_crash}, [Out_of_memory], [Stack_overflow]) kills only
+      that worker domain. The supervisor logs [worker_crashed], restarts
+      the domain ([worker_restarted]), and re-queues the in-flight job;
+      a digest that crashes workers [poison_threshold] times is
+      quarantined ([digest_poisoned]) and answered
+      [Protocol.Poisoned] — on the pending ticket and on every later
+      submit — instead of being allowed to take the fleet down.
+    - {e Connection reaping.} A connection silent past [idle_timeout]
+      between requests (including a half-open handshake), or whose
+      frame dribbles past [io_timeout] (slow-loris), is closed with a
+      [connection_reaped] event and counted [reaped_connections].
+      Replies carry the same [io_timeout] write deadline so a
+      non-reading client cannot pin a handler thread.
+    - {e Crash-restart durability.} With [journal] set, completions are
+      framed/CRC'd/flushed to the write-ahead journal before the reply;
+      a SIGKILL'd daemon restarted over the same journal serves prior
+      results byte-identically (journal replay is authoritative, ahead
+      of the cache).
+
     Graceful drain: when [stop] fires (typically SIGTERM via
     {!Ifp_campaign.Cli.install_stop}), the listener closes and the
     socket file is unlinked immediately; in-flight submits are answered,
-    new ones are refused with [Refused "draining"], handlers close,
-    queued work is drained by the workers, and {!run} returns. *)
+    new ones are refused with [Refused "draining"], handlers close
+    (bounded by [drain_timeout]), queued work is drained by the workers,
+    and {!run} returns. *)
 
 module Job = Ifp_campaign.Job
 module Events = Ifp_campaign.Events
+module Journal = Ifp_campaign.Journal
+
+exception Worker_crash of string
+(** The worker-killing sentinel: an exception a runner raises to signal
+    its worker domain is wedged beyond per-job isolation. The engine's
+    retry machinery lets it escape (via [run_job ~fatal]) so the
+    daemon's supervisor can restart the domain. Used by the resilience
+    tests; real plumbing faults surface as [Out_of_memory] /
+    [Stack_overflow], which are treated the same way. *)
+
+val fatal_exn : exn -> bool
+(** The daemon's fatality predicate (passed to [Engine.run_job ~fatal]):
+    {!Worker_crash}, [Out_of_memory], [Stack_overflow]. *)
 
 type config = {
   socket_path : string;
@@ -33,14 +71,32 @@ type config = {
   job_timeout : float option;
       (** per-job watchdog; [None] (the daemon default) avoids the
           watchdog's domain-per-attempt cost on the hot path *)
+  drain_timeout : float;
+      (** max seconds to wait for handler threads to exit during drain
+          before closing the scheduler anyway *)
+  idle_timeout : float;
+      (** reap connections silent this long between requests; also the
+          deadline for a half-open handshake to say hello *)
+  io_timeout : float;
+      (** per-frame deadline, both directions: a frame must complete
+          within this or the connection is reaped (slow-loris defense)
+          / the send is abandoned and counted [send_failed] *)
+  poison_threshold : int;
+      (** worker crashes attributed to one digest before it is
+          quarantined with [Poisoned] (min 1) *)
+  journal : Journal.t option;
+      (** [Some j] = crash-restart durability: completions are
+          journaled (flushed) before the reply goes out, and journal
+          replay is authoritative after a restart *)
   log : Events.t;  (** JSONL observability (events + stats mirror) *)
   runner : (Job.t -> Ifp_vm.Vm.result) option;  (** test hook *)
   banner : string;
 }
 
 val default_config : socket_path:string -> config
-(** 1 worker, no cache, depth 64, 1 retry, 0.05 s backoff, no timeout,
-    null log. *)
+(** 1 worker, no cache, depth 64, 1 retry, 0.05 s backoff, no job
+    timeout, 60 s drain timeout, 60 s idle timeout, 30 s io timeout,
+    poison threshold 3, no journal, null log. *)
 
 val retry_after : depth:int -> float
 (** The backpressure hint sent with [Busy]: proportional to the queue
@@ -49,8 +105,11 @@ val retry_after : depth:int -> float
 val run : ?stop:(unit -> bool) -> config -> Events.json
 (** Binds [socket_path] (unlinking any stale socket), serves until
     [stop] fires, drains, and returns the final stats snapshot
-    ({!Metrics.snapshot} shape). Emits [service_start], [client_connected],
-    [protocol_error], [stats] (mirroring each stats request) and
+    ({!Metrics.snapshot} shape). Emits [service_start],
+    [client_connected], [protocol_error], [connection_reaped],
+    [worker_crashed], [worker_restarted], [digest_poisoned],
+    [send_failed], [stats] (mirroring each stats request) and
     [service_stop] events, plus the per-job engine events
-    ([job_start]/[job_finish]/[cache_hit]/...). Installs SIGPIPE-ignore
-    (a client dying mid-reply must not kill the daemon). *)
+    ([job_start]/[job_finish]/[cache_hit]/[journal_replay]/...).
+    Installs SIGPIPE-ignore (a client dying mid-reply must not kill the
+    daemon). *)

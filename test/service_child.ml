@@ -1,0 +1,37 @@
+(* Victim daemon forked (and SIGKILLed) by the crash-restart durability
+   tests in test_resilience.ml: a minimal ifp_serviced — shard cache +
+   write-ahead journal + SIGTERM drain — whose whole point is to be
+   killed without warning and restarted over the same cache/journal.
+
+   argv: SOCKET CACHE_DIR JOURNAL_PATH WORKERS *)
+
+module Cli = Ifp_campaign.Cli
+module Journal = Ifp_campaign.Journal
+module Shard = Ifp_service.Shard
+module Server = Ifp_service.Server
+
+let () =
+  let socket = Sys.argv.(1) in
+  let cache_dir = Sys.argv.(2) in
+  let journal_path = Sys.argv.(3) in
+  let workers = max 1 (int_of_string Sys.argv.(4)) in
+  let journal, _replay = Journal.open_resume ~path:journal_path in
+  let shard = Shard.create ~dir:cache_dir ~shards:4 () in
+  let signals = Cli.install_stop () in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:socket) with
+      Server.workers;
+      shard = Some shard;
+      journal = Some journal;
+      (* short reaper deadlines so a test never waits on a wedged peer *)
+      drain_timeout = 10.0;
+      idle_timeout = 10.0;
+      io_timeout = 5.0;
+      banner = "service_child";
+    }
+  in
+  ignore (Server.run ~stop:signals.Cli.stop cfg);
+  signals.Cli.restore ();
+  Journal.close journal;
+  exit 0

@@ -26,4 +26,5 @@ let () =
       ("faultinject", Test_faultinject.tests);
       ("guarantees", Test_guarantees.tests);
       ("service", Test_service.tests);
+      ("resilience", Test_resilience.tests);
     ]

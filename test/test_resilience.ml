@@ -1,0 +1,532 @@
+(* Resilience tests: the circuit-breaker state machine (deterministic,
+   injected clock), chaos-proxy fault-schedule determinism, the
+   jittered desynchronized busy backoff, worker-crash supervision with
+   poison-digest quarantine, the idle/slow-loris connection reaper, an
+   end-to-end resilient-client run through a hostile chaos proxy, and
+   SIGKILL-the-daemon-mid-burst crash-restart durability over the
+   write-ahead journal (forking the service_child victim binary). *)
+
+open Core
+module Job = Ifp_campaign.Job
+module Engine = Ifp_campaign.Engine
+module Events = Ifp_campaign.Events
+module Frame = Ifp_service.Frame
+module Protocol = Ifp_service.Protocol
+module Shard = Ifp_service.Shard
+module Server = Ifp_service.Server
+module Client = Ifp_service.Client
+module Breaker = Ifp_service.Breaker
+module Chaosproxy = Ifp_service.Chaosproxy
+
+let child_exe =
+  let beside =
+    Filename.concat (Filename.dirname Sys.executable_name) "service_child.exe"
+  in
+  if Sys.file_exists beside then beside else "./service_child.exe"
+
+let temp_dir prefix =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let job i =
+  let prog =
+    Ir.program ~tenv:Ctype.empty_tenv ~globals:[]
+      [ Ir.func "main" [] Ctype.I64 [ Ir.Return (Some (Ir.i (i * 7))) ] ]
+  in
+  Job.make
+    ~name:(Printf.sprintf "res/%02d" i)
+    ~group:"res" ~variant:"subheap" ~config:Vm.ifp_subheap prog
+
+let direct_bytes j = Protocol.encode_result (Some (Engine.default_runner j))
+
+let assoc_int key = function
+  | Events.Obj fields -> (
+    match List.assoc_opt key fields with
+    | Some (Events.Int n) -> n
+    | _ -> Alcotest.fail ("snapshot missing int field " ^ key))
+  | _ -> Alcotest.fail "snapshot is not an object"
+
+(* ---------------- in-process server harness ---------------- *)
+
+type running = {
+  r_stop : bool Atomic.t;
+  r_thread : Thread.t;
+  r_final : Events.json option ref;
+}
+
+let start_server ?(workers = 1) ?shard ?(queue_depth = 64)
+    ?(poison_threshold = 3) ?(idle_timeout = 60.0) ?(io_timeout = 30.0)
+    ?runner ~socket () =
+  let stop = Atomic.make false in
+  let final = ref None in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:socket) with
+      Server.workers;
+      shard;
+      queue_depth;
+      poison_threshold;
+      idle_timeout;
+      io_timeout;
+      runner;
+    }
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        final := Some (Server.run ~stop:(fun () -> Atomic.get stop) cfg))
+      ()
+  in
+  let rec wait n =
+    if Sys.file_exists socket then ()
+    else if n <= 0 then Alcotest.fail "server did not bind its socket"
+    else begin
+      Thread.delay 0.02;
+      wait (n - 1)
+    end
+  in
+  wait 250;
+  { r_stop = stop; r_thread = th; r_final = final }
+
+let stop_server r =
+  Atomic.set r.r_stop true;
+  Thread.join r.r_thread;
+  match !(r.r_final) with
+  | Some json -> json
+  | None -> Alcotest.fail "server returned no snapshot"
+
+(* ---------------- circuit breaker ---------------- *)
+
+let check_state what expected b =
+  Alcotest.(check string) what
+    (Breaker.state_name expected)
+    (Breaker.state_name (Breaker.state b))
+
+let test_breaker_state_machine () =
+  let t0 = 1000.0 in
+  let b = Breaker.create ~failure_threshold:3 ~reset_timeout:1.0 () in
+  check_state "starts closed" Breaker.Closed b;
+  Alcotest.(check bool) "closed allows" true (Breaker.allow ~now:t0 b);
+  Breaker.on_failure ~now:t0 b;
+  Breaker.on_failure ~now:t0 b;
+  check_state "below threshold stays closed" Breaker.Closed b;
+  (* a success resets the streak: two more failures still aren't three
+     consecutive *)
+  Breaker.on_success b;
+  Breaker.on_failure ~now:t0 b;
+  Breaker.on_failure ~now:t0 b;
+  check_state "streak reset by success" Breaker.Closed b;
+  Breaker.on_failure ~now:t0 b;
+  check_state "trips at threshold" Breaker.Open b;
+  Alcotest.(check bool) "open rejects during cool-down" false
+    (Breaker.allow ~now:(t0 +. 0.5) b);
+  Alcotest.(check int) "rejection counted" 1 (Breaker.rejected b);
+  Alcotest.(check bool) "cool-down elapsed admits the probe" true
+    (Breaker.allow ~now:(t0 +. 1.1) b);
+  check_state "probing" Breaker.Half_open b;
+  Alcotest.(check bool) "single probe at a time" false
+    (Breaker.allow ~now:(t0 +. 1.1) b);
+  Breaker.on_success b;
+  check_state "probe success closes" Breaker.Closed b;
+  let opens, half_opens, closes = Breaker.transitions b in
+  Alcotest.(check (triple int int int))
+    "transitions after first cycle" (1, 1, 1)
+    (opens, half_opens, closes);
+  (* re-trip: a failed probe goes straight back to Open and restarts
+     the cool-down clock *)
+  Breaker.on_failure ~now:(t0 +. 2.0) b;
+  Breaker.on_failure ~now:(t0 +. 2.0) b;
+  Breaker.on_failure ~now:(t0 +. 2.0) b;
+  check_state "re-tripped" Breaker.Open b;
+  Alcotest.(check bool) "second probe admitted" true
+    (Breaker.allow ~now:(t0 +. 3.1) b);
+  Breaker.on_failure ~now:(t0 +. 3.1) b;
+  check_state "probe failure re-opens" Breaker.Open b;
+  Alcotest.(check bool) "clock restarted at probe failure" false
+    (Breaker.allow ~now:(t0 +. 3.5) b);
+  Alcotest.(check bool) "new cool-down elapsed" true
+    (Breaker.allow ~now:(t0 +. 4.2) b);
+  Breaker.on_success b;
+  check_state "closed again" Breaker.Closed b;
+  let opens, half_opens, closes = Breaker.transitions b in
+  Alcotest.(check (triple int int int))
+    "transitions after re-trip cycle" (3, 3, 2)
+    (opens, half_opens, closes)
+
+(* ---------------- chaos-proxy schedule determinism ---------------- *)
+
+let hostile_plan seed =
+  Chaosproxy.plan ~delay_rate:0.1 ~corrupt_rate:0.1 ~drop_rate:0.1
+    ~truncate_rate:0.05 ~dribble_rate:0.05 ~duplicate_rate:0.05
+    ~seed ()
+
+let schedule plan =
+  List.concat_map
+    (fun conn ->
+      List.concat_map
+        (fun dir ->
+          List.init 40 (fun chunk -> Chaosproxy.decide plan ~conn ~dir ~chunk))
+        [ Chaosproxy.C2s; Chaosproxy.S2c ])
+    (List.init 8 Fun.id)
+
+let test_chaos_plan_determinism () =
+  let p = hostile_plan 42L in
+  Alcotest.(check bool) "same plan, same schedule" true
+    (schedule p = schedule (hostile_plan 42L));
+  Alcotest.(check bool) "different seed, different schedule" true
+    (schedule p <> schedule (hostile_plan 43L));
+  let faults =
+    List.length
+      (List.filter (fun a -> a <> Chaosproxy.Forward) (schedule p))
+  in
+  Alcotest.(check bool) "hostile plan actually injects" true (faults > 0);
+  let calm = Chaosproxy.plan ~seed:42L () in
+  Alcotest.(check bool) "zero rates forward everything" true
+    (List.for_all (fun a -> a = Chaosproxy.Forward) (schedule calm))
+
+(* ---------------- desynchronized busy backoff ---------------- *)
+
+let test_busy_delay_desync () =
+  let digests = List.init 8 (fun i -> Job.digest (job (100 + i))) in
+  let delays =
+    List.map
+      (fun d -> Client.busy_delay ~digest:d ~attempt:1 ~retry_after:0.01)
+      digests
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "delay within the jitter envelope" true
+        (d >= 0.01 && d < 0.015))
+    delays;
+  (* the retry-storm fix: clients bounced together wake up apart *)
+  Alcotest.(check int) "delays pairwise distinct across digests" 8
+    (List.length (List.sort_uniq compare delays));
+  Alcotest.(check bool) "deterministic for a given (digest, attempt)" true
+    (delays
+    = List.map
+        (fun d -> Client.busy_delay ~digest:d ~attempt:1 ~retry_after:0.01)
+        digests);
+  let d0 = List.hd digests in
+  Alcotest.(check bool) "exponential in attempt" true
+    (Client.busy_delay ~digest:d0 ~attempt:3 ~retry_after:0.01
+    > Client.busy_delay ~digest:d0 ~attempt:1 ~retry_after:0.01)
+
+(* ---------------- worker crash -> restart -> quarantine ------------- *)
+
+let crash_name = "res/crash"
+
+let crash_job () =
+  let prog =
+    Ir.program ~tenv:Ctype.empty_tenv ~globals:[]
+      [ Ir.func "main" [] Ctype.I64 [ Ir.Return (Some (Ir.i 13)) ] ]
+  in
+  Job.make ~name:crash_name ~group:"res" ~variant:"subheap"
+    ~config:Vm.ifp_subheap prog
+
+let test_worker_crash_quarantine () =
+  let dir = temp_dir "ifp-res-crash" in
+  let socket = Filename.concat dir "s.sock" in
+  let runner (j : Job.t) =
+    if j.Job.name = crash_name then raise (Server.Worker_crash "injected")
+    else Engine.default_runner j
+  in
+  let r =
+    start_server ~workers:1 ~poison_threshold:2 ~runner ~socket ()
+  in
+  let stopped = ref false in
+  let stop () =
+    if not !stopped then begin
+      stopped := true;
+      stop_server r
+    end
+    else Events.Null
+  in
+  Fun.protect ~finally:(fun () -> ignore (stop ())) @@ fun () ->
+  let c = Client.connect ~socket ~tenant:"quarantine" () in
+  (* healthy baseline *)
+  let comp = Client.submit_wait c (job 1) in
+  Alcotest.(check bool) "healthy job served" true
+    (String.equal comp.Protocol.c_result_bytes (direct_bytes (job 1)));
+  (* the poisonous job: crash 1 requeues it, crash 2 quarantines it —
+     one submit, two worker deaths, then a Poisoned verdict *)
+  (match Client.submit c (crash_job ()) with
+  | _ -> Alcotest.fail "crash job should be quarantined"
+  | exception Client.Poisoned p ->
+    Alcotest.(check int) "crash count at quarantine" 2 p.Protocol.p_crashes);
+  (* the fleet healed: the restarted worker serves the next job *)
+  let comp = Client.submit_wait c (job 2) in
+  Alcotest.(check bool) "worker restarted and serving" true
+    (String.equal comp.Protocol.c_result_bytes (direct_bytes (job 2)));
+  (* quarantine is sticky: a re-submit is answered immediately, without
+     touching another worker *)
+  (match Client.submit c (crash_job ()) with
+  | _ -> Alcotest.fail "quarantine should be sticky"
+  | exception Client.Poisoned p ->
+    Alcotest.(check int) "sticky crash count" 2 p.Protocol.p_crashes);
+  Client.close c;
+  let snap = stop () in
+  Alcotest.(check int) "worker_crashes" 2 (assoc_int "worker_crashes" snap);
+  Alcotest.(check int) "worker_restarts" 2 (assoc_int "worker_restarts" snap);
+  Alcotest.(check int) "crash_requeues" 1 (assoc_int "crash_requeues" snap);
+  Alcotest.(check int) "poisoned_replies" 2
+    (assoc_int "poisoned_replies" snap);
+  rm_rf dir
+
+(* ---------------- idle / slow-loris reaper ---------------- *)
+
+let frame_header ~len ~crc =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.set_int32_be b 4 crc;
+  Bytes.to_string b
+
+let write_raw fd s =
+  let b = Bytes.of_string s in
+  ignore (Unix.write fd b 0 (Bytes.length b))
+
+let wait_eof what fd =
+  let buf = Bytes.create 64 in
+  let deadline = Unix.gettimeofday () +. 8.0 in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then
+      Alcotest.fail (what ^ ": connection was not reaped")
+    else
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> go ()
+      | _ -> (
+        match Unix.read fd buf 0 64 with
+        | 0 -> ()  (* EOF: the reaper closed us *)
+        | _ -> go ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let test_slow_loris_reaped () =
+  let dir = temp_dir "ifp-res-loris" in
+  let socket = Filename.concat dir "s.sock" in
+  let r =
+    start_server ~workers:1 ~idle_timeout:0.4 ~io_timeout:0.4 ~socket ()
+  in
+  let stopped = ref false in
+  let stop () =
+    if not !stopped then begin
+      stopped := true;
+      stop_server r
+    end
+    else Events.Null
+  in
+  Fun.protect ~finally:(fun () -> ignore (stop ())) @@ fun () ->
+  (* tenant 1: a half-open handshake that never says hello *)
+  let idle_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect idle_fd (Unix.ADDR_UNIX socket);
+  (* tenant 2: handshakes, then dribbles a frame header claiming 64
+     bytes and stalls after 8 — a slow-loris mid-frame *)
+  let loris = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect loris (Unix.ADDR_UNIX socket);
+  Frame.write loris
+    (Protocol.encode_handshake
+       {
+         Protocol.hs_magic = Protocol.magic;
+         hs_version = Protocol.version;
+         hs_tenant = "loris";
+         hs_weight = 1;
+       });
+  (match Frame.read loris with
+  | Some payload -> (
+    match Protocol.decode_reply payload with
+    | Protocol.Welcome _ -> ()
+    | _ -> Alcotest.fail "loris handshake refused")
+  | None -> Alcotest.fail "no handshake reply");
+  write_raw loris (frame_header ~len:64 ~crc:0l);
+  write_raw loris (String.make 8 'z');
+  (* a healthy tenant is unaffected while both stallers hang *)
+  let c = Client.connect ~socket ~tenant:"healthy" () in
+  let comp = Client.submit_wait c (job 3) in
+  Alcotest.(check bool) "healthy tenant served during the stall" true
+    (String.equal comp.Protocol.c_result_bytes (direct_bytes (job 3)));
+  Client.close c;
+  wait_eof "half-open handshake" idle_fd;
+  wait_eof "slow-loris frame" loris;
+  Unix.close idle_fd;
+  Unix.close loris;
+  let snap = stop () in
+  Alcotest.(check bool) "both stallers counted" true
+    (assoc_int "reaped_connections" snap >= 2);
+  rm_rf dir
+
+(* ---------------- resilient client through the chaos proxy ---------- *)
+
+(* pick the first seed whose very first client->server chunk of the
+   first connection is dropped: the run is then guaranteed to exercise
+   recovery (and the fault counters), not just pass bytes through *)
+let rec dropping_plan seed =
+  let p = Chaosproxy.plan ~drop_rate:0.15 ~corrupt_rate:0.15 ~seed () in
+  if Chaosproxy.decide p ~conn:0 ~dir:Chaosproxy.C2s ~chunk:0 = Chaosproxy.Drop
+  then p
+  else dropping_plan (Int64.add seed 1L)
+
+let test_resilient_through_chaos () =
+  let dir = temp_dir "ifp-res-chaos" in
+  let socket = Filename.concat dir "s.sock" in
+  let r = start_server ~workers:2 ~socket () in
+  let plan = dropping_plan 1L in
+  let listen = socket ^ ".chaos" in
+  let proxy = Chaosproxy.start ~plan ~listen ~upstream:socket () in
+  (* stop everything even on assertion failure: a later test forks, and
+     Unix.fork refuses while worker domains are still running *)
+  Fun.protect
+    ~finally:(fun () ->
+      Chaosproxy.stop proxy;
+      ignore (stop_server r);
+      rm_rf dir)
+    (fun () ->
+      let breaker = Breaker.create ~reset_timeout:0.1 () in
+      let rt =
+        Client.Resilient.create
+          (Client.Resilient.config ~connect_timeout:2.0 ~io_timeout:5.0
+             ~call_budget:60.0 ~reconnect_base:0.01 ~breaker ~socket:listen
+             ~tenant:"storm" ())
+      in
+      List.iter
+        (fun i ->
+          let j = job (300 + i) in
+          let comp = Client.Resilient.submit rt j in
+          Alcotest.(check bool)
+            (Printf.sprintf "job %d byte-identical through hostile network" i)
+            true
+            (String.equal comp.Protocol.c_result_bytes (direct_bytes j)))
+        (List.init 6 Fun.id);
+      Alcotest.(check bool) "client recovered at least once" true
+        (Client.Resilient.reconnects rt >= 1);
+      Client.Resilient.close rt;
+      Alcotest.(check bool) "the plan fired" true
+        (assoc_int "faults_injected" (Chaosproxy.stats_json proxy) >= 1))
+
+(* ---------------- SIGKILL mid-burst -> restart -> converge ---------- *)
+
+(* create_process, not fork: other tests in this binary have spawned
+   (and joined) domains, after which Unix.fork is refused in OCaml 5 *)
+let start_child ~socket ~cache ~journal =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process child_exe
+      [| child_exe; socket; cache; journal; "2" |]
+      Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  let rec wait n =
+    if Sys.file_exists socket then ()
+    else if n <= 0 then Alcotest.fail "service_child did not bind"
+    else begin
+      Thread.delay 0.02;
+      wait (n - 1)
+    end
+  in
+  wait 400;
+  pid
+
+let test_kill_restart_durability () =
+  let dir = temp_dir "ifp-res-kill" in
+  let socket = Filename.concat dir "s.sock" in
+  let cache = Filename.concat dir "cache" in
+  let journal = Filename.concat dir "j.wal" in
+  let jobs = Array.init 10 (fun i -> job (400 + i)) in
+  let pid1 = start_child ~socket ~cache ~journal in
+  let results = Array.make (Array.length jobs) None in
+  let burst_error = ref None in
+  let rt =
+    Client.Resilient.create
+      (Client.Resilient.config ~connect_timeout:2.0 ~io_timeout:10.0
+         ~call_budget:60.0 ~reconnect_base:0.02
+         ~breaker:(Breaker.create ~reset_timeout:0.2 ())
+         ~socket ~tenant:"burst" ())
+  in
+  (* the burst: paced so the SIGKILL below lands mid-burst, with
+     submits in flight on both sides of the crash *)
+  let th =
+    Thread.create
+      (fun () ->
+        try
+          Array.iteri
+            (fun i j ->
+              results.(i) <- Some (Client.Resilient.submit rt j);
+              Thread.delay 0.05)
+            jobs
+        with e -> burst_error := Some (Printexc.to_string e))
+      ()
+  in
+  Thread.delay 0.15;
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  let pid2 = start_child ~socket ~cache ~journal in
+  Thread.join th;
+  (match !burst_error with
+  | Some e -> Alcotest.fail ("burst client failed: " ^ e)
+  | None -> ());
+  Array.iteri
+    (fun i j ->
+      match results.(i) with
+      | None -> Alcotest.failf "job %d never completed" i
+      | Some comp ->
+        Alcotest.(check bool)
+          (Printf.sprintf "job %d byte-identical across the crash" i)
+          true
+          (String.equal comp.Protocol.c_result_bytes (direct_bytes j)))
+    jobs;
+  Alcotest.(check bool) "the burst actually crossed the restart" true
+    (Client.Resilient.reconnects rt >= 1);
+  Client.Resilient.close rt;
+  (* the restarted daemon serves every pre-crash result byte-identically
+     (journal replay is authoritative) *)
+  let c = Client.connect ~socket ~tenant:"replay" () in
+  Array.iter
+    (fun j ->
+      let comp = Client.submit_wait c j in
+      Alcotest.(check bool) "replayed result byte-identical" true
+        (String.equal comp.Protocol.c_result_bytes (direct_bytes j)))
+    jobs;
+  Client.close c;
+  (* SIGTERM is the success path: drain and exit 0 *)
+  Unix.kill pid2 Sys.sigterm;
+  (match Unix.waitpid [] pid2 with
+  | _, Unix.WEXITED 0 -> ()
+  | _, st ->
+    Alcotest.failf "service_child did not drain cleanly (%s)"
+      (match st with
+      | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+      | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+      | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+  rm_rf dir
+
+let tests =
+  [
+    Alcotest.test_case "breaker state machine" `Quick
+      test_breaker_state_machine;
+    Alcotest.test_case "chaos plan determinism" `Quick
+      test_chaos_plan_determinism;
+    Alcotest.test_case "busy backoff desynchronized" `Quick
+      test_busy_delay_desync;
+    Alcotest.test_case "worker crash restart + quarantine" `Quick
+      test_worker_crash_quarantine;
+    Alcotest.test_case "slow-loris and idle conns reaped" `Quick
+      test_slow_loris_reaped;
+    Alcotest.test_case "resilient client through chaos proxy" `Quick
+      test_resilient_through_chaos;
+    Alcotest.test_case "SIGKILL mid-burst restart durability" `Quick
+      test_kill_restart_durability;
+  ]
