@@ -1,27 +1,39 @@
 (* Host-performance microbenchmark for the simulator hot path.
 
-   Times the fig10 workloads under the slot-resolved interpreter
-   (Vm.run) and the name-keyed reference interpreter (Vm_ref.run) on the
-   same VM configurations, and reports host wall-clock nanoseconds per
-   simulated instruction for both engines plus the speedup. While
-   timing, it also cross-checks that the two engines agree on outcome,
-   every counter, cache statistics and program output — a run that
-   diverges fails loudly rather than producing a pretty but meaningless
-   table.
+   Times the fig10 workloads under the three execution engines — the
+   name-keyed reference interpreter (Vm_ref), the slot-resolved
+   interpreter (Vm) and the closure-compiled engine (Vm_closure) — on
+   the same VM configurations, and reports host wall-clock nanoseconds
+   per simulated instruction for each engine plus the generation-over-
+   generation speedups. While timing, it also cross-checks that all
+   engines agree on outcome, every counter, cache statistics and
+   program output — a run that diverges fails loudly rather than
+   producing a pretty but meaningless table.
 
    The aggregate is written to BENCH_vm.json. Unlike the experiment
    tables, this output is wall-clock and host-dependent by nature; the
    JSON is for trend tracking, not byte-diffing (CI only checks shape
-   and the engine-agreement bit).
+   and the engine-agreement bit). The historical columns are kept:
+   before/after still mean Vm_ref -> Vm, and the closure engine adds
+   its own column and speedup.
 
-     ifp_bench [--quick] [--reps N] [--out PATH] [workload ...]
+     ifp_bench [--quick] [--reps N] [--out PATH] [--engine E]...
+               [--profile] [workload ...]
 
-   --quick  three workloads, one rep: the CI smoke configuration. *)
+   --quick     three workloads, one rep: the CI smoke configuration.
+   --engine E  time only engine E (vm | vm-ref | closure); repeatable.
+               Engine agreement is checked across whichever engines run.
+   --profile   after timing, print the closure engine's per-opcode
+               dispatch histogram (counts + cumulative ns share) for
+               each workload/config. Implies the closure engine. *)
 
 module W = Ifp_workloads.Workload
 module Registry = Ifp_workloads.Registry
 module Vm = Core.Vm
 module Vm_ref = Core.Vm_ref
+module Vm_closure = Core.Vm_closure
+module Engines = Core.Engines
+module Profile = Core.Profile
 module Counters = Core.Counters
 module Events = Ifp_campaign.Events
 
@@ -30,15 +42,29 @@ type opts = {
   reps : int;
   out : string;
   only : string list;  (* empty = fig10 set *)
+  engines : Vm.engine list;  (* empty = all three *)
+  profile : bool;
 }
 
 let usage () =
   prerr_endline
-    "usage: ifp_bench [--quick] [--reps N] [--out PATH] [workload ...]";
+    "usage: ifp_bench [--quick] [--reps N] [--out PATH] [--engine E]... \
+     [--profile] [workload ...]";
+  Printf.eprintf "  engines: %s\n" (String.concat " | " Engines.names);
   exit 2
 
 let parse_opts argv =
-  let opts = ref { quick = false; reps = 3; out = "BENCH_vm.json"; only = [] } in
+  let opts =
+    ref
+      {
+        quick = false;
+        reps = 3;
+        out = "BENCH_vm.json";
+        only = [];
+        engines = [];
+        profile = false;
+      }
+  in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -52,13 +78,32 @@ let parse_opts argv =
     | "--out" :: p :: rest ->
       opts := { !opts with out = p };
       go rest
+    | "--engine" :: e :: rest ->
+      (match Engines.of_string e with
+      | Some eng when not (List.mem eng !opts.engines) ->
+        opts := { !opts with engines = !opts.engines @ [ eng ] };
+        go rest
+      | Some _ -> go rest
+      | None ->
+        Printf.eprintf "unknown engine %s\n" e;
+        usage ())
+    | "--profile" :: rest ->
+      opts := { !opts with profile = true };
+      go rest
     | w :: rest ->
       if String.length w > 0 && w.[0] = '-' then usage ();
       opts := { !opts with only = !opts.only @ [ w ] };
       go rest
   in
   go (List.tl (Array.to_list argv));
-  !opts
+  let o = !opts in
+  let engines = if o.engines = [] then Engines.all else o.engines in
+  let engines =
+    if o.profile && not (List.mem Vm.Eng_closure engines) then
+      engines @ [ Vm.Eng_closure ]
+    else engines
+  in
+  { o with engines }
 
 let quick_set = [ "treeadd"; "mst"; "ft" ]
 
@@ -104,10 +149,14 @@ let counters_fields (c : Counters.t) =
     ("ifp_total", Counters.ifp_total c);
   ]
 
-let agree (a : Vm.result) (b : Vm.result) =
+(* [agree ~names a b] compares run [b] against reference run [a];
+   [names] labels the pair in mismatch reports *)
+let agree ~names (a : Vm.result) (b : Vm.result) =
+  let pair = names in
   let errs = ref [] in
   let chk name x y =
-    if x <> y then errs := Printf.sprintf "%s: %s vs %s" name x y :: !errs
+    if x <> y then
+      errs := Printf.sprintf "%s %s: %s vs %s" pair name x y :: !errs
   in
   chk "outcome" (outcome_string a.outcome) (outcome_string b.outcome);
   List.iter2
@@ -148,73 +197,150 @@ type row = {
   wname : string;
   cname : string;
   sim_instrs : int;
-  ref_ns : float;  (* host ns per simulated instruction, Vm_ref *)
-  vm_ns : float;  (* host ns per simulated instruction, Vm *)
+  ns : (Vm.engine * float) list;  (* host ns per sim instr, per engine *)
   mismatches : string list;
 }
 
-let bench_one ~reps (wl : W.t) (cname, config) =
+let engine_runner = function
+  | Vm.Eng_vm -> fun config prog -> Vm.run ~config prog
+  | Vm.Eng_ref -> fun config prog -> Vm_ref.run ~config prog
+  | Vm.Eng_closure -> fun config prog -> Vm_closure.run ~config prog
+
+let ns_of r eng = List.assoc_opt eng r.ns
+
+let bench_one ~reps ~engines (wl : W.t) (cname, config) =
   let prog = Lazy.force wl.prog in
-  let vm_res, vm_t = time_best ~reps (fun () -> Vm.run ~config prog) in
-  let ref_res, ref_t = time_best ~reps (fun () -> Vm_ref.run ~config prog) in
-  let sim_instrs = max 1 (Counters.total_instrs vm_res.Vm.counters) in
+  let runs =
+    List.map
+      (fun eng ->
+        let res, t = time_best ~reps (fun () -> (engine_runner eng) config prog) in
+        (eng, res, t))
+      engines
+  in
+  let ref_eng, ref_res, _ = List.hd runs in
+  let mismatches =
+    List.concat_map
+      (fun (eng, res, _) ->
+        if eng == ref_eng then []
+        else
+          agree
+            ~names:
+              (Printf.sprintf "[%s vs %s]" (Engines.to_string ref_eng)
+                 (Engines.to_string eng))
+            ref_res res)
+      runs
+  in
+  let sim_instrs = max 1 (Counters.total_instrs ref_res.Vm.counters) in
   let per t = t *. 1e9 /. float_of_int sim_instrs in
   {
     wname = wl.name;
     cname;
     sim_instrs;
-    ref_ns = per ref_t;
-    vm_ns = per vm_t;
-    mismatches = agree vm_res ref_res;
+    ns = List.map (fun (eng, _, t) -> (eng, per t)) runs;
+    mismatches;
   }
+
+(* ---- profile mode ---------------------------------------------------- *)
+
+let ns_clock () = Unix.gettimeofday () *. 1e9
+
+let print_profile (wl : W.t) (cname, config) =
+  let prog = Lazy.force wl.prog in
+  let p = Profile.create ~clock:ns_clock in
+  ignore (Vm_closure.run ~config ~profile:p prog);
+  let rows = Profile.report p in
+  let total_ns = List.fold_left (fun acc (r : Profile.row) -> acc +. r.ns) 0.0 rows in
+  Printf.printf "\n%s/%s dispatch profile (%.1f ms probe-attributed):\n"
+    wl.name cname (total_ns /. 1e6);
+  Printf.printf "  %-18s %12s %12s %7s %7s\n" "op" "count" "self-ms" "share"
+    "cum";
+  let cum = ref 0.0 in
+  List.iter
+    (fun (r : Profile.row) ->
+      cum := !cum +. r.share;
+      Printf.printf "  %-18s %12d %12.2f %6.1f%% %6.1f%%\n" r.op r.count
+        (r.ns /. 1e6) (100.0 *. r.share) (100.0 *. !cum))
+    rows
 
 (* ---- reporting ------------------------------------------------------- *)
 
-let json_of_rows rows geo_speedup ok opts =
+let json_of_rows rows geo_speedup geo_closure ok opts =
   let open Events in
+  let fopt = function Some x -> Float x | None -> Null in
+  let ratio a b = match (a, b) with Some a, Some b -> Some (a /. b) | _ -> None in
   Obj
     [
       ("bench", String "ifp_bench");
       ("unit", String "host ns per simulated instruction");
       ("quick", Bool opts.quick);
       ("reps", Int opts.reps);
+      ("engines", List (List.map (fun e -> String (Engines.to_string e)) opts.engines));
       ("engines_agree", Bool ok);
       ( "rows",
         List
           (List.map
              (fun r ->
+               let ref_ns = ns_of r Vm.Eng_ref in
+               let vm_ns = ns_of r Vm.Eng_vm in
+               let cl_ns = ns_of r Vm.Eng_closure in
                Obj
                  [
                    ("workload", String r.wname);
                    ("config", String r.cname);
                    ("sim_instrs", Int r.sim_instrs);
-                   ("before_ns_per_instr", Float r.ref_ns);
-                   ("after_ns_per_instr", Float r.vm_ns);
-                   ("speedup", Float (r.ref_ns /. r.vm_ns));
+                   ("before_ns_per_instr", fopt ref_ns);
+                   ("after_ns_per_instr", fopt vm_ns);
+                   ("closure_ns_per_instr", fopt cl_ns);
+                   ("speedup", fopt (ratio ref_ns vm_ns));
+                   ("closure_speedup", fopt (ratio vm_ns cl_ns));
                  ])
              rows) );
-      ("geomean_speedup", Float geo_speedup);
+      ("geomean_speedup", fopt geo_speedup);
+      ("geomean_closure_speedup", fopt geo_closure);
     ]
 
 let () =
   let opts = parse_opts Sys.argv in
   let wls = workloads opts in
+  let engines = opts.engines in
+  let header =
+    String.concat " -> " (List.map Engines.to_string engines) ^ " ns/instr"
+  in
+  Printf.printf "engines: %s\n%!" header;
   let rows =
     List.concat_map
       (fun wl ->
         List.map
           (fun cfg ->
-            let r = bench_one ~reps:opts.reps wl cfg in
-            Printf.printf "%-12s %-12s %9d sim-instrs  %7.2f -> %6.2f ns/instr  %5.2fx%s\n%!"
-              r.wname r.cname r.sim_instrs r.ref_ns r.vm_ns
-              (r.ref_ns /. r.vm_ns)
+            let r = bench_one ~reps:opts.reps ~engines wl cfg in
+            let cols =
+              String.concat " -> "
+                (List.map
+                   (fun (_, ns) -> Printf.sprintf "%6.2f" ns)
+                   r.ns)
+            in
+            Printf.printf "%-12s %-12s %9d sim-instrs  %s%s\n%!" r.wname
+              r.cname r.sim_instrs cols
               (if r.mismatches = [] then "" else "  ENGINE MISMATCH");
             r)
           configs)
       wls
   in
+  let geo_over f =
+    let ratios = List.filter_map f rows in
+    if ratios = [] then None else Some (Core.Stats.geomean ratios)
+  in
   let geo =
-    Core.Stats.geomean (List.map (fun r -> r.ref_ns /. r.vm_ns) rows)
+    geo_over (fun r ->
+        match (ns_of r Vm.Eng_ref, ns_of r Vm.Eng_vm) with
+        | Some a, Some b -> Some (a /. b)
+        | _ -> None)
+  in
+  let geo_closure =
+    geo_over (fun r ->
+        match (ns_of r Vm.Eng_vm, ns_of r Vm.Eng_closure) with
+        | Some a, Some b -> Some (a /. b)
+        | _ -> None)
   in
   let bad = List.filter (fun r -> r.mismatches <> []) rows in
   List.iter
@@ -222,9 +348,21 @@ let () =
       Printf.eprintf "MISMATCH %s/%s:\n" r.wname r.cname;
       List.iter (Printf.eprintf "  %s\n") r.mismatches)
     bad;
-  Printf.printf "\ngeo-mean speedup (Vm_ref -> Vm): %.2fx over %d runs\n" geo
-    (List.length rows);
+  (match geo with
+  | Some g ->
+    Printf.printf "\ngeo-mean speedup (Vm_ref -> Vm): %.2fx over %d runs\n" g
+      (List.length rows)
+  | None -> ());
+  (match geo_closure with
+  | Some g ->
+    Printf.printf "geo-mean speedup (Vm -> closure): %.2fx over %d runs\n" g
+      (List.length rows)
+  | None -> ());
+  if opts.profile then
+    List.iter
+      (fun wl -> List.iter (print_profile wl) configs)
+      wls;
   Events.write_json_file ~path:opts.out
-    (json_of_rows rows geo (bad = []) opts);
+    (json_of_rows rows geo geo_closure (bad = []) opts);
   Printf.printf "wrote %s\n" opts.out;
   if bad <> [] then exit 1

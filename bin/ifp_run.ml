@@ -14,6 +14,15 @@ let variant_of_string = function
   | "infer-types" -> Ok { Core.Vm.ifp_subheap with infer_alloc_types = true }
   | s -> Error (`Msg ("unknown variant " ^ s))
 
+let engine_of_string s =
+  match Core.Engines.of_string s with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown engine %s (expected %s)" s
+           (String.concat " | " Core.Engines.names)))
+
 let run_one ~verbose name cfg_name cfg =
   match Ifp_workloads.Registry.find name with
   | None ->
@@ -23,7 +32,7 @@ let run_one ~verbose name cfg_name cfg =
   | Some wl ->
     let prog = Lazy.force wl.Ifp_workloads.Workload.prog in
     let t0 = Sys.time () in
-    let r = Core.Vm.run ~config:cfg prog in
+    let r = Core.Engines.run ~config:cfg prog in
     let dt = Sys.time () -. t0 in
     let open Core in
     let c = r.Vm.counters in
@@ -56,7 +65,7 @@ let run_one ~verbose name cfg_name cfg =
            (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) r.Vm.alloc_extra))
     end
 
-let main workload variants verbose =
+let main workload variants engine verbose =
   let names =
     match workload with
     | "all" -> Ifp_workloads.Registry.names
@@ -72,7 +81,7 @@ let main workload variants verbose =
       List.iter
         (fun vname ->
           match variant_of_string vname with
-          | Ok cfg -> run_one ~verbose name vname cfg
+          | Ok cfg -> run_one ~verbose name vname { cfg with Core.Vm.engine }
           | Error (`Msg m) ->
             Printf.eprintf "%s\n" m;
             exit 1)
@@ -89,12 +98,24 @@ let variants_arg =
            "baseline | subheap | wrapped | subheap-np | wrapped-np | mixed | \
             no-narrowing | infer-types (repeatable)")
 
+let engine_arg =
+  let engine_conv =
+    Arg.conv
+      ( engine_of_string,
+        fun fmt e -> Format.pp_print_string fmt (Core.Engines.to_string e) )
+  in
+  Arg.(value & opt engine_conv Core.Vm.Eng_vm
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: vm | vm-ref | closure (default vm). All \
+                 engines produce identical results; they differ only in \
+                 host speed.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print detailed counters.")
 
 let cmd =
   Cmd.v
     (Cmd.info "ifp_run" ~doc:"Run an In-Fat Pointer benchmark workload")
-    Term.(const main $ workload_arg $ variants_arg $ verbose_arg)
+    Term.(const main $ workload_arg $ variants_arg $ engine_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

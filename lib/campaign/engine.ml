@@ -27,7 +27,12 @@ type stats = {
   interrupted : bool;
 }
 
-let default_runner (job : Job.t) = Vm.run ~config:job.Job.config job.Job.prog
+(* Engine dispatch lives in the config: a job whose config names the
+   closure engine (or the reference) runs under it, with no caller
+   plumbing. Safe for caching because engines are observationally
+   identical and [engine] is excluded from config fingerprints. *)
+let default_runner (job : Job.t) =
+  Ifp_vm.Engines.run ~config:job.Job.config job.Job.prog
 
 let outcome_string (r : Vm.result) =
   match r.Vm.outcome with

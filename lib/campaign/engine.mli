@@ -140,7 +140,11 @@ val run_job :
     domain. *)
 
 val default_runner : Job.t -> Ifp_vm.Vm.result
-(** [Vm.run ~config:job.config job.prog] — the [runner] default. *)
+(** [Engines.run ~config:job.config job.prog] — the [runner] default.
+    The engine named by [config.engine] executes the job; since engines
+    are observationally identical and the field is excluded from
+    {!Job.config_fingerprint}, cached and journaled results remain
+    valid across engine choices. *)
 
 val run :
   ?workers:int ->

@@ -55,7 +55,7 @@ and expr =
   | Addr_local of int
   | Addr_global of int
   | Load_global of { g : int; cls : vclass; bytes : int }
-  | Gep of { base : expr; steps : gstep list; idx_delta : int }
+  | Gep of { base : expr; steps : gstep list; idx_delta : int; site : int }
   | Call of { target : call_target; args : expr list; n_args : int }
   | Malloc of {
       scale : int;  (* bytes per count unit: sizeof elem, or 1 *)
@@ -64,7 +64,7 @@ and expr =
       layout_multi : bool;  (* layout table has > 1 element *)
     }
   | Cast of { kind : cast_kind; e : expr }
-  | Ifp_promote of expr
+  | Ifp_promote of { e : expr; site : int }
   | Bad of string  (** statically-unresolvable reference; aborts *)
 
 type stmt =
@@ -80,7 +80,7 @@ type stmt =
   | Free of expr
   | Break
   | Continue
-  | Ifp_register_local of int
+  | Ifp_register_local of { slot : int; site : int }
   | Ifp_deregister_local of int
   | Bad_store_global of { e : expr; msg : string }
 
@@ -110,6 +110,7 @@ type program = {
   funcs : func array;
   main : int;  (* index into funcs, or -1 *)
   types : Ctype.t array;  (* local-decl types: the VM's layout-ptr cache key *)
+  n_sites : int;  (* program-wide site-id count (geps, promotes, registers) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -123,7 +124,20 @@ type renv = {
   mutable types_rev : Ctype.t list;
   mutable n_types : int;
   layouts : (Ctype.t, Layout.t) Hashtbl.t;  (* resolve-time only *)
+  mutable n_sites : int;  (* next site id *)
 }
+
+(* Site ids name the static program points the closure engine keys its
+   per-site state on (inline caches, fused superinstructions). They are
+   assigned by a single program-order counter during the one
+   deterministic resolution walk — never from hash-table iteration — so
+   re-resolving the same program yields the same ids at the same nodes
+   (required for inline-cache keying and for plan digests built over
+   resolved programs to stay deterministic). *)
+let new_site r =
+  let s = r.n_sites in
+  r.n_sites <- s + 1;
+  s
 
 type fenv = {
   vslots : (string, int) Hashtbl.t;
@@ -252,6 +266,7 @@ and resolve_expr r fe (e : Ir.expr) : expr =
       Load_global { g = i; cls = vclass_of gty; bytes = Ctype.sizeof r.tenv gty }
     | None -> Bad ("unknown global " ^ g))
   | Ir.Gep (pointee, base, steps) ->
+    let site = new_site r in
     let rsteps = fold_fields (resolve_gep_steps r fe pointee steps) in
     let clean =
       List.for_all (function Rs_bad _ -> false | _ -> true) rsteps
@@ -269,7 +284,8 @@ and resolve_expr r fe (e : Ir.expr) : expr =
           | None -> 0)
         | exception Typecheck.Type_error _ -> 0
     in
-    Gep { base = resolve_expr r fe base; steps = rsteps; idx_delta }
+    let base = resolve_expr r fe base in
+    Gep { base; steps = rsteps; idx_delta; site }
   | Ir.Call (fn, args) ->
     let target =
       match fn with
@@ -313,7 +329,9 @@ and resolve_expr r fe (e : Ir.expr) : expr =
       | _ -> Cast_int (max 1 (Ctype.sizeof r.tenv ty))
     in
     Cast { kind; e = resolve_expr r fe a }
-  | Ir.Ifp_promote e -> Ifp_promote (resolve_expr r fe e)
+  | Ir.Ifp_promote e ->
+    let site = new_site r in
+    Ifp_promote { e = resolve_expr r fe e; site }
 
 let rec resolve_stmt r fe (s : Ir.stmt) : stmt =
   match s with
@@ -359,7 +377,8 @@ let rec resolve_stmt r fe (s : Ir.stmt) : stmt =
   | Ir.Free e -> Free (resolve_expr r fe e)
   | Ir.Break -> Break
   | Ir.Continue -> Continue
-  | Ir.Ifp_register_local name -> Ifp_register_local (local_slot fe name)
+  | Ir.Ifp_register_local name ->
+    Ifp_register_local { slot = local_slot fe name; site = new_site r }
   | Ir.Ifp_deregister_local name -> Ifp_deregister_local (local_slot fe name)
 
 (* Register-pressure scan for the spill cost model (reference:
@@ -449,6 +468,7 @@ let run (prog : Ir.program) : program =
       types_rev = [];
       n_types = 0;
       layouts = Hashtbl.create 16;
+      n_sites = 0;
     }
   in
   List.iteri
@@ -483,4 +503,5 @@ let run (prog : Ir.program) : program =
     funcs;
     main;
     types = Array.of_list (List.rev r.types_rev);
+    n_sites = r.n_sites;
   }

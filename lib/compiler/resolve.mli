@@ -51,7 +51,7 @@ and expr =
   | Addr_local of int
   | Addr_global of int
   | Load_global of { g : int; cls : vclass; bytes : int }
-  | Gep of { base : expr; steps : gstep list; idx_delta : int }
+  | Gep of { base : expr; steps : gstep list; idx_delta : int; site : int }
   | Call of { target : call_target; args : expr list; n_args : int }
   | Malloc of {
       scale : int;
@@ -60,7 +60,7 @@ and expr =
       layout_multi : bool;
     }
   | Cast of { kind : cast_kind; e : expr }
-  | Ifp_promote of expr
+  | Ifp_promote of { e : expr; site : int }
   | Bad of string
 
 type stmt =
@@ -76,7 +76,7 @@ type stmt =
   | Free of expr
   | Break
   | Continue
-  | Ifp_register_local of int
+  | Ifp_register_local of { slot : int; site : int }
   | Ifp_deregister_local of int
   | Bad_store_global of { e : expr; msg : string }
 
@@ -109,8 +109,19 @@ type program = {
       (** distinct local-declaration types; [Decl_local.tyid] indexes
           this table, which sizes the VM's per-run layout-pointer
           cache *)
+  n_sites : int;
+      (** number of site ids handed out: every {!expr.Gep},
+          {!expr.Ifp_promote} and {!stmt.Ifp_register_local} node carries
+          a distinct [site] in [\[0, n_sites)]. Sites are assigned by a
+          single program-order counter during the deterministic
+          resolution walk, so re-resolving the same program yields the
+          same ids at the same nodes — the closure engine keys its
+          per-site inline caches and fused superinstructions on them,
+          and digests of resolved programs stay reproducible. *)
 }
 
 val run : Ir.program -> program
 (** Resolve an (instrumented) program. The input is not mutated and may
-    be shared across concurrent resolutions. *)
+    be shared across concurrent resolutions; the pass is deterministic —
+    resolving the same program twice yields structurally equal output,
+    including slot assignment and site ids. *)

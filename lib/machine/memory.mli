@@ -10,7 +10,25 @@
     are [int64] values whose upper 16 bits are ignored (pointer tags are
     stripped by the caller, see {!Ifp_isa.Tag}). *)
 
-type t
+type page = { data : Bytes.t; mutable written : bool }
+(** One 4 KiB page; [written] flips on the first store and feeds
+    {!touched_pages}. *)
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable mapped : (int * int) list;
+      (** sorted disjoint inclusive page-number intervals *)
+  mutable touched : int;
+  pcache_pno : int array;  (** direct-mapped lookup cache; -1 = empty *)
+  pcache_page : page array;
+}
+(** The representation is concrete so the closure-compiled VM engine can
+    stage page-cache probes inline at its access sites (a hit is then a
+    shift, a mask, one array compare and a [Bytes] access — no calls).
+    The [pcache_pno]/[pcache_page] arrays are created once and never
+    replaced, so capturing them at staging time is sound; {!unmap}
+    invalidates their slots in place. Outside that use, treat [t] as
+    abstract and go through the accessors below. *)
 
 type fault_kind = Unmapped | Misaligned
 
@@ -21,6 +39,12 @@ val create : unit -> t
 
 val page_size : int
 (** 4096. *)
+
+val page_shift : int
+(** [log2 page_size]. *)
+
+val pcache_slots : int
+(** Number of entries of the page-lookup cache (a power of two). *)
 
 val map : t -> base:int64 -> size:int -> unit
 (** Make every page overlapping [\[base, base+size)] accessible,

@@ -1,0 +1,1805 @@
+(* The closure compiler: lowers {!Ifp_compiler.Resolve} output to trees
+   of OCaml closures, one closure per node with successors pre-linked,
+   so straight-line guest code runs with zero dispatch — every [match]
+   the interpreter performs per execution is performed here once per
+   program.
+
+   Correctness contract: each compiled closure charges costs and bumps
+   counters in {e exactly} the order {!Vm}'s [eval]/[eval_i]/[exec]
+   arms do, so the engine stays bit-identical to [Vm] and [Vm_ref] on
+   outcome, every counter, traces and output. Three kinds of static
+   specialization are layered on top, none of which may change
+   observable behaviour:
+
+   - {b mode splitting}: [ifp_mode && instrumented] is constant per
+     (config, function), so checked access, gep finish, address-of and
+     declaration paths compile to their taken branch only;
+   - {b superinstruction fusion}: the paper-hot sequences
+     gep→check→load, gep→check→store and promote→check→load compile to
+     single fused closures that keep the address word unboxed instead
+     of materialising the intermediate pointer value, replicating the
+     exact charge order of the unfused pair. Fused paths are only
+     emitted when no fault injector is armed ([st.inj = None]) — armed
+     runs keep the generic path whose [injected_bounds] hook they
+     need;
+   - {b inline caches}: each [Ifp_register_local] site memoizes its
+     last (tyid → layout pointer) resolution, falling back to the
+     per-run {!Rt.layout_ptr_of} table walk on miss (transparent:
+     layout interning is idempotent host-side work with no charges).
+
+   Compilation happens per run (inside [run_with]'s [main_body]), after
+   globals setup, with the state — config, fault injector, globals —
+   fully known; closure capture is the specialization mechanism. *)
+
+open Rt
+
+type vcode = frame -> value
+type icode = frame -> int64
+type ucode = frame -> unit
+
+type env = {
+  st : state;
+  prof : Profile.t option;
+  fbodies : ucode array;  (* compiled bodies, parallel to rp.funcs *)
+  ic_tyid : int array;  (* per-site IC key: last tyid seen, -1 = empty *)
+  ic_ptr : int64 array;  (* per-site IC value: resolved layout pointer *)
+  mutable gb : Bounds.t;
+      (* scratch: bounds produced by a fused gep address computation;
+         consumed immediately by the fused access tail, before any
+         other fused site can run *)
+}
+
+(* per-function compile context *)
+type ctx = { env : env; instr : bool }
+
+let nop_u : ucode = fun _ -> ()
+
+(* ---- profile probes ------------------------------------------------- *)
+
+let pv c k (f : vcode) : vcode =
+  match c.env.prof with
+  | None -> f
+  | Some p ->
+    fun fr ->
+      Profile.enter p k;
+      (match f fr with
+      | v ->
+        Profile.exit p;
+        v
+      | exception e ->
+        Profile.exit p;
+        raise e)
+
+let pi c k (f : icode) : icode =
+  match c.env.prof with
+  | None -> f
+  | Some p ->
+    fun fr ->
+      Profile.enter p k;
+      (match f fr with
+      | v ->
+        Profile.exit p;
+        v
+      | exception e ->
+        Profile.exit p;
+        raise e)
+
+let pu c k (f : ucode) : ucode =
+  match c.env.prof with
+  | None -> f
+  | Some p ->
+    fun fr ->
+      Profile.enter p k;
+      (match f fr with
+      | () -> Profile.exit p
+      | exception e ->
+        Profile.exit p;
+        raise e)
+
+(* ---- call helper ---------------------------------------------------- *)
+
+(* [charge_ifp] with the kind fixed at compile time: the counter slot
+   and cycle cost become constants captured in the closure, so each
+   charge is two in-place adds with no per-event kind dispatch. *)
+let stage_charge_ifp st k : unit -> unit =
+  let ix = Counters.kind_index k and cyc = Cost.ifp_cycles k in
+  let cc = st.c in
+  fun () ->
+    cc.ifp.(ix) <- cc.ifp.(ix) + 1;
+    cc.cycles <- cc.cycles + cyc
+
+(* the closure-engine twin of Vm.call_run *)
+let run_body st (f : R.func) (body : ucode) callee_frame spills =
+  let saved_sp = st.sp in
+  let ret =
+    match body callee_frame with
+    | () -> VI 0L
+    | exception Return_exc v -> v
+  in
+  st.sp <- saved_sp;
+  if spills > 0 then charge_ifp st Insn.Ldbnd spills;
+  if f.instrumented then ret else strip_bounds ret
+
+(* ---- fused access tails --------------------------------------------- *)
+
+(* These replicate, inline and specialized, the tails of [Rt.do_load] /
+   [Rt.do_store_int] / [Rt.do_store] on an address that never became a
+   boxed value: [w'] is the (possibly tagged) pointer word, [ob] its
+   bounds register. Only reachable from sites compiled when
+   [st.inj = None], so the [injected_bounds] hook is a static no-op
+   here.
+
+   The bit-level pieces — the 48-bit address mask of [Tag.addr] /
+   [Bits.u48], the poison-bit test of [Insn.load_store_poison_check],
+   the range test of [Bounds.contains] — are open-coded copies: they run
+   on every access and the cross-module calls are measurable without
+   flambda. The differential suite pins them against the interpreter,
+   which still goes through [lib/isa]. *)
+
+let addr_mask = 0xFFFF_FFFF_FFFFL
+
+(* Returns the 48-bit address so the access tail does not re-mask: the
+   check is the only consumer of the tagged word, every caller feeds the
+   result straight into a [stage_load]/[stage_store] closure. *)
+let[@inline] check_instr st w' ob ~size : int64 =
+  (* poison bits are 62-63; nonzero = Oob or Invalid *)
+  if Int64.to_int (Int64.shift_right_logical w' 62) land 3 <> 0 then
+    Trap.raise_trap (Trap.Poisoned_dereference w');
+  st.c.implicit_checks <- st.c.implicit_checks + 1;
+  let a = Int64.logand w' addr_mask in
+  (match ob with
+  | Bounds.No_bounds -> ()
+  | Bounds.Bounds { lo; hi } ->
+    if
+      not
+        (Int64.compare lo a <= 0
+        && Int64.compare (Int64.add a (Int64.of_int size)) hi <= 0)
+    then Trap.raise_trap (Trap.Bounds_violation { ptr = w'; lo; hi; size }));
+  a
+
+(* Staged sim-cache probe: [Cache.access_line] over the exposed
+   representation, with the (immutable) geometry and arrays captured at
+   staging time. Returns the hit bit; counter/LRU updates are
+   byte-identical to the library version. *)
+let stage_cache_line (cache : Cache.t) : int -> bool =
+  let smask = cache.Cache.set_mask and ways = cache.Cache.ways in
+  let tags = cache.Cache.tags and lru = cache.Cache.lru in
+  fun line ->
+    cache.Cache.n_accesses <- cache.Cache.n_accesses + 1;
+    cache.Cache.clock <- cache.Cache.clock + 1;
+    let base = (line land smask) * ways in
+    let rec find i =
+      if i >= ways then -1
+      else if Array.unsafe_get tags (base + i) = line then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    if i >= 0 then begin
+      Array.unsafe_set lru (base + i) cache.Cache.clock;
+      true
+    end
+    else begin
+      cache.Cache.n_misses <- cache.Cache.n_misses + 1;
+      let victim = ref 0 in
+      for j = 1 to ways - 1 do
+        if
+          Array.unsafe_get lru (base + j)
+          < Array.unsafe_get lru (base + !victim)
+        then victim := j
+      done;
+      Array.unsafe_set tags (base + !victim) line;
+      Array.unsafe_set lru (base + !victim) cache.Cache.clock;
+      false
+    end
+
+let page_shift = Memory.page_shift
+let page_off_mask = Memory.page_size - 1
+let pcache_mask = Memory.pcache_slots - 1
+
+(* Staged load tail, one closure per site: the static [bytes] resolves
+   the size dispatch and sign-extension shape now, and the counter
+   arithmetic of [charge_load] ([loads]/[base]/[mem_cycles]) is
+   open-coded — the cycle adds are coalesced into one store, which is
+   unobservable because nothing between them can trap. Takes the 48-bit
+   address, already masked by [check_instr] (or by the call site on
+   uninstrumented paths), so the tag strip happens once per access; the
+   masked address fits 48 bits, so the whole line/page computation runs
+   on immediate ints. The page-cache probe of [Memory.get_page] and the
+   line probe of [Cache.access_range] are inlined for the common case
+   (access within one page/line, page-cache hit); anything else falls
+   back to the library accessors, which keep the caches warm. *)
+let stage_load st bytes : int64 -> int64 =
+  let cc = st.c and cache = st.cache and mem = st.mem in
+  let cyc = 1 + Cost.mem in
+  let pen = Cost.miss_penalty in
+  let probe = stage_cache_line cache in
+  let lsh = cache.Cache.line_shift in
+  let lbytes = 1 lsl lsh in
+  let lmask = lbytes - 1 in
+  let ppno = mem.Memory.pcache_pno and ppage = mem.Memory.pcache_page in
+  match bytes with
+  | 8 ->
+    let slow a =
+      match Memory.read_u64 mem a with
+      | raw -> raw
+      | exception Memory.Fault (_, fa) ->
+        Trap.raise_trap (Trap.Memory_fault fa)
+    in
+    fun a ->
+      cc.loads <- cc.loads + 1;
+      cc.base_instrs <- cc.base_instrs + 1;
+      let ai = Int64.to_int a in
+      let misses =
+        if (ai land lmask) + 8 <= lbytes then
+          if probe (ai lsr lsh) then 0 else 1
+        else Cache.access_range cache a ~bytes:8 Cache.Load
+      in
+      cc.cycles <- cc.cycles + cyc + (misses * pen);
+      let off = ai land page_off_mask in
+      if off <= page_off_mask - 7 then begin
+        let pno = ai lsr page_shift in
+        let slot = pno land pcache_mask in
+        if Array.unsafe_get ppno slot = pno then
+          Bytes.get_int64_le (Array.unsafe_get ppage slot).Memory.data off
+        else slow a
+      end
+      else slow a
+  | 4 ->
+    let slow a =
+      match Memory.read_u32 mem a with
+      | raw -> raw
+      | exception Memory.Fault (_, fa) ->
+        Trap.raise_trap (Trap.Memory_fault fa)
+    in
+    fun a ->
+      cc.loads <- cc.loads + 1;
+      cc.base_instrs <- cc.base_instrs + 1;
+      let ai = Int64.to_int a in
+      let misses =
+        if (ai land lmask) + 4 <= lbytes then
+          if probe (ai lsr lsh) then 0 else 1
+        else Cache.access_range cache a ~bytes:4 Cache.Load
+      in
+      cc.cycles <- cc.cycles + cyc + (misses * pen);
+      let off = ai land page_off_mask in
+      if off <= page_off_mask - 3 then begin
+        let pno = ai lsr page_shift in
+        let slot = pno land pcache_mask in
+        if Array.unsafe_get ppno slot = pno then
+          Int64.logand
+            (Int64.of_int32
+               (Bytes.get_int32_le (Array.unsafe_get ppage slot).Memory.data
+                  off))
+            0xFFFFFFFFL
+        else slow a
+      end
+      else slow a
+  | 2 ->
+    let slow a =
+      match Memory.read_u16 mem a with
+      | raw -> Int64.of_int raw
+      | exception Memory.Fault (_, fa) ->
+        Trap.raise_trap (Trap.Memory_fault fa)
+    in
+    fun a ->
+      cc.loads <- cc.loads + 1;
+      cc.base_instrs <- cc.base_instrs + 1;
+      let ai = Int64.to_int a in
+      let misses =
+        if (ai land lmask) + 2 <= lbytes then
+          if probe (ai lsr lsh) then 0 else 1
+        else Cache.access_range cache a ~bytes:2 Cache.Load
+      in
+      cc.cycles <- cc.cycles + cyc + (misses * pen);
+      let off = ai land page_off_mask in
+      if off <= page_off_mask - 1 then begin
+        let pno = ai lsr page_shift in
+        let slot = pno land pcache_mask in
+        if Array.unsafe_get ppno slot = pno then begin
+          let data = (Array.unsafe_get ppage slot).Memory.data in
+          Int64.of_int
+            (Char.code (Bytes.unsafe_get data off)
+            lor (Char.code (Bytes.unsafe_get data (off + 1)) lsl 8))
+        end
+        else slow a
+      end
+      else slow a
+  | 1 ->
+    let slow a =
+      match Memory.read_u8 mem a with
+      | raw -> Int64.of_int raw
+      | exception Memory.Fault (_, fa) ->
+        Trap.raise_trap (Trap.Memory_fault fa)
+    in
+    fun a ->
+      cc.loads <- cc.loads + 1;
+      cc.base_instrs <- cc.base_instrs + 1;
+      let ai = Int64.to_int a in
+      let misses = if probe (ai lsr lsh) then 0 else 1 in
+      cc.cycles <- cc.cycles + cyc + (misses * pen);
+      let pno = ai lsr page_shift in
+      let slot = pno land pcache_mask in
+      if Array.unsafe_get ppno slot = pno then
+        Int64.of_int
+          (Char.code
+             (Bytes.unsafe_get
+                (Array.unsafe_get ppage slot).Memory.data
+                (ai land page_off_mask)))
+      else slow a
+  | _ ->
+    fun a ->
+      charge_load st a bytes;
+      (match Memory.read_size mem a ~bytes with
+      | raw -> raw
+      | exception Memory.Fault (_, fa) ->
+        Trap.raise_trap (Trap.Memory_fault fa))
+
+(* Staged store tail: same deal with [charge_store] and [write_size];
+   the sub-word masks of [Memory.write_size] and the page [written] /
+   [touched] bookkeeping are replicated exactly. *)
+let stage_store st bytes : int64 -> int64 -> unit =
+  let cc = st.c and cache = st.cache and mem = st.mem in
+  let cyc = 1 + Cost.mem in
+  let pen = Cost.miss_penalty in
+  let probe = stage_cache_line cache in
+  let lsh = cache.Cache.line_shift in
+  let lbytes = 1 lsl lsh in
+  let lmask = lbytes - 1 in
+  let ppno = mem.Memory.pcache_pno and ppage = mem.Memory.pcache_page in
+  let note_written p =
+    if not p.Memory.written then begin
+      p.Memory.written <- true;
+      mem.Memory.touched <- mem.Memory.touched + 1
+    end
+  in
+  match bytes with
+  | 8 ->
+    let slow a raw =
+      match Memory.write_u64 mem a raw with
+      | () -> ()
+      | exception Memory.Fault (_, fa) ->
+        Trap.raise_trap (Trap.Memory_fault fa)
+    in
+    fun a raw ->
+      cc.stores <- cc.stores + 1;
+      cc.base_instrs <- cc.base_instrs + 1;
+      let ai = Int64.to_int a in
+      let misses =
+        if (ai land lmask) + 8 <= lbytes then
+          if probe (ai lsr lsh) then 0 else 1
+        else Cache.access_range cache a ~bytes:8 Cache.Store
+      in
+      cc.cycles <- cc.cycles + cyc + (misses * pen);
+      let off = ai land page_off_mask in
+      if off <= page_off_mask - 7 then begin
+        let pno = ai lsr page_shift in
+        let slot = pno land pcache_mask in
+        if Array.unsafe_get ppno slot = pno then begin
+          let p = Array.unsafe_get ppage slot in
+          note_written p;
+          Bytes.set_int64_le p.Memory.data off raw
+        end
+        else slow a raw
+      end
+      else slow a raw
+  | 4 ->
+    let slow a raw =
+      match Memory.write_u32 mem a raw with
+      | () -> ()
+      | exception Memory.Fault (_, fa) ->
+        Trap.raise_trap (Trap.Memory_fault fa)
+    in
+    fun a raw ->
+      cc.stores <- cc.stores + 1;
+      cc.base_instrs <- cc.base_instrs + 1;
+      let ai = Int64.to_int a in
+      let misses =
+        if (ai land lmask) + 4 <= lbytes then
+          if probe (ai lsr lsh) then 0 else 1
+        else Cache.access_range cache a ~bytes:4 Cache.Store
+      in
+      cc.cycles <- cc.cycles + cyc + (misses * pen);
+      let off = ai land page_off_mask in
+      if off <= page_off_mask - 3 then begin
+        let pno = ai lsr page_shift in
+        let slot = pno land pcache_mask in
+        if Array.unsafe_get ppno slot = pno then begin
+          let p = Array.unsafe_get ppage slot in
+          note_written p;
+          Bytes.set_int32_le p.Memory.data off (Int64.to_int32 raw)
+        end
+        else slow a raw
+      end
+      else slow a raw
+  | 2 ->
+    let slow a ri =
+      match Memory.write_u16 mem a ri with
+      | () -> ()
+      | exception Memory.Fault (_, fa) ->
+        Trap.raise_trap (Trap.Memory_fault fa)
+    in
+    fun a raw ->
+      cc.stores <- cc.stores + 1;
+      cc.base_instrs <- cc.base_instrs + 1;
+      let ai = Int64.to_int a in
+      let misses =
+        if (ai land lmask) + 2 <= lbytes then
+          if probe (ai lsr lsh) then 0 else 1
+        else Cache.access_range cache a ~bytes:2 Cache.Store
+      in
+      cc.cycles <- cc.cycles + cyc + (misses * pen);
+      let ri = Int64.to_int raw land 0xFFFF in
+      let off = ai land page_off_mask in
+      if off <= page_off_mask - 1 then begin
+        let pno = ai lsr page_shift in
+        let slot = pno land pcache_mask in
+        if Array.unsafe_get ppno slot = pno then begin
+          let p = Array.unsafe_get ppage slot in
+          note_written p;
+          let data = p.Memory.data in
+          Bytes.unsafe_set data off (Char.unsafe_chr (ri land 0xFF));
+          Bytes.unsafe_set data (off + 1)
+            (Char.unsafe_chr ((ri lsr 8) land 0xFF))
+        end
+        else slow a ri
+      end
+      else slow a ri
+  | 1 ->
+    let slow a ri =
+      match Memory.write_u8 mem a ri with
+      | () -> ()
+      | exception Memory.Fault (_, fa) ->
+        Trap.raise_trap (Trap.Memory_fault fa)
+    in
+    fun a raw ->
+      cc.stores <- cc.stores + 1;
+      cc.base_instrs <- cc.base_instrs + 1;
+      let ai = Int64.to_int a in
+      let misses = if probe (ai lsr lsh) then 0 else 1 in
+      cc.cycles <- cc.cycles + cyc + (misses * pen);
+      let ri = Int64.to_int raw land 0xFF in
+      let pno = ai lsr page_shift in
+      let slot = pno land pcache_mask in
+      if Array.unsafe_get ppno slot = pno then begin
+        let p = Array.unsafe_get ppage slot in
+        note_written p;
+        Bytes.unsafe_set p.Memory.data (ai land page_off_mask)
+          (Char.unsafe_chr ri)
+      end
+      else slow a ri
+  | _ ->
+    fun a raw ->
+      charge_store st a bytes;
+      (match Memory.write_size mem a ~bytes raw with
+      | () -> ()
+      | exception Memory.Fault (_, fa) ->
+        Trap.raise_trap (Trap.Memory_fault fa))
+
+(* ---- staged tag/ISA ops --------------------------------------------- *)
+
+(* Open-coded twins of [Insn.ifpadd] / [Insn.ifpidx] /
+   [Insn.poison_from_bounds] ([Insn.ifpextract]): straight shift/mask
+   int64 arithmetic with no cross-module calls — [Bits.insert] costs two
+   [Bits.mask] lookups per field write without flambda, and these run on
+   every fused gep. The differential suite pins them against the
+   [lib/isa] originals the interpreter still uses. *)
+
+let high16_mask = 0xFFFF_0000_0000_0000L (* lnot addr_mask *)
+let poison_clear = Int64.lognot (Int64.shift_left 3L 62)
+let poison_oob = Int64.shift_left 1L 62
+let poison_invalid = Int64.shift_left 2L 62
+let gro_clear = Int64.lognot (Int64.shift_left 0x3FL 54)
+let gran_mask = Int64.lognot (Int64.of_int (Tag.granule - 1))
+let sub6_clear = Int64.lognot (Int64.shift_left 0x3FL 48)
+let sub8_clear = Int64.lognot (Int64.shift_left 0xFFL 48)
+
+let[@inline] s_poison_from_bounds p bounds =
+  match bounds with
+  | Bounds.No_bounds -> p
+  | Bounds.Bounds { lo; hi } ->
+    let a = Int64.logand p addr_mask in
+    if Int64.compare lo a <= 0 && Int64.compare a hi < 0 then
+      Int64.logand p poison_clear
+    else Int64.logor (Int64.logand p poison_clear) poison_oob
+
+let s_ifpadd p ~delta ~bounds =
+  let old_addr = Int64.logand p addr_mask in
+  let new_addr = Int64.logand (Int64.add old_addr delta) addr_mask in
+  let p0 = Int64.logor (Int64.logand p high16_mask) new_addr in
+  let p' =
+    match Int64.to_int (Int64.shift_right_logical p 60) land 3 with
+    | 0 -> p0 (* Legacy *)
+    | 1 ->
+      (* Local_offset: keep the metadata address invariant across the
+         move, poisoning the pointer when it leaves reach *)
+      let gro = Int64.to_int (Int64.shift_right_logical p 54) land 0x3F in
+      let meta =
+        Int64.add
+          (Int64.logand old_addr gran_mask)
+          (Int64.of_int (gro * Tag.granule))
+      in
+      let base = Int64.logand new_addr gran_mask in
+      let diff = Int64.to_int (Int64.sub meta base) in
+      if diff < 0 || diff mod Tag.granule <> 0 || diff / Tag.granule > 63 then
+        Int64.logor (Int64.logand p0 poison_clear) poison_invalid
+      else
+        Int64.logor
+          (Int64.logand p0 gro_clear)
+          (Int64.shift_left (Int64.of_int (diff / Tag.granule)) 54)
+    | _ -> p0 (* Subheap | Global_table *)
+  in
+  if Int64.to_int (Int64.shift_right_logical p' 62) land 3 >= 2 then p'
+  else s_poison_from_bounds p' bounds
+
+let s_ifpidx p delta =
+  match Int64.to_int (Int64.shift_right_logical p 60) land 3 with
+  | 1 ->
+    (* Local_offset: 6-bit saturating subobject index *)
+    let old = Int64.to_int (Int64.shift_right_logical p 48) land 0x3F in
+    Int64.logor
+      (Int64.logand p sub6_clear)
+      (Int64.shift_left (Int64.of_int (min (old + delta) 63)) 48)
+  | 2 ->
+    (* Subheap: 8-bit saturating subobject index *)
+    let old = Int64.to_int (Int64.shift_right_logical p 48) land 0xFF in
+    Int64.logor
+      (Int64.logand p sub8_clear)
+      (Int64.shift_left (Int64.of_int (min (old + delta) 255)) 48)
+  | _ -> p
+
+(* value-wrapping load tail for a scalar class, sign extension staged *)
+let load_tail (ld : int64 -> int64) cls bytes : int64 -> value =
+  match cls with
+  | R.Cls_ptr -> fun w' -> VP (ld w', Bounds.no_bounds)
+  | R.Cls_f64 -> fun w' -> VF (Int64.float_of_bits (ld w'))
+  | R.Cls_int ->
+    if bytes = 8 then fun w' -> VI (ld w')
+    else
+      let sh = 64 - (bytes * 8) in
+      fun w' -> VI (Int64.shift_right (Int64.shift_left (ld w') sh) sh)
+
+(* unboxed integer load tail: [sext] with the shift staged *)
+let load_tail_i (ld : int64 -> int64) bytes : int64 -> int64 =
+  if bytes = 8 then ld
+  else
+    let sh = 64 - (bytes * 8) in
+    fun w' -> Int64.shift_right (Int64.shift_left (ld w') sh) sh
+
+(* staged twin of [Rt.store_raw]: the class dispatch and the
+   [ifp_mode && instrumented] test are resolved now; only the
+   per-value [VP]-with-bounds demote test remains at run time *)
+let stage_store_raw st ~instr cls : value -> int64 =
+  match cls with
+  | R.Cls_f64 -> fun v -> Int64.bits_of_float (as_float v)
+  | R.Cls_ptr ->
+    if instr then
+      let chg_ext = stage_charge_ifp st Insn.Ifpextract in
+      function
+      | VP (pw, Bounds.No_bounds) -> pw
+      | VP (pw, pb) ->
+        chg_ext ();
+        s_poison_from_bounds pw pb
+      | v -> as_int v
+    else ( function VP (pw, _) -> pw | v -> as_int v)
+  | R.Cls_int -> fun v -> as_int v
+
+(* ---- static value-class analysis ------------------------------------ *)
+
+(* [never_ptr e] is true when [e] can never evaluate to a [VP]: integer
+   and float producers. Used to kill the pointer-vs-pointer branch of
+   comparisons at compile time, so both operands can run through the
+   unboxed integer compiler ([eval_i] is charge-identical to
+   [as_int]-of-[eval] by contract). Conservative: [Var], [Call],
+   promote and pointer loads stay "maybe pointer". *)
+let never_ptr (e : R.expr) =
+  match e with
+  | R.Int _ | R.Float _ -> true
+  | R.Binop
+      ( ( Ir.Add | Ir.Sub | Ir.Mul | Ir.Div | Ir.Rem | Ir.BAnd | Ir.BOr
+        | Ir.BXor | Ir.Shl | Ir.Shr | Ir.LAnd | Ir.LOr | Ir.Eq | Ir.Ne
+        | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge | Ir.FAdd | Ir.FSub | Ir.FMul
+        | Ir.FDiv | Ir.FEq | Ir.FLt | Ir.FLe ),
+        _,
+        _ ) ->
+    true
+  | R.Unop _ -> true
+  | R.Load { cls = R.Cls_int | R.Cls_f64; _ } -> true
+  | R.Load_global { cls = R.Cls_int | R.Cls_f64; _ } -> true
+  | R.Cast { kind = R.Cast_int _ | R.Cast_f64; _ } -> true
+  | _ -> false
+
+let cmp_test : Ir.binop -> int -> bool = function
+  | Ir.Eq -> fun cv -> cv = 0
+  | Ir.Ne -> fun cv -> cv <> 0
+  | Ir.Lt -> fun cv -> cv < 0
+  | Ir.Le -> fun cv -> cv <= 0
+  | Ir.Gt -> fun cv -> cv > 0
+  | Ir.Ge -> fun cv -> cv >= 0
+  | _ -> assert false
+
+(* ---- the compiler --------------------------------------------------- *)
+
+let rec compile_expr c (e : R.expr) : vcode =
+  let st = c.env.st in
+  match e with
+  | R.Int x ->
+    let v = VI x in
+    pv c Profile.op_const (fun _ -> v)
+  | R.Float f ->
+    let v = VF f in
+    pv c Profile.op_const (fun _ -> v)
+  | R.Var i ->
+    pv c Profile.op_var (fun fr ->
+        let v = Array.unsafe_get fr.vars i in
+        if v == unbound then
+          abort ("unbound variable " ^ fr.rf.var_names.(i))
+        else v)
+  | R.Binop (Ir.LAnd, a, b) ->
+    let ca = compile_expr c a and cb = compile_expr c b in
+    pv c Profile.op_binop (fun fr ->
+        base st 1;
+        if not (truth (ca fr)) then vi_zero else vi_bool (truth (cb fr)))
+  | R.Binop (Ir.LOr, a, b) ->
+    let ca = compile_expr c a and cb = compile_expr c b in
+    pv c Profile.op_binop (fun fr ->
+        base st 1;
+        if truth (ca fr) then vi_one else vi_bool (truth (cb fr)))
+  | R.Binop (((Ir.Eq | Ir.Ne | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge) as op), a, b)
+    when c.env.prof = None ->
+    (* boxed twin of the comparison specialization: only the boolean
+       result is boxed *)
+    let cc = compile_cmp_bool c op a b in
+    fun fr -> vi_bool (cc fr)
+  | R.Binop
+      ( ( Ir.Add | Ir.Sub | Ir.Mul | Ir.Div | Ir.Rem | Ir.BAnd | Ir.BOr
+        | Ir.BXor | Ir.Shl | Ir.Shr ),
+        _,
+        _ )
+    when c.env.prof = None ->
+    (* integer-producing op: reuse the unboxed compiler, box once *)
+    let ci = compile_expr_i c e in
+    fun fr -> VI (ci fr)
+  | R.Binop (((Ir.FAdd | Ir.FSub | Ir.FMul | Ir.FDiv) as op), a, b)
+    when c.env.prof = None ->
+    let ca = compile_expr c a and cb = compile_expr c b in
+    let fpx = Cost.fp - 1 in
+    (match op with
+    | Ir.FAdd ->
+      fun fr ->
+        let vb = cb fr in
+        let va = ca fr in
+        base st 1;
+        cycles st fpx;
+        VF (as_float va +. as_float vb)
+    | Ir.FSub ->
+      fun fr ->
+        let vb = cb fr in
+        let va = ca fr in
+        base st 1;
+        cycles st fpx;
+        VF (as_float va -. as_float vb)
+    | Ir.FMul ->
+      fun fr ->
+        let vb = cb fr in
+        let va = ca fr in
+        base st 1;
+        cycles st fpx;
+        VF (as_float va *. as_float vb)
+    | Ir.FDiv ->
+      fun fr ->
+        let vb = cb fr in
+        let va = ca fr in
+        base st 1;
+        cycles st fpx;
+        VF (as_float va /. as_float vb)
+    | _ -> assert false)
+  | R.Binop (((Ir.FEq | Ir.FLt | Ir.FLe) as op), a, b)
+    when c.env.prof = None ->
+    let ca = compile_expr c a and cb = compile_expr c b in
+    let fpx = Cost.fp - 1 in
+    (match op with
+    | Ir.FEq ->
+      fun fr ->
+        let vb = cb fr in
+        let va = ca fr in
+        base st 1;
+        cycles st fpx;
+        vi_bool (as_float va = as_float vb)
+    | Ir.FLt ->
+      fun fr ->
+        let vb = cb fr in
+        let va = ca fr in
+        base st 1;
+        cycles st fpx;
+        vi_bool (as_float va < as_float vb)
+    | Ir.FLe ->
+      fun fr ->
+        let vb = cb fr in
+        let va = ca fr in
+        base st 1;
+        cycles st fpx;
+        vi_bool (as_float va <= as_float vb)
+    | _ -> assert false)
+  | R.Binop (op, a, b) ->
+    (* reference order: the generic application evaluates b, then a *)
+    let ca = compile_expr c a and cb = compile_expr c b in
+    pv c Profile.op_binop (fun fr ->
+        let vb = cb fr in
+        let va = ca fr in
+        eval_binop st op va vb)
+  | R.Unop (op, a) ->
+    let ca = compile_expr c a in
+    pv c Profile.op_unop (fun fr -> eval_unop st op (ca fr))
+  | R.Load { cls; bytes; addr } -> compile_load c cls bytes addr
+  | R.Addr_local slot ->
+    if c.instr then
+      let chg_bnd = stage_charge_ifp st Insn.Ifpbnd in
+      pv c Profile.op_addr_local (fun fr ->
+          base st 1;
+          let addr = fr.local_addr.(slot) in
+          if Int64.equal addr local_unset then
+            abort ("address of unknown local " ^ fr.rf.local_names.(slot))
+          else begin
+            chg_bnd ();
+            VP
+              ( fr.local_tagged.(slot),
+                Bounds.of_base_size addr fr.local_size.(slot) )
+          end)
+    else
+      pv c Profile.op_addr_local (fun fr ->
+          base st 1;
+          let addr = fr.local_addr.(slot) in
+          if Int64.equal addr local_unset then
+            abort ("address of unknown local " ^ fr.rf.local_names.(slot))
+          else VP (addr, Bounds.no_bounds))
+  | R.Addr_global g ->
+    (* globals are fully set up before compilation runs *)
+    let go = st.globals.(g) in
+    if c.instr then
+      let chg_bnd = stage_charge_ifp st Insn.Ifpbnd in
+      pv c Profile.op_addr_global (fun _ ->
+          base st 5;
+          chg_bnd ();
+          VP (go.gtagged, go.gbounds))
+    else
+      pv c Profile.op_addr_global (fun _ ->
+          base st 1;
+          VP (go.gaddr, Bounds.no_bounds))
+  | R.Load_global { g; cls; bytes } ->
+    (* the global's address is static: the staged access tail runs on
+       the pre-masked address, like any fused load *)
+    let go = st.globals.(g) in
+    let tail = load_tail (stage_load st bytes) cls bytes in
+    let ga = Int64.logand go.gaddr addr_mask in
+    pv c Profile.op_load_global (fun _ -> tail ga)
+  | R.Gep { base = gbase; steps; idx_delta; site = _ } ->
+    compile_gep c gbase steps idx_delta
+  | R.Call { target; args; n_args } -> compile_call c target args n_args
+  | R.Malloc { scale; count; cty; layout_multi } ->
+    let cc = compile_expr_i c count in
+    pv c Profile.op_malloc (fun fr ->
+        let n = Int64.to_int (cc fr) in
+        do_malloc st fr ~size:(max 1 n * scale) ~cty ~layout_multi)
+  | R.Cast { kind; e } -> (
+    let ce = compile_expr c e in
+    match kind with
+    | R.Cast_ptr ->
+      pv c Profile.op_cast (fun fr ->
+          match ce fr with
+          | VI w ->
+            if Int64.equal w 0L then null_ptr else VP (w, Bounds.no_bounds)
+          | VP _ as v -> v
+          | VF _ -> abort "float to pointer cast")
+    | R.Cast_f64 ->
+      pv c Profile.op_cast (fun fr ->
+          let v = ce fr in
+          base st 1;
+          VF (as_float v))
+    | R.Cast_int n ->
+      pv c Profile.op_cast (fun fr ->
+          match ce fr with
+          | VF f ->
+            base st 1;
+            VI (Int64.of_float f)
+          | v -> VI (sext (as_int v) n)))
+  | R.Ifp_promote { e; site = _ } ->
+    let ce = compile_expr c e in
+    pv c Profile.op_promote (fun fr -> eval_promote st (ce fr))
+  | R.Bad msg -> pv c Profile.op_bad (fun _ -> abort msg)
+
+(* Unboxed integer compilation: the staged twin of [Vm.eval_i], used in
+   the same contexts (conditions, integer arithmetic, gep indexes,
+   malloc counts, integer stores) so charges and failure order stay
+   identical per context. *)
+and compile_expr_i c (e : R.expr) : icode =
+  let st = c.env.st in
+  match e with
+  | R.Int x -> pi c Profile.op_const (fun _ -> x)
+  | R.Var i ->
+    pi c Profile.op_var (fun fr ->
+        let v = Array.unsafe_get fr.vars i in
+        if v == unbound then
+          abort ("unbound variable " ^ fr.rf.var_names.(i))
+        else as_int v)
+  | R.Binop (Ir.LAnd, a, b) ->
+    let ca = compile_expr_i c a and cb = compile_expr_i c b in
+    pi c Profile.op_binop_i (fun fr ->
+        base st 1;
+        if Int64.equal (ca fr) 0L then 0L
+        else if Int64.equal (cb fr) 0L then 0L
+        else 1L)
+  | R.Binop (Ir.LOr, a, b) ->
+    let ca = compile_expr_i c a and cb = compile_expr_i c b in
+    pi c Profile.op_binop_i (fun fr ->
+        base st 1;
+        if not (Int64.equal (ca fr) 0L) then 1L
+        else if Int64.equal (cb fr) 0L then 0L
+        else 1L)
+  | R.Binop
+      ( (( Ir.Add | Ir.Sub | Ir.Mul | Ir.Div | Ir.Rem | Ir.BAnd | Ir.BOr
+         | Ir.BXor | Ir.Shl | Ir.Shr ) as op),
+        a,
+        b ) ->
+    let ca = compile_expr_i c a and cb = compile_expr_i c b in
+    pi c Profile.op_binop_i
+      (match op with
+      | Ir.Add ->
+        fun fr ->
+          let y = cb fr in
+          let x = ca fr in
+          base st 1;
+          Int64.add x y
+      | Ir.Sub ->
+        fun fr ->
+          let y = cb fr in
+          let x = ca fr in
+          base st 1;
+          Int64.sub x y
+      | Ir.Mul ->
+        fun fr ->
+          let y = cb fr in
+          let x = ca fr in
+          cycles st (Cost.mul - 1);
+          base st 1;
+          Int64.mul x y
+      | Ir.Div ->
+        fun fr ->
+          let y = cb fr in
+          let x = ca fr in
+          cycles st (Cost.div - 1);
+          if Int64.equal y 0L then abort "division by zero";
+          base st 1;
+          Int64.div x y
+      | Ir.Rem ->
+        fun fr ->
+          let y = cb fr in
+          let x = ca fr in
+          cycles st (Cost.div - 1);
+          if Int64.equal y 0L then abort "remainder by zero";
+          base st 1;
+          Int64.rem x y
+      | Ir.BAnd ->
+        fun fr ->
+          let y = cb fr in
+          let x = ca fr in
+          base st 1;
+          Int64.logand x y
+      | Ir.BOr ->
+        fun fr ->
+          let y = cb fr in
+          let x = ca fr in
+          base st 1;
+          Int64.logor x y
+      | Ir.BXor ->
+        fun fr ->
+          let y = cb fr in
+          let x = ca fr in
+          base st 1;
+          Int64.logxor x y
+      | Ir.Shl ->
+        fun fr ->
+          let y = cb fr in
+          let x = ca fr in
+          base st 1;
+          Int64.shift_left x (Int64.to_int y land 63)
+      | Ir.Shr ->
+        fun fr ->
+          let y = cb fr in
+          let x = ca fr in
+          base st 1;
+          Int64.shift_right_logical x (Int64.to_int y land 63)
+      | _ -> assert false)
+  | R.Unop (((Ir.Neg | Ir.BNot | Ir.LNot) as op), a) ->
+    let ca = compile_expr_i c a in
+    pi c Profile.op_unop_i
+      (match op with
+      | Ir.Neg ->
+        fun fr ->
+          let x = ca fr in
+          base st 1;
+          Int64.neg x
+      | Ir.BNot ->
+        fun fr ->
+          let x = ca fr in
+          base st 1;
+          Int64.lognot x
+      | Ir.LNot ->
+        fun fr ->
+          let x = ca fr in
+          base st 1;
+          if Int64.equal x 0L then 1L else 0L
+      | _ -> assert false)
+  | R.Load { cls = R.Cls_int; bytes; addr } -> compile_load_int c bytes addr
+  | R.Load_global { g; cls = R.Cls_int; bytes } when c.env.prof = None ->
+    (* unboxed twin of the staged global load *)
+    let go = c.env.st.globals.(g) in
+    let tail = load_tail_i (stage_load c.env.st bytes) bytes in
+    let ga = Int64.logand go.gaddr addr_mask in
+    fun _ -> tail ga
+  | R.Binop (((Ir.Eq | Ir.Ne | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge) as op), a, b) ->
+    if c.env.prof = None then
+      let cc = compile_cmp_bool c op a b in
+      fun fr -> if cc fr then 1L else 0L
+    else
+      (* probed generic path so profiling sees operand dispatches *)
+      let test = cmp_test op in
+      let ca = compile_expr c a and cb = compile_expr c b in
+      pi c Profile.op_cmp (fun fr ->
+          let vb = cb fr in
+          let va = ca fr in
+          base st 1;
+          let cv =
+            match (va, vb) with
+            | VP (wa, _), VP (wb, _) ->
+              Int64.compare (Tag.addr wa) (Tag.addr wb)
+            | _ -> Int64.compare (as_int va) (as_int vb)
+          in
+          if test cv then 1L else 0L)
+  | R.Binop (((Ir.FEq | Ir.FLt | Ir.FLe) as op), a, b) ->
+    let ca = compile_expr c a and cb = compile_expr c b in
+    let test : float -> float -> bool =
+      match op with
+      | Ir.FEq -> ( = )
+      | Ir.FLt -> ( < )
+      | Ir.FLe -> ( <= )
+      | _ -> assert false
+    in
+    pi c Profile.op_fcmp (fun fr ->
+        let vb = cb fr in
+        let va = ca fr in
+        base st 1;
+        cycles st (Cost.fp - 1);
+        let y = as_float vb in
+        let x = as_float va in
+        if test x y then 1L else 0L)
+  | e ->
+    let ce = compile_expr c e in
+    fun fr -> as_int (ce fr)
+
+(* Comparison compilation to a boolean closure, with the per-site test
+   staged as three acceptance booleans over the sign of [Int64.compare]
+   (no test closure to call at run time) and leaf operands (Var / Int)
+   read inline. Handles every comparison shape: when one side is an
+   integer literal or provably non-pointer the VP/VP address-compare
+   branch is compiled away, otherwise it is kept. Only used when
+   profiling is off (callers fall back to probed generic code). *)
+and compile_cmp_bool c op a b : frame -> bool =
+  let st = c.env.st in
+  let an, az, ap =
+    match op with
+    | Ir.Eq -> (false, true, false)
+    | Ir.Ne -> (true, false, true)
+    | Ir.Lt -> (true, false, false)
+    | Ir.Le -> (true, true, false)
+    | Ir.Gt -> (false, false, true)
+    | Ir.Ge -> (false, true, true)
+    | _ -> assert false
+  in
+  match (a, b) with
+  | R.Var ia, R.Int y ->
+    (* literal rhs is VI, so the VP/VP branch is dead *)
+    fun fr ->
+      let va = Array.unsafe_get fr.vars ia in
+      if va == unbound then
+        abort ("unbound variable " ^ fr.rf.var_names.(ia));
+      let x = as_int va in
+      base st 1;
+      let cv = Int64.compare x y in
+      if cv < 0 then an else if cv = 0 then az else ap
+  | R.Int x, R.Var ib ->
+    fun fr ->
+      let vb = Array.unsafe_get fr.vars ib in
+      if vb == unbound then
+        abort ("unbound variable " ^ fr.rf.var_names.(ib));
+      let y = as_int vb in
+      base st 1;
+      let cv = Int64.compare x y in
+      if cv < 0 then an else if cv = 0 then az else ap
+  | R.Var ia, R.Var ib ->
+    (* both sides may be pointers: keep the address-compare branch,
+       but read the slots inline (b first, as the reference does) *)
+    fun fr ->
+      let vb = Array.unsafe_get fr.vars ib in
+      if vb == unbound then
+        abort ("unbound variable " ^ fr.rf.var_names.(ib));
+      let va = Array.unsafe_get fr.vars ia in
+      if va == unbound then
+        abort ("unbound variable " ^ fr.rf.var_names.(ia));
+      base st 1;
+      let cv =
+        match (va, vb) with
+        | VP (wa, _), VP (wb, _) -> Int64.compare (Tag.addr wa) (Tag.addr wb)
+        | _ -> Int64.compare (as_int va) (as_int vb)
+      in
+      if cv < 0 then an else if cv = 0 then az else ap
+  | a, R.Int y ->
+    let ca = compile_expr_i c a in
+    fun fr ->
+      let x = ca fr in
+      base st 1;
+      let cv = Int64.compare x y in
+      if cv < 0 then an else if cv = 0 then az else ap
+  | a, b when never_ptr a || never_ptr b ->
+    let ca = compile_expr_i c a and cb = compile_expr_i c b in
+    fun fr ->
+      let y = cb fr in
+      let x = ca fr in
+      base st 1;
+      let cv = Int64.compare x y in
+      if cv < 0 then an else if cv = 0 then az else ap
+  | a, b ->
+    let ca = compile_expr c a and cb = compile_expr c b in
+    fun fr ->
+      let vb = cb fr in
+      let va = ca fr in
+      base st 1;
+      let cv =
+        match (va, vb) with
+        | VP (wa, _), VP (wb, _) -> Int64.compare (Tag.addr wa) (Tag.addr wb)
+        | _ -> Int64.compare (as_int va) (as_int vb)
+      in
+      if cv < 0 then an else if cv = 0 then az else ap
+
+(* Boolean condition compilation for [If]/[While]: same closure as
+   [compile_expr_i] followed by a zero test, but a comparison skips the
+   0L/1L materialization and returns the test result directly. Kept
+   generic under profiling so the dispatch histogram still sees the
+   condition's [op_cmp] probe. *)
+and compile_cond c (e : R.expr) : frame -> bool =
+  match e with
+  | R.Binop (((Ir.Eq | Ir.Ne | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge) as op), a, b)
+    when c.env.prof = None ->
+    compile_cmp_bool c op a b
+  | e ->
+    let cc = compile_expr_i c e in
+    fun fr -> not (Int64.equal (cc fr) 0L)
+
+(* ---- gep ------------------------------------------------------------ *)
+
+(* Fused gep address computation: compiles the hot single-step shapes to
+   a closure returning the result pointer word (and writing its bounds
+   register to [env.gb]) without boxing a value — replicating
+   [Vm.eval_gep]+[Rt.gep_finish] charge-for-charge. [None] when the
+   shape is not fusable or a fault injector is armed. *)
+and compile_gep_addr c gbase steps idx_delta : (frame -> int64) option =
+  let st = c.env.st in
+  let env = c.env in
+  if st.inj <> None then None
+  else
+    let cb = compile_expr c gbase in
+    (* charge_ifp with the kind static: the counter slot and cycle cost
+       are compile-time constants, so each charge is two array/field adds
+       instead of a kind_index dispatch per executed gep. *)
+    let ix_add = Counters.kind_index Insn.Ifpadd
+    and cyc_add = Cost.ifp_cycles Insn.Ifpadd
+    and ix_idx = Counters.kind_index Insn.Ifpidx
+    and cyc_idx = Cost.ifp_cycles Insn.Ifpidx
+    and ix_bnd = Counters.kind_index Insn.Ifpbnd
+    and cyc_bnd = Cost.ifp_cycles Insn.Ifpbnd in
+    let cc = st.c in
+    let finish_instr w b ~delta ~nb_lo ~nb_hi ~have_nb =
+      let out_bounds =
+        match b with
+        | Bounds.No_bounds -> Bounds.no_bounds
+        | _ -> if have_nb then Bounds.make ~lo:nb_lo ~hi:nb_hi else b
+      in
+      cc.ifp.(ix_add) <- cc.ifp.(ix_add) + 1;
+      cc.cycles <- cc.cycles + cyc_add;
+      let w' = s_ifpadd w ~delta ~bounds:out_bounds in
+      let w' =
+        if idx_delta > 0 then begin
+          cc.ifp.(ix_idx) <- cc.ifp.(ix_idx) + 1;
+          cc.cycles <- cc.cycles + cyc_idx;
+          s_ifpidx w' idx_delta
+        end
+        else w'
+      in
+      if not (Bounds.equal out_bounds b) then begin
+        cc.ifp.(ix_bnd) <- cc.ifp.(ix_bnd) + 1;
+        cc.cycles <- cc.cycles + cyc_bnd
+      end;
+      env.gb <- out_bounds;
+      w'
+    in
+    match steps with
+    | [] ->
+      if c.instr then
+        Some
+          (fun fr ->
+            match cb fr with
+            | VP (w, b) ->
+              finish_instr w b ~delta:0L ~nb_lo:0L ~nb_hi:0L ~have_nb:false
+            | VI w ->
+              finish_instr w Bounds.no_bounds ~delta:0L ~nb_lo:0L ~nb_hi:0L
+                ~have_nb:false
+            | VF _ -> abort "float used as pointer")
+      else
+        Some
+          (fun fr ->
+            let w =
+              match cb fr with
+              | VP (w, _) | VI w -> w
+              | VF _ -> abort "float used as pointer"
+            in
+            env.gb <- Bounds.no_bounds;
+            w)
+    | [ R.Rs_field { off; fsize } ] ->
+      let offL = Int64.of_int off and fsizeL = Int64.of_int fsize in
+      if c.instr then
+        Some
+          (fun fr ->
+            let v = cb fr in
+            let w =
+              match v with
+              | VP (w, _) | VI w -> w
+              | VF _ -> abort "float used as pointer"
+            in
+            let b = match v with VP (_, b) -> b | _ -> Bounds.no_bounds in
+            let lo = Int64.add (Tag.addr w) offL in
+            finish_instr w b ~delta:offL ~nb_lo:lo ~nb_hi:(Int64.add lo fsizeL)
+              ~have_nb:true)
+      else
+        Some
+          (fun fr ->
+            let w =
+              match cb fr with
+              | VP (w, _) | VI w -> w
+              | VF _ -> abort "float used as pointer"
+            in
+            env.gb <- Bounds.no_bounds;
+            Int64.add w offL)
+    | [ R.Rs_index { esize; idx } ] ->
+      let ci = compile_expr_i c idx in
+      let esizeL = Int64.of_int esize in
+      if c.instr then
+        Some
+          (fun fr ->
+            let v = cb fr in
+            let w =
+              match v with
+              | VP (w, _) | VI w -> w
+              | VF _ -> abort "float used as pointer"
+            in
+            let b = match v with VP (_, b) -> b | _ -> Bounds.no_bounds in
+            let k = ci fr in
+            (* dyn = 1: the index mul stays ordinary ALU work *)
+            st.c.base_instrs <- st.c.base_instrs + 1;
+            cycles st Cost.mul;
+            finish_instr w b
+              ~delta:(Int64.mul k esizeL)
+              ~nb_lo:0L ~nb_hi:0L ~have_nb:false)
+      else
+        Some
+          (fun fr ->
+            let w =
+              match cb fr with
+              | VP (w, _) | VI w -> w
+              | VF _ -> abort "float used as pointer"
+            in
+            let k = ci fr in
+            st.c.base_instrs <- st.c.base_instrs + 2;
+            cycles st (Cost.mul + Cost.alu);
+            Int64.add w (Int64.mul k esizeL))
+    | _ -> None
+
+(* generic gep producing a boxed pointer value (the non-fused path and
+   any multi-step walk) *)
+and compile_gep c gbase steps idx_delta : vcode =
+  let st = c.env.st in
+  let cb = compile_expr c gbase in
+  pv c Profile.op_gep
+    (match steps with
+    | [] ->
+      fun fr ->
+        let v = cb fr in
+        let w =
+          match v with
+          | VP (w, _) | VI w -> w
+          | VF _ -> abort "float used as pointer"
+        in
+        let b = match v with VP (_, b) -> b | _ -> Bounds.no_bounds in
+        gep_finish st fr w b idx_delta ~delta:0L ~dyn:0 ~nb_lo:0L ~nb_hi:0L
+          ~have_nb:false
+    | [ R.Rs_field { off; fsize } ] ->
+      let offL = Int64.of_int off and fsizeL = Int64.of_int fsize in
+      fun fr ->
+        let v = cb fr in
+        let w =
+          match v with
+          | VP (w, _) | VI w -> w
+          | VF _ -> abort "float used as pointer"
+        in
+        let b = match v with VP (_, b) -> b | _ -> Bounds.no_bounds in
+        let lo = Int64.add (Tag.addr w) offL in
+        gep_finish st fr w b idx_delta ~delta:offL ~dyn:0 ~nb_lo:lo
+          ~nb_hi:(Int64.add lo fsizeL) ~have_nb:true
+    | [ R.Rs_index { esize; idx } ] ->
+      let ci = compile_expr_i c idx in
+      let esizeL = Int64.of_int esize in
+      fun fr ->
+        let v = cb fr in
+        let w =
+          match v with
+          | VP (w, _) | VI w -> w
+          | VF _ -> abort "float used as pointer"
+        in
+        let b = match v with VP (_, b) -> b | _ -> Bounds.no_bounds in
+        let k = ci fr in
+        gep_finish st fr w b idx_delta
+          ~delta:(Int64.mul k esizeL)
+          ~dyn:1 ~nb_lo:0L ~nb_hi:0L ~have_nb:false
+    | steps ->
+      let csteps =
+        List.map
+          (function
+            | R.Rs_field { off; fsize } -> `F (Int64.of_int off, Int64.of_int fsize)
+            | R.Rs_index { esize; idx } ->
+              `I (Int64.of_int esize, compile_expr_i c idx)
+            | R.Rs_bad msg -> `B msg)
+          steps
+      in
+      fun fr ->
+        let v = cb fr in
+        let w =
+          match v with
+          | VP (w, _) | VI w -> w
+          | VF _ -> abort "float used as pointer"
+        in
+        let b = match v with VP (_, b) -> b | _ -> Bounds.no_bounds in
+        let addr0 = Tag.addr w in
+        let rec walk cs addr nb_lo nb_hi have_nb dyn =
+          match cs with
+          | [] -> (addr, nb_lo, nb_hi, have_nb, dyn)
+          | `F (offL, fsizeL) :: rest ->
+            let a' = Int64.add addr offL in
+            walk rest a' a' (Int64.add a' fsizeL) true dyn
+          | `I (esizeL, ci) :: rest ->
+            let k = ci fr in
+            walk rest (Int64.add addr (Int64.mul k esizeL)) nb_lo nb_hi have_nb
+              (dyn + 1)
+          | `B msg :: _ -> abort msg
+        in
+        let addr, nb_lo, nb_hi, have_nb, dyn = walk csteps addr0 0L 0L false 0 in
+        gep_finish st fr w b idx_delta
+          ~delta:(Int64.sub addr addr0)
+          ~dyn ~nb_lo ~nb_hi ~have_nb)
+
+(* ---- loads (with fusion) -------------------------------------------- *)
+
+and compile_load c cls bytes addr : vcode =
+  let st = c.env.st in
+  let env = c.env in
+  match addr with
+  | R.Gep { base = gbase; steps; idx_delta; site = _ } -> (
+    match compile_gep_addr c gbase steps idx_delta with
+    | Some ga ->
+      (* gep→check→load superinstruction *)
+      let tail = load_tail (stage_load st bytes) cls bytes in
+      if c.instr then
+        pv c Profile.op_fused_gep_load (fun fr ->
+            let w' = ga fr in
+            let ob = env.gb in
+            tail (check_instr st w' ob ~size:bytes))
+      else
+        pv c Profile.op_fused_gep_load (fun fr ->
+            tail (Int64.logand (ga fr) addr_mask))
+    | None -> compile_load_generic c cls bytes addr)
+  | R.Ifp_promote { e; site = _ } when st.inj = None ->
+    (* promote→check→load superinstruction *)
+    let ce = compile_expr c e in
+    let tail = load_tail (stage_load st bytes) cls bytes in
+    if c.instr then
+      pv c Profile.op_fused_promote_load (fun fr ->
+          let w, b =
+            match eval_promote st (ce fr) with
+            | VP (w, b) -> (w, b)
+            | VI w -> (w, Bounds.no_bounds)
+            | VF _ -> abort "float used as pointer"
+          in
+          tail (check_instr st w b ~size:bytes))
+    else
+      pv c Profile.op_fused_promote_load (fun fr ->
+          let w =
+            match eval_promote st (ce fr) with
+            | VP (w, _) | VI w -> w
+            | VF _ -> abort "float used as pointer"
+          in
+          tail (Int64.logand w addr_mask))
+  | addr -> compile_load_generic c cls bytes addr
+
+and compile_load_generic c cls bytes addr : vcode =
+  let st = c.env.st in
+  let ca = compile_expr c addr in
+  if st.inj <> None then
+    pv c Profile.op_load (fun fr -> do_load st fr cls bytes (ca fr))
+  else
+    (* staged twin of [Rt.do_load]: the [as_ptr] split, the checked
+       access (static per mode), then the staged load tail *)
+    let tail = load_tail (stage_load st bytes) cls bytes in
+    if c.instr then
+      pv c Profile.op_load (fun fr ->
+          match ca fr with
+          | VP (w, b) -> tail (check_instr st w b ~size:bytes)
+          | VI w -> tail (check_instr st w Bounds.No_bounds ~size:bytes)
+          | VF _ -> abort "float used as pointer")
+    else
+      pv c Profile.op_load (fun fr ->
+          match ca fr with
+          | VP (w, _) | VI w -> tail (Int64.logand w addr_mask)
+          | VF _ -> abort "float used as pointer")
+
+(* the [eval_i] integer-load context: same fusion, unboxed result *)
+and compile_load_int c bytes addr : icode =
+  let st = c.env.st in
+  let env = c.env in
+  match addr with
+  | R.Gep { base = gbase; steps; idx_delta; site = _ } -> (
+    match compile_gep_addr c gbase steps idx_delta with
+    | Some ga ->
+      let tail = load_tail_i (stage_load st bytes) bytes in
+      if c.instr then
+        pi c Profile.op_fused_gep_load_i (fun fr ->
+            let w' = ga fr in
+            let ob = env.gb in
+            tail (check_instr st w' ob ~size:bytes))
+      else
+        pi c Profile.op_fused_gep_load_i (fun fr ->
+            tail (Int64.logand (ga fr) addr_mask))
+    | None -> compile_load_int_generic c bytes addr)
+  | addr -> compile_load_int_generic c bytes addr
+
+and compile_load_int_generic c bytes addr : icode =
+  let st = c.env.st in
+  let ca = compile_expr c addr in
+  if st.inj <> None then
+    pi c Profile.op_load_i (fun fr -> do_load_int st fr bytes (ca fr))
+  else
+    let tail = load_tail_i (stage_load st bytes) bytes in
+    if c.instr then
+      pi c Profile.op_load_i (fun fr ->
+          match ca fr with
+          | VP (w, b) -> tail (check_instr st w b ~size:bytes)
+          | VI w -> tail (check_instr st w Bounds.No_bounds ~size:bytes)
+          | VF _ -> abort "float used as pointer")
+    else
+      pi c Profile.op_load_i (fun fr ->
+          match ca fr with
+          | VP (w, _) | VI w -> tail (Int64.logand w addr_mask)
+          | VF _ -> abort "float used as pointer")
+
+(* staged twins of [Rt.do_store_int] / [Rt.do_store] for non-fused
+   store addresses; generic [do_store*] kept when an injector is armed *)
+and compile_store_int_generic c bytes addr v next : ucode =
+  let st = c.env.st in
+  let ca = compile_expr c addr and cv = compile_expr_i c v in
+  if st.inj <> None then
+    pu c Profile.op_store (fun fr ->
+        let a = ca fr in
+        let raw = cv fr in
+        do_store_int st fr bytes a raw;
+        next fr)
+  else
+    let stw = stage_store st bytes in
+    if c.instr then
+      pu c Profile.op_store (fun fr ->
+          let a = ca fr in
+          let raw = cv fr in
+          (match a with
+          | VP (w, b) -> stw (check_instr st w b ~size:bytes) raw
+          | VI w -> stw (check_instr st w Bounds.No_bounds ~size:bytes) raw
+          | VF _ -> abort "float used as pointer");
+          next fr)
+    else
+      pu c Profile.op_store (fun fr ->
+          let a = ca fr in
+          let raw = cv fr in
+          (match a with
+          | VP (w, _) | VI w -> stw (Int64.logand w addr_mask) raw
+          | VF _ -> abort "float used as pointer");
+          next fr)
+
+and compile_store_generic c cls bytes addr v next : ucode =
+  let st = c.env.st in
+  let ca = compile_expr c addr and cv = compile_expr c v in
+  if st.inj <> None then
+    pu c Profile.op_store (fun fr ->
+        let a = ca fr in
+        let value = cv fr in
+        do_store st fr cls bytes a value;
+        next fr)
+  else
+    let stw = stage_store st bytes in
+    let sraw = stage_store_raw st ~instr:c.instr cls in
+    if c.instr then
+      pu c Profile.op_store (fun fr ->
+          let a = ca fr in
+          let value = cv fr in
+          (match a with
+          | VP (w, b) ->
+            let ma = check_instr st w b ~size:bytes in
+            stw ma (sraw value)
+          | VI w ->
+            let ma = check_instr st w Bounds.No_bounds ~size:bytes in
+            stw ma (sraw value)
+          | VF _ -> abort "float used as pointer");
+          next fr)
+    else
+      pu c Profile.op_store (fun fr ->
+          let a = ca fr in
+          let value = cv fr in
+          (match a with
+          | VP (w, _) | VI w -> stw (Int64.logand w addr_mask) (sraw value)
+          | VF _ -> abort "float used as pointer");
+          next fr)
+
+(* ---- calls ---------------------------------------------------------- *)
+
+and compile_call c target args n_args : vcode =
+  let st = c.env.st in
+  let env = c.env in
+  match target with
+  | R.C_func i when List.compare_lengths (st.rp.funcs.(i)).R.params args = 0 ->
+    (* arity matches: evaluate arguments straight into the callee's
+       slots, then prelude, then the compiled body (fetched at call
+       time — the callee may compile after this site). *)
+    let f = st.rp.funcs.(i) in
+    let strip = not f.instrumented in
+    (* stage the bounds-strip decision out of the call path: wrap the
+       argument code itself for legacy (uninstrumented) callees *)
+    let carg a =
+      let ce = compile_expr c a in
+      if strip then fun fr -> strip_bounds (ce fr) else ce
+    in
+    let binds =
+      Array.of_list (List.map2 (fun p a -> (p, carg a)) f.params args)
+    in
+    (* unroll the common small arities into straight-line slot writes *)
+    pv c Profile.op_call
+      (match binds with
+      | [||] ->
+        fun _ ->
+          let callee_frame = make_frame f in
+          let spills = call_prelude st f n_args in
+          run_body st f (Array.unsafe_get env.fbodies i) callee_frame spills
+      | [| (p0, ce0) |] ->
+        fun fr ->
+          let callee_frame = make_frame f in
+          Array.unsafe_set callee_frame.vars p0 (ce0 fr);
+          let spills = call_prelude st f n_args in
+          run_body st f (Array.unsafe_get env.fbodies i) callee_frame spills
+      | [| (p0, ce0); (p1, ce1) |] ->
+        fun fr ->
+          let callee_frame = make_frame f in
+          Array.unsafe_set callee_frame.vars p0 (ce0 fr);
+          Array.unsafe_set callee_frame.vars p1 (ce1 fr);
+          let spills = call_prelude st f n_args in
+          run_body st f (Array.unsafe_get env.fbodies i) callee_frame spills
+      | [| (p0, ce0); (p1, ce1); (p2, ce2) |] ->
+        fun fr ->
+          let callee_frame = make_frame f in
+          Array.unsafe_set callee_frame.vars p0 (ce0 fr);
+          Array.unsafe_set callee_frame.vars p1 (ce1 fr);
+          Array.unsafe_set callee_frame.vars p2 (ce2 fr);
+          let spills = call_prelude st f n_args in
+          run_body st f (Array.unsafe_get env.fbodies i) callee_frame spills
+      | binds ->
+        let n_binds = Array.length binds in
+        fun fr ->
+          let callee_frame = make_frame f in
+          for j = 0 to n_binds - 1 do
+            let p, ce = Array.unsafe_get binds j in
+            Array.unsafe_set callee_frame.vars p (ce fr)
+          done;
+          let spills = call_prelude st f n_args in
+          run_body st f (Array.unsafe_get env.fbodies i) callee_frame spills)
+  | target -> (
+    let cargs = List.map (compile_expr c) args in
+    match target with
+    | R.C_print_i64 ->
+      pv c Profile.op_call (fun fr ->
+          let argv = List.map (fun ce -> ce fr) cargs in
+          base st 3;
+          (match argv with
+          | [ v ] -> st.out <- Int64.to_string (as_int v) :: st.out
+          | _ -> ());
+          VI 0L)
+    | R.C_print_f64 ->
+      pv c Profile.op_call (fun fr ->
+          let argv = List.map (fun ce -> ce fr) cargs in
+          base st 3;
+          (match argv with
+          | [ v ] -> st.out <- Printf.sprintf "%.6g" (as_float v) :: st.out
+          | _ -> ());
+          VI 0L)
+    | R.C_abort ->
+      pv c Profile.op_call (fun fr ->
+          let argv = List.map (fun ce -> ce fr) cargs in
+          ignore argv;
+          abort "program called __abort")
+    | R.C_unknown fn ->
+      pv c Profile.op_call (fun fr ->
+          let argv = List.map (fun ce -> ce fr) cargs in
+          ignore argv;
+          abort ("call to unknown function " ^ fn))
+    | R.C_func i ->
+      (* arity mismatch: keep the reference path, including its
+         [Invalid_argument] after evaluating every argument *)
+      pv c Profile.op_call (fun fr ->
+          let argv = List.map (fun ce -> ce fr) cargs in
+          let f = st.rp.funcs.(i) in
+          let spills = call_prelude st f n_args in
+          let callee_frame = make_frame f in
+          List.iter2
+            (fun slot v ->
+              let v = if f.instrumented then v else strip_bounds v in
+              Array.unsafe_set callee_frame.vars slot v)
+            f.params argv;
+          run_body st f (Array.unsafe_get env.fbodies i) callee_frame spills))
+
+(* ---- statements ----------------------------------------------------- *)
+
+(* [compile_stmt c s next] returns the closure for [s] with its
+   successor [next] pre-linked: straight-line code is one tail call per
+   statement, no dispatch. *)
+and compile_stmt c (s : R.stmt) (next : ucode) : ucode =
+  let st = c.env.st in
+  let env = c.env in
+  match s with
+  | R.Let { slot; k; e } -> (
+    match k with
+    | R.K_i64 ->
+      let ce = compile_expr_i c e in
+      pu c Profile.op_let (fun fr ->
+          let x = ce fr in
+          base st 1;
+          Array.unsafe_set fr.vars slot (VI x);
+          next fr)
+    | R.K_i32 ->
+      let ce = compile_expr_i c e in
+      pu c Profile.op_let (fun fr ->
+          let x = ce fr in
+          base st 1;
+          Array.unsafe_set fr.vars slot (VI (sext x 4));
+          next fr)
+    | R.K_i16 ->
+      let ce = compile_expr_i c e in
+      pu c Profile.op_let (fun fr ->
+          let x = ce fr in
+          base st 1;
+          Array.unsafe_set fr.vars slot (VI (sext x 2));
+          next fr)
+    | R.K_i8 ->
+      let ce = compile_expr_i c e in
+      pu c Profile.op_let (fun fr ->
+          let x = ce fr in
+          base st 1;
+          Array.unsafe_set fr.vars slot (VI (sext x 1));
+          next fr)
+    | k ->
+      let ce = compile_expr c e in
+      pu c Profile.op_let (fun fr ->
+          let v = coerce k (ce fr) in
+          base st 1;
+          Array.unsafe_set fr.vars slot v;
+          next fr))
+  | R.Assign { slot; e } ->
+    let ce = compile_expr c e in
+    pu c Profile.op_assign (fun fr ->
+        let v = ce fr in
+        base st 1;
+        if Array.unsafe_get fr.vars slot == unbound then
+          abort ("assign to unbound variable " ^ fr.rf.var_names.(slot))
+        else Array.unsafe_set fr.vars slot v;
+        next fr)
+  | R.Decl_local { slot; size; tyid } ->
+    let footprint =
+      if c.instr then Meta.Local_offset.footprint ~size
+      else Ifp_util.Bits.align_up size 16
+    in
+    pu c Profile.op_decl_local (fun fr ->
+        (if Int64.equal fr.local_addr.(slot) local_unset then begin
+           let addr =
+             Ifp_util.Bits.align_down64
+               (Int64.sub st.sp (Int64.of_int footprint))
+               16
+           in
+           if Int64.compare addr st.stack_limit < 0 then
+             raise (Abort Stack_overflow);
+           st.sp <- addr;
+           base st 1;
+           fr.local_addr.(slot) <- addr;
+           fr.local_tagged.(slot) <- addr;
+           fr.local_size.(slot) <- size;
+           fr.local_tyid.(slot) <- tyid
+         end);
+        next fr)
+  | R.Store { cls = R.Cls_int; bytes; addr; v } -> (
+    match addr with
+    | R.Gep { base = gbase; steps; idx_delta; site = _ } -> (
+      match compile_gep_addr c gbase steps idx_delta with
+      | Some ga ->
+        (* gep→check→store superinstruction. Reference order: the gep
+           (address) evaluates and charges first, then the value, then
+           check + store. *)
+        let cv = compile_expr_i c v in
+        let stw = stage_store st bytes in
+        if c.instr then
+          pu c Profile.op_fused_gep_store_i (fun fr ->
+              let w' = ga fr in
+              let ob = env.gb in
+              let raw = cv fr in
+              stw (check_instr st w' ob ~size:bytes) raw;
+              next fr)
+        else
+          pu c Profile.op_fused_gep_store_i (fun fr ->
+              let w' = ga fr in
+              let raw = cv fr in
+              stw (Int64.logand w' addr_mask) raw;
+              next fr)
+      | None -> compile_store_int_generic c bytes addr v next)
+    | addr -> compile_store_int_generic c bytes addr v next)
+  | R.Store { cls; bytes; addr; v } -> (
+    match addr with
+    | R.Gep { base = gbase; steps; idx_delta; site = _ } -> (
+      match compile_gep_addr c gbase steps idx_delta with
+      | Some ga ->
+        let cv = compile_expr c v in
+        let stw = stage_store st bytes in
+        let sraw = stage_store_raw st ~instr:c.instr cls in
+        if c.instr then
+          pu c Profile.op_fused_gep_store (fun fr ->
+              let w' = ga fr in
+              let ob = env.gb in
+              let value = cv fr in
+              let ma = check_instr st w' ob ~size:bytes in
+              stw ma (sraw value);
+              next fr)
+        else
+          pu c Profile.op_fused_gep_store (fun fr ->
+              let w' = ga fr in
+              let value = cv fr in
+              stw (Int64.logand w' addr_mask) (sraw value);
+              next fr)
+      | None -> compile_store_generic c cls bytes addr v next)
+    | addr -> compile_store_generic c cls bytes addr v next)
+  | R.Store_global { g; cls = R.Cls_int; bytes; e } ->
+    let ce = compile_expr_i c e in
+    let go = st.globals.(g) in
+    let stw = stage_store st bytes in
+    (* the global's address is static, so its tag strip stages too *)
+    let ga = Int64.logand go.gaddr addr_mask in
+    pu c Profile.op_store_global (fun fr ->
+        let raw = ce fr in
+        stw ga raw;
+        next fr)
+  | R.Store_global { g; cls; bytes; e } ->
+    let ce = compile_expr c e in
+    let go = st.globals.(g) in
+    let sraw = stage_store_raw st ~instr:c.instr cls in
+    pu c Profile.op_store_global (fun fr ->
+        let v = ce fr in
+        (* reference order ([Vm.exec]): charge first, then demote *)
+        charge_store st go.gaddr bytes;
+        let raw = sraw v in
+        Memory.write_size st.mem go.gaddr ~bytes raw;
+        next fr)
+  | R.If (cond, t, e) ->
+    let cc = compile_cond c cond in
+    let ct = compile_seq c t next and ce = compile_seq c e next in
+    pu c Profile.op_if (fun fr ->
+        base st 2 (* compare + branch *);
+        if cc fr then ct fr else ce fr)
+  | R.While (cond, body) ->
+    let cc = compile_cond c cond in
+    let cbody = compile_seq c body nop_u in
+    pu c Profile.op_while (fun fr ->
+        let rec loop () =
+          budget_check st;
+          base st 2 (* compare + branch *);
+          if cc fr then begin
+            (match cbody fr with () -> () | exception Continue_exc -> ());
+            loop ()
+          end
+        in
+        (try loop () with Break_exc -> ());
+        next fr)
+  | R.Return None ->
+    pu c Profile.op_return (fun _ -> raise (Return_exc (VI 0L)))
+  | R.Return (Some e) ->
+    let ce = compile_expr c e in
+    pu c Profile.op_return (fun fr -> raise (Return_exc (ce fr)))
+  | R.Expr e ->
+    let ce = compile_expr c e in
+    pu c Profile.op_expr (fun fr ->
+        ignore (ce fr);
+        next fr)
+  | R.Free e ->
+    let ce = compile_expr c e in
+    pu c Profile.op_free (fun fr ->
+        let w, _ = as_ptr (ce fr) in
+        let cost = st.allocator.free w in
+        charge_alloc_cost st cost;
+        next fr)
+  | R.Break -> fun _ -> raise Break_exc
+  | R.Continue -> fun _ -> raise Continue_exc
+  | R.Ifp_register_local { slot; site } ->
+    (* inline cache: memoize this site's (tyid → layout pointer)
+       resolution; fall back to the per-run table walk on miss. *)
+    pu c Profile.op_register_local (fun fr ->
+        let addr = fr.local_addr.(slot) in
+        if Int64.equal addr local_unset then
+          abort ("register of unknown local " ^ fr.rf.local_names.(slot))
+        else begin
+          let tyid = fr.local_tyid.(slot) in
+          let lp =
+            if Array.unsafe_get env.ic_tyid site = tyid then
+              Array.unsafe_get env.ic_ptr site
+            else begin
+              let lp = layout_ptr_of st tyid in
+              Array.unsafe_set env.ic_tyid site tyid;
+              Array.unsafe_set env.ic_ptr site lp;
+              lp
+            end
+          in
+          register_local_lp st fr slot lp
+        end;
+        next fr)
+  | R.Ifp_deregister_local slot ->
+    pu c Profile.op_deregister_local (fun fr ->
+        deregister_local st fr slot;
+        next fr)
+  | R.Bad_store_global { e; msg } ->
+    let ce = compile_expr c e in
+    pu c Profile.op_bad (fun fr ->
+        ignore (ce fr);
+        abort msg)
+
+and compile_seq c stmts (next : ucode) : ucode =
+  match stmts with
+  | [] -> next
+  | s :: rest -> compile_stmt c s (compile_seq c rest next)
+
+(* ---- program -------------------------------------------------------- *)
+
+let compile_func env (f : R.func) : ucode =
+  let c = { env; instr = ifp_mode env.st && f.instrumented } in
+  compile_seq c f.body nop_u
+
+let program ?profile (st : state) : env =
+  let n = Array.length st.rp.funcs in
+  let env =
+    {
+      st;
+      prof = profile;
+      fbodies = Array.make n nop_u;
+      ic_tyid = Array.make (max 1 st.rp.n_sites) (-1);
+      ic_ptr = Array.make (max 1 st.rp.n_sites) 0L;
+      gb = Bounds.no_bounds;
+    }
+  in
+  Array.iteri (fun i f -> env.fbodies.(i) <- compile_func env f) st.rp.funcs;
+  env
+
+(* the compiled entry point for [main] (no call prelude — matching the
+   interpreter, which runs main's body directly) *)
+let main_code (env : env) : ucode = env.fbodies.(env.st.rp.main)

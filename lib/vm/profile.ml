@@ -1,0 +1,125 @@
+(* Dispatch profiler for the closure engine: per-opcode execution counts
+   and self-time, collected by wrapping compiled closures with
+   enter/exit probes. The clock is injected by the caller (ifp_bench
+   passes a gettimeofday-based nanosecond clock) so lib/vm keeps no
+   [unix] dependency. *)
+
+(* Opcode ids: one per compiled closure kind, including the fused
+   superinstructions. [op_names] is the authoritative table; the ids
+   below index it. *)
+let op_names =
+  [|
+    "const"; "var"; "binop"; "binop.i"; "cmp"; "fcmp"; "unop"; "unop.i";
+    "load"; "load.i"; "addr-local"; "addr-global"; "load-global"; "gep";
+    "call"; "malloc"; "cast"; "promote"; "let"; "assign"; "decl-local";
+    "store"; "store-global"; "if"; "while"; "return"; "expr"; "free";
+    "register-local"; "deregister-local"; "bad";
+    (* fused superinstructions *)
+    "gep+chk+load"; "gep+chk+load.i"; "gep+chk+store.i"; "gep+chk+store";
+    "promote+chk+load";
+  |]
+
+let op_const = 0
+let op_var = 1
+let op_binop = 2
+let op_binop_i = 3
+let op_cmp = 4
+let op_fcmp = 5
+let op_unop = 6
+let op_unop_i = 7
+let op_load = 8
+let op_load_i = 9
+let op_addr_local = 10
+let op_addr_global = 11
+let op_load_global = 12
+let op_gep = 13
+let op_call = 14
+let op_malloc = 15
+let op_cast = 16
+let op_promote = 17
+let op_let = 18
+let op_assign = 19
+let op_decl_local = 20
+let op_store = 21
+let op_store_global = 22
+let op_if = 23
+let op_while = 24
+let op_return = 25
+let op_expr = 26
+let op_free = 27
+let op_register_local = 28
+let op_deregister_local = 29
+let op_bad = 30
+let op_fused_gep_load = 31
+let op_fused_gep_load_i = 32
+let op_fused_gep_store_i = 33
+let op_fused_gep_store = 34
+let op_fused_promote_load = 35
+
+let n_ops = Array.length op_names
+
+type t = {
+  clock : unit -> float;  (* monotonic-enough nanoseconds *)
+  counts : int array;
+  self_ns : float array;
+  mutable stack : int array;  (* saved [cur] per nesting level *)
+  mutable depth : int;
+  mutable cur : int;  (* opcode currently charged, -1 at top level *)
+  mutable last : float;  (* clock value at the last probe *)
+}
+
+let create ~clock =
+  {
+    clock;
+    counts = Array.make n_ops 0;
+    self_ns = Array.make n_ops 0.0;
+    stack = Array.make 256 (-1);
+    depth = 0;
+    cur = -1;
+    last = 0.0;
+  }
+
+(* Self-time attribution: at every probe the elapsed interval since the
+   previous probe is charged to whatever opcode was current — so a
+   parent's time excludes its children, and the sum over all opcodes is
+   the total wall time between first enter and last exit. *)
+
+let enter p k =
+  let now = p.clock () in
+  if p.cur >= 0 then p.self_ns.(p.cur) <- p.self_ns.(p.cur) +. (now -. p.last);
+  if p.depth >= Array.length p.stack then begin
+    let bigger = Array.make (2 * Array.length p.stack) (-1) in
+    Array.blit p.stack 0 bigger 0 p.depth;
+    p.stack <- bigger
+  end;
+  p.stack.(p.depth) <- p.cur;
+  p.depth <- p.depth + 1;
+  p.cur <- k;
+  p.counts.(k) <- p.counts.(k) + 1;
+  p.last <- now
+
+let exit p =
+  let now = p.clock () in
+  if p.cur >= 0 then p.self_ns.(p.cur) <- p.self_ns.(p.cur) +. (now -. p.last);
+  p.depth <- p.depth - 1;
+  p.cur <- p.stack.(p.depth);
+  p.last <- now
+
+type row = { op : string; count : int; ns : float; share : float }
+
+let report p =
+  let total = Array.fold_left ( +. ) 0.0 p.self_ns in
+  let rows = ref [] in
+  Array.iteri
+    (fun k c ->
+      if c > 0 then
+        rows :=
+          {
+            op = op_names.(k);
+            count = c;
+            ns = p.self_ns.(k);
+            share = (if total > 0.0 then p.self_ns.(k) /. total else 0.0);
+          }
+          :: !rows)
+    p.counts;
+  List.sort (fun a b -> compare b.ns a.ns) !rows

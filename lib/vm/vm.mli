@@ -12,9 +12,9 @@
       (no metadata access, bounds cleared) — the paper's no-promote
       configuration used to isolate the promote cost (§5). *)
 
-type variant = Baseline | Ifp | Ifp_no_promote
+type variant = Rt.variant = Baseline | Ifp | Ifp_no_promote
 
-type alloc_kind =
+type alloc_kind = Rt.alloc_kind =
   | Alloc_baseline
   | Alloc_wrapped
   | Alloc_subheap
@@ -22,7 +22,21 @@ type alloc_kind =
       (** subheap for small typed allocations, wrapped for the rest —
           the runtime-selection extension of §4.2.1 (future work) *)
 
-type config = {
+(** Which execution engine runs the program. All three are
+    observationally identical — same outcome, counters, traces, output —
+    and differ only in host-side speed:
+    - [Eng_vm]: the slot-resolved interpreter (this module; default)
+    - [Eng_ref]: the frozen tree-walking oracle ({!Vm_ref})
+    - [Eng_closure]: the closure-compiled engine ({!Vm_closure})
+
+    {!Vm.run} itself always runs the interpreter regardless of this
+    field; engine dispatch happens in {!Engines.run} (which the campaign
+    layer's [Engine.default_runner] uses). The field is deliberately
+    excluded from campaign job fingerprints: a cached result is valid
+    whichever engine produced it. *)
+type engine = Rt.engine = Eng_vm | Eng_ref | Eng_closure
+
+type config = Rt.config = {
   variant : variant;
   alloc : alloc_kind;
   seed : int64;  (** MAC-key derivation seed *)
@@ -43,9 +57,11 @@ type config = {
           invalid-metadata promote traps ([Mac_mismatch] /
           [Invalid_metadata]) instead of deferring detection to the
           poisoned dereference. *)
+  engine : engine;
+      (** which engine {!Engines.run} dispatches to; [Eng_vm] default *)
 }
 
-type trace_event =
+type trace_event = Rt.trace_event =
   | T_promote of { ptr : int64; outcome : string; bounds : string }
   | T_register of { what : string; ptr : int64; size : int }
   | T_deregister of { what : string; ptr : int64 }
@@ -65,7 +81,7 @@ val ifp_mixed : config
 (** Why a run was aborted (simulator-level, not a protection trap) —
     structured so the campaign status column and the fault classifier
     never parse message strings. *)
-type abort_reason =
+type abort_reason = Rt.abort_reason =
   | Budget_exhausted  (** [max_cycles] exceeded (runaway program) *)
   | Stack_overflow
   | Out_of_memory of string  (** allocator exhausted *)
@@ -76,12 +92,12 @@ type abort_reason =
 
 val abort_reason_string : abort_reason -> string
 
-type outcome =
+type outcome = Rt.outcome =
   | Finished of int64  (** [main]'s return value *)
   | Trapped of Ifp_isa.Trap.t
   | Aborted of abort_reason
 
-type result = {
+type result = Rt.result = {
   outcome : outcome;
   counters : Counters.t;
   alloc_stats : Ifp_alloc.Alloc_intf.stats;

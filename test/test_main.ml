@@ -11,6 +11,7 @@ let () =
       ("compiler", Test_compiler.tests);
       ("resolve", Test_resolve.tests);
       ("vm", Test_vm.tests);
+      ("engines", Test_engines.tests);
       ("pipeline", Test_pipeline.tests);
       ("workloads", Test_workloads.tests);
       ("juliet", Test_juliet.tests);

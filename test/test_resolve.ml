@@ -173,6 +173,85 @@ let test_purity () =
   in
   Alcotest.(check bool) "deterministic" true (Resolve.run p = Resolve.run p)
 
+(* every site id carried by the resolved program, in walk order *)
+let collect_sites (r : Resolve.program) =
+  let sites = ref [] in
+  let add s = sites := s :: !sites in
+  let rec expr (e : Resolve.expr) =
+    match e with
+    | Resolve.Gep { base; steps; site; _ } ->
+      add site;
+      expr base;
+      List.iter
+        (function Resolve.Rs_index { idx; _ } -> expr idx | _ -> ())
+        steps
+    | Resolve.Ifp_promote { e; site } ->
+      add site;
+      expr e
+    | Resolve.Binop (_, a, b) ->
+      expr a;
+      expr b
+    | Resolve.Unop (_, a) -> expr a
+    | Resolve.Load { addr; _ } -> expr addr
+    | Resolve.Call { args; _ } -> List.iter expr args
+    | Resolve.Malloc { count; _ } -> expr count
+    | Resolve.Cast { e; _ } -> expr e
+    | Resolve.Int _ | Resolve.Float _ | Resolve.Var _ | Resolve.Addr_local _
+    | Resolve.Addr_global _ | Resolve.Load_global _ | Resolve.Bad _ ->
+      ()
+  and stmt (s : Resolve.stmt) =
+    match s with
+    | Resolve.Let { e; _ } | Resolve.Assign { e; _ } -> expr e
+    | Resolve.Store { addr; v; _ } ->
+      expr addr;
+      expr v
+    | Resolve.Store_global { e; _ } -> expr e
+    | Resolve.If (c, t, f) ->
+      expr c;
+      List.iter stmt t;
+      List.iter stmt f
+    | Resolve.While (c, b) ->
+      expr c;
+      List.iter stmt b
+    | Resolve.Return (Some e) | Resolve.Expr e | Resolve.Free e -> expr e
+    | Resolve.Ifp_register_local { site; _ } -> add site
+    | Resolve.Bad_store_global { e; _ } -> expr e
+    | Resolve.Return None | Resolve.Break | Resolve.Continue
+    | Resolve.Decl_local _ | Resolve.Ifp_deregister_local _ ->
+      ()
+  in
+  Array.iter (fun f -> List.iter stmt f.Resolve.body) r.Resolve.funcs;
+  List.rev !sites
+
+let test_site_stability () =
+  (* an instrumented real workload exercises gep, promote and
+     register-local sites; ids must be dense, unique, and identical
+     across re-resolution — the closure engine keys per-site inline
+     caches on them, and plan digests over resolved programs depend on
+     them *)
+  let wl =
+    match Ifp_workloads.Registry.find "treeadd" with
+    | Some wl -> wl
+    | None -> Alcotest.fail "treeadd workload missing"
+  in
+  let prog, _ = Instrument.run (Lazy.force wl.Ifp_workloads.Workload.prog) in
+  let r1 = Resolve.run prog and r2 = Resolve.run prog in
+  Alcotest.(check bool) "re-resolution is structurally identical" true (r1 = r2);
+  let sites = collect_sites r1 in
+  Alcotest.(check bool) "program has sites" true (List.length sites > 0);
+  Alcotest.(check int) "n_sites counts every site" r1.Resolve.n_sites
+    (List.length sites);
+  let sorted = List.sort_uniq compare sites in
+  Alcotest.(check (list int)) "ids dense and unique in [0, n_sites)"
+    (List.init r1.Resolve.n_sites (fun i -> i))
+    sorted;
+  (* same program text resolved through a fresh instrumentation gets the
+     same ids: nothing in the pipeline leaks state across runs *)
+  let prog', _ = Instrument.run (Lazy.force wl.Ifp_workloads.Workload.prog) in
+  let r3 = Resolve.run prog' in
+  Alcotest.(check (list int)) "stable across fresh instrumentation"
+    sites (collect_sites r3)
+
 let tests =
   [
     Alcotest.test_case "variable interning" `Quick test_var_interning;
@@ -180,4 +259,5 @@ let tests =
     Alcotest.test_case "gep field folding" `Quick test_gep_field_folding;
     Alcotest.test_case "gep index stride" `Quick test_gep_index_stride;
     Alcotest.test_case "purity" `Quick test_purity;
+    Alcotest.test_case "site-id stability" `Quick test_site_stability;
   ]
