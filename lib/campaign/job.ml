@@ -9,10 +9,11 @@ type t = {
   variant : string;
   config : Vm.config;
   prog : Ifp_compiler.Ir.program;
+  salt : string;
 }
 
-let make ~name ~group ~variant ~config prog =
-  { name; group; variant; config; prog }
+let make ?(salt = "") ~name ~group ~variant ~config prog =
+  { name; group; variant; config; prog; salt }
 
 let variant_string (v : Vm.variant) =
   match v with
@@ -65,4 +66,4 @@ let digest t =
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
-          [ model_digest; config_fingerprint t.config; prog_text ]))
+          [ model_digest; config_fingerprint t.config; t.salt; prog_text ]))

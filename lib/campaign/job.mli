@@ -16,9 +16,16 @@ type t = {
   variant : string;  (** configuration label, e.g. ["subheap-np"] *)
   config : Ifp_vm.Vm.config;
   prog : Ifp_compiler.Ir.program;
+  salt : string;
+      (** extra digest input (default [""]) distinguishing jobs whose
+          runner computes something other than a plain [Engines.run] of
+          [prog × config] — e.g. the fuzz driver's oracle-battery jobs,
+          which must never share cache entries with ordinary runs of the
+          same program *)
 }
 
 val make :
+  ?salt:string ->
   name:string ->
   group:string ->
   variant:string ->
@@ -37,6 +44,6 @@ val model_digest : string
 
 val digest : t -> string
 (** Hex content digest of the job: program text + config fingerprint +
-    {!model_digest}. Does {e not} include [name]/[group]/[variant], so
-    identical work submitted under different labels shares cache
-    entries. *)
+    [salt] + {!model_digest}. Does {e not} include
+    [name]/[group]/[variant], so identical work submitted under
+    different labels shares cache entries. *)

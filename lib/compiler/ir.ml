@@ -79,6 +79,123 @@ let find_func p name =
 let find_global p name =
   List.find_opt (fun g -> String.equal g.gname name) p.globals
 
+(* ---- structural equality -------------------------------------------- *)
+
+(* Explicit recursion rather than polymorphic compare: [tenv] is a Map
+   (tree shape is not canonical), floats must compare by bits (so nan =
+   nan and -0.0 <> 0.0 are both deterministic), and [registered] is
+   mutable instrumentation state that two otherwise-identical programs
+   may disagree on. *)
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Int x, Int y -> Int64.equal x y
+  | Float x, Float y ->
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Var x, Var y -> String.equal x y
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+    o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Unop (o1, a1), Unop (o2, a2) -> o1 = o2 && equal_expr a1 a2
+  | Load (t1, e1), Load (t2, e2) ->
+    Ifp_types.Ctype.equal t1 t2 && equal_expr e1 e2
+  | Addr_local x, Addr_local y | Addr_global x, Addr_global y
+  | Load_global x, Load_global y ->
+    String.equal x y
+  | Gep (t1, b1, s1), Gep (t2, b2, s2) ->
+    Ifp_types.Ctype.equal t1 t2 && equal_expr b1 b2
+    && List.length s1 = List.length s2
+    && List.for_all2 equal_gstep s1 s2
+  | Call (f1, a1), Call (f2, a2) ->
+    String.equal f1 f2
+    && List.length a1 = List.length a2
+    && List.for_all2 equal_expr a1 a2
+  | Malloc (t1, e1), Malloc (t2, e2) | Malloc_sized (t1, e1), Malloc_sized (t2, e2)
+  | Cast (t1, e1), Cast (t2, e2) ->
+    Ifp_types.Ctype.equal t1 t2 && equal_expr e1 e2
+  | Malloc_bytes e1, Malloc_bytes e2 | Ifp_promote e1, Ifp_promote e2 ->
+    equal_expr e1 e2
+  | ( ( Int _ | Float _ | Var _ | Binop _ | Unop _ | Load _ | Addr_local _
+      | Addr_global _ | Load_global _ | Gep _ | Call _ | Malloc _
+      | Malloc_bytes _ | Malloc_sized _ | Cast _ | Ifp_promote _ ),
+      _ ) ->
+    false
+
+and equal_gstep a b =
+  match (a, b) with
+  | S_field x, S_field y -> String.equal x y
+  | S_index x, S_index y -> equal_expr x y
+  | (S_field _ | S_index _), _ -> false
+
+let rec equal_stmt a b =
+  match (a, b) with
+  | Let (v1, t1, e1), Let (v2, t2, e2) ->
+    String.equal v1 v2 && Ifp_types.Ctype.equal t1 t2 && equal_expr e1 e2
+  | Assign (v1, e1), Assign (v2, e2) | Store_global (v1, e1), Store_global (v2, e2)
+    ->
+    String.equal v1 v2 && equal_expr e1 e2
+  | Decl_local (v1, t1), Decl_local (v2, t2) ->
+    String.equal v1 v2 && Ifp_types.Ctype.equal t1 t2
+  | Store (t1, a1, e1), Store (t2, a2, e2) ->
+    Ifp_types.Ctype.equal t1 t2 && equal_expr a1 a2 && equal_expr e1 e2
+  | If (c1, t1, e1), If (c2, t2, e2) ->
+    equal_expr c1 c2 && equal_block t1 t2 && equal_block e1 e2
+  | While (c1, b1), While (c2, b2) -> equal_expr c1 c2 && equal_block b1 b2
+  | Return None, Return None -> true
+  | Return (Some e1), Return (Some e2) -> equal_expr e1 e2
+  | Expr e1, Expr e2 | Free e1, Free e2 -> equal_expr e1 e2
+  | Break, Break | Continue, Continue -> true
+  | Ifp_register_local v1, Ifp_register_local v2
+  | Ifp_deregister_local v1, Ifp_deregister_local v2 ->
+    String.equal v1 v2
+  | ( ( Let _ | Assign _ | Decl_local _ | Store _ | Store_global _ | If _
+      | While _ | Return _ | Expr _ | Free _ | Break | Continue
+      | Ifp_register_local _ | Ifp_deregister_local _ ),
+      _ ) ->
+    false
+
+and equal_block a b =
+  List.length a = List.length b && List.for_all2 equal_stmt a b
+
+let equal_func (a : func) (b : func) =
+  String.equal a.fname b.fname
+  && a.instrumented = b.instrumented
+  && Ifp_types.Ctype.equal a.ret b.ret
+  && List.length a.params = List.length b.params
+  && List.for_all2
+       (fun (n1, t1) (n2, t2) ->
+         String.equal n1 n2 && Ifp_types.Ctype.equal t1 t2)
+       a.params b.params
+  && equal_block a.body b.body
+
+(* [registered] is deliberately ignored: it is pass output, not program
+   identity *)
+let equal_global (a : global) (b : global) =
+  String.equal a.gname b.gname && Ifp_types.Ctype.equal a.gty b.gty
+
+let equal_tenv a b =
+  let defs env =
+    List.map
+      (fun (name, (d : Ifp_types.Ctype.struct_def)) -> (name, d.sname, d.fields))
+      (Ifp_types.Ctype.bindings env)
+  in
+  List.length (defs a) = List.length (defs b)
+  && List.for_all2
+       (fun (n1, s1, f1) (n2, s2, f2) ->
+         String.equal n1 n2 && String.equal s1 s2
+         && List.length f1 = List.length f2
+         && List.for_all2
+              (fun (x : Ifp_types.Ctype.field) (y : Ifp_types.Ctype.field) ->
+                String.equal x.fname y.fname && Ifp_types.Ctype.equal x.fty y.fty)
+              f1 f2)
+       (defs a) (defs b)
+
+let equal_program (a : program) (b : program) =
+  equal_tenv a.tenv b.tenv
+  && List.length a.globals = List.length b.globals
+  && List.for_all2 equal_global a.globals b.globals
+  && List.length a.funcs = List.length b.funcs
+  && List.for_all2 equal_func a.funcs b.funcs
+
 let i n = Int (Int64.of_int n)
 let i64 n = Int n
 let v name = Var name

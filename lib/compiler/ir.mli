@@ -114,6 +114,19 @@ val program :
 val find_func : program -> string -> func option
 val find_global : program -> string -> global option
 
+(** {1 Structural equality}
+
+    Deterministic deep equality used by the round-trip property
+    ([parse (print p)] must equal [p]) and the fuzz shrinker. Floats
+    compare by bit pattern; struct environments by their sorted
+    bindings; the mutable [registered] flag (pass output, not program
+    identity) is ignored. *)
+
+val equal_expr : expr -> expr -> bool
+val equal_stmt : stmt -> stmt -> bool
+val equal_func : func -> func -> bool
+val equal_program : program -> program -> bool
+
 (** {1 Convenience constructors (frontend DSL)} *)
 
 val i : int -> expr

@@ -1,0 +1,185 @@
+module Vm = Ifp_vm.Vm
+module Vm_ref = Ifp_vm.Vm_ref
+module Vm_closure = Ifp_vm.Vm_closure
+module Counters = Ifp_vm.Counters
+module Trap = Ifp_isa.Trap
+module Fault = Ifp_faultinject.Fault
+module Classify = Ifp_faultinject.Classify
+module Prng = Ifp_util.Prng
+
+type failure = { oracle : string; site : string; detail : string }
+
+(* generous fixed budget: IFP instrumentation overhead must never turn a
+   terminating program into a budget abort, but a fault-corrupted run
+   sent spinning must still die deterministically *)
+let budget = 2_000_000
+
+let configs =
+  [
+    ("baseline", { Vm.baseline with max_cycles = budget });
+    ("ifp-subheap", { Vm.ifp_subheap with trace_limit = 32; max_cycles = budget });
+    ("ifp-wrapped", { Vm.ifp_wrapped with max_cycles = budget });
+  ]
+
+let engines =
+  [
+    ("vm", fun config prog -> Vm.run ~config prog);
+    ("vm-ref", fun config prog -> Vm_ref.run ~config prog);
+    ("closure", fun config prog -> Vm_closure.run ~config prog);
+  ]
+
+let defended =
+  List.filter (fun c -> c <> Fault.Heap_smash) Fault.all_classes
+
+(* ---- observable signature (the full result, line-oriented) ----------- *)
+
+let outcome_str = function
+  | Vm.Finished v -> "finished:" ^ Int64.to_string v
+  | Vm.Trapped t -> "trapped:" ^ Trap.to_string t
+  | Vm.Aborted r -> "aborted:" ^ Vm.abort_reason_string r
+
+let trace_str = function
+  | Vm.T_promote { ptr; outcome; bounds } ->
+    Printf.sprintf "promote:%Lx:%s:%s" ptr outcome bounds
+  | Vm.T_register { what; ptr; size } ->
+    Printf.sprintf "register:%s:%Lx:%d" what ptr size
+  | Vm.T_deregister { what; ptr } -> Printf.sprintf "deregister:%s:%Lx" what ptr
+  | Vm.T_trap m -> "trap:" ^ m
+
+let result_sig (r : Vm.result) =
+  let c = r.Vm.counters in
+  let b = Buffer.create 256 in
+  let f fmt = Printf.ksprintf (fun s -> Buffer.add_string b s) fmt in
+  f "outcome=%s\n" (outcome_str r.Vm.outcome);
+  f "base_instrs=%d cycles=%d loads=%d stores=%d checks=%d\n"
+    c.Counters.base_instrs c.Counters.cycles c.Counters.loads c.Counters.stores
+    c.Counters.implicit_checks;
+  f "ifp=[%s]\n"
+    (String.concat "," (List.map string_of_int (Array.to_list c.Counters.ifp)));
+  f "promotes=%d/%d/%d/%d/%d subobj=%d narrows=%d/%d\n"
+    c.Counters.promotes_valid c.Counters.promotes_null
+    c.Counters.promotes_legacy c.Counters.promotes_poisoned
+    c.Counters.promotes_invalid_meta c.Counters.promotes_subobj
+    c.Counters.narrows_ok c.Counters.narrows_failed;
+  f "objs=%d/%d %d/%d %d/%d\n" c.Counters.global_objs
+    c.Counters.global_objs_layout c.Counters.local_objs
+    c.Counters.local_objs_layout c.Counters.heap_objs
+    c.Counters.heap_objs_layout;
+  f "cache=%d/%d footprint=%d\n" r.Vm.cache_accesses r.Vm.cache_misses
+    r.Vm.mem_footprint;
+  f "output=%s\n" (String.concat "|" r.Vm.output);
+  f "trace=%s\n" (String.concat ";" (List.map trace_str r.Vm.trace));
+  Buffer.contents b
+
+(* the first line where two signatures disagree, unified-diff style *)
+let sig_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go la lb =
+    match (la, lb) with
+    | x :: la', y :: lb' ->
+      if String.equal x y then go la' lb'
+      else Printf.sprintf "-%s +%s" x y
+    | x :: _, [] -> Printf.sprintf "-%s +<eof>" x
+    | [], y :: _ -> Printf.sprintf "-<eof> +%s" y
+    | [], [] -> "<equal>"
+  in
+  go la lb
+
+let failure_key f = f.oracle ^ "/" ^ f.site
+
+let to_line f =
+  Printf.sprintf "FAIL %s %s %s" f.oracle f.site (String.escaped f.detail)
+
+let of_line s =
+  match String.split_on_char ' ' s with
+  | "FAIL" :: oracle :: site :: rest ->
+    let detail =
+      try Scanf.unescaped (String.concat " " rest) with _ -> String.concat " " rest
+    in
+    Some { oracle; site; detail }
+  | _ -> None
+
+(* ---- the battery ----------------------------------------------------- *)
+
+let observed (r : Vm.result) =
+  {
+    Classify.outcome =
+      (match r.Vm.outcome with
+      | Vm.Finished n -> `Finished n
+      | Vm.Trapped t -> `Trapped t
+      | Vm.Aborted m -> `Aborted (Vm.abort_reason_string m));
+    output = r.Vm.output;
+  }
+
+let check ?(fault_seed = 1L) prog =
+  let fails = ref [] in
+  let add oracle site detail = fails := { oracle; site; detail } :: !fails in
+  (* oracle A: three-way engine agreement, per configuration *)
+  let vm_results =
+    List.map
+      (fun (cname, cfg) ->
+        let r_vm = Vm.run ~config:cfg prog in
+        let sig_vm = result_sig r_vm in
+        List.iter
+          (fun (ename, erun) ->
+            if ename <> "vm" then
+              let s = result_sig (erun cfg prog) in
+              if not (String.equal s sig_vm) then
+                add "engines" (cname ^ "/" ^ ename) (sig_diff sig_vm s))
+          engines;
+        (cname, cfg, r_vm))
+      configs
+  in
+  let find name =
+    let _, cfg, r = List.find (fun (n, _, _) -> String.equal n name) vm_results in
+    (cfg, r)
+  in
+  let _, base_r = find "baseline" in
+  let subheap_cfg, golden = find "ifp-subheap" in
+  (* oracle B: instrumented-vs-baseline behavioral equivalence *)
+  (match base_r.Vm.outcome with
+  | Vm.Finished n ->
+    List.iter
+      (fun (cname, _, r) ->
+        if cname <> "baseline" then
+          match r.Vm.outcome with
+          | Vm.Finished m
+            when Int64.equal m n && r.Vm.output = base_r.Vm.output ->
+            ()
+          | Vm.Finished m when Int64.equal m n ->
+            add "equivalence" cname
+              (Printf.sprintf "output differs: baseline=[%s] %s=[%s]"
+                 (String.concat "|" base_r.Vm.output)
+                 cname
+                 (String.concat "|" r.Vm.output))
+          | o ->
+            add "equivalence" cname
+              (Printf.sprintf "baseline finished:%Ld but %s %s" n cname
+                 (outcome_str o)))
+      vm_results
+  | o -> add "wellformed" "baseline" (outcome_str o));
+  (* oracle C: armed plans never classify silent for defended classes *)
+  (match golden.Vm.outcome with
+  | Vm.Finished _ ->
+    let golden_obs = observed golden in
+    List.iteri
+      (fun k cls ->
+        let seed = Prng.mix2 fault_seed (Int64.of_int k) in
+        let plan = Fault.default_plan cls ~seed in
+        let cfg = { subheap_cfg with Vm.fault_plan = Some plan } in
+        let r = Vm.run ~config:cfg prog in
+        let fired = r.Vm.fault_injections <> [] in
+        match
+          Classify.classify ~cls ~fired ~golden:golden_obs ~faulted:(observed r)
+        with
+        | Classify.Silent_corruption ->
+          add "faults" (Fault.class_name cls)
+            (Printf.sprintf "plan %s fired [%s] yet finished %s vs golden %s"
+               (Fault.fingerprint plan)
+               (String.concat ";" r.Vm.fault_injections)
+               (outcome_str r.Vm.outcome)
+               (outcome_str golden.Vm.outcome))
+        | _ -> ())
+      defended
+  | _ -> ());
+  (List.rev !fails, golden)

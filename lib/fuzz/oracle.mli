@@ -1,0 +1,66 @@
+(** The three differential oracles of the fuzz campaign.
+
+    Given one (generated or replayed) well-typed program, {!check} runs
+    the full battery and returns every disagreement found:
+
+    - oracle [engines] — for each configuration of {!configs}, the
+      slot-resolved interpreter, the reference tree-walker and the
+      closure-compiled engine must produce bit-identical observable
+      signatures ({!result_sig}: outcome, every counter, IFP trace,
+      cache statistics, footprint, output);
+    - oracle [equivalence] — on a well-defined program (baseline run
+      finishes), every IFP configuration must finish with the same exit
+      value and the same output as baseline: instrumentation may change
+      costs, never behavior;
+    - oracle [faults] — an armed {!Ifp_faultinject} plan of each
+      defended class against the subheap configuration must never
+      classify as silent corruption: the defense either detects the
+      corruption, aborts, or the fault was never consumed.
+
+    A baseline run that does not finish is reported as oracle
+    [wellformed] — a generator bug surfaced through the same pipeline.
+
+    Each failure carries a stable [oracle/site] key used for
+    counterexample dedup and for the shrinker's
+    "still the same failure" predicate. *)
+
+type failure = {
+  oracle : string;  (** [engines] | [equivalence] | [faults] | [wellformed] *)
+  site : string;  (** config, config/engine, or fault class *)
+  detail : string;  (** first divergent signature lines, outcome, ... *)
+}
+
+val configs : (string * Ifp_vm.Vm.config) list
+(** baseline, ifp-subheap (tracing), ifp-wrapped — each with a generous
+    fixed cycle budget so instrumentation overhead can never turn a
+    well-defined program into a budget abort. *)
+
+val engines :
+  (string * (Ifp_vm.Vm.config -> Ifp_compiler.Ir.program -> Ifp_vm.Vm.result))
+  list
+
+val defended : Ifp_faultinject.Fault.fault_class list
+(** Every class except [Heap_smash] (data smashes are out of the
+    architectural detection contract). *)
+
+val result_sig : Ifp_vm.Vm.result -> string
+(** Every observable field of a run folded into a line-oriented string;
+    two runs are equivalent iff their signatures are equal. *)
+
+val failure_key : failure -> string
+(** ["oracle/site"] — the dedup and shrink-preservation key. *)
+
+val to_line : failure -> string
+(** One-line rendering (detail escaped); inverse of {!of_line}. *)
+
+val of_line : string -> failure option
+
+val check :
+  ?fault_seed:int64 ->
+  Ifp_compiler.Ir.program ->
+  failure list * Ifp_vm.Vm.result
+(** Runs the battery: 3 configs x 3 engines agreement, baseline-vs-IFP
+    equivalence, and one armed plan per defended class (plan seeds
+    derived from [fault_seed], default 1). Also returns the nominal
+    ifp-subheap result (the golden run) so campaign runners can reuse
+    it. Deterministic in [program x fault_seed]. *)

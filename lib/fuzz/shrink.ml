@@ -1,0 +1,307 @@
+open Ifp_compiler
+module Ctype = Ifp_types.Ctype
+
+(* ---- statement positions (pre-order over every function body) ------- *)
+
+let count_stmts (p : Ir.program) =
+  let rec block ss = List.fold_left (fun acc s -> acc + stmt s) 0 ss
+  and stmt s =
+    1
+    +
+    match s with
+    | Ir.If (_, t, e) -> block t + block e
+    | Ir.While (_, b) -> block b
+    | _ -> 0
+  in
+  List.fold_left (fun acc f -> acc + block f.Ir.body) 0 p.Ir.funcs
+
+(* rebuild the program with the [n]-th statement replaced by [f s]
+   (deletion = [], unwrap = the branch's statements) *)
+let edit_stmt_at (p : Ir.program) n (f : Ir.stmt -> Ir.stmt list) =
+  let cnt = ref (-1) in
+  let rec block ss = List.concat_map one ss
+  and one s =
+    incr cnt;
+    if !cnt = n then f s
+    else
+      match s with
+      | Ir.If (c, t, e) -> [ Ir.If (c, block t, block e) ]
+      | Ir.While (c, b) -> [ Ir.While (c, block b) ]
+      | s -> [ s ]
+  in
+  {
+    p with
+    Ir.funcs = List.map (fun fn -> { fn with Ir.body = block fn.Ir.body }) p.Ir.funcs;
+  }
+
+let stmt_at (p : Ir.program) n =
+  let cnt = ref (-1) in
+  let found = ref None in
+  let rec block ss = List.iter one ss
+  and one s =
+    incr cnt;
+    if !cnt = n then found := Some s;
+    match s with
+    | Ir.If (_, t, e) ->
+      block t;
+      block e
+    | Ir.While (_, b) -> block b
+    | _ -> ()
+  in
+  List.iter (fun fn -> block fn.Ir.body) p.Ir.funcs;
+  !found
+
+(* ---- expression positions (pre-order over every expr in the program) - *)
+
+let expr_children = function
+  | Ir.Binop (_, a, b) -> [ a; b ]
+  | Ir.Unop (_, a)
+  | Ir.Load (_, a)
+  | Ir.Malloc (_, a)
+  | Ir.Malloc_bytes a
+  | Ir.Malloc_sized (_, a)
+  | Ir.Cast (_, a)
+  | Ir.Ifp_promote a ->
+    [ a ]
+  | Ir.Gep (_, b, steps) ->
+    b
+    :: List.filter_map
+         (function Ir.S_index e -> Some e | Ir.S_field _ -> None)
+         steps
+  | Ir.Call (_, args) -> args
+  | Ir.Int _ | Ir.Float _ | Ir.Var _ | Ir.Addr_local _ | Ir.Addr_global _
+  | Ir.Load_global _ ->
+    []
+
+let fold_exprs (p : Ir.program) (f : 'a -> Ir.expr -> 'a) (init : 'a) =
+  let acc = ref init in
+  let rec expr e =
+    acc := f !acc e;
+    List.iter expr (expr_children e)
+  in
+  let rec stmt s =
+    match s with
+    | Ir.Let (_, _, e)
+    | Ir.Assign (_, e)
+    | Ir.Store_global (_, e)
+    | Ir.Return (Some e)
+    | Ir.Expr e
+    | Ir.Free e ->
+      expr e
+    | Ir.Store (_, a, e) ->
+      expr a;
+      expr e
+    | Ir.If (c, t, el) ->
+      expr c;
+      List.iter stmt t;
+      List.iter stmt el
+    | Ir.While (c, b) ->
+      expr c;
+      List.iter stmt b
+    | Ir.Decl_local _ | Ir.Return None | Ir.Break | Ir.Continue
+    | Ir.Ifp_register_local _ | Ir.Ifp_deregister_local _ ->
+      ()
+  in
+  List.iter (fun fn -> List.iter stmt fn.Ir.body) p.Ir.funcs;
+  !acc
+
+let count_exprs p = fold_exprs p (fun n _ -> n + 1) 0
+
+let expr_at (p : Ir.program) n =
+  fold_exprs p
+    (fun (i, found) e -> (i + 1, if i = n then Some e else found))
+    (0, None)
+  |> snd
+
+(* rebuild the program with the [n]-th expression node replaced *)
+let edit_expr_at (p : Ir.program) n (repl : Ir.expr) =
+  let cnt = ref (-1) in
+  let rec expr e =
+    incr cnt;
+    if !cnt = n then (
+      (* keep the counter consistent: the replaced subtree's nodes no
+         longer exist, but positions are recomputed per candidate *)
+      ignore (fold_children e);
+      repl)
+    else rebuild e
+  and fold_children e = List.iter count_subtree (expr_children e)
+  and count_subtree e =
+    incr cnt;
+    List.iter count_subtree (expr_children e)
+  and rebuild e =
+    match e with
+    | Ir.Binop (o, a, b) ->
+      let a = expr a in
+      let b = expr b in
+      Ir.Binop (o, a, b)
+    | Ir.Unop (o, a) -> Ir.Unop (o, expr a)
+    | Ir.Load (t, a) -> Ir.Load (t, expr a)
+    | Ir.Malloc (t, a) -> Ir.Malloc (t, expr a)
+    | Ir.Malloc_bytes a -> Ir.Malloc_bytes (expr a)
+    | Ir.Malloc_sized (t, a) -> Ir.Malloc_sized (t, expr a)
+    | Ir.Cast (t, a) -> Ir.Cast (t, expr a)
+    | Ir.Ifp_promote a -> Ir.Ifp_promote (expr a)
+    | Ir.Gep (t, b, steps) ->
+      let b = expr b in
+      let steps =
+        List.map
+          (function
+            | Ir.S_index e -> Ir.S_index (expr e)
+            | Ir.S_field _ as s -> s)
+          steps
+      in
+      Ir.Gep (t, b, steps)
+    | Ir.Call (f, args) -> Ir.Call (f, List.map expr args)
+    | Ir.Int _ | Ir.Float _ | Ir.Var _ | Ir.Addr_local _ | Ir.Addr_global _
+    | Ir.Load_global _ ->
+      e
+  in
+  let stmt_expr = expr in
+  let rec stmt s =
+    match s with
+    | Ir.Let (v, t, e) -> Ir.Let (v, t, stmt_expr e)
+    | Ir.Assign (v, e) -> Ir.Assign (v, stmt_expr e)
+    | Ir.Store_global (g, e) -> Ir.Store_global (g, stmt_expr e)
+    | Ir.Return (Some e) -> Ir.Return (Some (stmt_expr e))
+    | Ir.Expr e -> Ir.Expr (stmt_expr e)
+    | Ir.Free e -> Ir.Free (stmt_expr e)
+    | Ir.Store (t, a, e) ->
+      let a = stmt_expr a in
+      let e = stmt_expr e in
+      Ir.Store (t, a, e)
+    | Ir.If (c, t, el) ->
+      let c = stmt_expr c in
+      Ir.If (c, List.map stmt t, List.map stmt el)
+    | Ir.While (c, b) ->
+      let c = stmt_expr c in
+      Ir.While (c, List.map stmt b)
+    | ( Ir.Decl_local _ | Ir.Return None | Ir.Break | Ir.Continue
+      | Ir.Ifp_register_local _ | Ir.Ifp_deregister_local _ ) as s ->
+      s
+  in
+  {
+    p with
+    Ir.funcs =
+      List.map (fun fn -> { fn with Ir.body = List.map stmt fn.Ir.body }) p.Ir.funcs;
+  }
+
+(* ---- top-level drops ------------------------------------------------- *)
+
+let drop_func p name =
+  {
+    p with
+    Ir.funcs = List.filter (fun f -> not (String.equal f.Ir.fname name)) p.Ir.funcs;
+  }
+
+let drop_global p name =
+  {
+    p with
+    Ir.globals =
+      List.filter (fun g -> not (String.equal g.Ir.gname name)) p.Ir.globals;
+  }
+
+let drop_struct p name =
+  let tenv =
+    List.fold_left
+      (fun env (n, def) ->
+        if String.equal n name then env else Ctype.declare env def)
+      Ctype.empty_tenv
+      (Ctype.bindings p.Ir.tenv)
+  in
+  { p with Ir.tenv }
+
+(* ---- the candidate lattice ------------------------------------------- *)
+
+(* lazily enumerated one-edit candidates, coarsest edits first *)
+let candidates (p : Ir.program) : Ir.program Seq.t =
+  let funcs =
+    List.filter_map
+      (fun f -> if f.Ir.fname = "main" then None else Some f.Ir.fname)
+      p.Ir.funcs
+  in
+  let drops =
+    List.to_seq
+      (List.map (fun n () -> drop_func p n) funcs
+      @ List.map (fun (g : Ir.global) () -> drop_global p g.Ir.gname) p.Ir.globals
+      @ List.map
+          (fun (n, _) () -> drop_struct p n)
+          (Ctype.bindings p.Ir.tenv))
+  in
+  let n_stmts = count_stmts p in
+  let deletes =
+    Seq.init n_stmts (fun i () -> edit_stmt_at p i (fun _ -> []))
+  in
+  let unwraps =
+    Seq.concat_map
+      (fun i ->
+        match stmt_at p i with
+        | Some (Ir.If (_, t, e)) ->
+          List.to_seq
+            [
+              (fun () -> edit_stmt_at p i (fun _ -> t));
+              (fun () -> edit_stmt_at p i (fun _ -> e));
+            ]
+        | Some (Ir.While (_, b)) ->
+          List.to_seq [ (fun () -> edit_stmt_at p i (fun _ -> b)) ]
+        | _ -> Seq.empty)
+      (Seq.init n_stmts Fun.id)
+  in
+  let n_exprs = count_exprs p in
+  let expr_edits =
+    Seq.concat_map
+      (fun i ->
+        match expr_at p i with
+        | None -> Seq.empty
+        | Some e ->
+          let repls =
+            (match e with
+            | Ir.Int 0L | Ir.Int 1L -> []
+            | Ir.Int k when Int64.abs k > 1L -> [ Ir.Int (Int64.div k 2L) ]
+            | _ -> [])
+            @ [ Ir.Int 0L; Ir.Int 1L ]
+            @ expr_children e
+          in
+          let repls =
+            List.filter (fun r -> not (Ir.equal_expr r e)) repls
+          in
+          List.to_seq (List.map (fun r () -> edit_expr_at p i r) repls))
+      (Seq.init n_exprs Fun.id)
+  in
+  Seq.concat
+    (List.to_seq
+       [
+         drops;
+         deletes;
+         unwraps;
+         Seq.map (fun f -> f) expr_edits;
+       ])
+  |> Seq.map (fun f -> f ())
+
+let minimize ?(budget = 1200) ~keep p0 =
+  if not (keep p0) then p0
+  else begin
+    let spent = ref 1 in
+    let cur = ref p0 in
+    let progress = ref true in
+    while !progress && !spent < budget do
+      progress := false;
+      let seq = ref (candidates !cur) in
+      let stop = ref false in
+      while not !stop do
+        match Seq.uncons !seq with
+        | None -> stop := true
+        | Some (cand, rest) ->
+          if !spent >= budget then stop := true
+          else begin
+            incr spent;
+            if keep cand then begin
+              cur := cand;
+              progress := true;
+              stop := true
+            end
+            else seq := rest
+          end
+      done
+    done;
+    !cur
+  end

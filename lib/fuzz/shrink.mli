@@ -1,0 +1,28 @@
+(** Greedy structural counterexample minimizer.
+
+    {!minimize} repeatedly applies the smallest structural edit that
+    keeps the caller's [keep] predicate true, restarting from the top of
+    the edit lattice after every accepted edit, until a fixpoint (no
+    single edit is keepable) or the [budget] of [keep] evaluations is
+    exhausted. The edit lattice, coarsest first:
+
+    + drop a whole non-[main] function, global, or struct;
+    + delete one statement (at any nesting depth);
+    + unwrap a control statement ([if] to one of its branches, [while]
+      to its body or to nothing);
+    + replace one expression with [0], [1], one of its direct
+      subexpressions, or (for literals) its half.
+
+    Candidates are not guaranteed well-typed — [keep] is expected to
+    reject anything that fails to re-parse or re-typecheck (the fuzz
+    driver's predicate prints, re-parses, re-typechecks and re-runs the
+    oracle battery, so minimized repros are parser-image programs whose
+    failure key is preserved by construction). *)
+
+val minimize :
+  ?budget:int ->
+  keep:(Ifp_compiler.Ir.program -> bool) ->
+  Ifp_compiler.Ir.program ->
+  Ifp_compiler.Ir.program
+(** [keep] must hold for the input (otherwise the input is returned
+    unchanged). Default [budget] is 1200 [keep] evaluations. *)

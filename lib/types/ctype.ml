@@ -28,6 +28,8 @@ let lookup env name =
   | Some def -> def
   | None -> raise Not_found
 
+let bindings env = Smap.bindings env
+
 let rec alignof env = function
   | Void -> 1
   | I8 -> 1

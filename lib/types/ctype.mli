@@ -31,6 +31,10 @@ val declare : tenv -> struct_def -> tenv
 val lookup : tenv -> string -> struct_def
 (** @raise Not_found if undeclared. *)
 
+val bindings : tenv -> (string * struct_def) list
+(** All declared structs, sorted by name (the canonical order used by
+    printing and structural equality). *)
+
 val sizeof : tenv -> t -> int
 val alignof : tenv -> t -> int
 

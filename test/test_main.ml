@@ -28,4 +28,5 @@ let () =
       ("guarantees", Test_guarantees.tests);
       ("service", Test_service.tests);
       ("resilience", Test_resilience.tests);
+      ("fuzz", Test_fuzz.tests);
     ]
