@@ -59,7 +59,7 @@ let fixture =
      let meta =
        Meta.create ~memory:mem ~mac_key:0xFEEDL
          ~layout_region:(0x200000L, 1 lsl 16)
-         ~global_table:(0x300000L, 4096)
+         ~global_table:(0x300000L, 4096) ()
      in
      let lt = Meta.intern_layout meta tenv_s (Ctype.Struct "S") in
      let p_local =

@@ -138,21 +138,51 @@ let variants =
     ("ifp-np", Vm.no_promote Vm.Alloc_wrapped);
   ]
 
+(* The temporal classes run their own matrix: the heap-retiring victim
+   (so the program issues the colliding free itself) against spatial IFP
+   — measuring what a spatial-only design sees of a temporal fault — and
+   both temporal IFP allocators. The spatial matrix above is untouched:
+   its classes, victim and configs are exactly the pre-temporal ones. *)
+let is_temporal_class = function
+  | Fault.Uaf_use | Fault.Double_free -> true
+  | _ -> false
+
+let spatial_classes =
+  List.filter (fun c -> not (is_temporal_class c)) Fault.all_classes
+
+let temporal_classes = List.filter is_temporal_class Fault.all_classes
+
+let temporal_variants =
+  [
+    ("baseline", Vm.baseline);
+    ("ifp", Vm.ifp_wrapped);
+    ("ifp-t", { Vm.ifp_wrapped with Vm.temporal = true });
+    ("ifp-sub-t", { Vm.ifp_subheap with Vm.temporal = true });
+  ]
+
 let golden_name vname = "golden/" ^ vname
+let temporal_golden_name vname = "golden-t/" ^ vname
 
 let fault_name cls vname seed =
   Printf.sprintf "fault/%s/%s/%d" (Fault.class_name cls) vname seed
 
 let jobs ~seeds =
   let prog = Victim.program () in
+  let tprog = Victim.temporal_program () in
   let golden =
     List.map
       (fun (vname, config) ->
         Job.make ~name:(golden_name vname) ~group:"golden" ~variant:vname
           ~config prog)
       variants
+    @ List.map
+        (fun (vname, config) ->
+          Job.make
+            ~name:(temporal_golden_name vname)
+            ~group:"golden" ~variant:vname ~config tprog)
+        temporal_variants
   in
-  let faulted =
+  let faulted_matrix classes variants prog =
     List.concat_map
       (fun cls ->
         List.concat_map
@@ -166,9 +196,11 @@ let jobs ~seeds =
                   ~config:{ config with Vm.fault_plan = Some plan }
                   prog))
           variants)
-      Fault.all_classes
+      classes
   in
-  golden @ faulted
+  golden
+  @ faulted_matrix spatial_classes variants prog
+  @ faulted_matrix temporal_classes temporal_variants tprog
 
 (* ---------------- classification & tally ---------------- *)
 
@@ -251,7 +283,7 @@ let () =
     | Some { Engine.result = Some r; _ } -> Some r
     | _ -> None
   in
-  let goldens =
+  let goldens_of golden_name variants =
     List.map
       (fun (vname, _) ->
         match result_of (golden_name vname) with
@@ -261,8 +293,10 @@ let () =
           exit 1)
       variants
   in
+  let goldens = goldens_of golden_name variants in
+  let tgoldens = goldens_of temporal_golden_name temporal_variants in
   (* classify every (class, variant, seed) cell *)
-  let tallies =
+  let tallies_of classes variants goldens =
     List.map
       (fun cls ->
         ( cls,
@@ -281,8 +315,10 @@ let () =
               done;
               (vname, t))
             variants ))
-      Fault.all_classes
+      classes
   in
+  let tallies = tallies_of spatial_classes variants goldens in
+  let ttallies = tallies_of temporal_classes temporal_variants tgoldens in
   (* ---------------- report ---------------- *)
   Printf.printf
     "== Fault-injection coverage: %d seeds per class x variant, victim %s ==\n"
@@ -291,7 +327,7 @@ let () =
     [ "fault class"; "variant"; "detected"; "other-trap"; "silent"; "benign";
       "not-fired"; "aborted"; "failed"; "detection" ]
   in
-  let body =
+  let rows_of tallies =
     List.concat_map
       (fun (cls, per_variant) ->
         List.map
@@ -313,7 +349,11 @@ let () =
           per_variant)
       tallies
   in
-  Table.print ~header body;
+  Table.print ~header (rows_of tallies);
+  Printf.printf
+    "\n== Temporal fault coverage: %d seeds per class x variant, victim %s ==\n"
+    opts.seeds Victim.temporal_name;
+  Table.print ~header (rows_of ttallies);
   Printf.printf
     "\ncampaign: %d jobs, %d completed, %d failed, %d timed out, %d cache \
      hits (%.1fs)\n"
@@ -353,6 +393,17 @@ let () =
                          (fun (vname, t) -> (vname, tally_json t))
                          per_variant) ))
                 tallies) );
+         ("temporal_victim", String Victim.temporal_name);
+         ( "temporal_classes",
+           Obj
+             (List.map
+                (fun (cls, per_variant) ->
+                  ( Fault.class_name cls,
+                    Obj
+                      (List.map
+                         (fun (vname, t) -> (vname, tally_json t))
+                         per_variant) ))
+                ttallies) );
        ]);
   Printf.printf "wrote %s\n" opts.out;
   (* explicit exit: a Timed_out job's abandoned domain must not delay

@@ -19,7 +19,7 @@ let () =
     Meta.create ~memory:mem
       ~mac_key:(Mac.fresh_key (Prng.create 1L))
       ~layout_region:(0x200000L, 65536)
-      ~global_table:(0x300000L, 4096)
+      ~global_table:(0x300000L, 4096) ()
   in
 
   (* struct S { char vulnerable[12]; char sensitive[12]; } — Listing 1 *)

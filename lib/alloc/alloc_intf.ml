@@ -41,8 +41,10 @@ type t = {
   name : string;
   malloc : size:int -> cty:Ifp_types.Ctype.t option -> int64 * cost;
   free : int64 -> cost;
+  owns : int64 -> bool;
   stats : unit -> stats;
   extra_stats : unit -> (string * int) list;
 }
 
 exception Out_of_memory of string
+exception Double_free of int64

@@ -44,6 +44,10 @@ type t = {
   name : string;
   malloc : size:int -> cty:Ifp_types.Ctype.t option -> int64 * cost;
   free : int64 -> cost;
+  owns : int64 -> bool;
+      (** address-range ownership: does this allocator's arena contain
+          the pointer's address? Composite allocators ({!Mixed}) dispatch
+          frees on this instead of probing [free]'s return value. *)
   stats : unit -> stats;
   extra_stats : unit -> (string * int) list;
       (** allocator-specific counters (e.g. unprotected allocations,
@@ -51,3 +55,8 @@ type t = {
 }
 
 exception Out_of_memory of string
+
+exception Double_free of int64
+(** Raised by an allocator that detects a free of an already-free
+    payload (the baseline allocator's glibc-style header check). The VM
+    reports it as a program abort, not an IFP trap. *)

@@ -60,6 +60,10 @@ let free st ptr =
     let cls = Int64.to_int (Memory.read_u32 st.mem hdr) in
     let requested = Int64.to_int (Memory.read_u32 st.mem (Int64.add hdr 4L)) in
     let bin = bin_for st cls in
+    (* glibc-style tcache double-free check: the payload is already
+       sitting in its size-class bin. Detection is deterministic and
+       touches no guest memory, so spatial-only runs are unaffected. *)
+    if List.exists (Int64.equal p) !bin then raise (Double_free p);
     bin := p :: !bin;
     note_free st.stats ~payload:requested;
     cost ~touches:[ (hdr, header_size) ] 60
@@ -82,6 +86,10 @@ let create_raw ~memory ~base ~size =
       name = "baseline";
       malloc = (fun ~size ~cty -> malloc st ~size ~cty);
       free = (fun p -> free st p);
+      owns =
+        (fun p ->
+          let a = Ifp_isa.Tag.addr p in
+          Int64.compare a st.base >= 0 && Int64.compare a st.limit < 0);
       stats = (fun () -> st.stats);
       extra_stats = (fun () -> [ ("bins", Hashtbl.length st.bins) ]);
     }

@@ -9,16 +9,19 @@ let create ~subheap ~wrapped =
     else wrapped.malloc ~size ~cty
   in
   let free ptr =
-    (* the scheme selector on the tag names the owning allocator *)
+    (* The scheme selector on the tag names the owning allocator for the
+       schemes only one side produces; global-table pointers (and the
+       untagged fallback when the table is full) can come from either, so
+       those dispatch on the arena that contains the address. The old
+       probe — call [subheap.free] and fall back to [wrapped.free] when
+       the returned cost was physically [zero_cost] — misrouted every
+       subheap-owned free whose legitimate cost was zero (stale creg,
+       recycled block) into the wrapped heap, corrupting its bins. *)
     match Tag.scheme ptr with
     | Tag.Subheap -> subheap.free ptr
-    | Tag.Local_offset | Tag.Legacy -> wrapped.free ptr
-    | Tag.Global_table ->
-      (* both allocators can produce global-table pointers; the subheap
-         allocator recognises its own (huge buddy blocks) and returns a
-         zero cost for foreign ones *)
-      let c = subheap.free ptr in
-      if c == zero_cost then wrapped.free ptr else c
+    | Tag.Local_offset -> wrapped.free ptr
+    | Tag.Legacy | Tag.Global_table ->
+      if subheap.owns ptr then subheap.free ptr else wrapped.free ptr
   in
   let stats () =
     let a = subheap.stats () and b = wrapped.stats () in
@@ -34,6 +37,7 @@ let create ~subheap ~wrapped =
     name = "mixed";
     malloc;
     free;
+    owns = (fun p -> subheap.owns p || wrapped.owns p);
     stats;
     extra_stats =
       (fun () ->

@@ -15,6 +15,7 @@ type model = {
   memory_factor : float;
   subobject : detection;
   object_ : detection;
+  temporal : detection;
 }
 
 (* Intel MPX: bndldx/bndstx walk a two-level directory (expensive);
@@ -32,6 +33,7 @@ let mpx =
     memory_factor = 2.0;
     subobject = Full;
     object_ = Full;
+    temporal = None_;
   }
 
 (* SoftBound: pure software; shadow-space lookups on pointer loads and
@@ -48,6 +50,7 @@ let softbound =
     memory_factor = 1.65;
     subobject = Full;
     object_ = Full;
+    temporal = None_;
   }
 
 (* FRAMER: software tagged-pointer; every dereference must mask the tag
@@ -64,6 +67,7 @@ let framer =
     memory_factor = 1.22;
     subobject = None_;
     object_ = Full;
+    temporal = None_;
   }
 
 (* AddressSanitizer: shadow-byte check per access, redzones around
@@ -80,6 +84,7 @@ let asan =
     memory_factor = 2.4;
     subobject = None_;
     object_ = Object_only;
+    temporal = Full;
   }
 
 (* ARM MTE: hardware tag check folded into the access; 4-bit tags give
@@ -96,9 +101,51 @@ let mte =
     memory_factor = 1.03;
     subobject = None_;
     object_ = Probabilistic (15.0 /. 16.0);
+    temporal = Probabilistic (15.0 /. 16.0);
   }
 
 let all = [ mpx; softbound; framer; asan; mte ]
+
+(* Temporal-safety comparators, kept out of {!all} so every spatial
+   table (fig10/fig13 and their goldens) is byte-identical with the
+   temporal extension merged. *)
+
+(* CryptSan: ARM PAC-based; pointers are signed against per-object keys
+   invalidated on free, so stale pointers fail authentication. Signing /
+   authenticating on pointer loads, stores and dereferences. *)
+let cryptsan =
+  {
+    name = "CryptSan-like";
+    ptr_load_instrs = 8;
+    ptr_load_mem = 2;
+    ptr_store_instrs = 8;
+    ptr_store_mem = 2;
+    deref_instrs = 6;
+    alloc_instrs = 30;
+    memory_factor = 1.4;
+    subobject = None_;
+    object_ = Full;
+    temporal = Full;
+  }
+
+(* RV-CURE: RISC-V full-system UAF defense; hardware tag checks folded
+   into the pipeline with capability-revocation sweeps on free. *)
+let rvcure =
+  {
+    name = "RV-CURE-like";
+    ptr_load_instrs = 1;
+    ptr_load_mem = 0;
+    ptr_store_instrs = 1;
+    ptr_store_mem = 0;
+    deref_instrs = 1;
+    alloc_instrs = 25;
+    memory_factor = 1.12;
+    subobject = None_;
+    object_ = None_;
+    temporal = Full;
+  }
+
+let temporal_models = [ cryptsan; rvcure ]
 
 type projection = {
   model : model;
@@ -140,3 +187,4 @@ let detects model (kind : Ifp_juliet.Juliet.kind) =
   | Ifp_juliet.Juliet.Intra_object | Ifp_juliet.Juliet.Nested_intra ->
     model.subobject
   | Overflow | Underwrite | Overread | Underread -> model.object_
+  | Use_after_free | Write_to_freed | Double_free -> model.temporal

@@ -30,6 +30,11 @@ type model = {
   memory_factor : float;  (** footprint multiplier (shadow/redzones) *)
   subobject : detection;
   object_ : detection;
+  temporal : detection;
+      (** use-after-free / double-free / write-to-freed (the Juliet
+          temporal kinds): [None_] for the purely spatial schemes,
+          [Full] for quarantine/authentication designs, probabilistic
+          for small tag spaces *)
 }
 
 val mpx : model
@@ -38,6 +43,18 @@ val framer : model
 val asan : model
 val mte : model
 val all : model list
+
+val cryptsan : model
+(** ARM PAC-based temporal+spatial defense: pointers signed against
+    per-object keys invalidated on free. *)
+
+val rvcure : model
+(** RISC-V full-system use-after-free defense: pipeline tag checks with
+    revocation sweeps on free. *)
+
+val temporal_models : model list
+(** [[cryptsan; rvcure]] — deliberately not in {!all}, so the spatial
+    comparison tables (and their goldens) are unchanged. *)
 
 type projection = {
   model : model;

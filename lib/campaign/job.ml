@@ -34,11 +34,15 @@ let fault_string (c : Vm.config) =
   | Some p -> Ifp_faultinject.Fault.fingerprint p
 
 let config_fingerprint (c : Vm.config) =
+  (* temporal mode appends rather than occupying a fixed field: every
+     spatial fingerprint — and so every existing cache entry — is
+     unchanged *)
   Printf.sprintf
     "variant=%s;alloc=%s;seed=%Ld;max_cycles=%d;narrowing=%b;\
-     infer_alloc_types=%b;trace_limit=%d;fault=%s"
+     infer_alloc_types=%b;trace_limit=%d;fault=%s%s"
     (variant_string c.variant) (alloc_string c.alloc) c.seed c.max_cycles
     c.narrowing c.infer_alloc_types c.trace_limit (fault_string c)
+    (if c.temporal then ";temporal=true" else "")
 
 let model_digest =
   let ifp_kinds =

@@ -35,6 +35,12 @@ let expected_trap cls (trap : Trap.t) =
     (* wiped metadata can surface as any of the five traps, depending on
        what the zeroed record aliases *)
     true
+  | (Fault.Uaf_use | Fault.Double_free), _ ->
+    (* temporal mode pins these to Use_after_free / Write_to_freed /
+       Double_free at the stale promote or re-free; outside it the
+       injection is a spatial wipe and, like [Stale_meta], any trap is a
+       legitimate detection *)
+    true
   | (Fault.Bounds_corrupt | Fault.Meta_tamper | Fault.Mac_flip), _ -> false
 
 let classify ~cls ~fired ~golden ~faulted =

@@ -13,9 +13,22 @@ type fault_class =
   | Mac_flip
   | Heap_smash
   | Stale_meta
+  | Uaf_use
+  | Double_free
 
+(* the temporal classes sit at the end: campaign seed mixing is
+   index-based, so appending keeps every pre-existing plan unchanged *)
 let all_classes =
-  [ Tag_flip; Bounds_corrupt; Meta_tamper; Mac_flip; Heap_smash; Stale_meta ]
+  [
+    Tag_flip;
+    Bounds_corrupt;
+    Meta_tamper;
+    Mac_flip;
+    Heap_smash;
+    Stale_meta;
+    Uaf_use;
+    Double_free;
+  ]
 
 let class_name = function
   | Tag_flip -> "tag_flip"
@@ -24,6 +37,8 @@ let class_name = function
   | Mac_flip -> "mac_flip"
   | Heap_smash -> "heap_smash"
   | Stale_meta -> "stale_meta"
+  | Uaf_use -> "uaf_use"
+  | Double_free -> "double_free"
 
 let class_of_name s =
   List.find_opt (fun c -> String.equal (class_name c) s) all_classes
@@ -44,7 +59,7 @@ let default_plan cls ~seed =
   let trigger =
     match cls with
     | Bounds_corrupt | Heap_smash -> Nth_access (Prng.int_in rng 8 400)
-    | Tag_flip | Meta_tamper | Mac_flip | Stale_meta ->
+    | Tag_flip | Meta_tamper | Mac_flip | Stale_meta | Uaf_use | Double_free ->
       Nth_promote (Prng.int_in rng 4 48)
   in
   { cls; trigger; seed }
@@ -228,6 +243,27 @@ let on_promote t ptr =
         Meta.wipe_entry m e;
         note t "promote" (Printf.sprintf "stale-meta wiped@0x%Lx" e.meta_addr);
         ptr)
+    (* Temporal classes: the injector performs the free the program never
+       issued ([Uaf_use]) or issues first ([Double_free]) by retiring the
+       record's epoch; the program keeps using — and, for the temporal
+       victim, later re-freeing — the pointer. In temporal mode the
+       record stays valid-but-stale and the promote/free hardware traps;
+       outside it [Meta.mark_freed] degenerates to the spatial free model
+       (record wiped), so the same plan measures what spatial-only IFP
+       misses. Only a [`Freed_ok] transition counts as fired, so the
+       trigger re-arms until it finds a record still in its live epoch. *)
+    | Uaf_use | Double_free -> (
+      match pick_entry t ~ptr ~need_mac:false with
+      | None -> ptr
+      | Some (m, e) ->
+        (match Meta.mark_freed m e with
+        | `Freed_ok ->
+          let what =
+            if t.plan.cls = Uaf_use then "uaf-freed" else "double-free-armed"
+          in
+          note t "promote" (Printf.sprintf "%s@0x%Lx" what e.meta_addr)
+        | `Already_freed | `Invalid -> ());
+        ptr)
     | Bounds_corrupt | Heap_smash -> ptr
 
 let due_access t ~addr =
@@ -267,4 +303,5 @@ let on_access t ~addr ~size ~bounds =
           (Format.asprintf "bounds-corrupt %a -> %a" Bounds.pp bounds Bounds.pp
              b');
         b')
-    | Tag_flip | Meta_tamper | Mac_flip | Stale_meta -> bounds
+    | Tag_flip | Meta_tamper | Mac_flip | Stale_meta | Uaf_use | Double_free ->
+      bounds

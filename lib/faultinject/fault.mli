@@ -29,10 +29,22 @@ type fault_class =
           data (and whatever metadata is in the way) without aiming *)
   | Stale_meta
       (** wipe a live metadata record: deregister-then-use *)
+  | Uaf_use
+      (** retire the record's free epoch ({!Ifp_metadata.Meta.mark_freed})
+          while the program still holds pointers into it — use-after-free.
+          Outside temporal mode this degenerates to the spatial free
+          model (record wiped), measuring what spatial-only IFP misses. *)
+  | Double_free
+      (** same injection, but against the temporal victim that frees the
+          object itself later — the program's own free becomes the second
+          free and the allocator traps [Double_free] *)
 
 val all_classes : fault_class list
-val class_name : fault_class -> string
+(** Temporal classes last: campaign seed mixing is index-based, so the
+    pre-temporal prefix (and every cached plan derived from it) is
+    unchanged. *)
 
+val class_name : fault_class -> string
 val class_of_name : string -> fault_class option
 
 (** When the corruption happens, counted in dynamic events. *)

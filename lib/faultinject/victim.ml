@@ -148,3 +148,47 @@ let build () =
 
 let shared = lazy (build ())
 let program () = Lazy.force shared
+
+(* The temporal victim: the same maze, but the program retires its own
+   heap at the end — every filler chunk, every node, the pointer arrays —
+   each free going through a pointer re-loaded from memory (so it is
+   promoted, like every other pointer use in the maze). A [Uaf_use]
+   injection mid-run makes the later reloads stale; a [Double_free]
+   injection makes one of these program-issued frees the second free. *)
+let temporal_name = "pointer_maze_freeing"
+
+let build_temporal () =
+  let base = build () in
+  let main = List.find (fun f -> f.fname = "main") base.funcs in
+  let epilogue =
+    List.concat
+      [
+        for_ "f" ~below:(i n_fillers)
+          [
+            Free (Load (ip, Gep (ip, v "fills", [ at (v "f") ])));
+          ];
+        [ Free (v "fills") ];
+        [
+          Let ("q", np, Load (np, Gep (np, v "hp", [ at (i 0) ])));
+          While
+            ( Binop (Ne, v "q", null node_ty),
+              [
+                Let ("nx", np, Load (np, Gep (node_ty, v "q", [ fld "next" ])));
+                Free (v "q");
+                Assign ("q", v "nx");
+              ] );
+          Free (v "hp");
+        ];
+      ]
+  in
+  let body =
+    match List.rev main.body with
+    | Return r :: rev_prefix -> List.rev_append rev_prefix (epilogue @ [ Return r ])
+    | _ -> main.body @ epilogue
+  in
+  let main = { main with body } in
+  Ifp_compiler.Ir.program ~tenv ~globals:[]
+    (List.map (fun f -> if f.fname = "main" then main else f) base.funcs)
+
+let shared_temporal = lazy (build_temporal ())
+let temporal_program () = Lazy.force shared_temporal

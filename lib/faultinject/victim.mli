@@ -19,3 +19,13 @@ val program : unit -> Ifp_compiler.Ir.program
 
 val rounds : int
 (** Checksum lines the program prints. *)
+
+val temporal_name : string
+
+val temporal_program : unit -> Ifp_compiler.Ir.program
+(** The maze plus a heap-retiring epilogue: after the measured rounds the
+    program frees every filler chunk, node and pointer array, each
+    through a pointer re-loaded from memory. Gives the temporal fault
+    classes a program-issued free to collide with: a [Uaf_use] injection
+    leaves the later reloads stale, a [Double_free] injection makes one
+    of these frees the second free of its object. *)

@@ -34,6 +34,7 @@ type knobs = {
   floats : bool;
   helpers : bool;
   list_len : int;
+  temporal : bool;
 }
 
 let default =
@@ -48,6 +49,7 @@ let default =
     floats = true;
     helpers = true;
     list_len = 3;
+    temporal = false;
   }
 
 let quick =
@@ -62,6 +64,7 @@ let quick =
     floats = false;
     helpers = true;
     list_len = 2;
+    temporal = false;
   }
 
 exception Gen_bug of string
@@ -576,6 +579,33 @@ let source ?(knobs = default) ~seed () =
     emit_stmt st ~bdepth:st.k.block_depth ~in_loop:false
   done;
   blank st;
+  (* temporal-fault composite (knob-gated; no PRNG draws when off, so
+     seeds yield byte-identical source with [temporal = false]): park a
+     node pointer in a heap holder, free it, churn with a same-typed
+     allocation so a recycling allocator re-issues the chunk, then
+     reload the stale pointer from memory and misuse it. The memory
+     round-trip matters: the reload is a promote, which is where the
+     generation check lives — register-resident stale pointers are the
+     documented blind spot. *)
+  if st.k.temporal then begin
+    let h = fresh st "h" and d = fresh st "d" and e = fresh st "e" in
+    line st "let %s: S0* = malloc(S0);" h;
+    line st "%s->next = null(S0);" h;
+    line st "let %s: S0* = malloc(S0);" d;
+    line st "%s->value = %d;" d (Prng.int st.rng 50);
+    line st "%s->next = null(S0);" d;
+    line st "%s->next = %s;" h d;
+    line st "free(%s);" d;
+    line st "let %s: S0* = malloc(S0);" e;
+    line st "%s->value = %d;" e (Prng.int st.rng 50);
+    line st "%s->next = null(S0);" e;
+    (match Prng.int st.rng 3 with
+    | 0 -> line st "g0 = (g0 + %s->next->value);" h (* use after free *)
+    | 1 -> line st "%s->next->value = %d;" h (Prng.int st.rng 9)
+      (* write to freed *)
+    | _ -> line st "free(%s->next);" h (* double free *));
+    blank st
+  end;
   (* checksum epilogue: fold every piece of data into acc *)
   line st "let acc: i64 = g0;";
   List.iter (fun x -> line st "acc = (acc * 31 + %s);" x) st.ints;

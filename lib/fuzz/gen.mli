@@ -32,6 +32,17 @@ type knobs = {
   floats : bool;  (** include f64 locals, fields and float arithmetic *)
   helpers : bool;  (** emit callable helper functions (incl. a legacy one) *)
   list_len : int;  (** length of the linked-list prologue (>= 1) *)
+  temporal : bool;
+      (** emit one deliberate temporal-fault composite (use-after-free,
+          write-to-freed or double-free, chosen by the seed): the pointer
+          round-trips through heap memory and the freed chunk is churned
+          with a same-typed allocation, so a temporal-mode run traps at
+          the promote/access while baseline and spatial-only IFP run to
+          completion. Programs generated with this knob are deliberately
+          NOT memory-safe — feed them to {!Oracle.check_temporal} with
+          [~expect_fault:true], never to {!Oracle.check}. Off by default;
+          when off, no extra PRNG draws happen, so a given seed yields
+          byte-identical source either way. *)
 }
 
 val default : knobs

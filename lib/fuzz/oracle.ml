@@ -28,8 +28,25 @@ let engines =
     ("closure", fun config prog -> Vm_closure.run ~config prog);
   ]
 
+(* Heap_smash is out of the architectural detection contract; the
+   temporal classes free live records, which a spatial-only
+   configuration is not contracted to catch — they get their own armed
+   battery in {!check_temporal}, keeping this list (and every cached
+   battery verdict) exactly what it was before temporal mode existed. *)
 let defended =
-  List.filter (fun c -> c <> Fault.Heap_smash) Fault.all_classes
+  List.filter
+    (fun c ->
+      not (List.mem c [ Fault.Heap_smash; Fault.Uaf_use; Fault.Double_free ]))
+    Fault.all_classes
+
+let temporal_defended = [ Fault.Uaf_use; Fault.Double_free ]
+
+let temporal_configs =
+  List.filter_map
+    (fun (name, cfg) ->
+      if name = "baseline" then None
+      else Some (name ^ "-t", { cfg with Vm.temporal = true }))
+    configs
 
 (* ---- observable signature (the full result, line-oriented) ----------- *)
 
@@ -183,3 +200,62 @@ let check ?(fault_seed = 1L) prog =
       defended
   | _ -> ());
   (List.rev !fails, golden)
+
+(* ---- the temporal battery -------------------------------------------- *)
+
+let check_temporal ?(fault_seed = 1L) ?(expect_fault = false) prog =
+  let fails = ref [] in
+  let add oracle site detail = fails := { oracle; site; detail } :: !fails in
+  List.iter
+    (fun (cname, cfg) ->
+      let r0 = Vm.run ~config:cfg prog in
+      (* oracle A, temporal edition: the three engines must agree under
+         temporal configurations too *)
+      let sig0 = result_sig r0 in
+      List.iter
+        (fun (ename, erun) ->
+          if ename <> "vm" then
+            let s = result_sig (erun cfg prog) in
+            if not (String.equal s sig0) then
+              add "engines" (cname ^ "/" ^ ename) (sig_diff sig0 s))
+        engines;
+      match (expect_fault, r0.Vm.outcome) with
+      | true, Vm.Trapped (Trap.Use_after_free _ | Trap.Write_to_freed _ | Trap.Double_free _)
+        ->
+        (* a generated temporal-fault program must die with a temporal
+           trap, never run to completion or trap for a spatial reason *)
+        ()
+      | true, o ->
+        add "temporal" cname
+          ("temporal-fault program did not trap temporally: " ^ outcome_str o)
+      | false, Vm.Finished _ ->
+        (* a safe program must finish under temporal mode; it is then the
+           golden for the armed plans: temporal-mode IFP must never
+           classify a defended temporal fault as silent corruption *)
+        let golden_obs = observed r0 in
+        List.iteri
+          (fun k cls ->
+            let seed = Prng.mix2 fault_seed (Int64.of_int k) in
+            let plan = Fault.default_plan cls ~seed in
+            let r =
+              Vm.run ~config:{ cfg with Vm.fault_plan = Some plan } prog
+            in
+            let fired = r.Vm.fault_injections <> [] in
+            match
+              Classify.classify ~cls ~fired ~golden:golden_obs
+                ~faulted:(observed r)
+            with
+            | Classify.Silent_corruption ->
+              add "temporal-faults"
+                (cname ^ "/" ^ Fault.class_name cls)
+                (Printf.sprintf "plan %s fired [%s] yet finished %s"
+                   (Fault.fingerprint plan)
+                   (String.concat ";" r.Vm.fault_injections)
+                   (outcome_str r.Vm.outcome))
+            | _ -> ())
+          temporal_defended
+      | false, o ->
+        add "temporal" cname
+          ("safe program did not finish under temporal mode: " ^ outcome_str o))
+    temporal_configs;
+  List.rev !fails

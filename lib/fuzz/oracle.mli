@@ -41,7 +41,18 @@ val engines :
 
 val defended : Ifp_faultinject.Fault.fault_class list
 (** Every class except [Heap_smash] (data smashes are out of the
-    architectural detection contract). *)
+    architectural detection contract) and the temporal classes
+    ([Uaf_use], [Double_free] — a spatial-only configuration is not
+    contracted to catch a legitimately-freed record; they get their own
+    battery in {!check_temporal}). Exactly the pre-temporal list, so
+    cached battery verdicts stay valid. *)
+
+val temporal_defended : Ifp_faultinject.Fault.fault_class list
+(** [[Uaf_use; Double_free]] — the classes {!check_temporal} arms. *)
+
+val temporal_configs : (string * Ifp_vm.Vm.config) list
+(** The IFP configs of {!configs} with [temporal = true]
+    (ifp-subheap-t, ifp-wrapped-t). *)
 
 val result_sig : Ifp_vm.Vm.result -> string
 (** Every observable field of a run folded into a line-oriented string;
@@ -64,3 +75,22 @@ val check :
     derived from [fault_seed], default 1). Also returns the nominal
     ifp-subheap result (the golden run) so campaign runners can reuse
     it. Deterministic in [program x fault_seed]. *)
+
+val check_temporal :
+  ?fault_seed:int64 ->
+  ?expect_fault:bool ->
+  Ifp_compiler.Ir.program ->
+  failure list
+(** The temporal battery, over {!temporal_configs}:
+
+    - oracle [engines] — the three engines must agree bit-identically
+      under temporal configurations too;
+    - with [expect_fault:true] (a program generated with
+      {!Gen.knobs}[.temporal]): oracle [temporal] — the run must end in
+      a temporal trap ([Use_after_free] / [Write_to_freed] /
+      [Double_free]), never finish and never trap for a spatial reason;
+    - with [expect_fault:false] (default, a safe program): the run must
+      finish, and one armed plan per {!temporal_defended} class must
+      never classify as silent corruption (oracle [temporal-faults]) —
+      temporal-mode IFP either detects the injected free, aborts, or the
+      trigger never fired. *)

@@ -15,16 +15,20 @@ and feature =
   | Layout_walker
   | Scheme of string
   | Lsu_widening
+  | Temporal_epoch
 
 type config = {
   bounds_registers : bool;
   layout_walker : bool;
   schemes : string list;
+  temporal : bool;
 }
 
 let full =
   { bounds_registers = true; layout_walker = true;
-    schemes = [ "local"; "subheap"; "global" ] }
+    schemes = [ "local"; "subheap"; "global" ]; temporal = false }
+
+let full_temporal = { full with temporal = true }
 
 let vanilla_luts = 37_088
 let vanilla_ffs = 21_993
@@ -51,21 +55,47 @@ let components =
       luts = 3000; ffs = 1122; feature = Core_ifp };
   ]
 
+(* The temporal extension is deliberately small hardware: a 4-bit epoch
+   comparator and freed-flag check folded into the promote path,
+   gen-nibble insert/extract in the tag datapath, and the free-path
+   read-modify-write that bumps a record's generation. Kept out of
+   {!components} so the Fig. 13 table (and its golden) is byte-identical
+   with temporal mode merged. *)
+let temporal_components =
+  [
+    { cname = "free-epoch compare + gen extract (promote path)";
+      stage = Execute; luts = 210; ffs = 40; feature = Temporal_epoch };
+    { cname = "generation bump + freed-flag write (free path)";
+      stage = Execute; luts = 260; ffs = 90; feature = Temporal_epoch };
+  ]
+
+(* Extra metadata bytes per object, mirrored from lib/metadata: the
+   local-offset generation packs into spare layout-word bits and the
+   global-table generation into spare row bits (both free); the subheap
+   block record doubles from 32 to 64 bytes to hold the per-slot freed
+   bitmap (amortized over every slot in the block). *)
+let temporal_metadata_bytes =
+  [ ("local-offset object", 0); ("subheap block", 32); ("global-table row", 0) ]
+
 let enabled cfg = function
   | Core_ifp | Ifp_unit_base | Lsu_widening -> true
   | Bounds_registers -> cfg.bounds_registers
   | Layout_walker -> cfg.layout_walker
   | Scheme s -> List.mem s cfg.schemes
+  | Temporal_epoch -> cfg.temporal
+
+let parts cfg =
+  if cfg.temporal then components @ temporal_components else components
 
 let added_luts cfg =
   List.fold_left
     (fun acc c -> if enabled cfg c.feature then acc + c.luts else acc)
-    0 components
+    0 (parts cfg)
 
 let added_ffs cfg =
   List.fold_left
     (fun acc c -> if enabled cfg c.feature then acc + c.ffs else acc)
-    0 components
+    0 (parts cfg)
 
 let total_luts cfg = vanilla_luts + added_luts cfg
 let total_ffs cfg = vanilla_ffs + added_ffs cfg
@@ -81,7 +111,7 @@ let by_stage cfg =
           (fun acc c ->
             if c.stage = stage && enabled cfg c.feature then acc + c.luts
             else acc)
-          0 components ))
+          0 (parts cfg) ))
     [ Issue; Execute; Frontend_other ]
 
 let stage_to_string = function

@@ -33,15 +33,36 @@ and feature =
   | Layout_walker  (** array-of-struct narrowing state machine + divider *)
   | Scheme of string  (** one object-metadata scheme block *)
   | Lsu_widening  (** ldbnd/stbnd datapath, implicit checks *)
+  | Temporal_epoch
+      (** free-epoch generation machinery: promote-path epoch compare,
+          tag gen-nibble datapath, free-path generation bump *)
 
 type config = {
   bounds_registers : bool;
   layout_walker : bool;
   schemes : string list;  (** subset of ["local"; "subheap"; "global"] *)
+  temporal : bool;  (** price the free-epoch extension *)
 }
 
 val full : config
+(** The paper's configuration — temporal off, so all Fig. 13 numbers are
+    exactly the calibrated ones. *)
+
+val full_temporal : config
+(** {!full} plus the temporal extension. *)
+
 val components : component list
+
+val temporal_components : component list
+(** The temporal-extension blocks, kept out of {!components} so the
+    Fig. 13 component table is unchanged; included in the totals only
+    when [config.temporal] is set. *)
+
+val temporal_metadata_bytes : (string * int) list
+(** Extra metadata bytes per object each scheme's temporal encoding
+    costs (local-offset and global-table generations pack into spare
+    bits; the subheap block record doubles to hold the per-slot freed
+    bitmap). *)
 
 val vanilla_luts : int
 val vanilla_ffs : int

@@ -40,7 +40,7 @@ let poison_from_bounds p bounds =
 
 let ifpadd p ~delta ~bounds =
   let old_addr = Tag.addr p in
-  let new_addr = Ifp_util.Bits.u48 (Int64.add old_addr delta) in
+  let new_addr = Int64.logand (Int64.add old_addr delta) Tag.addr_mask in
   let p' = Tag.with_addr p new_addr in
   let p' =
     match Tag.scheme p with
@@ -55,7 +55,9 @@ let ifpadd p ~delta ~bounds =
       else Tag.with_granule_offset p' (diff / Tag.granule)
     | Tag.Subheap | Tag.Global_table -> p'
   in
-  if Tag.poison p' = Tag.Invalid then p' else poison_from_bounds p' bounds
+  match Tag.poison p' with
+  | Tag.Invalid | Tag.Freed -> p' (* freed stays freed across arithmetic *)
+  | Tag.Valid | Tag.Oob -> poison_from_bounds p' bounds
 
 let ifpidx p delta =
   match Tag.subobj_index p with
@@ -79,3 +81,16 @@ let load_store_poison_check p =
   match Tag.poison p with
   | Tag.Valid -> ()
   | Tag.Oob | Tag.Invalid -> Trap.raise_trap (Trap.Poisoned_dereference p)
+  | Tag.Freed ->
+    (* outside temporal mode the spare poison pattern has no free-epoch
+       meaning — it only arises from tag tampering, and decodes like any
+       other poisoned pointer *)
+    Trap.raise_trap (Trap.Poisoned_dereference p)
+
+let load_store_poison_check_temporal p ~is_store =
+  match Tag.poison p with
+  | Tag.Valid -> ()
+  | Tag.Oob | Tag.Invalid -> Trap.raise_trap (Trap.Poisoned_dereference p)
+  | Tag.Freed ->
+    if is_store then Trap.raise_trap (Trap.Write_to_freed { ptr = p })
+    else Trap.raise_trap (Trap.Use_after_free { ptr = p })

@@ -56,4 +56,11 @@ val ifpextract : int64 -> bounds:Bounds.t -> int64
 
 val load_store_poison_check : int64 -> unit
 (** Every RV64 load/store checks the address operand's poison bits and
-    traps unless they are Valid (paper §3.2). *)
+    traps unless they are Valid (paper §3.2). Outside temporal mode the
+    spare poison pattern ([Freed]) traps as an ordinary poisoned
+    dereference — it only arises from tag tampering there. *)
+
+val load_store_poison_check_temporal : int64 -> is_store:bool -> unit
+(** Temporal-mode poison check: the [Freed] state traps with the
+    matching free-epoch cause — {!Trap.Write_to_freed} for stores,
+    {!Trap.Use_after_free} for loads. *)

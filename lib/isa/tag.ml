@@ -1,6 +1,6 @@
 open Ifp_util
 
-type poison = Valid | Oob | Invalid
+type poison = Valid | Oob | Invalid | Freed
 
 type scheme = Legacy | Local_offset | Subheap | Global_table
 
@@ -9,21 +9,28 @@ let local_offset_max_object = 1008
 let local_offset_max_elements = 64
 let subheap_max_elements = 256
 let global_table_entries = 4096
+let gen_states = 16
 
 (* field decoders are open-coded shift/mask (not [Bits.extract_int]):
    they run on every tagged-pointer operation and the extra call is
    measurable without flambda *)
-let addr p = Int64.logand p 0xFFFF_FFFF_FFFFL
-let with_addr p a = Bits.insert p ~lo:0 ~width:48 a
+let addr_bits = 44
+let addr_mask = 0xFFF_FFFF_FFFFL
+let addr p = Int64.logand p addr_mask
+let with_addr p a = Bits.insert p ~lo:0 ~width:44 a
+
+let gen p = Int64.to_int (Int64.shift_right_logical p 44) land 0xF
+let with_gen p g = Bits.insert_int p ~lo:44 ~width:4 g
 
 let poison p =
   match Int64.to_int (Int64.shift_right_logical p 62) land 3 with
   | 0 -> Valid
   | 1 -> Oob
-  | _ -> Invalid
+  | 2 -> Invalid
+  | _ -> Freed
 
 let with_poison p s =
-  let v = match s with Valid -> 0 | Oob -> 1 | Invalid -> 2 in
+  let v = match s with Valid -> 0 | Oob -> 1 | Invalid -> 2 | Freed -> 3 in
   Bits.insert_int p ~lo:62 ~width:2 v
 
 let scheme p =
@@ -64,17 +71,17 @@ let table_index p = Int64.to_int (Int64.shift_right_logical p 48) land 0xFFF
 let make_legacy a = Bits.u48 a
 
 let make_local_offset ~addr:a ~granule_off ~subobj =
-  let p = with_scheme (Bits.u48 a) Local_offset in
+  let p = with_scheme (Int64.logand a addr_mask) Local_offset in
   let p = with_granule_offset p granule_off in
   Bits.insert_int p ~lo:48 ~width:6 subobj
 
 let make_subheap ~addr:a ~creg ~subobj =
-  let p = with_scheme (Bits.u48 a) Subheap in
+  let p = with_scheme (Int64.logand a addr_mask) Subheap in
   let p = Bits.insert_int p ~lo:56 ~width:4 creg in
   Bits.insert_int p ~lo:48 ~width:8 subobj
 
 let make_global_table ~addr:a ~index =
-  let p = with_scheme (Bits.u48 a) Global_table in
+  let p = with_scheme (Int64.logand a addr_mask) Global_table in
   with_meta12 p index
 
 let is_null p = Int64.equal (addr p) 0L
@@ -91,5 +98,11 @@ let pp fmt p =
     | Subheap -> "subheap"
     | Global_table -> "global"
   in
-  let po = match poison p with Valid -> "" | Oob -> "!oob" | Invalid -> "!inv" in
+  let po =
+    match poison p with
+    | Valid -> ""
+    | Oob -> "!oob"
+    | Invalid -> "!inv"
+    | Freed -> "!freed"
+  in
   Format.fprintf fmt "%s%s:0x%Lx[%d]" s po (addr p) (meta12 p)

@@ -1,10 +1,10 @@
-(** Pointer-tag codec (paper Fig. 4).
+(** Pointer-tag codec (paper Fig. 4, plus the temporal extension).
 
-    A pointer is a 64-bit word whose top 16 bits are the tag:
+    A pointer is a 64-bit word whose top 20 bits are the tag:
 
     {v
     63..62  poison bits        00 valid / 01 out-of-bounds-recoverable /
-                               1x invalid
+                               10 invalid / 11 freed (temporal)
     61..60  scheme selector    00 legacy / 01 local-offset / 10 subheap /
                                11 global-table
     59..48  scheme metadata + subobject index, per scheme:
@@ -12,13 +12,20 @@
               subheap:       59..56 control-register index,
                              55..48 subobject index
               global-table:  59..48 table index (no subobject index)
-    47..0   address
+    47..44  free-epoch generation (temporal mode; all-zero otherwise)
+    43..0   address
     v}
+
+    The virtual address is 44 bits; the nibble above it carries the
+    allocation's free-epoch generation, mirrored from the object's
+    metadata record when temporal mode is on and checked again at
+    promote. Outside temporal mode the nibble is always zero, so every
+    spatial-only encoding is bit-identical to the paper's 48-bit layout.
 
     The all-zero tag is a canonical user-space address, i.e. a legacy
     pointer — exactly the compatibility property the paper relies on. *)
 
-type poison = Valid | Oob | Invalid
+type poison = Valid | Oob | Invalid | Freed
 
 type scheme = Legacy | Local_offset | Subheap | Global_table
 
@@ -37,11 +44,27 @@ val subheap_max_elements : int
 val global_table_entries : int
 (** 4096 rows (12-bit index). *)
 
+val gen_states : int
+(** 16 free-epoch generations (4-bit counter); reuse number 16 aliases
+    generation 0 — the same ABA window as MTE's 4-bit memory tags. *)
+
+val addr_bits : int
+(** 44: virtual-address width. *)
+
+val addr_mask : int64
+(** [2^addr_bits - 1] — the address field of a tagged word. *)
+
 val addr : int64 -> int64
-(** Low 48 bits. *)
+(** Low 44 bits. *)
 
 val with_addr : int64 -> int64 -> int64
-(** [with_addr p a] keeps the tag of [p], replaces the address. *)
+(** [with_addr p a] keeps the tag (including the generation nibble) of
+    [p], replaces the address. *)
+
+val gen : int64 -> int
+(** Free-epoch generation nibble (bits 47..44). *)
+
+val with_gen : int64 -> int -> int64
 
 val poison : int64 -> poison
 val with_poison : int64 -> poison -> int64

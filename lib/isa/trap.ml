@@ -4,6 +4,9 @@ type t =
   | Invalid_metadata of { ptr : int64; reason : string }
   | Mac_mismatch of { ptr : int64 }
   | Memory_fault of int64
+  | Use_after_free of { ptr : int64 }
+  | Double_free of { ptr : int64 }
+  | Write_to_freed of { ptr : int64 }
 
 exception Trap of t
 
@@ -18,5 +21,8 @@ let to_string = function
     Printf.sprintf "invalid object metadata for 0x%Lx (%s)" ptr reason
   | Mac_mismatch { ptr } -> Printf.sprintf "metadata MAC mismatch for 0x%Lx" ptr
   | Memory_fault a -> Printf.sprintf "memory fault at 0x%Lx" a
+  | Use_after_free { ptr } -> Printf.sprintf "use after free of 0x%Lx" ptr
+  | Double_free { ptr } -> Printf.sprintf "double free of 0x%Lx" ptr
+  | Write_to_freed { ptr } -> Printf.sprintf "write to freed object 0x%Lx" ptr
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -10,6 +10,13 @@ type t =
   | Mac_mismatch of { ptr : int64 }
       (** metadata MAC did not verify *)
   | Memory_fault of int64  (** unmapped-page access (page-permission trap) *)
+  | Use_after_free of { ptr : int64 }
+      (** temporal mode: load through a pointer whose allocation was
+          freed (freed metadata record or generation mismatch) *)
+  | Double_free of { ptr : int64 }
+      (** temporal mode: [free] of an allocation already freed *)
+  | Write_to_freed of { ptr : int64 }
+      (** temporal mode: store through a pointer to a freed allocation *)
 
 exception Trap of t
 

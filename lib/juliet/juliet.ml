@@ -12,6 +12,14 @@ type kind =
       (* intra-object overflow inside an array-of-struct element: only
          the recursive layout-table walk (Fig. 9c, with the element-base
          snapping division) can compute the right subobject bounds *)
+  | Use_after_free
+  | Write_to_freed
+  | Double_free
+      (* temporal kinds (CWE-416/415): the buffer pointer round-trips
+         through memory, the object is freed, the heap is churned so a
+         spatial-only design sees a valid-looking recycled allocation,
+         and the stale pointer is then read / written / re-freed. Only
+         in {!temporal_cases}, never in {!all_cases}. *)
 
 type place = Stack | Heap
 
@@ -41,6 +49,9 @@ let kind_to_string = function
   | Underread -> "underread"
   | Intra_object -> "intra-object"
   | Nested_intra -> "nested-intra"
+  | Use_after_free -> "use-after-free"
+  | Write_to_freed -> "write-to-freed"
+  | Double_free -> "double-free"
 
 let place_to_string = function Stack -> "stack" | Heap -> "heap"
 
@@ -106,8 +117,10 @@ let jholder_ty = Ctype.Struct "jholder"
 let jnested_ty = Ctype.Struct "jnested"
 
 let is_read = function
-  | Overread | Underread -> true
-  | Overflow | Underwrite | Intra_object | Nested_intra -> false
+  | Overread | Underread | Use_after_free -> true
+  | Overflow | Underwrite | Intra_object | Nested_intra | Write_to_freed
+  | Double_free ->
+    false
 
 (* index values: read through an opaque global so no compile-time
    analysis can prove or disprove safety, as Juliet's flow variants do *)
@@ -116,6 +129,9 @@ let indices kind =
   | Overflow | Overread | Intra_object -> (5, n_elems)
   | Nested_intra -> (2, inner_elems) (* data[4] lands on the guard field *)
   | Underwrite | Underread -> (2, -1)
+  | Use_after_free | Write_to_freed | Double_free ->
+    (* temporal badness is when, not where: both variants index safely *)
+    (5, 5)
 
 (* object type: intra-object cases use the struct (the overflow stays
    inside the object and only subobject granularity can catch it) *)
@@ -338,6 +354,113 @@ let build_program kind place flow ~bad =
    the worker indexes it as an array — for the plain-array kinds gptr_ty
    is already Ptr arr_ty, so the Gep in the worker is well-typed for
    every kind. *)
+
+(* ---- temporal families (CWE-416 use-after-free, CWE-415 double free,
+   write-to-freed) ----------------------------------------------------
+
+   Shape: the buffer pointer is parked in memory (heap holder field or
+   global) while still live, the object is freed, and a same-sized churn
+   allocation recycles its chunk — under a spatial-only design the stale
+   pointer then promotes against the churn object's perfectly valid
+   metadata, so the use is silent (the classic temporal hole). The stale
+   pointer is always *reloaded from memory* before use: promote is the
+   temporal checkpoint, and a register-resident stale pointer is the
+   design's documented blind spot, so these families only exercise the
+   flows the hardware claims to cover. The [bad] variant frees before
+   the use; the [good] variant is identical but frees (once) after. *)
+let build_temporal_program kind flow ~bad =
+  let tp = Ctype.Ptr arr_ty in
+  let gidx = global "gidx" Ctype.I64 in
+  let gsink = global "gsink" Ctype.I64 in
+  let gptr = global "gptr" tp in
+  let for_ var ~below body =
+    [ Let (var, Ctype.I64, i 0);
+      While (v var <: below, body @ [ Assign (var, v var +: i 1) ]) ]
+  in
+  let init base bump =
+    for_ "ini" ~below:(i n_elems)
+      [ Store (Ctype.I64, Gep (arr_ty, base, [ at (v "ini") ]),
+               v "ini" +: i bump) ]
+  in
+  let use_stmts q =
+    match kind with
+    | Use_after_free ->
+      [ Let ("wsink", Ctype.I64,
+             Load (Ctype.I64, Gep (arr_ty, q, [ at (Load_global "gidx") ])));
+        Store_global ("gsink", Load_global "gsink" +: v "wsink") ]
+    | Write_to_freed ->
+      [ Store (Ctype.I64, Gep (arr_ty, q, [ at (Load_global "gidx") ]), i 7) ]
+    | Double_free -> [ Free q ]
+    | _ -> assert false
+  in
+  let worker, park_stmts, call_stmt =
+    match flow with
+    | Via_field ->
+      ( func "worker" [ ("h", Ctype.Ptr jholder_ty) ] Ctype.Void
+          (Let ("q", tp,
+                Cast (tp,
+                      Load (Ctype.Ptr Ctype.I8,
+                            Gep (jholder_ty, v "h", [ fld "p" ]))))
+           :: use_stmts (v "q")
+          @ [ Return None ]),
+        [ Let ("holder", Ctype.Ptr jholder_ty, Malloc (jholder_ty, i 1));
+          Store (Ctype.Ptr Ctype.I8,
+                 Gep (jholder_ty, v "holder", [ fld "p" ]),
+                 Cast (Ctype.Ptr Ctype.I8, v "bufp")) ],
+        Expr (Call ("worker", [ v "holder" ])) )
+    | Via_global ->
+      ( func "worker" [] Ctype.Void
+          (Let ("q", tp, Load_global "gptr")
+           :: use_stmts (v "q")
+          @ [ Return None ]),
+        [ Store_global ("gptr", v "bufp") ],
+        Expr (Call ("worker", [])) )
+    | _ -> assert false
+  in
+  let main =
+    func "main" [] Ctype.I64
+      (List.concat
+         [
+           [ Store_global ("gidx", i 5);
+             Let ("bufp", tp, Malloc (arr_ty, i 1)) ];
+           park_stmts;
+           init (v "bufp") 0;
+           (if bad then [ Free (v "bufp") ] else []);
+           (* same-sized churn: under a recycling allocator it takes over
+              the freed chunk, so the stale use has live data to corrupt
+              or leak instead of faulting on unmapped memory *)
+           [ Let ("churn", tp, Malloc (arr_ty, i 1)) ];
+           init (v "churn") 100;
+           [ call_stmt ];
+           (match kind with
+           | Double_free -> []
+           | _ -> if bad then [] else [ Free (v "bufp") ]);
+           [ Return (Some (Load_global "gsink")) ];
+         ])
+  in
+  program ~tenv ~globals:[ gidx; gsink; gptr ] [ worker; main ]
+
+let temporal_cases () =
+  let kinds = [ Use_after_free; Write_to_freed; Double_free ] in
+  let flows = [ Via_field; Via_global ] in
+  List.concat_map
+    (fun kind ->
+      List.map
+        (fun flow ->
+          let id =
+            Printf.sprintf "%s-heap-%s" (kind_to_string kind)
+              (flow_to_string flow)
+          in
+          {
+            id;
+            kind;
+            place = Heap;
+            flow;
+            good = build_temporal_program kind flow ~bad:false;
+            bad = build_temporal_program kind flow ~bad:true;
+          })
+        flows)
+    kinds
 
 let all_cases () =
   let kinds =

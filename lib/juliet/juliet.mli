@@ -26,6 +26,11 @@ type kind =
   | Nested_intra
       (** intra-object overflow inside an array-of-struct element —
           exercises the recursive walker with element-base snapping *)
+  | Use_after_free
+  | Write_to_freed
+  | Double_free
+      (** temporal kinds (CWE-416/415) — only produced by
+          {!temporal_cases}, never by {!all_cases} *)
 
 type place = Stack | Heap
 
@@ -54,7 +59,20 @@ val flow_to_string : flow -> string
 
 val all_cases : unit -> case list
 (** The full cross product (72 cases: 6 kinds x 2 places x 6 flows),
-    each with a good and a bad program. *)
+    each with a good and a bad program. Spatial kinds only — the
+    temporal families live in {!temporal_cases} so every existing
+    spatial run (fig10, goldens) is unchanged. *)
+
+val temporal_cases : unit -> case list
+(** The temporal families (6 cases: use-after-free / write-to-freed /
+    double-free, each via a heap field and via a global). The bad
+    variant frees the buffer, churns the heap with a same-sized
+    allocation (so a recycling allocator hands the chunk to a new
+    object), then reloads the stale pointer from memory and uses it;
+    the good variant is identical but frees after the use. Detection
+    requires temporal mode ({!Ifp_vm.Vm.config}[.temporal]): a
+    spatial-only configuration promotes the stale pointer against the
+    churn object's valid metadata and stays silent. *)
 
 type verdict = Detected | Silent | False_positive | Error of string
 

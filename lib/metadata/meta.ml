@@ -4,7 +4,15 @@ module Tag = Ifp_isa.Tag
 
 type fetch = { addr : int64; bytes : int }
 
-type obj_meta = { obj_base : int64; obj_size : int; layout_ptr : int64 }
+type obj_meta = {
+  obj_base : int64;
+  obj_size : int;
+  layout_ptr : int64;
+  gen : int;
+  freed : bool;
+}
+
+type free_status = [ `Freed_ok | `Already_freed | `Invalid ]
 
 type creg_v = { block_size_log2 : int; metadata_offset : int64 }
 
@@ -20,6 +28,9 @@ type live_entry = {
 type t = {
   mem : Memory.t;
   key : Mac.key;
+  temporal : bool;
+      (* free-epoch generations live in each record and deregister marks
+         instead of reclaiming; off = bit-identical spatial-only layout *)
   layout_base : int64;
   layout_size : int;
   mutable layout_next : int64;
@@ -36,13 +47,14 @@ type t = {
 
 let layout_magic = 0x4C544231L (* "LTB1" *)
 
-let create ~memory ~mac_key ~layout_region:(lbase, lsize)
-    ~global_table:(gbase, entries) =
+let create ?(temporal = false) ~memory ~mac_key ~layout_region:(lbase, lsize)
+    ~global_table:(gbase, entries) () =
   if entries < 1 || entries > Tag.global_table_entries then
     invalid_arg "Meta.create: global table entries";
   {
     mem = memory;
     key = mac_key;
+    temporal;
     layout_base = lbase;
     layout_size = lsize;
     layout_next = lbase;
@@ -58,6 +70,7 @@ let create ~memory ~mac_key ~layout_region:(lbase, lsize)
 
 let memory t = t.mem
 let mac_key t = t.key
+let temporal t = t.temporal
 
 let live_add t e = Hashtbl.replace t.live e.meta_addr e
 let live_remove t meta_addr = Hashtbl.remove t.live meta_addr
@@ -142,34 +155,67 @@ module Local_offset = struct
 
   let fits ~size = size > 0 && size <= Tag.local_offset_max_object
 
-  let mac_fields ~meta_addr ~size ~layout_ptr =
-    [ meta_addr; Int64.of_int size; layout_ptr ]
+  (* The MAC covers the stored layout word verbatim; in temporal mode
+     that word also packs the generation and freed flag (bits 59..56 and
+     60), so tampering with the temporal state is caught exactly like
+     tampering with the layout pointer. *)
+  let mac_fields ~meta_addr ~size ~layout_word =
+    [ meta_addr; Int64.of_int size; layout_word ]
+
+  let lw_layout w = Int64.logand w 0xFF_FFFF_FFFF_FFFFL
+  let lw_gen w = Int64.to_int (Int64.shift_right_logical w 56) land 0xF
+  let lw_freed w = Int64.logand (Int64.shift_right_logical w 60) 1L = 1L
+
+  let lw_pack ~layout_ptr ~gen ~freed =
+    Int64.logor (lw_layout layout_ptr)
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int (gen land 0xF)) 56)
+         (if freed then Int64.shift_left 1L 60 else 0L))
+
+  let write_record t ~meta_addr ~size ~layout_word =
+    let mac = Mac.compute ~key:t.key (mac_fields ~meta_addr ~size ~layout_word) in
+    Memory.write_u16 t.mem meta_addr size;
+    Memory.write_u16 t.mem (Int64.add meta_addr 2L)
+      (Int64.to_int (Int64.logand mac 0xFFFFL));
+    Memory.write_u32 t.mem (Int64.add meta_addr 4L)
+      (Int64.shift_right_logical mac 16);
+    Memory.write_u64 t.mem (Int64.add meta_addr 8L) layout_word
 
   let register t ~base ~size ~layout_ptr =
     if not (fits ~size) then invalid_arg "Local_offset.register: size";
     if not (Int64.equal (Bits.align_down64 base Tag.granule) base) then
       invalid_arg "Local_offset.register: base not granule-aligned";
     let meta_addr = Int64.add base (Int64.of_int (Bits.align_up size Tag.granule)) in
-    let mac = Mac.compute ~key:t.key (mac_fields ~meta_addr ~size ~layout_ptr) in
-    Memory.write_u16 t.mem meta_addr size;
-    Memory.write_u16 t.mem (Int64.add meta_addr 2L)
-      (Int64.to_int (Int64.logand mac 0xFFFFL));
-    Memory.write_u32 t.mem (Int64.add meta_addr 4L)
-      (Int64.shift_right_logical mac 16);
-    Memory.write_u64 t.mem (Int64.add meta_addr 8L) layout_ptr;
+    let gen =
+      (* generation continuity: a reused slot (stack frames, recycled
+         heap) inherits whatever epoch its previous record reached, so
+         stale pointers into the previous tenant mismatch *)
+      if t.temporal then
+        Int64.to_int
+          (Int64.shift_right_logical
+             (Memory.read_u64 t.mem (Int64.add meta_addr 8L))
+             56)
+        land 0xF
+      else 0
+    in
+    let layout_word =
+      if t.temporal then lw_pack ~layout_ptr ~gen ~freed:false else layout_ptr
+    in
+    write_record t ~meta_addr ~size ~layout_word;
     live_add t
       { scheme = Scheme_local_offset; meta_addr; meta_bytes = metadata_size;
         mac_off = Some 2 };
     let granule_off = Bits.align_up size Tag.granule / Tag.granule in
-    Tag.make_local_offset ~addr:base ~granule_off ~subobj:0
+    let p = Tag.make_local_offset ~addr:base ~granule_off ~subobj:0 in
+    if t.temporal then Tag.with_gen p gen else p
 
   let read_meta t meta_addr =
     let size = Memory.read_u16 t.mem meta_addr in
     let mac_lo = Memory.read_u16 t.mem (Int64.add meta_addr 2L) in
     let mac_hi = Memory.read_u32 t.mem (Int64.add meta_addr 4L) in
     let mac = Int64.logor (Int64.of_int mac_lo) (Int64.shift_left mac_hi 16) in
-    let layout_ptr = Memory.read_u64 t.mem (Int64.add meta_addr 8L) in
-    (size, mac, layout_ptr)
+    let layout_word = Memory.read_u64 t.mem (Int64.add meta_addr 8L) in
+    (size, mac, layout_word)
 
   let deregister t ptr =
     let meta_addr = Tag.metadata_addr_local_offset ptr in
@@ -177,6 +223,32 @@ module Local_offset = struct
       Memory.write_u8 t.mem (Int64.add meta_addr (Int64.of_int i)) 0
     done;
     live_remove t meta_addr
+
+  (* temporal free: keep the record, bump its generation, set the freed
+     flag, re-MAC — the record itself becomes the free-epoch witness *)
+  let mark_freed_at t meta_addr : free_status =
+    match read_meta t meta_addr with
+    | exception Memory.Fault _ -> `Invalid
+    | size, mac, word ->
+      if
+        (not (fits ~size))
+        || not
+             (Mac.verify ~key:t.key
+                (mac_fields ~meta_addr ~size ~layout_word:word)
+                ~mac)
+      then `Invalid
+      else if lw_freed word then `Already_freed
+      else begin
+        let gen = (lw_gen word + 1) mod Tag.gen_states in
+        let layout_word =
+          lw_pack ~layout_ptr:(lw_layout word) ~gen ~freed:true
+        in
+        write_record t ~meta_addr ~size ~layout_word;
+        `Freed_ok
+      end
+
+  let deregister_temporal t ptr =
+    mark_freed_at t (Tag.metadata_addr_local_offset ptr)
 
   let lookup t ptr =
     let meta_addr = Tag.metadata_addr_local_offset ptr in
@@ -186,16 +258,19 @@ module Local_offset = struct
     match read_meta t meta_addr with
     | exception Memory.Fault (_, a) ->
       (Error (Printf.sprintf "metadata page fault at 0x%Lx" a), fetches)
-    | size, mac, layout_ptr ->
+    | size, mac, layout_word ->
       if not (fits ~size) then (Error "bad object size", fetches)
       else if
-        not (Mac.verify ~key:t.key (mac_fields ~meta_addr ~size ~layout_ptr) ~mac)
+        not (Mac.verify ~key:t.key (mac_fields ~meta_addr ~size ~layout_word) ~mac)
       then (Error "MAC mismatch", fetches)
       else
         let obj_base =
           Int64.sub meta_addr (Int64.of_int (Bits.align_up size Tag.granule))
         in
-        (Ok { obj_base; obj_size = size; layout_ptr }, fetches)
+        let layout_ptr = if t.temporal then lw_layout layout_word else layout_word in
+        let gen = if t.temporal then lw_gen layout_word else 0 in
+        let freed = t.temporal && lw_freed layout_word in
+        (Ok { obj_base; obj_size = size; layout_ptr; gen; freed }, fetches)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -215,6 +290,15 @@ module Subheap = struct
     t.cregs.(i)
 
   let block_metadata_size = 32
+
+  (* temporal mode doubles the record: the 32-byte header keeps its
+     packing (the flags halfword at +30 becomes the block generation)
+     and a 256-bit freed-slot bitmap follows at +32. Neither is covered
+     by the block MAC — the same trust level as the MAC-less
+     global-table rows. *)
+  let temporal_metadata_size = 64
+
+  let record_size t = if t.temporal then temporal_metadata_size else block_metadata_size
 
   let mac_fields ~block_base ~slot_start ~slot_end ~slot_size ~obj_size ~layout_ptr =
     [
@@ -250,22 +334,82 @@ module Subheap = struct
       (Int64.to_int (Int64.logand mac 0xFFFFL));
     Memory.write_u32 t.mem (Int64.add meta_addr 26L)
       (Int64.shift_right_logical mac 16);
-    Memory.write_u16 t.mem (Int64.add meta_addr 30L) 0;
+    if t.temporal then begin
+      (* block generation continues from whatever the previous tenant of
+         this block address reached (bumped by clear_block_metadata) *)
+      let gen = Memory.read_u16 t.mem (Int64.add meta_addr 30L) land 0xF in
+      Memory.write_u16 t.mem (Int64.add meta_addr 30L) gen;
+      for i = 32 to temporal_metadata_size - 1 do
+        Memory.write_u8 t.mem (Int64.add meta_addr (Int64.of_int i)) 0
+      done
+    end
+    else Memory.write_u16 t.mem (Int64.add meta_addr 30L) 0;
     live_add t
-      { scheme = Scheme_subheap; meta_addr; meta_bytes = block_metadata_size;
+      { scheme = Scheme_subheap; meta_addr; meta_bytes = record_size t;
         mac_off = Some 24 }
+
+  let block_gen t ~creg ~block_base =
+    if not t.temporal then 0
+    else
+      match t.cregs.(creg) with
+      | None -> 0
+      | Some c ->
+        let meta_addr = meta_addr_of ~creg:c ~block_base in
+        Memory.read_u16 t.mem (Int64.add meta_addr 30L) land 0xF
 
   let clear_block_metadata t ~creg ~block_base =
     match t.cregs.(creg) with
     | None -> ()
     | Some c ->
       let meta_addr = meta_addr_of ~creg:c ~block_base in
-      for i = 0 to block_metadata_size - 1 do
+      let gen =
+        if t.temporal then
+          (Memory.read_u16 t.mem (Int64.add meta_addr 30L) + 1) land 0xF
+        else 0
+      in
+      for i = 0 to record_size t - 1 do
         Memory.write_u8 t.mem (Int64.add meta_addr (Int64.of_int i)) 0
       done;
+      if t.temporal then
+        Memory.write_u16 t.mem (Int64.add meta_addr 30L) gen;
       live_remove t meta_addr
 
   let tag_pointer ~creg ~addr = Tag.make_subheap ~addr ~creg ~subobj:0
+
+  (* per-slot temporal state: one freed bit per slot in the bitmap that
+     trails the header *)
+  let bitmap_byte_addr meta_addr slot =
+    Int64.add meta_addr (Int64.of_int (32 + (slot lsr 3)))
+
+  let slot_freed t ~meta_addr ~slot =
+    t.temporal
+    && slot >= 0
+    && slot < 256
+    && Memory.read_u8 t.mem (bitmap_byte_addr meta_addr slot)
+       land (1 lsl (slot land 7))
+       <> 0
+
+  let slot_mark_freed t ~creg ~block_base ~slot : free_status =
+    match t.cregs.(creg) with
+    | None -> `Invalid
+    | Some c ->
+      if slot < 0 || slot >= 256 then `Invalid
+      else begin
+        let meta_addr = meta_addr_of ~creg:c ~block_base in
+        let a = bitmap_byte_addr meta_addr slot in
+        let byte = Memory.read_u8 t.mem a in
+        let bit = 1 lsl (slot land 7) in
+        if byte land bit <> 0 then `Already_freed
+        else begin
+          Memory.write_u8 t.mem a (byte lor bit);
+          `Freed_ok
+        end
+      end
+
+  let mark_all_slots_freed t meta_addr =
+    for i = 32 to temporal_metadata_size - 1 do
+      Memory.write_u8 t.mem (Int64.add meta_addr (Int64.of_int i)) 0xFF
+    done
 
   let lookup t ptr =
     let creg_idx = Tag.creg_index ptr in
@@ -324,9 +468,20 @@ module Subheap = struct
             let obj_base =
               Int64.add block_base (Int64.of_int (slot_start + (slot * slot_size)))
             in
+            let gen =
+              if t.temporal then
+                Memory.read_u16 t.mem (Int64.add meta_addr 30L) land 0xF
+              else 0
+            in
+            let freed = slot_freed t ~meta_addr ~slot in
+            let fetches =
+              if t.temporal then
+                fetches @ [ { addr = bitmap_byte_addr meta_addr slot; bytes = 1 } ]
+              else fetches
+            in
             (* the slot-size constraint (§3.3.2) makes this division a
                shift, so it is not charged as a multi-cycle divide *)
-            (Ok { obj_base; obj_size; layout_ptr }, fetches, 0))
+            (Ok { obj_base; obj_size; layout_ptr; gen; freed }, fetches, 0))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -334,6 +489,16 @@ end
 
 module Global_table = struct
   let row_addr t i = Int64.add t.gt_base (Int64.of_int (i * 16))
+
+  (* With the 44-bit virtual address, bits 47..44 of each row word are
+     spare: w0 bit 44 is the freed flag, w1 bits 47..44 the generation.
+     Spatial-only rows leave them zero, so the packing is unchanged. *)
+  let gt_freed_bit = Int64.shift_left 1L 44
+
+  let gt_gen w1 = Int64.to_int (Int64.shift_right_logical w1 44) land 0xF
+
+  let gt_with_gen w1 g =
+    Bits.insert_int w1 ~lo:44 ~width:4 (g land 0xF)
 
   let register t ~base ~size ~layout_ptr =
     match t.gt_free with
@@ -368,6 +533,31 @@ module Global_table = struct
       t.gt_used <- t.gt_used - 1
     end
 
+  (* temporal free: the row is quarantined — it keeps its base/size (so
+     stale promotes still resolve and trap with the temporal reason),
+     gains the freed bit and a bumped generation, and is never returned
+     to the free list *)
+  let mark_freed_at_row t addr : free_status =
+    let w0 = Memory.read_u64 t.mem addr in
+    let w1 = Memory.read_u64 t.mem (Int64.add addr 8L) in
+    let base = Int64.logand w0 Tag.addr_mask in
+    let size_lo = Int64.to_int (Int64.shift_right_logical w0 48) in
+    let size_hi = Int64.to_int (Int64.shift_right_logical w1 48) in
+    let size = size_lo lor (size_hi lsl 16) in
+    if Int64.equal base 0L || size = 0 then `Invalid
+    else if Int64.logand w0 gt_freed_bit <> 0L then `Already_freed
+    else begin
+      Memory.write_u64 t.mem addr (Int64.logor w0 gt_freed_bit);
+      Memory.write_u64 t.mem (Int64.add addr 8L)
+        (gt_with_gen w1 ((gt_gen w1 + 1) mod Tag.gen_states));
+      `Freed_ok
+    end
+
+  let deregister_temporal t ptr : free_status =
+    let i = Tag.table_index ptr in
+    if i <= 0 || i >= t.gt_entries then `Invalid
+    else mark_freed_at_row t (row_addr t i)
+
   let rows_in_use t = t.gt_used
 
   let lookup t ptr =
@@ -380,11 +570,37 @@ module Global_table = struct
       in
       let w0 = Memory.read_u64 t.mem addr in
       let w1 = Memory.read_u64 t.mem (Int64.add addr 8L) in
-      let base = Bits.u48 w0 in
+      let base = if t.temporal then Int64.logand w0 Tag.addr_mask else Bits.u48 w0 in
       let size_lo = Int64.to_int (Int64.shift_right_logical w0 48) in
       let size_hi = Int64.to_int (Int64.shift_right_logical w1 48) in
       let size = size_lo lor (size_hi lsl 16) in
-      let layout_ptr = Bits.u48 w1 in
+      let layout_ptr =
+        if t.temporal then Int64.logand w1 Tag.addr_mask else Bits.u48 w1
+      in
+      let gen = if t.temporal then gt_gen w1 else 0 in
+      let freed = t.temporal && Int64.logand w0 gt_freed_bit <> 0L in
       if Int64.equal base 0L || size = 0 then (Error "row not in use", fetches)
-      else (Ok { obj_base = base; obj_size = size; layout_ptr }, fetches)
+      else (Ok { obj_base = base; obj_size = size; layout_ptr; gen; freed }, fetches)
 end
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injector entry point: a LEGITIMATE free of a live record (the
+   uaf_use / double_free fault classes), as opposed to [wipe_entry]'s
+   attacker memset. In temporal mode this is the real free-epoch
+   transition; outside it, it models what the spatial-only design does
+   on free — the record simply vanishes. *)
+
+let mark_freed t (e : live_entry) : free_status =
+  if not t.temporal then begin
+    wipe_entry t e;
+    `Freed_ok
+  end
+  else
+    match e.scheme with
+    | Scheme_local_offset -> Local_offset.mark_freed_at t e.meta_addr
+    | Scheme_subheap ->
+      (* the injector frees the whole block's slots: every object in the
+         block enters the freed epoch *)
+      Subheap.mark_all_slots_freed t e.meta_addr;
+      `Freed_ok
+    | Scheme_global_table -> Global_table.mark_freed_at_row t e.meta_addr

@@ -33,21 +33,35 @@ type obj_meta = {
   obj_base : int64;
   obj_size : int;
   layout_ptr : int64;  (** 0 when the object has no layout table *)
+  gen : int;  (** free-epoch generation; 0 outside temporal mode *)
+  freed : bool;  (** temporal mode: the allocation has been freed *)
 }
 
+type free_status = [ `Freed_ok | `Already_freed | `Invalid ]
+(** Result of a temporal free-epoch transition: [`Already_freed] is the
+    double-free witness; [`Invalid] means the record failed validation
+    (clobbered or never registered). *)
+
 val create :
+  ?temporal:bool ->
   memory:Ifp_machine.Memory.t ->
   mac_key:Mac.key ->
   layout_region:int64 * int ->
   global_table:int64 * int ->
+  unit ->
   t
 (** [create ~memory ~mac_key ~layout_region:(base, size)
     ~global_table:(base, entries)] — both regions must already be mapped.
     [entries] is at most {!Ifp_isa.Tag.global_table_entries}; row 0 is
-    reserved. *)
+    reserved. [temporal] (default off) turns on free-epoch generations:
+    every record carries a generation and freed flag, mirrored into the
+    pointer tag and checked at promote; with it off, every encoding is
+    bit-identical to the spatial-only design. *)
 
 val memory : t -> Ifp_machine.Memory.t
 val mac_key : t -> Mac.key
+
+val temporal : t -> bool
 
 (** {1 Live-entry registry}
 
@@ -73,6 +87,17 @@ val live_entries : t -> live_entry list
 val wipe_entry : t -> live_entry -> unit
 (** Zero the record in memory (attacker memset / stale-metadata fault)
     without touching allocator bookkeeping. *)
+
+val mark_freed : t -> live_entry -> free_status
+(** A {e legitimate} free of a live record, as the allocator free path
+    would perform it — the uaf_use / double_free fault classes. In
+    temporal mode: bump the generation, set the freed flag, re-MAC where
+    the scheme carries a MAC (for a subheap record, every slot of the
+    block enters the freed epoch). Outside temporal mode the record is
+    wiped, which is what the spatial-only free does. Contrast with
+    {!wipe_entry}: a wipe garbles the record (classified as metadata
+    tampering); [mark_freed] keeps it valid but stale (classified as a
+    temporal fault). *)
 
 (** {1 Layout tables} *)
 
@@ -112,7 +137,12 @@ module Local_offset : sig
 
   val deregister : t -> int64 -> unit
   (** Invalidate the metadata of a pointer previously returned by
-      {!register} (zeroes the metadata block). *)
+      {!register} (zeroes the metadata block). Spatial-only free. *)
+
+  val deregister_temporal : t -> int64 -> free_status
+  (** Temporal free: validate the record, bump its generation, set the
+      freed flag, re-MAC. The record stays in memory as the free-epoch
+      witness. [`Already_freed] is the caller's double-free trap cue. *)
 
   val lookup : t -> int64 -> (obj_meta, string) result * fetch list
 end
@@ -131,6 +161,13 @@ module Subheap : sig
   val block_metadata_size : int
   (** 32. *)
 
+  val temporal_metadata_size : int
+  (** 64: the 32-byte header followed by a 256-bit freed-slot bitmap
+      (temporal mode only). *)
+
+  val record_size : t -> int
+  (** 64 in temporal mode, 32 otherwise. *)
+
   val write_block_metadata :
     t ->
     creg:int ->
@@ -145,8 +182,19 @@ module Subheap : sig
       metadata offset; it must be configured. *)
 
   val clear_block_metadata : t -> creg:int -> block_base:int64 -> unit
+  (** In temporal mode the block generation survives the clear, bumped
+      by one — pointers into the previous tenant of a recycled block
+      mismatch on promote. *)
+
+  val block_gen : t -> creg:int -> block_base:int64 -> int
+  (** Current block generation (0 outside temporal mode). *)
 
   val tag_pointer : creg:int -> addr:int64 -> int64
+
+  val slot_mark_freed :
+    t -> creg:int -> block_base:int64 -> slot:int -> free_status
+  (** Temporal free of one slot: set its bit in the freed-slot bitmap.
+      [`Already_freed] is the caller's double-free trap cue. *)
 
   val lookup : t -> int64 -> (obj_meta, string) result * fetch list * int
   (** Returns the extra division count (slot-index computation) as the
@@ -161,7 +209,12 @@ module Global_table : sig
       pointer. *)
 
   val deregister : t -> int64 -> unit
-  (** Free the row named by the pointer's index field. *)
+  (** Free the row named by the pointer's index field (spatial-only). *)
+
+  val deregister_temporal : t -> int64 -> free_status
+  (** Temporal free: the row is quarantined — it keeps base/size so
+      stale promotes still resolve, gains the freed bit and a bumped
+      generation, and never returns to the free list. *)
 
   val rows_in_use : t -> int
 

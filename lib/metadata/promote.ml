@@ -8,6 +8,10 @@ type outcome =
   | Bypass_null
   | Bypass_legacy
   | Metadata_invalid of string
+  | Temporal_stale of { freed : bool; gen_ptr : int; gen_meta : int }
+      (** temporal mode: the record resolved but its allocation is in a
+          later free epoch — freed outright, or the pointer's generation
+          nibble no longer matches the record's *)
   | Retrieved of narrow_status
 
 type result = {
@@ -99,7 +103,7 @@ let narrow_via_table t ~table_ptr ~index ~addr ~obj_base ~obj_size =
 
 let run ?(narrow = true) t ptr =
   match Tag.poison ptr with
-  | Tag.Invalid -> bypass ptr Bypass_poisoned
+  | Tag.Invalid | Tag.Freed -> bypass ptr Bypass_poisoned
   | Tag.Valid | Tag.Oob ->
     if Tag.is_null ptr then bypass (Tag.make_legacy 0L) Bypass_null
     else begin
@@ -130,7 +134,22 @@ let run ?(narrow = true) t ptr =
             walk_elems = 0;
             mac_checks = macs;
           }
-        | Ok { Meta.obj_base; obj_size; layout_ptr } ->
+        | Ok { Meta.obj_base; obj_size; layout_ptr; gen; freed } ->
+          if Meta.temporal t && (freed || gen <> Tag.gen ptr) then
+            (* free-epoch check (temporal mode): the metadata resolved,
+               but the allocation was freed — or this address has been
+               recycled into a later generation. Poison as Freed and
+               strip bounds; the access (or armed promote) traps. *)
+            {
+              ptr = Tag.with_poison ptr Tag.Freed;
+              bounds = Bounds.no_bounds;
+              outcome = Temporal_stale { freed; gen_ptr = Tag.gen ptr; gen_meta = gen };
+              fetches = lookup_fetches;
+              divisions = lookup_divs;
+              walk_elems = 0;
+              mac_checks = macs;
+            }
+          else
           let obj_bounds =
             Bounds.make ~lo:obj_base
               ~hi:(Int64.add obj_base (Int64.of_int obj_size))
@@ -196,4 +215,4 @@ let run ?(narrow = true) t ptr =
 let accessed_metadata r =
   match r.outcome with
   | Bypass_poisoned | Bypass_null | Bypass_legacy -> false
-  | Metadata_invalid _ | Retrieved _ -> true
+  | Metadata_invalid _ | Temporal_stale _ | Retrieved _ -> true

@@ -20,6 +20,10 @@ type outcome =
   | Bypass_null
   | Bypass_legacy
   | Metadata_invalid of string  (** output pointer poisoned *)
+  | Temporal_stale of { freed : bool; gen_ptr : int; gen_meta : int }
+      (** temporal mode: metadata resolved but the allocation is in a
+          later free epoch (freed flag set, or generation mismatch);
+          output pointer poisoned [Freed], bounds cleared *)
   | Retrieved of narrow_status
 
 type result = {

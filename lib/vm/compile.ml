@@ -129,22 +129,25 @@ let run_body st (f : R.func) (body : ucode) callee_frame spills =
    [st.inj = None], so the [injected_bounds] hook is a static no-op
    here.
 
-   The bit-level pieces — the 48-bit address mask of [Tag.addr] /
-   [Bits.u48], the poison-bit test of [Insn.load_store_poison_check],
-   the range test of [Bounds.contains] — are open-coded copies: they run
-   on every access and the cross-module calls are measurable without
-   flambda. The differential suite pins them against the interpreter,
-   which still goes through [lib/isa]. *)
+   The bit-level pieces — the 44-bit address mask of [Tag.addr], the
+   poison-bit test of [Insn.load_store_poison_check], the range test of
+   [Bounds.contains] — are open-coded copies: they run on every access
+   and the cross-module calls are measurable without flambda. The
+   differential suite pins them against the interpreter, which still
+   goes through [lib/isa]. *)
 
-let addr_mask = 0xFFFF_FFFF_FFFFL
+let addr_mask = Tag.addr_mask (* 44-bit virtual address *)
 
-(* Returns the 48-bit address so the access tail does not re-mask: the
+(* Returns the 44-bit address so the access tail does not re-mask: the
    check is the only consumer of the tagged word, every caller feeds the
    result straight into a [stage_load]/[stage_store] closure. *)
-let[@inline] check_instr st w' ob ~size : int64 =
-  (* poison bits are 62-63; nonzero = Oob or Invalid *)
-  if Int64.to_int (Int64.shift_right_logical w' 62) land 3 <> 0 then
-    Trap.raise_trap (Trap.Poisoned_dereference w');
+let[@inline] check_instr st w' ob ~is_store ~size : int64 =
+  (* poison bits are 62-63; nonzero = Oob, Invalid or Freed. The library
+     check resolves the temporal-vs-spatial trap cause on the (cold)
+     poisoned path. *)
+  (if Int64.to_int (Int64.shift_right_logical w' 62) land 3 <> 0 then
+     if st.cfg.temporal then Insn.load_store_poison_check_temporal w' ~is_store
+     else Trap.raise_trap (Trap.Poisoned_dereference w'));
   st.c.implicit_checks <- st.c.implicit_checks + 1;
   let a = Int64.logand w' addr_mask in
   (match ob with
@@ -484,7 +487,7 @@ let stage_store st bytes : int64 -> int64 -> unit =
    every fused gep. The differential suite pins them against the
    [lib/isa] originals the interpreter still uses. *)
 
-let high16_mask = 0xFFFF_0000_0000_0000L (* lnot addr_mask *)
+let high_bits_mask = Int64.lognot addr_mask (* tag bits 63..44, gen included *)
 let poison_clear = Int64.lognot (Int64.shift_left 3L 62)
 let poison_oob = Int64.shift_left 1L 62
 let poison_invalid = Int64.shift_left 2L 62
@@ -505,7 +508,7 @@ let[@inline] s_poison_from_bounds p bounds =
 let s_ifpadd p ~delta ~bounds =
   let old_addr = Int64.logand p addr_mask in
   let new_addr = Int64.logand (Int64.add old_addr delta) addr_mask in
-  let p0 = Int64.logor (Int64.logand p high16_mask) new_addr in
+  let p0 = Int64.logor (Int64.logand p high_bits_mask) new_addr in
   let p' =
     match Int64.to_int (Int64.shift_right_logical p 60) land 3 with
     | 0 -> p0 (* Legacy *)
@@ -1299,7 +1302,7 @@ and compile_load c cls bytes addr : vcode =
         pv c Profile.op_fused_gep_load (fun fr ->
             let w' = ga fr in
             let ob = env.gb in
-            tail (check_instr st w' ob ~size:bytes))
+            tail (check_instr st w' ob ~is_store:false ~size:bytes))
       else
         pv c Profile.op_fused_gep_load (fun fr ->
             tail (Int64.logand (ga fr) addr_mask))
@@ -1316,7 +1319,7 @@ and compile_load c cls bytes addr : vcode =
             | VI w -> (w, Bounds.no_bounds)
             | VF _ -> abort "float used as pointer"
           in
-          tail (check_instr st w b ~size:bytes))
+          tail (check_instr st w b ~is_store:false ~size:bytes))
     else
       pv c Profile.op_fused_promote_load (fun fr ->
           let w =
@@ -1339,8 +1342,8 @@ and compile_load_generic c cls bytes addr : vcode =
     if c.instr then
       pv c Profile.op_load (fun fr ->
           match ca fr with
-          | VP (w, b) -> tail (check_instr st w b ~size:bytes)
-          | VI w -> tail (check_instr st w Bounds.No_bounds ~size:bytes)
+          | VP (w, b) -> tail (check_instr st w b ~is_store:false ~size:bytes)
+          | VI w -> tail (check_instr st w Bounds.No_bounds ~is_store:false ~size:bytes)
           | VF _ -> abort "float used as pointer")
     else
       pv c Profile.op_load (fun fr ->
@@ -1361,7 +1364,7 @@ and compile_load_int c bytes addr : icode =
         pi c Profile.op_fused_gep_load_i (fun fr ->
             let w' = ga fr in
             let ob = env.gb in
-            tail (check_instr st w' ob ~size:bytes))
+            tail (check_instr st w' ob ~is_store:false ~size:bytes))
       else
         pi c Profile.op_fused_gep_load_i (fun fr ->
             tail (Int64.logand (ga fr) addr_mask))
@@ -1378,8 +1381,8 @@ and compile_load_int_generic c bytes addr : icode =
     if c.instr then
       pi c Profile.op_load_i (fun fr ->
           match ca fr with
-          | VP (w, b) -> tail (check_instr st w b ~size:bytes)
-          | VI w -> tail (check_instr st w Bounds.No_bounds ~size:bytes)
+          | VP (w, b) -> tail (check_instr st w b ~is_store:false ~size:bytes)
+          | VI w -> tail (check_instr st w Bounds.No_bounds ~is_store:false ~size:bytes)
           | VF _ -> abort "float used as pointer")
     else
       pi c Profile.op_load_i (fun fr ->
@@ -1405,8 +1408,8 @@ and compile_store_int_generic c bytes addr v next : ucode =
           let a = ca fr in
           let raw = cv fr in
           (match a with
-          | VP (w, b) -> stw (check_instr st w b ~size:bytes) raw
-          | VI w -> stw (check_instr st w Bounds.No_bounds ~size:bytes) raw
+          | VP (w, b) -> stw (check_instr st w b ~is_store:true ~size:bytes) raw
+          | VI w -> stw (check_instr st w Bounds.No_bounds ~is_store:true ~size:bytes) raw
           | VF _ -> abort "float used as pointer");
           next fr)
     else
@@ -1436,10 +1439,10 @@ and compile_store_generic c cls bytes addr v next : ucode =
           let value = cv fr in
           (match a with
           | VP (w, b) ->
-            let ma = check_instr st w b ~size:bytes in
+            let ma = check_instr st w b ~is_store:true ~size:bytes in
             stw ma (sraw value)
           | VI w ->
-            let ma = check_instr st w Bounds.No_bounds ~size:bytes in
+            let ma = check_instr st w Bounds.No_bounds ~is_store:true ~size:bytes in
             stw ma (sraw value)
           | VF _ -> abort "float used as pointer");
           next fr)
@@ -1648,7 +1651,7 @@ and compile_stmt c (s : R.stmt) (next : ucode) : ucode =
               let w' = ga fr in
               let ob = env.gb in
               let raw = cv fr in
-              stw (check_instr st w' ob ~size:bytes) raw;
+              stw (check_instr st w' ob ~is_store:true ~size:bytes) raw;
               next fr)
         else
           pu c Profile.op_fused_gep_store_i (fun fr ->
@@ -1671,7 +1674,7 @@ and compile_stmt c (s : R.stmt) (next : ucode) : ucode =
               let w' = ga fr in
               let ob = env.gb in
               let value = cv fr in
-              let ma = check_instr st w' ob ~size:bytes in
+              let ma = check_instr st w' ob ~is_store:true ~size:bytes in
               stw ma (sraw value);
               next fr)
         else

@@ -59,6 +59,13 @@ type config = Rt.config = {
           poisoned dereference. *)
   engine : engine;
       (** which engine {!Engines.run} dispatches to; [Eng_vm] default *)
+  temporal : bool;
+      (** free-epoch generations (default [false]): metadata records
+          carry a generation and freed flag mirrored into the pointer
+          tag, allocator frees quarantine instead of recycling, and
+          stale accesses trap ([Use_after_free] / [Write_to_freed] /
+          [Double_free]). With it off, every encoding, cost and output
+          is bit-identical to the spatial-only design. *)
 }
 
 type trace_event = Rt.trace_event =

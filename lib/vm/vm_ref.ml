@@ -157,15 +157,15 @@ let layout_of st ty =
 
 let checked_access st frame ptr bounds ~size ~is_store =
   if ifp_mode st && frame.instrumented then begin
-    Insn.load_store_poison_check ptr;
+    if st.cfg.temporal then Insn.load_store_poison_check_temporal ptr ~is_store
+    else Insn.load_store_poison_check ptr;
     st.c.implicit_checks <- st.c.implicit_checks + 1;
     match bounds with
     | Bounds.No_bounds -> ()
     | Bounds.Bounds { lo; hi } ->
       if not (Bounds.contains bounds ~addr:(Tag.addr ptr) ~size) then
         Trap.raise_trap (Trap.Bounds_violation { ptr; lo; hi; size })
-  end;
-  ignore is_store
+  end
 
 (* fault-injection hook: [None] in every ordinary run, so the only cost
    when off is this match *)
@@ -321,6 +321,10 @@ let eval_promote st v =
               | Promote.Bypass_null -> "bypass:null"
               | Promote.Bypass_legacy -> "bypass:legacy"
               | Promote.Metadata_invalid m -> "invalid:" ^ m
+              | Promote.Temporal_stale { freed; gen_ptr; gen_meta } ->
+                Printf.sprintf "temporal-stale:%s:g%d/g%d"
+                  (if freed then "freed" else "recycled")
+                  gen_ptr gen_meta
               | Promote.Retrieved Promote.No_subobject -> "retrieved"
               | Promote.Retrieved Promote.Narrowed -> "retrieved:narrowed"
               | Promote.Retrieved (Promote.Narrow_failed m) ->
@@ -338,12 +342,17 @@ let eval_promote st v =
       if String.equal reason "MAC mismatch" then
         Trap.raise_trap (Trap.Mac_mismatch { ptr = w })
       else Trap.raise_trap (Trap.Invalid_metadata { ptr = w; reason })
+    | Promote.Temporal_stale _, Some _ ->
+      (* armed temporal promote traps immediately instead of deferring
+         to the poisoned dereference — same escalation as the MAC path *)
+      st.c.promotes_invalid_meta <- st.c.promotes_invalid_meta + 1;
+      Trap.raise_trap (Trap.Use_after_free { ptr = w })
     | _ -> ());
     (match r.outcome with
     | Promote.Bypass_poisoned -> st.c.promotes_poisoned <- st.c.promotes_poisoned + 1
     | Promote.Bypass_null -> st.c.promotes_null <- st.c.promotes_null + 1
     | Promote.Bypass_legacy -> st.c.promotes_legacy <- st.c.promotes_legacy + 1
-    | Promote.Metadata_invalid _ ->
+    | Promote.Metadata_invalid _ | Promote.Temporal_stale _ ->
       st.c.promotes_invalid_meta <- st.c.promotes_invalid_meta + 1
     | Promote.Retrieved status ->
       st.c.promotes_valid <- st.c.promotes_valid + 1;
@@ -393,11 +402,23 @@ let deregister_local st frame name =
     trace st (fun _ -> T_deregister { what = "local:" ^ name; ptr = p });
     match Tag.scheme p with
     | Tag.Local_offset ->
-      Meta.Local_offset.deregister meta p;
-      base st 4;
+      if st.cfg.temporal then begin
+        (* free-epoch transition: validate, bump generation, re-MAC.
+           The record stays in place; reuse of the stack slot reads the
+           prior generation back at register time. *)
+        ignore (Meta.Local_offset.deregister_temporal meta p);
+        base st 6;
+        charge_ifp st Insn.Ifpmac 1
+      end
+      else begin
+        Meta.Local_offset.deregister meta p;
+        base st 4
+      end;
       replay_touches st [ (Tag.metadata_addr_local_offset p, 16) ]
     | Tag.Global_table ->
-      Meta.Global_table.deregister meta p;
+      if st.cfg.temporal then
+        ignore (Meta.Global_table.deregister_temporal meta p)
+      else Meta.Global_table.deregister meta p;
       base st 30
     | Tag.Legacy | Tag.Subheap -> ())
 
@@ -858,10 +879,11 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
     | Baseline -> None
     | Ifp | Ifp_no_promote ->
       Some
-        (Meta.create ~memory:mem
+        (Meta.create ~temporal:config.temporal ~memory:mem
            ~mac_key:(Ifp_metadata.Mac.fresh_key rng)
            ~layout_region:(Memmap.layout_region_base, Memmap.layout_region_size)
-           ~global_table:(Memmap.global_table_base, Memmap.global_table_entries))
+           ~global_table:(Memmap.global_table_base, Memmap.global_table_entries)
+           ())
   in
   let allocator =
     match (config.variant, config.alloc) with
@@ -955,7 +977,11 @@ let run ?(config = default_config) (raw_prog : Ir.program) =
           Trapped t
         | exception Abort msg -> Aborted msg
         | exception Memory.Fault (_, a) -> Trapped (Trap.Memory_fault a)
-        | exception Alloc.Out_of_memory msg -> Aborted (Out_of_memory msg)))
+        | exception Alloc.Out_of_memory msg -> Aborted (Out_of_memory msg)
+        | exception Alloc.Double_free p ->
+          Aborted
+            (Program_error
+               (Printf.sprintf "double free detected by allocator (0x%Lx)" p))))
     | exception Abort msg -> Aborted msg
   in
   let alloc_stats = st.allocator.stats () in

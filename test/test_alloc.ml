@@ -49,7 +49,7 @@ let mk_env () =
   let meta =
     Meta.create ~memory:mem ~mac_key:7L
       ~layout_region:(0x200000L, 1 lsl 16)
-      ~global_table:(0x300000L, 512)
+      ~global_table:(0x300000L, 512) ()
   in
   (mem, meta)
 

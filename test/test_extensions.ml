@@ -64,7 +64,7 @@ let test_promote_narrow_flag () =
   Memory.map mem ~base:0x300000L ~size:65536;
   let meta =
     Meta.create ~memory:mem ~mac_key:5L ~layout_region:(0x200000L, 65536)
-      ~global_table:(0x300000L, 64)
+      ~global_table:(0x300000L, 64) ()
   in
   let tenv =
     Ctype.declare Ctype.empty_tenv

@@ -70,6 +70,42 @@ let test_battery_green () =
         (List.map Oracle.failure_key failures))
     (seeds 400L 6)
 
+let test_temporal_knob_off_identical () =
+  (* the temporal knob must not perturb the PRNG stream when off: same
+     seed, knob explicitly false = the preset's output *)
+  List.iter
+    (fun seed ->
+      let a = Gen.source ~knobs:Gen.quick ~seed () in
+      let b = Gen.source ~knobs:{ Gen.quick with Gen.temporal = false } ~seed () in
+      Alcotest.(check string) (Printf.sprintf "seed %Ld" seed) a b)
+    (seeds 500L 4)
+
+let test_temporal_battery () =
+  (* safe programs: finish under temporal mode, engines agree, and the
+     armed uaf_use / double_free plans never classify silent *)
+  List.iter
+    (fun seed ->
+      let p = Gen.generate ~knobs:Gen.quick ~seed () in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %Ld temporal battery" seed)
+        []
+        (List.map Oracle.failure_key (Oracle.check_temporal ~fault_seed:seed p)))
+    (seeds 600L 4)
+
+let test_temporal_variants_trap () =
+  (* temporal-knob programs: must die with a temporal trap under both
+     temporal configs, bit-identically across engines *)
+  List.iter
+    (fun seed ->
+      let knobs = { Gen.quick with Gen.temporal = true } in
+      let p = Gen.generate ~knobs ~seed () in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %Ld temporal variant" seed)
+        []
+        (List.map Oracle.failure_key
+           (Oracle.check_temporal ~expect_fault:true p)))
+    (seeds 700L 6)
+
 let oob_src =
   "i64 main() {\n\
   \  let junk: i64 = 42;\n\
@@ -233,6 +269,12 @@ let tests =
     Alcotest.test_case "oracle battery green on clean seeds" `Quick
       test_battery_green;
     Alcotest.test_case "oracle battery flags oob" `Quick test_battery_flags_oob;
+    Alcotest.test_case "temporal knob off is byte-identical" `Quick
+      test_temporal_knob_off_identical;
+    Alcotest.test_case "temporal battery green on safe seeds" `Quick
+      test_temporal_battery;
+    Alcotest.test_case "temporal variants trap temporally" `Quick
+      test_temporal_variants_trap;
     Alcotest.test_case "failure line round-trip" `Quick
       test_failure_line_roundtrip;
     Alcotest.test_case "shrinker preserves failure" `Quick

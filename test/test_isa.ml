@@ -49,10 +49,18 @@ let prop_tag_roundtrip =
   QCheck.Test.make ~count:500 ~name:"tag field writes are independent"
     QCheck.(triple int64 (int_bound 63) (int_bound 63))
     (fun (addr, go, so) ->
-      let p = Tag.make_local_offset ~addr:(Bits.u48 addr) ~granule_off:go ~subobj:so in
+      (* addresses are 44-bit; bits 44..47 hold the temporal generation *)
+      let a = Int64.logand addr Tag.addr_mask in
+      let p = Tag.make_local_offset ~addr:a ~granule_off:go ~subobj:so in
+      let g = go land (Tag.gen_states - 1) in
+      let q = Tag.with_gen p g in
       Tag.granule_offset p = go
       && Tag.subobj_index p = Some so
-      && Int64.equal (Tag.addr p) (Bits.u48 addr))
+      && Int64.equal (Tag.addr p) a
+      && Tag.gen p = 0
+      && Tag.gen q = g
+      && Int64.equal (Tag.addr q) a
+      && Tag.granule_offset q = go)
 
 let test_bounds_contains () =
   let b = Bounds.make ~lo:0x100L ~hi:0x200L in

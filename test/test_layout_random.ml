@@ -143,7 +143,7 @@ let prop_memory_roundtrip =
         let meta =
           Meta.create ~memory:mem ~mac_key:1L
             ~layout_region:(0x200000L, 1 lsl 16)
-            ~global_table:(0x300000L, 16)
+            ~global_table:(0x300000L, 16) ()
         in
         let ptr = Meta.intern_layout meta env ty in
         Meta.layout_count meta ptr = Layout.length l

@@ -29,4 +29,5 @@ let () =
       ("service", Test_service.tests);
       ("resilience", Test_resilience.tests);
       ("fuzz", Test_fuzz.tests);
+      ("temporal", Test_temporal.tests);
     ]

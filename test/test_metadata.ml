@@ -11,7 +11,7 @@ let mk_ctx () =
   let meta =
     Meta.create ~memory:mem ~mac_key:0x1234_5678L
       ~layout_region:(0x200000L, 1 lsl 16)
-      ~global_table:(0x300000L, 256)
+      ~global_table:(0x300000L, 256) ()
   in
   (mem, meta)
 

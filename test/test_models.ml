@@ -67,6 +67,31 @@ let test_hw_ablations () =
   Alcotest.(check bool) "fewer schemes, less area" true
     (H.added_luts one_scheme < H.added_luts H.full)
 
+let test_hw_temporal_pricing () =
+  (* temporal off = exactly the paper's calibrated totals *)
+  Alcotest.(check bool) "full has temporal off" false H.full.H.temporal;
+  Alcotest.(check int) "temporal-off totals unchanged" 59_261
+    (H.total_luts H.full);
+  let extra = H.added_luts H.full_temporal - H.added_luts H.full in
+  let expect =
+    List.fold_left (fun a (c : H.component) -> a + c.H.luts) 0
+      H.temporal_components
+  in
+  Alcotest.(check int) "temporal adds its component LUTs" expect extra;
+  Alcotest.(check bool) "small relative to the IFP unit" true
+    (extra > 0 && extra < 1000);
+  (* the epoch machinery lives in the execute stage *)
+  let exec cfg = List.assoc H.Execute (H.by_stage cfg) in
+  Alcotest.(check int) "all of it in execute" extra
+    (exec H.full_temporal - exec H.full);
+  (* metadata pricing: only the subheap block record grows *)
+  Alcotest.(check int) "local-offset epoch free" 0
+    (List.assoc "local-offset object" H.temporal_metadata_bytes);
+  Alcotest.(check int) "subheap block doubles" 32
+    (List.assoc "subheap block" H.temporal_metadata_bytes);
+  Alcotest.(check int) "global-table epoch free" 0
+    (List.assoc "global-table row" H.temporal_metadata_bytes)
+
 let tests =
   [
     Alcotest.test_case "projection basics" `Slow test_projection_basics;
@@ -75,4 +100,5 @@ let tests =
     Alcotest.test_case "hw totals vs paper" `Quick test_hw_totals_match_paper;
     Alcotest.test_case "hw stage shares" `Quick test_hw_stage_shares;
     Alcotest.test_case "hw ablations" `Quick test_hw_ablations;
+    Alcotest.test_case "hw temporal pricing" `Quick test_hw_temporal_pricing;
   ]
